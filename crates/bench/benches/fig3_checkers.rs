@@ -1,0 +1,102 @@
+//! Criterion bench for Figure 3 (left): handwritten vs derived
+//! checkers on BST, IFC, and STLC, over identical pre-generated inputs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use indrel_bst::Bst;
+use indrel_ifc::Ifc;
+use indrel_stlc::Stlc;
+use indrel_term::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_bst(c: &mut Criterion) {
+    let bst = Bst::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let trees: Vec<Value> = (0..128).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let mut group = c.benchmark_group("fig3_checkers/bst");
+    group.bench_function("handwritten", |b| {
+        b.iter_batched(
+            || trees.clone(),
+            |trees| {
+                for t in &trees {
+                    std::hint::black_box(bst.handwritten_check(0, 24, t));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("derived", |b| {
+        b.iter_batched(
+            || trees.clone(),
+            |trees| {
+                for t in &trees {
+                    std::hint::black_box(bst.derived_check(0, 24, t, 64));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ifc(c: &mut Criterion) {
+    let ifc = Ifc::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let pairs: Vec<(Value, Value)> = (0..128)
+        .map(|_| {
+            let (_, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+            (ifc.machine_value(&m1), ifc.machine_value(&m2))
+        })
+        .collect();
+    let mut group = c.benchmark_group("fig3_checkers/ifc");
+    group.bench_function("handwritten", |b| {
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.handwritten_indist_value(v1, v2));
+            }
+        })
+    });
+    group.bench_function("derived", |b| {
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.derived_indist(v1, v2, 64));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_stlc(c: &mut Criterion) {
+    let stlc = Stlc::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut inputs: Vec<(Value, Value)> = Vec::new();
+    while inputs.len() < 128 {
+        let ty = stlc.random_ty(2, &mut rng);
+        if let Some(e) = stlc.handwritten_gen(&[], &ty, 5, &mut rng) {
+            inputs.push((e, ty));
+        }
+    }
+    let mut group = c.benchmark_group("fig3_checkers/stlc");
+    group.bench_function("handwritten", |b| {
+        b.iter(|| {
+            for (e, t) in &inputs {
+                std::hint::black_box(stlc.handwritten_check(&[], e, t));
+            }
+        })
+    });
+    group.bench_function("derived", |b| {
+        b.iter(|| {
+            for (e, t) in &inputs {
+                std::hint::black_box(stlc.derived_check(&[], e, t, 40));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bst, bench_ifc, bench_stlc
+}
+criterion_main!(benches);

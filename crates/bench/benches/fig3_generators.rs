@@ -1,0 +1,61 @@
+//! Criterion bench for Figure 3 (right): handwritten vs derived
+//! generators on BST and STLC (generation + handwritten check, the
+//! paper's full test loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indrel_bst::Bst;
+use indrel_stlc::Stlc;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_bst(c: &mut Criterion) {
+    let bst = Bst::new();
+    let mut group = c.benchmark_group("fig3_generators/bst");
+    group.bench_function("handwritten", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            let t = bst.handwritten_gen(0, 24, 6, &mut rng);
+            std::hint::black_box(bst.handwritten_check(0, 24, &t));
+        })
+    });
+    group.bench_function("derived", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            if let Some(t) = bst.derived_gen(0, 24, 6, &mut rng) {
+                std::hint::black_box(bst.handwritten_check(0, 24, &t));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_stlc(c: &mut Criterion) {
+    let stlc = Stlc::new();
+    let mut group = c.benchmark_group("fig3_generators/stlc");
+    group.bench_function("handwritten", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let ty = stlc.random_ty(2, &mut rng);
+            if let Some(e) = stlc.handwritten_gen(&[], &ty, 5, &mut rng) {
+                std::hint::black_box(stlc.handwritten_check(&[], &e, &ty));
+            }
+        })
+    });
+    group.bench_function("derived", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let ty = stlc.random_ty(2, &mut rng);
+            if let Some(e) = stlc.derived_gen(&[], &ty, 5, &mut rng) {
+                std::hint::black_box(stlc.handwritten_check(&[], &e, &ty));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bst, bench_stlc
+}
+criterion_main!(benches);

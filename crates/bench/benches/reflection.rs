@@ -1,0 +1,28 @@
+//! Criterion bench for §6.3: naive proof construction + kernel check
+//! vs one reflective checker run, on `Sorted (repeat 1 n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indrel_reflect::Reflection;
+
+fn bench_reflection(c: &mut Criterion) {
+    let r = Reflection::new();
+    let mut group = c.benchmark_group("reflection");
+    group.sample_size(10);
+    for n in [500u64, 2000] {
+        let l = r.repeat_list(1, n);
+        group.bench_with_input(BenchmarkId::new("naive_construct", n), &l, |b, l| {
+            b.iter(|| std::hint::black_box(r.naive_prove(l).expect("sorted")))
+        });
+        let proof = r.naive_prove(&l).expect("sorted");
+        group.bench_with_input(BenchmarkId::new("kernel_check", n), &proof, |b, p| {
+            b.iter(|| r.kernel_check(p).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("reflective", n), &l, |b, l| {
+            b.iter(|| std::hint::black_box(r.reflective_check(l)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reflection);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 3: throughput of the QuickChick case studies
+//! using handwritten or derived checkers (left) and generators (right).
+//!
+//! ```text
+//! cargo run -p indrel-bench --release --bin fig3              # both sides
+//! cargo run -p indrel-bench --release --bin fig3 -- checkers
+//! cargo run -p indrel-bench --release --bin fig3 -- generators
+//! ```
+
+use std::time::Duration;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let budget = Duration::from_millis(
+        std::env::var("FIG3_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1500),
+    );
+    if which == "checkers" || which == "both" {
+        println!("Figure 3 (left): tests/second, handwritten vs derived checkers");
+        println!("(paper deltas: BST -0.82%, IFC -0.51%, STLC -1.18%)");
+        for r in indrel_bench::fig3::checkers(budget) {
+            println!("  {r}");
+        }
+        println!();
+    }
+    if which == "generators" || which == "both" {
+        println!("Figure 3 (right): tests/second, handwritten vs derived generators");
+        println!("(paper deltas: BST -1.21%, STLC -1.74%)");
+        for r in indrel_bench::fig3::generators(budget) {
+            println!("  {r}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Figure 3: throughput of the QuickChick case studies with
+//! handwritten vs derived checkers (left) and generators (right).
+//!
+//! As in the paper, the checker comparison fixes the handwritten
+//! generator and swaps the checker; the generator comparison fixes the
+//! handwritten checker and swaps the generator. Throughput is tests
+//! per second over a fixed wall-clock budget.
+
+use indrel_bst::Bst;
+use indrel_ifc::Ifc;
+use indrel_pbt::{Runner, TestOutcome};
+use indrel_stlc::Stlc;
+use indrel_term::Value;
+use std::fmt;
+use std::time::Duration;
+
+/// One bar pair of Figure 3.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Handwritten tests/second.
+    pub handwritten_tps: f64,
+    /// Derived tests/second.
+    pub derived_tps: f64,
+}
+
+impl CaseResult {
+    /// The percentage annotation of Figure 3.
+    pub fn delta_pct(&self) -> f64 {
+        crate::delta_pct(self.handwritten_tps, self.derived_tps)
+    }
+}
+
+impl fmt::Display for CaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} handwritten {:>12.0} t/s   derived {:>12.0} t/s   Δ {:>7.2}%",
+            self.name,
+            self.handwritten_tps,
+            self.derived_tps,
+            self.delta_pct()
+        )
+    }
+}
+
+const BST_FUEL: u64 = 64;
+const STLC_FUEL: u64 = 40;
+const IFC_FUEL: u64 = 64;
+
+/// Measures the checker side (Figure 3, left): BST, IFC, STLC.
+pub fn checkers(budget: Duration) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+
+    // ---- BST ----
+    let bst = Bst::new();
+    let gen_bst = |size: u64, rng: &mut dyn rand::RngCore| {
+        Some(vec![bst.handwritten_gen(0, 24, size, rng)])
+    };
+    let hand = Runner::new(1).with_size(6).throughput(budget, 64, gen_bst, |args| {
+        TestOutcome::from_bool(bst.handwritten_check(0, 24, &args[0]))
+    });
+    let derv = Runner::new(1).with_size(6).throughput(budget, 64, gen_bst, |args| {
+        TestOutcome::from_check(bst.derived_check(0, 24, &args[0], BST_FUEL))
+    });
+    out.push(CaseResult {
+        name: "BST",
+        handwritten_tps: hand.tests_per_second(),
+        derived_tps: derv.tests_per_second(),
+    });
+
+    // ---- IFC ----
+    let ifc = Ifc::new();
+    let ifc2 = ifc.clone();
+    let gen_pair = move |size: u64, rng: &mut dyn rand::RngCore| {
+        let (_, m1, m2) = ifc2.gen_indist_pair(size, rng);
+        Some(vec![ifc2.machine_value(&m1), ifc2.machine_value(&m2)])
+    };
+    let hand = Runner::new(2).with_size(6).throughput(budget, 64, gen_pair.clone(), |args| {
+        TestOutcome::from_bool(ifc.handwritten_indist_value(&args[0], &args[1]))
+    });
+    let derv = Runner::new(2).with_size(6).throughput(budget, 64, gen_pair, |args| {
+        TestOutcome::from_check(ifc.derived_indist(&args[0], &args[1], IFC_FUEL))
+    });
+    out.push(CaseResult {
+        name: "IFC",
+        handwritten_tps: hand.tests_per_second(),
+        derived_tps: derv.tests_per_second(),
+    });
+
+    // ---- STLC ----
+    let stlc = Stlc::new();
+    let s2 = stlc.clone();
+    let gen_term = move |size: u64, rng: &mut dyn rand::RngCore| {
+        let ty = s2.random_ty(2, rng);
+        let e = s2.handwritten_gen(&[], &ty, size, rng)?;
+        Some(vec![e, ty])
+    };
+    let hand = Runner::new(3).with_size(5).throughput(budget, 64, gen_term.clone(), |args| {
+        TestOutcome::from_bool(stlc.handwritten_check(&[], &args[0], &args[1]))
+    });
+    let derv = Runner::new(3).with_size(5).throughput(budget, 64, gen_term, |args| {
+        TestOutcome::from_check(stlc.derived_check(&[], &args[0], &args[1], STLC_FUEL))
+    });
+    out.push(CaseResult {
+        name: "STLC",
+        handwritten_tps: hand.tests_per_second(),
+        derived_tps: derv.tests_per_second(),
+    });
+
+    out
+}
+
+/// Measures the generator side (Figure 3, right): BST, STLC.
+pub fn generators(budget: Duration) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+
+    // ---- BST ----
+    let bst = Bst::new();
+    let b_hand = bst.clone();
+    let b_derv = bst.clone();
+    let check = |bst: &Bst, t: &Value| TestOutcome::from_bool(bst.handwritten_check(0, 24, t));
+    let hand = Runner::new(4).with_size(6).throughput(
+        budget,
+        64,
+        move |size, rng| Some(vec![b_hand.handwritten_gen(0, 24, size, rng)]),
+        |args| check(&bst, &args[0]),
+    );
+    let bst2 = Bst::new();
+    let derv = Runner::new(4).with_size(6).throughput(
+        budget,
+        64,
+        move |size, rng| b_derv.derived_gen(0, 24, size, rng).map(|t| vec![t]),
+        |args| check(&bst2, &args[0]),
+    );
+    out.push(CaseResult {
+        name: "BST",
+        handwritten_tps: hand.tests_per_second(),
+        derived_tps: derv.tests_per_second(),
+    });
+
+    // ---- STLC ----
+    let stlc = Stlc::new();
+    let s_hand = stlc.clone();
+    let s_derv = stlc.clone();
+    let hand = Runner::new(5).with_size(5).throughput(
+        budget,
+        64,
+        move |size, rng| {
+            let ty = s_hand.random_ty(2, rng);
+            let e = s_hand.handwritten_gen(&[], &ty, size, rng)?;
+            Some(vec![e, ty])
+        },
+        |args| TestOutcome::from_bool(stlc.handwritten_check(&[], &args[0], &args[1])),
+    );
+    let stlc2 = Stlc::new();
+    let derv = Runner::new(5).with_size(5).throughput(
+        budget,
+        64,
+        move |size, rng| {
+            let ty = s_derv.random_ty(2, rng);
+            let e = s_derv.derived_gen(&[], &ty, size, rng)?;
+            Some(vec![e, ty])
+        },
+        |args| TestOutcome::from_bool(stlc2.handwritten_check(&[], &args[0], &args[1])),
+    );
+    out.push(CaseResult {
+        name: "STLC",
+        handwritten_tps: hand.tests_per_second(),
+        derived_tps: derv.tests_per_second(),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_throughputs_are_positive() {
+        for r in checkers(Duration::from_millis(30)) {
+            assert!(r.handwritten_tps > 0.0, "{r}");
+            assert!(r.derived_tps > 0.0, "{r}");
+        }
+    }
+
+    #[test]
+    fn generator_throughputs_are_positive() {
+        for r in generators(Duration::from_millis(30)) {
+            assert!(r.handwritten_tps > 0.0, "{r}");
+            assert!(r.derived_tps > 0.0, "{r}");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The binary-search-tree case study (§6.2, after "How to Specify It!").
+//!
+//! The QuickChick microbenchmark suite's first case study: the BST
+//! invariant as an inductive relation, a handwritten checker and a
+//! handwritten generator over the same term representation, the derived
+//! checker and generator, an `insert` function, and the suite's
+//! mutation (an insertion that can violate the search-tree invariant).
+//!
+//! The property under test is insertion preservation:
+//! `bst lo hi t → lo < x < hi → bst lo hi (insert x t)`.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_bst::Bst;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let bst = Bst::new();
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let t = bst.handwritten_gen(0, 16, 6, &mut rng);
+//! assert!(bst.handwritten_check(0, 16, &t));
+//! assert_eq!(bst.derived_check(0, 16, &t, 64), Some(true));
+//! let t2 = bst.insert(8, &t);
+//! assert!(bst.handwritten_check(0, 16, &t2));
+//! ```
+
+use indrel_core::{Library, LibraryBuilder, Mode};
+use indrel_rel::parse::parse_program;
+use indrel_rel::RelEnv;
+use indrel_term::{CtorId, RelId, Universe, Value};
+use rand::Rng as _;
+use std::rc::Rc;
+
+/// The inductive specification, in the surface syntax.
+pub const BST_SOURCE: &str = r"
+rel le' : nat nat :=
+| le_n : forall n, le' n n
+| le_S : forall n m, le' n m -> le' n (S m)
+.
+rel lt' : nat nat :=
+| lt_ : forall n m, le' (S n) m -> lt' n m
+.
+data tree := Leaf | Node nat tree tree .
+rel bst : nat nat tree :=
+| bst_leaf : forall lo hi, bst lo hi Leaf
+| bst_node : forall lo hi x l r,
+    lt' lo x -> lt' x hi ->
+    bst lo x l -> bst x hi r ->
+    bst lo hi (Node x l r)
+.
+";
+
+/// The BST case study: relations, library, handwritten baselines, and
+/// mutations.
+#[derive(Clone)]
+pub struct Bst {
+    lib: Library,
+    bst: RelId,
+    lt: RelId,
+    leaf: CtorId,
+    node: CtorId,
+}
+
+impl std::fmt::Debug for Bst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bst").finish_non_exhaustive()
+    }
+}
+
+impl Default for Bst {
+    fn default() -> Bst {
+        Bst::new()
+    }
+}
+
+impl Bst {
+    /// Builds the case study: parses the specification and derives the
+    /// checker and the generator/enumerator for trees
+    /// (`bst lo hi ?t`), registering handwritten `le'`/`lt'` checkers
+    /// as primitive instances (QuickChick ships `DecOpt` instances for
+    /// the ordering relations; registering them keeps the comparison
+    /// about the BST logic).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the embedded specification fails to parse or
+    /// derive, which the test suite rules out.
+    pub fn new() -> Bst {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, BST_SOURCE).expect("embedded source parses");
+        let bst = env.rel_id("bst").expect("declared");
+        let le = env.rel_id("le'").expect("declared");
+        let lt = env.rel_id("lt'").expect("declared");
+        let leaf = u.ctor_id("Leaf").expect("declared");
+        let node = u.ctor_id("Node").expect("declared");
+        let mut b = LibraryBuilder::new(u, env);
+        b.register_checker(
+            le,
+            Rc::new(|_, _, args: &[Value]| {
+                Some(args[0].as_nat().expect("nat") <= args[1].as_nat().expect("nat"))
+            }),
+        );
+        b.register_checker(
+            lt,
+            Rc::new(|_, _, args: &[Value]| {
+                Some(args[0].as_nat().expect("nat") < args[1].as_nat().expect("nat"))
+            }),
+        );
+        b.derive_checker(bst).expect("bst checker derives");
+        b.derive_producer(bst, Mode::producer(3, &[2]))
+            .expect("bst producer derives");
+        Bst {
+            lib: b.build(),
+            bst,
+            lt,
+            leaf,
+            node,
+        }
+    }
+
+    /// The underlying instance library.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The `bst` relation id.
+    pub fn relation(&self) -> RelId {
+        self.bst
+    }
+
+    /// The tree-producing mode `bst lo hi ?t`.
+    pub fn tree_mode(&self) -> Mode {
+        Mode::producer(3, &[2])
+    }
+
+    /// The `Leaf` value.
+    pub fn leaf(&self) -> Value {
+        Value::ctor(self.leaf, vec![])
+    }
+
+    /// Builds a `Node`.
+    pub fn tree_node(&self, x: u64, l: Value, r: Value) -> Value {
+        Value::ctor(self.node, vec![Value::nat(x), l, r])
+    }
+
+    // ------------------------------------------------------------------
+    // Handwritten baselines (the paper's Figure 3 blue bars)
+    // ------------------------------------------------------------------
+
+    /// The handwritten checker: a direct recursive traversal over the
+    /// same term representation the derived checker sees.
+    pub fn handwritten_check(&self, lo: u64, hi: u64, t: &Value) -> bool {
+        let (c, args) = t.as_ctor().expect("tree value");
+        if c == self.leaf {
+            return true;
+        }
+        let x = args[0].as_nat().expect("nat key");
+        lo < x
+            && x < hi
+            && self.handwritten_check(lo, x, &args[1])
+            && self.handwritten_check(x, hi, &args[2])
+    }
+
+    /// The handwritten generator: picks a key in the open interval and
+    /// recurses, exactly the classic QuickChick `genBST`.
+    pub fn handwritten_gen(
+        &self,
+        lo: u64,
+        hi: u64,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Value {
+        if size == 0 || hi <= lo + 1 {
+            return self.leaf();
+        }
+        // Weighted leaf/node choice mirroring the derived generator's
+        // base-vs-recursive weighting.
+        if rng.gen_range(0..=size) == 0 {
+            return self.leaf();
+        }
+        let x = rng.gen_range(lo + 1..hi);
+        let l = self.handwritten_gen(lo, x, size - 1, rng);
+        let r = self.handwritten_gen(x, hi, size - 1, rng);
+        self.tree_node(x, l, r)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived artifacts (the paper's orange bars)
+    // ------------------------------------------------------------------
+
+    /// The derived checker.
+    pub fn derived_check(&self, lo: u64, hi: u64, t: &Value, fuel: u64) -> Option<bool> {
+        self.lib
+            .check(self.bst, fuel, fuel, &[Value::nat(lo), Value::nat(hi), t.clone()])
+    }
+
+    /// The derived generator for `bst lo hi ?t`.
+    pub fn derived_gen(
+        &self,
+        lo: u64,
+        hi: u64,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Value> {
+        self.lib
+            .generate(
+                self.bst,
+                &self.tree_mode(),
+                size,
+                size,
+                &[Value::nat(lo), Value::nat(hi)],
+                rng,
+            )
+            .map(|mut outs| outs.pop().expect("one output"))
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion and the suite's mutation
+    // ------------------------------------------------------------------
+
+    /// BST insertion.
+    pub fn insert(&self, x: u64, t: &Value) -> Value {
+        let (c, args) = t.as_ctor().expect("tree value");
+        if c == self.leaf {
+            return self.tree_node(x, self.leaf(), self.leaf());
+        }
+        let y = args[0].as_nat().expect("nat key");
+        if x < y {
+            self.tree_node(y, self.insert(x, &args[1]), args[2].clone())
+        } else if x > y {
+            self.tree_node(y, args[1].clone(), self.insert(x, &args[2]))
+        } else {
+            t.clone()
+        }
+    }
+
+    /// The suite's mutation: the comparison in the right branch is
+    /// flipped, so an insertion can land a key on the wrong side and
+    /// break the invariant.
+    pub fn insert_buggy(&self, x: u64, t: &Value) -> Value {
+        let (c, args) = t.as_ctor().expect("tree value");
+        if c == self.leaf {
+            return self.tree_node(x, self.leaf(), self.leaf());
+        }
+        let y = args[0].as_nat().expect("nat key");
+        if x < y {
+            self.tree_node(y, self.insert_buggy(x, &args[1]), args[2].clone())
+        } else {
+            // BUG: keys equal to y are re-inserted to the right, and the
+            // recursion forgets to keep descending by comparison —
+            // it swaps the subtrees on the way down.
+            self.tree_node(y, args[2].clone(), self.insert_buggy(x, &args[1]))
+        }
+    }
+
+    /// The size (node count) of a tree.
+    pub fn tree_size(&self, t: &Value) -> u64 {
+        let (c, args) = t.as_ctor().expect("tree value");
+        if c == self.leaf {
+            0
+        } else {
+            1 + self.tree_size(&args[1]) + self.tree_size(&args[2])
+        }
+    }
+
+    /// The `lt'` relation id (registered handwritten instance).
+    pub fn lt_relation(&self) -> RelId {
+        self.lt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_pbt::{Runner, TestOutcome};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn handwritten_and_derived_checkers_agree() {
+        let bst = Bst::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let t = bst.handwritten_gen(0, 20, 5, &mut rng);
+            assert!(bst.handwritten_check(0, 20, &t));
+            assert_eq!(bst.derived_check(0, 20, &t, 64), Some(true));
+        }
+        // A non-BST.
+        let bad = bst.tree_node(5, bst.tree_node(9, bst.leaf(), bst.leaf()), bst.leaf());
+        assert!(!bst.handwritten_check(0, 20, &bad));
+        assert_eq!(bst.derived_check(0, 20, &bad, 64), Some(false));
+    }
+
+    #[test]
+    fn derived_generator_is_sound() {
+        let bst = Bst::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut produced = 0;
+        for _ in 0..100 {
+            if let Some(t) = bst.derived_gen(0, 16, 5, &mut rng) {
+                produced += 1;
+                assert!(bst.handwritten_check(0, 16, &t), "derived gen produced a non-BST");
+            }
+        }
+        assert!(produced > 50, "generator should mostly succeed: {produced}");
+    }
+
+    #[test]
+    fn derived_generator_produces_nontrivial_trees() {
+        let bst = Bst::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut max_size = 0;
+        for _ in 0..200 {
+            if let Some(t) = bst.derived_gen(0, 32, 6, &mut rng) {
+                max_size = max_size.max(bst.tree_size(&t));
+            }
+        }
+        assert!(max_size >= 3, "expected some trees with ≥3 nodes, max was {max_size}");
+    }
+
+    #[test]
+    fn insert_preserves_bst() {
+        let bst = Bst::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let t = bst.handwritten_gen(0, 24, 5, &mut rng);
+            let x = rand::Rng::gen_range(&mut rng, 1..24);
+            let t2 = bst.insert(x, &t);
+            assert!(bst.handwritten_check(0, 24, &t2));
+        }
+    }
+
+    #[test]
+    fn mutation_is_caught_by_both_checkers() {
+        let bst = Bst::new();
+        let runner = Runner::new(11).with_size(6);
+        let b2 = bst.clone();
+        let report = runner.run(
+            2000,
+            move |size, rng| {
+                let t = b2.handwritten_gen(0, 24, size, rng)    ;
+                let x = rand::Rng::gen_range(rng, 1..24u64);
+                Some(vec![Value::nat(x), t])
+            },
+            |args| {
+                let x = args[0].as_nat().unwrap();
+                let t2 = bst.insert_buggy(x, &args[1]);
+                TestOutcome::from_bool(bst.handwritten_check(0, 24, &t2))
+            },
+        );
+        assert!(report.failed.is_some(), "the mutation should be found");
+    }
+
+    #[test]
+    fn bst_validates_against_reference() {
+        let bst = Bst::new();
+        let v = indrel_validate::Validator::with_params(
+            bst.library().clone(),
+            indrel_validate::ValidationParams {
+                arg_size: 3,
+                max_fuel: 10,
+                ref_depth: 10,
+                value_bound: 4,
+                gen_samples: 10,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let cert = v.validate_checker(bst.relation());
+        assert!(cert.is_valid(), "{cert}");
+    }
+}

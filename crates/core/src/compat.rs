@@ -1,0 +1,134 @@
+//! The compatibility analysis of §4.
+//!
+//! When the scheduler meets a premise `Q e₁ … eₙ`, it must decide, per
+//! argument position, whether the argument can flow into a recursive or
+//! external call as an input, should be produced as an output and
+//! reconciled against a pattern, or requires some of its variables to be
+//! instantiated first. This module classifies one argument at a time;
+//! [`crate::compile`] combines the classifications into a schedule.
+
+use indrel_term::{TermExpr, VarId};
+use std::collections::BTreeSet;
+
+/// Classification of a premise argument relative to the variables known
+/// so far and the polarity of its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgClass {
+    /// Fully instantiated at an input position: can be passed as is.
+    KnownInput,
+    /// Fully instantiated at an output position: the position will be
+    /// produced and the produced value compared against the argument
+    /// (the constant-`N` comparison of Figure 2's `TAdd` handler).
+    KnownOutput,
+    /// An output-position constructor term with unknown variables: the
+    /// position will be produced and matched against the term as a
+    /// pattern, binding `binds` (the `Arr t1' t2` reconciliation of the
+    /// `TApp` handler).
+    ProducibleOutput {
+        /// Unknown variables the pattern match will bind.
+        binds: BTreeSet<VarId>,
+    },
+    /// The argument needs `vars` instantiated before the premise can be
+    /// scheduled: an input position containing unknowns, or a function
+    /// call at an output position (the `⊥`/`(variables(e), -)` cases of
+    /// the paper's `compatible`).
+    NeedsInstantiation {
+        /// Unknown variables to instantiate with unconstrained
+        /// producers.
+        vars: BTreeSet<VarId>,
+    },
+}
+
+/// Classifies one premise argument.
+///
+/// `is_out` is the polarity of the argument's position in the call being
+/// considered (for a recursive call, the plan's own mode; for an
+/// external producer, whether the position still contains unknowns).
+pub fn classify_arg(arg: &TermExpr, is_out: bool, known: &dyn Fn(VarId) -> bool) -> ArgClass {
+    let unknowns: BTreeSet<VarId> = arg.variables().into_iter().filter(|v| !known(*v)).collect();
+    if unknowns.is_empty() {
+        return if is_out {
+            ArgClass::KnownOutput
+        } else {
+            ArgClass::KnownInput
+        };
+    }
+    if is_out && arg.to_pattern().is_some() {
+        ArgClass::ProducibleOutput { binds: unknowns }
+    } else {
+        // Input positions must become fully known; function calls cannot
+        // be produced into (`compatible vars x (f e) | output → ⊥`).
+        ArgClass::NeedsInstantiation { vars: unknowns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_term::{CtorId, FunId};
+
+    fn known_none(_: VarId) -> bool {
+        false
+    }
+
+    fn known_all(_: VarId) -> bool {
+        true
+    }
+
+    #[test]
+    fn known_args_classify_by_polarity() {
+        let e = TermExpr::NatLit(3);
+        assert_eq!(classify_arg(&e, false, &known_none), ArgClass::KnownInput);
+        assert_eq!(classify_arg(&e, true, &known_none), ArgClass::KnownOutput);
+        let v = TermExpr::var(0);
+        assert_eq!(classify_arg(&v, false, &known_all), ArgClass::KnownInput);
+        assert_eq!(classify_arg(&v, true, &known_all), ArgClass::KnownOutput);
+    }
+
+    #[test]
+    fn unknown_var_at_output_is_producible() {
+        let v = TermExpr::var(0);
+        match classify_arg(&v, true, &known_none) {
+            ArgClass::ProducibleOutput { binds } => {
+                assert_eq!(binds.into_iter().collect::<Vec<_>>(), vec![VarId::new(0)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_var_at_input_needs_instantiation() {
+        let v = TermExpr::var(0);
+        assert_eq!(
+            classify_arg(&v, false, &known_none),
+            ArgClass::NeedsInstantiation {
+                vars: [VarId::new(0)].into_iter().collect()
+            }
+        );
+    }
+
+    #[test]
+    fn partially_known_ctor_term_binds_only_unknowns() {
+        // Arr t1 t2 with t1 known, t2 unknown, at an output position.
+        let e = TermExpr::ctor(CtorId::new(0), vec![TermExpr::var(0), TermExpr::var(1)]);
+        let known = |v: VarId| v == VarId::new(0);
+        match classify_arg(&e, true, &known) {
+            ArgClass::ProducibleOutput { binds } => {
+                assert_eq!(binds.into_iter().collect::<Vec<_>>(), vec![VarId::new(1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_call_at_output_is_bottom() {
+        // f x at an output position: cannot produce into a function call.
+        let e = TermExpr::Fun(FunId::new(0), vec![TermExpr::var(0)]);
+        assert_eq!(
+            classify_arg(&e, true, &known_none),
+            ArgClass::NeedsInstantiation {
+                vars: [VarId::new(0)].into_iter().collect()
+            }
+        );
+    }
+}

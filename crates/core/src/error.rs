@@ -1,0 +1,106 @@
+//! Derivation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a checker or producer could not be derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The relation uses a feature outside the restricted core grammar
+    /// and the deriver was run in Algorithm 1 mode.
+    OutsideAlgorithm1 {
+        /// Relation name.
+        rel: String,
+        /// Feature description (e.g. "existentials").
+        feature: String,
+    },
+    /// A variable that must be instantiated by an unconstrained producer
+    /// has no inferred type.
+    UntypedVariable {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Variable name.
+        var: String,
+    },
+    /// Deriving the instance would require mutually recursive instances,
+    /// which (like the paper's implementation, §8) we do not support.
+    InstanceCycle {
+        /// A human-readable description of the cycle.
+        cycle: String,
+    },
+    /// Preprocessing or type inference failed.
+    Preprocess {
+        /// Relation name.
+        rel: String,
+        /// Underlying message.
+        message: String,
+    },
+    /// A rule's conclusion argument at an input position is not a
+    /// pattern even after preprocessing (internal invariant violation,
+    /// or Algorithm 1 mode on a non-core relation).
+    NonPatternConclusion {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+    },
+    /// A premise could not be scheduled.
+    UnschedulablePremise {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::OutsideAlgorithm1 { rel, feature } => {
+                write!(f, "relation `{rel}` needs `{feature}`, outside Algorithm 1")
+            }
+            DeriveError::UntypedVariable { rel, rule, var } => write!(
+                f,
+                "relation `{rel}`, rule `{rule}`: variable `{var}` needs instantiation but has no inferred type"
+            ),
+            DeriveError::InstanceCycle { cycle } => {
+                write!(f, "mutually recursive instances are unsupported: {cycle}")
+            }
+            DeriveError::Preprocess { rel, message } => {
+                write!(f, "relation `{rel}`: preprocessing failed: {message}")
+            }
+            DeriveError::NonPatternConclusion { rel, rule } => write!(
+                f,
+                "relation `{rel}`, rule `{rule}`: conclusion is not a pattern at an input position"
+            ),
+            DeriveError::UnschedulablePremise { rel, rule, reason } => {
+                write!(f, "relation `{rel}`, rule `{rule}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DeriveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = DeriveError::OutsideAlgorithm1 {
+            rel: "typing".into(),
+            feature: "existentials".into(),
+        };
+        assert!(e.to_string().contains("typing"));
+        assert!(e.to_string().contains("existentials"));
+        let e = DeriveError::InstanceCycle {
+            cycle: "checker(a) -> producer(a)".into(),
+        };
+        assert!(e.to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,984 @@
+//! Plan executors: one compilation, three instantiations.
+//!
+//! The same [`Plan`] is executed as a checker (three-valued, Figure 1),
+//! an enumerator (lazy streams, Figure 2), or a random generator
+//! (QuickChick `backtrack`), mirroring the paper's claim that all three
+//! computations are instances of one derivation.
+//!
+//! Fuel discipline (§2): every plan execution takes a `size` — the
+//! decreasing recursion fuel — and a `top_size`, which is handed (as
+//! both parameters) to every *external* call, so that a nested checker
+//! or producer starts with full fuel. Within a plan, recursive calls
+//! decrement `size`; at `size == 0` only non-recursive handlers run,
+//! plus an out-of-fuel outcome when recursive handlers were skipped.
+
+use crate::library::{CheckerImpl, Library};
+use crate::mode::Mode;
+use crate::plan::{Plan, Step};
+use indrel_producers::{backtracking, bind_ce, bind_ec, cnot, enumerating, EStream, Outcome};
+use indrel_term::{enumerate::{finite_size_bound, values_up_to}, random::random_value, Env, Pattern, RelId, TermExpr, Value};
+use std::rc::Rc;
+
+impl Library {
+    /// Runs the checker for `rel` on fully instantiated `args`.
+    ///
+    /// `size` bounds the recursion; `top_size` is the fuel handed to
+    /// external calls. The conventional entry point is
+    /// `check(rel, s, s, args)`, matching the paper's
+    /// `fun size in₁ … => rec size size in₁ …` wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checker instance exists for `rel` (derive or
+    /// register one first).
+    pub fn check(&self, rel: RelId, size: u64, top_size: u64, args: &[Value]) -> Option<bool> {
+        match self
+            .inner
+            .checkers
+            .get(rel.index())
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("no checker instance for `{}`", self.inner.env.relation(rel).name()))
+        {
+            CheckerImpl::Hand(f) => f(size, top_size, args),
+            CheckerImpl::Plan(_, lowered) => {
+                self.run_lowered_check(&lowered.clone(), size, top_size, args)
+            }
+        }
+    }
+
+    /// Runs the checker for `rel` through the *interpreted* plan
+    /// executor instead of the default lowered closures — the ablation
+    /// baseline for the lowering decision (DESIGN.md). Verdicts are
+    /// identical; only the execution strategy differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checker instance exists for `rel`.
+    pub fn check_interpreted(
+        &self,
+        rel: RelId,
+        size: u64,
+        top_size: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        match self
+            .inner
+            .checkers
+            .get(rel.index())
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("no checker instance for `{}`", self.inner.env.relation(rel).name()))
+        {
+            CheckerImpl::Hand(f) => f(size, top_size, args),
+            CheckerImpl::Plan(plan, _) => self.run_plan_check(&plan.clone(), size, top_size, args),
+        }
+    }
+
+    /// Iterative-deepening driver over the checker: doubles the fuel
+    /// until a definite verdict or until `max_fuel` is exceeded.
+    ///
+    /// §8 of the paper discusses deriving *decision* procedures by
+    /// dropping the fuel; this driver keeps the fuel discipline (and
+    /// hence totality) while giving the common "just decide it" user
+    /// experience for relations whose checkers are complete. Genuinely
+    /// semi-decidable instances (the `zero` relation on positive
+    /// inputs) still return `None` at the fuel limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checker instance exists for `rel`.
+    pub fn decide(&self, rel: RelId, args: &[Value], max_fuel: u64) -> Option<bool> {
+        let mut fuel = 1u64;
+        loop {
+            if let Some(b) = self.check(rel, fuel, fuel, args) {
+                return Some(b);
+            }
+            if fuel >= max_fuel {
+                return None;
+            }
+            fuel = (fuel.saturating_mul(2)).min(max_fuel);
+        }
+    }
+
+    /// Enumerates output tuples for the producer instance
+    /// `(rel, mode)`, given values for the mode's input positions
+    /// (ascending). Outputs follow the mode's output positions
+    /// (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no enumerator instance exists for `(rel, mode)`.
+    pub fn enumerate(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+    ) -> EStream<Vec<Value>> {
+        let entry = self
+            .inner
+            .producers
+            .get(&(rel, mode.clone()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no producer instance for `{}` at {mode}",
+                    self.inner.env.relation(rel).name()
+                )
+            });
+        if let Some(f) = &entry.hand_enum {
+            return f(size, top_size, inputs);
+        }
+        let plan = entry.plan.as_ref().expect("producer entry has a plan").clone();
+        self.run_plan_enum(&plan, size, top_size, inputs)
+    }
+
+    /// Randomly generates one output tuple for `(rel, mode)`, or `None`
+    /// when generation failed (backtracking exhausted or out of fuel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no generator instance exists for `(rel, mode)`.
+    pub fn generate(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Vec<Value>> {
+        let entry = self
+            .inner
+            .producers
+            .get(&(rel, mode.clone()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no generator instance for `{}` at {mode}",
+                    self.inner.env.relation(rel).name()
+                )
+            });
+        if let Some(f) = &entry.hand_gen {
+            return f(size, top_size, inputs, rng);
+        }
+        let plan = entry.plan.as_ref().expect("producer entry has a plan").clone();
+        self.run_plan_gen(&plan, size, top_size, inputs, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Scratch-buffer pool (single-threaded reuse of envs and argument
+    // vectors — the executor's hottest allocations)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn take_env(&self, nslots: usize) -> Env {
+        let mut env = self.inner.pool.borrow_mut().envs.pop().unwrap_or_default();
+        env.reset(nslots);
+        env
+    }
+
+    pub(crate) fn put_env(&self, env: Env) {
+        let mut pool = self.inner.pool.borrow_mut();
+        if pool.envs.len() < 64 {
+            pool.envs.push(env);
+        }
+    }
+
+    pub(crate) fn take_args(&self) -> Vec<Value> {
+        self.inner.pool.borrow_mut().args.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_args(&self, mut args: Vec<Value>) {
+        args.clear();
+        let mut pool = self.inner.pool.borrow_mut();
+        if pool.args.len() < 64 {
+            pool.args.push(args);
+        }
+    }
+
+    pub(crate) fn eval_into(&self, args: &[TermExpr], env: &Env) -> Vec<Value> {
+        let mut vals = self.take_args();
+        for a in args {
+            vals.push(eval(a, env, self));
+        }
+        vals
+    }
+
+    /// `true` when enumerating `ty` up to `size` misses inhabitants —
+    /// the enumeration is *truncated* and must count as out-of-fuel.
+    pub(crate) fn raw_truncated(&self, ty: &indrel_term::TypeExpr, size: u64) -> bool {
+        match finite_size_bound(&self.inner.universe, ty) {
+            None => true,
+            Some(bound) => bound > size,
+        }
+    }
+
+    /// Memoized bounded-exhaustive enumeration of a type's values.
+    pub(crate) fn raw_values(&self, ty: &indrel_term::TypeExpr, size: u64) -> Rc<Vec<Value>> {
+        if let Some(hit) = self
+            .inner
+            .pool
+            .borrow()
+            .raw_values
+            .get(&(ty.clone(), size))
+        {
+            return hit.clone();
+        }
+        let vals = Rc::new(values_up_to(&self.inner.universe, ty, size));
+        self.inner
+            .pool
+            .borrow_mut()
+            .raw_values
+            .insert((ty.clone(), size), vals.clone());
+        vals
+    }
+
+    // ------------------------------------------------------------------
+    // Checker execution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_plan_check(
+        &self,
+        plan: &Rc<Plan>,
+        size: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        if size == 0 {
+            let base = plan
+                .handlers
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| !h.recursive)
+                .map(|(i, _)| i);
+            let mut r = backtracking(
+                base.map(|i| move || self.handler_check(plan, i, 0, top, args)),
+            );
+            if r == Some(false) && plan.has_recursive_handlers() {
+                // Algorithm 1 line 11: quote an extra `None` option.
+                r = None;
+            }
+            r
+        } else {
+            let size1 = size - 1;
+            backtracking(
+                (0..plan.handlers.len()).map(|i| move || self.handler_check(plan, i, size1, top, args)),
+            )
+        }
+    }
+
+    fn handler_check(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        size_rem: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        let h = &plan.handlers[h_idx];
+        let mut env = self.take_env(h.nslots);
+        debug_assert_eq!(h.input_pats.len(), args.len());
+        for (pat, val) in h.input_pats.iter().zip(args) {
+            if !pat.matches(val, &mut env) {
+                self.put_env(env);
+                return Some(false);
+            }
+        }
+        let r = self.steps_check(plan, h_idx, 0, &mut env, size_rem, top);
+        self.put_env(env);
+        r
+    }
+
+    fn steps_check(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        idx: usize,
+        env: &mut Env,
+        size_rem: u64,
+        top: u64,
+    ) -> Option<bool> {
+        // Straight-line steps run in a loop; only producer steps (which
+        // fan out over enumerated witnesses) recurse for their tail.
+        let steps = &plan.handlers[h_idx].steps;
+        let mut idx = idx;
+        loop {
+            let Some(step) = steps.get(idx) else {
+                return Some(true);
+            };
+            match step {
+            Step::EqCheck { lhs, rhs, negated } => {
+                let l = eval(lhs, env, self);
+                let r = eval(rhs, env, self);
+                if (l == r) == *negated {
+                    return Some(false);
+                }
+                idx += 1;
+            }
+            Step::EqBind { var, expr } => {
+                let v = eval(expr, env, self);
+                env.bind(*var, v);
+                idx += 1;
+            }
+            Step::MatchExpr { scrutinee, pattern } => {
+                let v = eval(scrutinee, env, self);
+                if pattern.matches(&v, env) {
+                    idx += 1;
+                } else {
+                    return Some(false);
+                }
+            }
+            Step::CheckRel { rel, args, negated } => {
+                let vals = self.eval_into(args, env);
+                let mut r = self.check(*rel, top, top, &vals);
+                self.put_args(vals);
+                if *negated {
+                    r = cnot(r);
+                }
+                match r {
+                    Some(true) => idx += 1,
+                    other => return other,
+                }
+            }
+            Step::RecCheck { args } => {
+                let vals = self.eval_into(args, env);
+                let r = self.run_plan_check(plan, size_rem, top, &vals);
+                self.put_args(vals);
+                match r {
+                    Some(true) => idx += 1,
+                    other => return other,
+                }
+            }
+            Step::ProduceExt {
+                rel,
+                mode,
+                in_args,
+                out_slots,
+            } => {
+                let in_vals = self.eval_into(in_args, env);
+                let stream = self.enumerate(*rel, mode, top, top, &in_vals);
+                self.put_args(in_vals);
+                let slots = out_slots.clone();
+                return bind_ec(stream, |outs| {
+                    let mut env2 = env.clone();
+                    for (slot, v) in slots.iter().zip(outs) {
+                        env2.bind(*slot, v);
+                    }
+                    self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
+                });
+            }
+            Step::ProduceRec { in_args, out_slots } => {
+                let in_vals = self.eval_into(in_args, env);
+                let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
+                self.put_args(in_vals);
+                let slots = out_slots.clone();
+                return bind_ec(stream, |outs| {
+                    let mut env2 = env.clone();
+                    for (slot, v) in slots.iter().zip(outs) {
+                        env2.bind(*slot, v);
+                    }
+                    self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
+                });
+            }
+            Step::Unconstrained { var, ty } => {
+                let candidates = self.raw_values(ty, top);
+                let var = *var;
+                // A truncated domain means exhausting the candidates is
+                // not conclusive (the paper's enumerators surface this
+                // as a fuelE outcome; §5.1 monotonicity depends on it).
+                let mut needs_fuel = self.raw_truncated(ty, top);
+                for v in candidates.iter() {
+                    let mut env2 = env.clone();
+                    env2.bind(var, v.clone());
+                    match self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => needs_fuel = true,
+                    }
+                }
+                return if needs_fuel { None } else { Some(false) };
+            }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enumerator execution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_plan_enum(
+        &self,
+        plan: &Rc<Plan>,
+        size: u64,
+        top: u64,
+        inputs: &[Value],
+    ) -> EStream<Vec<Value>> {
+        let indices: Vec<usize> = if size == 0 {
+            plan.handlers
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| !h.recursive)
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            (0..plan.handlers.len()).collect()
+        };
+        let size_rem = size.saturating_sub(1);
+        let add_fuel = size == 0 && plan.has_recursive_handlers();
+        let inputs: Rc<Vec<Value>> = Rc::new(inputs.to_vec());
+        let mut thunks: Vec<Box<dyn FnOnce() -> EStream<Vec<Value>>>> = Vec::new();
+        for i in indices {
+            let lib = self.clone();
+            let plan = plan.clone();
+            let inputs = inputs.clone();
+            thunks.push(Box::new(move || {
+                lib.handler_enum(&plan, i, size_rem, top, &inputs)
+            }));
+        }
+        if add_fuel {
+            thunks.push(Box::new(EStream::fuel));
+        }
+        enumerating(thunks)
+    }
+
+    fn handler_enum(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        size_rem: u64,
+        top: u64,
+        inputs: &[Value],
+    ) -> EStream<Vec<Value>> {
+        let h = &plan.handlers[h_idx];
+        let mut env = Env::with_slots(h.nslots);
+        debug_assert_eq!(h.input_pats.len(), inputs.len());
+        for (pat, val) in h.input_pats.iter().zip(inputs) {
+            if !pat.matches(val, &mut env) {
+                return EStream::empty();
+            }
+        }
+        let lib = self.clone();
+        let plan2 = plan.clone();
+        self.steps_enum(plan, h_idx, 0, env, size_rem, top)
+            .map(move |env| {
+                plan2.handlers[h_idx]
+                    .outputs
+                    .iter()
+                    .map(|e| eval(e, &env, &lib))
+                    .collect()
+            })
+    }
+
+    fn steps_enum(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        idx: usize,
+        mut env: Env,
+        size_rem: u64,
+        top: u64,
+    ) -> EStream<Env> {
+        let steps = &plan.handlers[h_idx].steps;
+        let Some(step) = steps.get(idx) else {
+            return EStream::ret(env);
+        };
+        match step {
+            Step::EqCheck { lhs, rhs, negated } => {
+                let holds = eval(lhs, &env, self) == eval(rhs, &env, self);
+                if holds != *negated {
+                    self.steps_enum(plan, h_idx, idx + 1, env, size_rem, top)
+                } else {
+                    EStream::empty()
+                }
+            }
+            Step::EqBind { var, expr } => {
+                let v = eval(expr, &env, self);
+                env.bind(*var, v);
+                self.steps_enum(plan, h_idx, idx + 1, env, size_rem, top)
+            }
+            Step::MatchExpr { scrutinee, pattern } => {
+                let v = eval(scrutinee, &env, self);
+                if pattern.matches(&v, &mut env) {
+                    self.steps_enum(plan, h_idx, idx + 1, env, size_rem, top)
+                } else {
+                    EStream::empty()
+                }
+            }
+            Step::CheckRel { rel, args, negated } => {
+                let vals = eval_args(args, &env, self);
+                let mut r = self.check(*rel, top, top, &vals);
+                if *negated {
+                    r = cnot(r);
+                }
+                let lib = self.clone();
+                let plan = plan.clone();
+                bind_ce(r, move || lib.steps_enum(&plan, h_idx, idx + 1, env, size_rem, top))
+            }
+            Step::RecCheck { .. } => {
+                unreachable!("RecCheck only appears in checker plans")
+            }
+            Step::ProduceExt {
+                rel,
+                mode,
+                in_args,
+                out_slots,
+            } => {
+                let in_vals = eval_args(in_args, &env, self);
+                let stream = self.enumerate(*rel, mode, top, top, &in_vals);
+                self.bind_outs(stream, plan, h_idx, idx, env, out_slots.clone(), size_rem, top)
+            }
+            Step::ProduceRec { in_args, out_slots } => {
+                let in_vals = eval_args(in_args, &env, self);
+                let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
+                self.bind_outs(stream, plan, h_idx, idx, env, out_slots.clone(), size_rem, top)
+            }
+            Step::Unconstrained { var, ty } => {
+                let candidates = self.raw_values(ty, top);
+                let truncated = self.raw_truncated(ty, top);
+                let values = (0..candidates.len())
+                    .map(move |i| Outcome::Val(vec![candidates[i].clone()]))
+                    .chain(truncated.then_some(Outcome::OutOfFuel));
+                let stream = EStream::from_outcomes(values);
+                self.bind_outs(stream, plan, h_idx, idx, env, vec![*var], size_rem, top)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bind_outs(
+        &self,
+        stream: EStream<Vec<Value>>,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        idx: usize,
+        env: Env,
+        slots: Vec<indrel_term::VarId>,
+        size_rem: u64,
+        top: u64,
+    ) -> EStream<Env> {
+        let lib = self.clone();
+        let plan = plan.clone();
+        stream.bind(move |outs| {
+            let mut env2 = env.clone();
+            for (slot, v) in slots.iter().zip(outs) {
+                env2.bind(*slot, v);
+            }
+            lib.steps_enum(&plan, h_idx, idx + 1, env2, size_rem, top)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Generator execution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_plan_gen(
+        &self,
+        plan: &Rc<Plan>,
+        size: u64,
+        top: u64,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Vec<Value>> {
+        let size_rem = size.saturating_sub(1);
+        // QuickChick's `backtrack`, inlined without boxing: pick a
+        // handler proportionally to its weight (base constructors 1,
+        // recursive constructors `size`), discard it on failure, retry
+        // until one succeeds or all are exhausted.
+        let mut options: Vec<(u64, usize)> = plan
+            .handlers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| size > 0 || !h.recursive)
+            .map(|(i, h)| (if h.recursive { size.max(1) } else { 1 }, i))
+            .collect();
+        let mut total: u64 = options.iter().map(|(w, _)| *w).sum();
+        while total > 0 {
+            let mut pick = rand::Rng::gen_range(&mut *rng, 0..total);
+            let mut chosen = 0;
+            for (i, (w, _)) in options.iter().enumerate() {
+                if pick < *w {
+                    chosen = i;
+                    break;
+                }
+                pick -= *w;
+            }
+            let (w, h_idx) = options[chosen];
+            if let Some(out) = self.handler_gen(plan, h_idx, size_rem, top, inputs, rng) {
+                return Some(out);
+            }
+            total -= w;
+            let _ = options.swap_remove(chosen);
+        }
+        None
+    }
+
+    fn handler_gen(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        size_rem: u64,
+        top: u64,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Vec<Value>> {
+        let h = &plan.handlers[h_idx];
+        let mut env = self.take_env(h.nslots);
+        for (pat, val) in h.input_pats.iter().zip(inputs) {
+            if !pat.matches(val, &mut env) {
+                self.put_env(env);
+                return None;
+            }
+        }
+        let result = self.handler_gen_steps(plan, h_idx, &mut env, size_rem, top, rng);
+        self.put_env(env);
+        result
+    }
+
+    fn handler_gen_steps(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        env: &mut Env,
+        size_rem: u64,
+        top: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Vec<Value>> {
+        let h = &plan.handlers[h_idx];
+        for step in &h.steps {
+            match step {
+                Step::EqCheck { lhs, rhs, negated } => {
+                    let holds = eval(lhs, env, self) == eval(rhs, env, self);
+                    if holds == *negated {
+                        return None;
+                    }
+                }
+                Step::EqBind { var, expr } => {
+                    let v = eval(expr, env, self);
+                    env.bind(*var, v);
+                }
+                Step::MatchExpr { scrutinee, pattern } => {
+                    let v = eval(scrutinee, env, self);
+                    if !pattern.matches(&v, env) {
+                        return None;
+                    }
+                }
+                Step::CheckRel { rel, args, negated } => {
+                    let vals = self.eval_into(args, env);
+                    let mut r = self.check(*rel, top, top, &vals);
+                    self.put_args(vals);
+                    if *negated {
+                        r = cnot(r);
+                    }
+                    if r != Some(true) {
+                        return None;
+                    }
+                }
+                Step::RecCheck { .. } => unreachable!("RecCheck only appears in checker plans"),
+                Step::ProduceExt {
+                    rel,
+                    mode,
+                    in_args,
+                    out_slots,
+                } => {
+                    let in_vals = self.eval_into(in_args, env);
+                    let outs = self.generate(*rel, mode, top, top, &in_vals, rng);
+                    self.put_args(in_vals);
+                    for (slot, v) in out_slots.iter().zip(outs?) {
+                        env.bind(*slot, v);
+                    }
+                }
+                Step::ProduceRec { in_args, out_slots } => {
+                    let in_vals = self.eval_into(in_args, env);
+                    let outs = self.run_plan_gen(plan, size_rem, top, &in_vals, rng);
+                    self.put_args(in_vals);
+                    for (slot, v) in out_slots.iter().zip(outs?) {
+                        env.bind(*slot, v);
+                    }
+                }
+                Step::Unconstrained { var, ty } => {
+                    let v = random_value(&self.inner.universe, ty, size_rem.max(1), rng);
+                    env.bind(*var, v);
+                }
+            }
+        }
+        Some(
+            h.outputs
+                .iter()
+                .map(|e| eval(e, env, self))
+                .collect(),
+        )
+    }
+}
+
+fn eval(e: &TermExpr, env: &Env, lib: &Library) -> Value {
+    e.eval(env, &lib.inner.universe)
+        .expect("plan invariant: expressions are fully instantiated when evaluated")
+}
+
+fn eval_args(args: &[TermExpr], env: &Env, lib: &Library) -> Vec<Value> {
+    args.iter().map(|a| eval(a, env, lib)).collect()
+}
+
+/// Silences an unused-import lint when debug assertions are disabled.
+#[allow(unused)]
+fn _pattern_marker(_: &Pattern) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryBuilder;
+    use indrel_producers::Outcome;
+    use indrel_rel::parse::parse_program;
+    use indrel_rel::RelEnv;
+    use indrel_term::Universe;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lib_for(src: &str, rels: &[(&str, Option<Vec<usize>>)]) -> (Library, Vec<RelId>) {
+        let mut u = Universe::new();
+        u.std_list();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, src).unwrap();
+        let ids: Vec<RelId> = rels
+            .iter()
+            .map(|(name, _)| env.rel_id(name).unwrap())
+            .collect();
+        let mut b = LibraryBuilder::new(u, env);
+        for ((_, mode), id) in rels.iter().zip(&ids) {
+            match mode {
+                None => b.derive_checker(*id).unwrap(),
+                Some(outs) => {
+                    let arity = b.env().relation(*id).arity();
+                    b.derive_producer(*id, Mode::producer(arity, outs)).unwrap();
+                }
+            }
+        }
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn even_checker_decides() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", None)],
+        );
+        let even = ids[0];
+        assert_eq!(lib.check(even, 10, 10, &[Value::nat(0)]), Some(true));
+        assert_eq!(lib.check(even, 10, 10, &[Value::nat(8)]), Some(true));
+        assert_eq!(lib.check(even, 10, 10, &[Value::nat(7)]), Some(false));
+        // out of fuel: needs 6 recursion steps for 10
+        assert_eq!(lib.check(even, 2, 2, &[Value::nat(10)]), None);
+    }
+
+    #[test]
+    fn even_enumerator_streams_in_order() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", Some(vec![0]))],
+        );
+        let outs: Vec<u64> = lib
+            .enumerate(ids[0], &Mode::producer(1, &[0]), 3, 3, &[])
+            .values()
+            .into_iter()
+            .map(|o| o[0].as_nat().unwrap())
+            .collect();
+        assert_eq!(outs, vec![0, 2, 4, 6]);
+        // With fuel 0 only the base case, plus an out-of-fuel marker.
+        let outcomes = lib
+            .enumerate(ids[0], &Mode::producer(1, &[0]), 0, 0, &[])
+            .outcomes();
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(outcomes[1], Outcome::OutOfFuel));
+    }
+
+    #[test]
+    fn even_generator_samples_even_numbers() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", Some(vec![0]))],
+        );
+        let mode = Mode::producer(1, &[0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let out = lib.generate(ids[0], &mode, 10, 10, &[], &mut rng).unwrap();
+            assert_eq!(out[0].as_nat().unwrap() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn le_checker_handles_nonlinear_reflexivity() {
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            &[("le", None)],
+        );
+        let le = ids[0];
+        assert_eq!(lib.check(le, 20, 20, &[Value::nat(3), Value::nat(3)]), Some(true));
+        assert_eq!(lib.check(le, 20, 20, &[Value::nat(3), Value::nat(9)]), Some(true));
+        assert_eq!(lib.check(le, 20, 20, &[Value::nat(9), Value::nat(3)]), Some(false));
+    }
+
+    #[test]
+    fn le_enumerator_mode_backward() {
+        // enumerate n such that le n 3
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            &[("le", Some(vec![0]))],
+        );
+        let mut outs: Vec<u64> = lib
+            .enumerate(ids[0], &Mode::producer(2, &[0]), 6, 6, &[Value::nat(3)])
+            .values()
+            .into_iter()
+            .map(|o| o[0].as_nat().unwrap())
+            .collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn square_of_checker_and_producer() {
+        let (lib, ids) = lib_for(
+            r"rel square_of : nat nat :=
+              | sq : forall n, square_of n (mult n n)
+              .",
+            &[("square_of", None), ("square_of", Some(vec![1]))],
+        );
+        let sq = ids[0];
+        assert_eq!(
+            lib.check(sq, 5, 5, &[Value::nat(7), Value::nat(49)]),
+            Some(true)
+        );
+        assert_eq!(
+            lib.check(sq, 5, 5, &[Value::nat(7), Value::nat(48)]),
+            Some(false)
+        );
+        let outs = lib
+            .enumerate(sq, &Mode::producer(2, &[1]), 1, 1, &[Value::nat(6)])
+            .values();
+        assert_eq!(outs, vec![vec![Value::nat(36)]]);
+    }
+
+    #[test]
+    fn existential_checker_uses_enumeration() {
+        // between n p :- le n m -> le (S m) p
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .
+              rel between : nat nat :=
+              | b : forall n m p, le n m -> le (S m) p -> between n p
+              .",
+            &[("between", None)],
+        );
+        let between = ids[0];
+        // between 1 3: m = 1 or 2 works (le 1 m and le (S m) 3).
+        assert_eq!(
+            lib.check(between, 8, 8, &[Value::nat(1), Value::nat(3)]),
+            Some(true)
+        );
+        // between 3 1: no m.
+        assert_ne!(
+            lib.check(between, 8, 8, &[Value::nat(3), Value::nat(1)]),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn zero_relation_reproduces_incompleteness_of_negation() {
+        // §5.1: zero holds only for 0, but the checker can never
+        // conclusively say `Some(false)` for n > 0.
+        let (lib, ids) = lib_for(
+            r"rel zero : nat :=
+              | Zero : zero 0
+              | NonZero : forall n, zero (S n) -> zero n
+              .",
+            &[("zero", None)],
+        );
+        let zero = ids[0];
+        assert_eq!(lib.check(zero, 5, 5, &[Value::nat(0)]), Some(true));
+        for fuel in [1u64, 5, 20, 50] {
+            assert_eq!(
+                lib.check(zero, fuel, fuel, &[Value::nat(1)]),
+                None,
+                "fuel {fuel}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_output_producer() {
+        // Enumerate (n, m) pairs with le n m: both outputs at once —
+        // supported here, future work in the paper (§8).
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            &[("le", Some(vec![0, 1]))],
+        );
+        let pairs: Vec<(u64, u64)> = lib
+            .enumerate(ids[0], &Mode::producer(2, &[0, 1]), 3, 3, &[])
+            .values()
+            .into_iter()
+            .map(|o| (o[0].as_nat().unwrap(), o[1].as_nat().unwrap()))
+            .collect();
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|(n, m)| n <= m));
+        assert!(pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn negated_premise_checker() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .
+              rel odd' : nat :=
+              | odd : forall n, ~ (even' n) -> odd' n
+              .",
+            &[("odd'", None)],
+        );
+        let odd = ids[0];
+        assert_eq!(lib.check(odd, 10, 10, &[Value::nat(3)]), Some(true));
+        assert_eq!(lib.check(odd, 10, 10, &[Value::nat(4)]), Some(false));
+    }
+
+    #[test]
+    fn generator_respects_inputs() {
+        // generate n with le n 5
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            &[("le", Some(vec![0]))],
+        );
+        let mode = Mode::producer(2, &[0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            if let Some(out) = lib.generate(ids[0], &mode, 8, 8, &[Value::nat(5)], &mut rng) {
+                let n = out[0].as_nat().unwrap();
+                assert!(n <= 5);
+                seen.insert(n);
+            }
+        }
+        assert!(seen.len() >= 3, "should sample a variety: {seen:?}");
+    }
+}

@@ -1,0 +1,302 @@
+//! The instance library — the analogue of QuickChick's typeclass
+//! instances (`DecOpt`, `EnumSizedSuchThat`, `GenSizedSuchThat`).
+//!
+//! A [`LibraryBuilder`] accumulates instances: derived plans (created on
+//! demand, with the dependency resolution of [`crate::compile`]) and
+//! handwritten implementations (used both for primitive relations and as
+//! the baselines of the paper's Figure 3). [`LibraryBuilder::build`]
+//! freezes everything into a cheaply-cloneable [`Library`] on which the
+//! executors of [`crate::exec`] run.
+
+use crate::compile::{compile_plan, DepResolver};
+use crate::error::DeriveError;
+use crate::mode::Mode;
+use crate::plan::Plan;
+use crate::DeriveOptions;
+use indrel_producers::EStream;
+use indrel_rel::RelEnv;
+use indrel_term::{RelId, Universe, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A handwritten checker: `(size, top_size, args) → option bool`.
+pub type HandCheckFn = Rc<dyn Fn(u64, u64, &[Value]) -> Option<bool>>;
+
+/// A handwritten enumerator for a `(rel, mode)` instance:
+/// `(size, top_size, inputs) → E (outputs)`, where `inputs` and the
+/// produced output vectors follow the mode's positions in ascending
+/// order.
+pub type HandEnumFn = Rc<dyn Fn(u64, u64, &[Value]) -> EStream<Vec<Value>>>;
+
+/// A handwritten generator for a `(rel, mode)` instance.
+pub type HandGenFn = Rc<dyn Fn(u64, u64, &[Value], &mut dyn rand::RngCore) -> Option<Vec<Value>>>;
+
+#[derive(Clone)]
+pub(crate) enum CheckerImpl {
+    Hand(HandCheckFn),
+    /// A derived checker: the plan (for inspection and the interpreted
+    /// ablation baseline) plus its closure-lowered form (the default
+    /// execution strategy).
+    Plan(Rc<Plan>, Rc<crate::lower::LoweredChecker>),
+}
+
+#[derive(Clone, Default)]
+pub(crate) struct ProducerImpl {
+    pub(crate) plan: Option<Rc<Plan>>,
+    pub(crate) hand_enum: Option<HandEnumFn>,
+    pub(crate) hand_gen: Option<HandGenFn>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) universe: Universe,
+    pub(crate) env: RelEnv,
+    /// Dense checker table indexed by relation id (ids are dense per
+    /// `RelEnv`), so the hot external-call path avoids hashing.
+    pub(crate) checkers: Vec<Option<CheckerImpl>>,
+    pub(crate) producers: HashMap<(RelId, Mode), ProducerImpl>,
+    /// Scratch buffers reused across plan executions (single-threaded).
+    pub(crate) pool: std::cell::RefCell<Pool>,
+}
+
+#[derive(Default)]
+pub(crate) struct Pool {
+    pub(crate) envs: Vec<indrel_term::Env>,
+    pub(crate) args: Vec<Vec<Value>>,
+    /// Memoized bounded-exhaustive enumerations of raw values, keyed by
+    /// (type, size) — unconstrained-producer steps re-enumerate the
+    /// same domains constantly.
+    pub(crate) raw_values: HashMap<(indrel_term::TypeExpr, u64), Rc<Vec<Value>>>,
+}
+
+/// Accumulates derived and handwritten instances.
+pub struct LibraryBuilder {
+    universe: Universe,
+    env: RelEnv,
+    opts: DeriveOptions,
+    checkers: HashMap<RelId, CheckerImpl>,
+    producers: HashMap<(RelId, Mode), ProducerImpl>,
+    in_progress: Vec<Key>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Key {
+    Checker(RelId),
+    Producer(RelId, Mode),
+}
+
+impl std::fmt::Debug for LibraryBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LibraryBuilder")
+            .field("checkers", &self.checkers.len())
+            .field("producers", &self.producers.len())
+            .finish()
+    }
+}
+
+impl LibraryBuilder {
+    /// Starts a builder over a universe and relation environment.
+    pub fn new(universe: Universe, env: RelEnv) -> LibraryBuilder {
+        LibraryBuilder::with_options(universe, env, DeriveOptions::default())
+    }
+
+    /// Starts a builder with explicit derivation options.
+    pub fn with_options(universe: Universe, env: RelEnv, opts: DeriveOptions) -> LibraryBuilder {
+        LibraryBuilder {
+            universe,
+            env,
+            opts,
+            checkers: HashMap::new(),
+            producers: HashMap::new(),
+            in_progress: Vec::new(),
+        }
+    }
+
+    /// Access to the universe (e.g. to resolve names while registering
+    /// handwritten instances).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Access to the relation environment.
+    pub fn env(&self) -> &RelEnv {
+        &self.env
+    }
+
+    /// Registers a handwritten checker for `rel`, shadowing any derived
+    /// plan.
+    pub fn register_checker(&mut self, rel: RelId, f: HandCheckFn) {
+        self.checkers.insert(rel, CheckerImpl::Hand(f));
+    }
+
+    /// Registers a handwritten enumerator for `(rel, mode)`.
+    pub fn register_enumerator(&mut self, rel: RelId, mode: Mode, f: HandEnumFn) {
+        self.producers.entry((rel, mode)).or_default().hand_enum = Some(f);
+    }
+
+    /// Registers a handwritten generator for `(rel, mode)`.
+    pub fn register_generator(&mut self, rel: RelId, mode: Mode, f: HandGenFn) {
+        self.producers.entry((rel, mode)).or_default().hand_gen = Some(f);
+    }
+
+    /// Derives (if not already present) a checker for `rel`, plus every
+    /// instance it depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeriveError`] when the relation (or a dependency)
+    /// falls outside the supported class.
+    pub fn derive_checker(&mut self, rel: RelId) -> Result<(), DeriveError> {
+        self.ensure(Key::Checker(rel))
+    }
+
+    /// Derives (if not already present) a producer for `(rel, mode)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeriveError`] when the instance cannot be derived.
+    pub fn derive_producer(&mut self, rel: RelId, mode: Mode) -> Result<(), DeriveError> {
+        self.ensure(Key::Producer(rel, mode))
+    }
+
+    /// Returns the derived plan for a checker, for inspection (`None`
+    /// for handwritten instances or before derivation).
+    pub fn checker_plan(&self, rel: RelId) -> Option<&Plan> {
+        match self.checkers.get(&rel) {
+            Some(CheckerImpl::Plan(p, _)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns the derived plan for a producer, for inspection.
+    pub fn producer_plan(&self, rel: RelId, mode: &Mode) -> Option<&Plan> {
+        self.producers
+            .get(&(rel, mode.clone()))
+            .and_then(|p| p.plan.as_deref())
+    }
+
+    fn ensure(&mut self, key: Key) -> Result<(), DeriveError> {
+        let exists = match &key {
+            Key::Checker(rel) => self.checkers.contains_key(rel),
+            Key::Producer(rel, mode) => self
+                .producers
+                .get(&(*rel, mode.clone()))
+                .is_some_and(|p| p.plan.is_some() || (p.hand_enum.is_some() && p.hand_gen.is_some())),
+        };
+        if exists {
+            return Ok(());
+        }
+        if self.in_progress.contains(&key) {
+            return Err(DeriveError::InstanceCycle {
+                cycle: format!("{:?} depends on itself through other instances", key),
+            });
+        }
+        self.in_progress.push(key.clone());
+        let result = match &key {
+            Key::Checker(rel) => {
+                compile_plan(
+                    // Field-splitting workaround: compile_plan borrows the
+                    // universe/env immutably while `self` resolves deps
+                    // mutably, so hand it clones of the (cheap, Rc-backed)
+                    // registries.
+                    &self.universe.clone(),
+                    &self.env.clone(),
+                    *rel,
+                    Mode::checker(self.env.relation(*rel).arity()),
+                    self.opts,
+                    self,
+                )
+                .map(|plan| {
+                    let lowered = Rc::new(crate::lower::lower_checker(&plan));
+                    self.checkers
+                        .insert(*rel, CheckerImpl::Plan(Rc::new(plan), lowered));
+                })
+            }
+            Key::Producer(rel, mode) => compile_plan(
+                &self.universe.clone(),
+                &self.env.clone(),
+                *rel,
+                mode.clone(),
+                self.opts,
+                self,
+            )
+            .map(|plan| {
+                self.producers
+                    .entry((*rel, mode.clone()))
+                    .or_default()
+                    .plan = Some(Rc::new(plan));
+            }),
+        };
+        self.in_progress.pop();
+        result
+    }
+
+    /// Freezes the builder into an executable [`Library`].
+    pub fn build(self) -> Library {
+        let mut checkers: Vec<Option<CheckerImpl>> = vec![None; self.env.len()];
+        for (rel, imp) in self.checkers {
+            checkers[rel.index()] = Some(imp);
+        }
+        Library {
+            inner: Rc::new(Inner {
+                universe: self.universe,
+                env: self.env,
+                checkers,
+                producers: self.producers,
+                pool: std::cell::RefCell::new(Pool::default()),
+            }),
+        }
+    }
+}
+
+impl DepResolver for LibraryBuilder {
+    fn ensure_checker(&mut self, rel: RelId) -> Result<(), DeriveError> {
+        self.ensure(Key::Checker(rel))
+    }
+
+    fn ensure_producer(&mut self, rel: RelId, mode: &Mode) -> Result<(), DeriveError> {
+        self.ensure(Key::Producer(rel, mode.clone()))
+    }
+}
+
+/// The frozen, executable instance library.
+///
+/// Cloning is O(1); executors capture clones inside lazy enumerator
+/// streams. See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Library {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Library {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Library")
+            .field("checkers", &self.inner.checkers.len())
+            .field("producers", &self.inner.producers.len())
+            .finish()
+    }
+}
+
+impl Library {
+    /// The universe the library was built over.
+    pub fn universe(&self) -> &Universe {
+        &self.inner.universe
+    }
+
+    /// The relation environment the library was built over.
+    pub fn env(&self) -> &RelEnv {
+        &self.inner.env
+    }
+
+    /// `true` when a checker instance exists for `rel`.
+    pub fn has_checker(&self, rel: RelId) -> bool {
+        self.inner
+            .checkers
+            .get(rel.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// `true` when a producer instance exists for `(rel, mode)`.
+    pub fn has_producer(&self, rel: RelId, mode: &Mode) -> bool {
+        self.inner.producers.contains_key(&(rel, mode.clone()))
+    }
+}

@@ -1,0 +1,308 @@
+//! Closure lowering for checker plans.
+//!
+//! A derived checker can be executed two ways:
+//!
+//! * **interpreted** — walking the [`Step`] list of the [`Plan`]
+//!   ([`crate::exec`]), or
+//! * **lowered** — compiled once, at [`LibraryBuilder::build`] time,
+//!   into a tree of continuation closures, the closest Rust analogue of
+//!   the fixpoint *code* the paper's plugin emits (Figure 1). Each
+//!   handler becomes one composed closure; step dispatch disappears.
+//!
+//! Lowering is the default execution strategy for derived checkers;
+//! [`Library::check_interpreted`] keeps the interpreter reachable as
+//! the ablation baseline (`ablation` bench, DESIGN.md §"Key internal
+//! design decisions").
+//!
+//! Only checker plans are lowered: producer plans execute through lazy
+//! streams whose laziness already dominates their cost profile, and
+//! checker plans never contain [`Step::ProduceRec`] (a recursive
+//! premise with unknowns in a checker is always routed through an
+//! external producer instance), which keeps the closure signature
+//! simple.
+//!
+//! [`LibraryBuilder::build`]: crate::LibraryBuilder::build
+//! [`Library::check_interpreted`]: crate::Library::check_interpreted
+
+use crate::library::Library;
+use crate::plan::{Plan, Step};
+use indrel_producers::{bind_ec, cnot, EStream, Outcome};
+use indrel_term::{Env, Pattern, Value};
+use std::rc::Rc;
+
+/// The continuation type: runs the remaining steps of a handler.
+type Cont = Rc<dyn Fn(&Library, &LoweredChecker, &mut Env, u64, u64) -> Option<bool>>;
+
+/// One compiled handler: input patterns plus the composed step closure.
+pub(crate) struct LoweredHandler {
+    pub(crate) recursive: bool,
+    pub(crate) nslots: usize,
+    pub(crate) input_pats: Vec<Pattern>,
+    pub(crate) run: Cont,
+}
+
+/// A checker plan compiled to closures.
+pub(crate) struct LoweredChecker {
+    pub(crate) handlers: Vec<LoweredHandler>,
+    pub(crate) has_recursive: bool,
+}
+
+/// Compiles a checker plan. Must only be called on plans whose mode is
+/// the all-input checker mode.
+pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
+    debug_assert!(plan.mode.is_checker());
+    let handlers = plan
+        .handlers
+        .iter()
+        .map(|h| LoweredHandler {
+            recursive: h.recursive,
+            nslots: h.nslots,
+            input_pats: h.input_pats.clone(),
+            run: lower_steps(&h.steps, 0),
+        })
+        .collect();
+    LoweredChecker {
+        handlers,
+        has_recursive: plan.has_recursive_handlers(),
+    }
+}
+
+/// Folds `steps[idx..]` into one continuation closure.
+fn lower_steps(steps: &[Step], idx: usize) -> Cont {
+    let Some(step) = steps.get(idx) else {
+        return Rc::new(|_, _, _, _, _| Some(true));
+    };
+    let rest = lower_steps(steps, idx + 1);
+    match step.clone() {
+        Step::EqCheck { lhs, rhs, negated } => Rc::new(move |lib, low, env, size_rem, top| {
+            let u = lib.universe();
+            let l = lhs.eval(env, u).expect("plan invariant: lhs instantiated");
+            let r = rhs.eval(env, u).expect("plan invariant: rhs instantiated");
+            if (l == r) == negated {
+                return Some(false);
+            }
+            rest(lib, low, env, size_rem, top)
+        }),
+        Step::EqBind { var, expr } => Rc::new(move |lib, low, env, size_rem, top| {
+            let v = expr
+                .eval(env, lib.universe())
+                .expect("plan invariant: expr instantiated");
+            env.bind(var, v);
+            rest(lib, low, env, size_rem, top)
+        }),
+        Step::MatchExpr { scrutinee, pattern } => {
+            Rc::new(move |lib, low, env, size_rem, top| {
+                let v = scrutinee
+                    .eval(env, lib.universe())
+                    .expect("plan invariant: scrutinee instantiated");
+                if pattern.matches(&v, env) {
+                    rest(lib, low, env, size_rem, top)
+                } else {
+                    Some(false)
+                }
+            })
+        }
+        Step::CheckRel { rel, args, negated } => {
+            Rc::new(move |lib, low, env, size_rem, top| {
+                let u = lib.universe();
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
+                    .collect();
+                let mut r = lib.check(rel, top, top, &vals);
+                if negated {
+                    r = cnot(r);
+                }
+                match r {
+                    Some(true) => rest(lib, low, env, size_rem, top),
+                    other => other,
+                }
+            })
+        }
+        Step::RecCheck { args } => Rc::new(move |lib, low, env, size_rem, top| {
+            let u = lib.universe();
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
+                .collect();
+            match lib.run_lowered_check(low, size_rem, top, &vals) {
+                Some(true) => rest(lib, low, env, size_rem, top),
+                other => other,
+            }
+        }),
+        Step::ProduceExt {
+            rel,
+            mode,
+            in_args,
+            out_slots,
+        } => Rc::new(move |lib, low, env, size_rem, top| {
+            let u = lib.universe();
+            let in_vals: Vec<Value> = in_args
+                .iter()
+                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
+                .collect();
+            let stream = lib.enumerate(rel, &mode, top, top, &in_vals);
+            bind_ec(stream, |outs| {
+                let mut env2 = env.clone();
+                for (slot, v) in out_slots.iter().zip(outs) {
+                    env2.bind(*slot, v);
+                }
+                rest(lib, low, &mut env2, size_rem, top)
+            })
+        }),
+        Step::ProduceRec { .. } => {
+            unreachable!("checker plans never contain ProduceRec")
+        }
+        Step::Unconstrained { var, ty } => Rc::new(move |lib, low, env, size_rem, top| {
+            let candidates = lib.raw_values(&ty, top);
+            let truncated = lib.raw_truncated(&ty, top);
+            let values = (0..candidates.len())
+                .map(|i| Outcome::Val(candidates[i].clone()))
+                .chain(truncated.then_some(Outcome::OutOfFuel));
+            bind_ec(EStream::from_outcomes(values.collect::<Vec<_>>()), |v| {
+                let mut env2 = env.clone();
+                env2.bind(var, v);
+                rest(lib, low, &mut env2, size_rem, top)
+            })
+        }),
+    }
+}
+
+impl Library {
+    /// Runs a lowered checker, mirroring `run_plan_check`'s fuel
+    /// discipline exactly.
+    pub(crate) fn run_lowered_check(
+        &self,
+        low: &LoweredChecker,
+        size: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        let mut needs_fuel = false;
+        let size_rem = size.saturating_sub(1);
+        for h in &low.handlers {
+            if size == 0 && h.recursive {
+                continue;
+            }
+            match self.lowered_handler(low, h, size_rem, top, args) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => needs_fuel = true,
+            }
+        }
+        if needs_fuel || (size == 0 && low.has_recursive) {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    fn lowered_handler(
+        &self,
+        low: &LoweredChecker,
+        h: &LoweredHandler,
+        size_rem: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        let mut env = self.take_env(h.nslots);
+        debug_assert_eq!(h.input_pats.len(), args.len());
+        for (pat, val) in h.input_pats.iter().zip(args) {
+            if !pat.matches(val, &mut env) {
+                self.put_env(env);
+                return Some(false);
+            }
+        }
+        let r = (h.run)(self, low, &mut env, size_rem, top);
+        self.put_env(env);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::library::LibraryBuilder;
+    use crate::mode::Mode;
+    use indrel_rel::parse::parse_program;
+    use indrel_rel::RelEnv;
+    use indrel_term::Universe;
+
+    #[test]
+    fn lowered_and_interpreted_checkers_agree() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            rel le : nat nat :=
+            | le_n : forall n, le n n
+            | le_S : forall n m, le n m -> le n (S m)
+            .
+            rel between : nat nat :=
+            | b : forall n m p, le n m -> le (S m) p -> between n p
+            .
+            rel square_of : nat nat :=
+            | sq : forall n, square_of n (mult n n)
+            .
+            ",
+        )
+        .unwrap();
+        let rels: Vec<_> = ["le", "between", "square_of"]
+            .iter()
+            .map(|n| env.rel_id(n).unwrap())
+            .collect();
+        let mut b = LibraryBuilder::new(u.clone(), env.clone());
+        for &r in &rels {
+            b.derive_checker(r).unwrap();
+        }
+        let lib = b.build();
+        for &r in &rels {
+            let tys = env.relation(r).arg_types().to_vec();
+            for args in indrel_term::enumerate::tuples_up_to(&u, &tys, 5) {
+                for fuel in 0..10u64 {
+                    assert_eq!(
+                        lib.check(r, fuel, fuel, &args),
+                        lib.check_interpreted(r, fuel, fuel, &args),
+                        "{} {:?} fuel {}",
+                        env.relation(r).name(),
+                        args,
+                        fuel
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_checker_supports_producer_calls() {
+        // `between` routes its existential through an enumerator — the
+        // ProduceExt closure path.
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            rel le : nat nat :=
+            | le_n : forall n, le n n
+            | le_S : forall n m, le n m -> le n (S m)
+            .
+            rel between : nat nat :=
+            | b : forall n m p, le n m -> le (S m) p -> between n p
+            .
+            ",
+        )
+        .unwrap();
+        let between = env.rel_id("between").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(between).unwrap();
+        let lib = b.build();
+        assert_eq!(
+            lib.check(between, 8, 8, &[indrel_term::Value::nat(1), indrel_term::Value::nat(3)]),
+            Some(true)
+        );
+        let _ = Mode::checker(2);
+    }
+}

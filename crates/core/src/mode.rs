@@ -1,0 +1,135 @@
+//! Modes: the `out_set` of Algorithm 2.
+//!
+//! A mode assigns each argument position of a relation an input or
+//! output polarity. The all-input mode is a *checker* mode; any mode
+//! with at least one output is a *producer* mode. Unlike the paper's
+//! implementation (§8), multiple outputs are supported.
+
+use std::fmt;
+
+/// An input/output polarity assignment for a relation's arguments.
+///
+/// # Example
+///
+/// ```
+/// use indrel_core::Mode;
+/// let m = Mode::producer(3, &[2]);
+/// assert!(!m.is_checker());
+/// assert_eq!(m.out_positions(), vec![2]);
+/// assert_eq!(m.in_positions(), vec![0, 1]);
+/// assert_eq!(m.to_string(), "(-,-,+)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Mode {
+    outs: Vec<bool>,
+}
+
+impl Mode {
+    /// The all-input (checker) mode at the given arity.
+    pub fn checker(arity: usize) -> Mode {
+        Mode {
+            outs: vec![false; arity],
+        }
+    }
+
+    /// A producer mode: `outs` lists the output positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output position is out of range.
+    pub fn producer(arity: usize, outs: &[usize]) -> Mode {
+        let mut v = vec![false; arity];
+        for &i in outs {
+            assert!(i < arity, "output position {i} out of range for arity {arity}");
+            v[i] = true;
+        }
+        Mode { outs: v }
+    }
+
+    /// Builds a mode directly from a polarity vector (`true` = output).
+    pub fn from_polarities(outs: Vec<bool>) -> Mode {
+        Mode { outs }
+    }
+
+    /// The relation arity this mode applies to.
+    pub fn arity(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// `true` when position `i` is an output.
+    pub fn is_out(&self, i: usize) -> bool {
+        self.outs[i]
+    }
+
+    /// `true` when every position is an input.
+    pub fn is_checker(&self) -> bool {
+        self.outs.iter().all(|o| !o)
+    }
+
+    /// Output positions, ascending.
+    pub fn out_positions(&self) -> Vec<usize> {
+        (0..self.outs.len()).filter(|&i| self.outs[i]).collect()
+    }
+
+    /// Input positions, ascending.
+    pub fn in_positions(&self) -> Vec<usize> {
+        (0..self.outs.len()).filter(|&i| !self.outs[i]).collect()
+    }
+
+    /// Number of outputs.
+    pub fn num_outs(&self) -> usize {
+        self.outs.iter().filter(|&&o| o).count()
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, o) in self.outs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", if *o { "+" } else { "-" })?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_mode_has_no_outputs() {
+        let m = Mode::checker(4);
+        assert!(m.is_checker());
+        assert_eq!(m.num_outs(), 0);
+        assert_eq!(m.in_positions(), vec![0, 1, 2, 3]);
+        assert_eq!(m.to_string(), "(-,-,-,-)");
+    }
+
+    #[test]
+    fn producer_positions() {
+        let m = Mode::producer(3, &[0, 2]);
+        assert_eq!(m.out_positions(), vec![0, 2]);
+        assert_eq!(m.in_positions(), vec![1]);
+        assert_eq!(m.num_outs(), 2);
+        assert!(m.is_out(0) && !m.is_out(1) && m.is_out(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        let _ = Mode::producer(2, &[2]);
+    }
+
+    #[test]
+    fn modes_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Mode::checker(2));
+        set.insert(Mode::producer(2, &[1]));
+        set.insert(Mode::producer(2, &[1]));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Logical Foundations (LF) relations.
+//!
+//! Transcriptions of the inductive relations of *Logical Foundations*:
+//! the `IndProp` chapter's predicates on naturals, the list predicates
+//! of its exercises, and the regular-expression matcher. Higher-order
+//! entries (the `ProofObjects` encodings of logical connectives and the
+//! `reflect` predicate) are recorded without source, matching the
+//! relations the paper's evaluation excludes.
+
+use crate::{Entry, Scope, Volume};
+
+fn fo(name: &'static str, relations: &'static [&'static str], source: &'static str, note: &'static str) -> Entry {
+    Entry {
+        name,
+        volume: Volume::Lf,
+        relations,
+        source: Some(source),
+        scope: Scope::FirstOrder,
+        note,
+    }
+}
+
+fn ho(name: &'static str, note: &'static str) -> Entry {
+    Entry {
+        name,
+        volume: Volume::Lf,
+        relations: &[],
+        source: None,
+        scope: Scope::HigherOrder,
+        note,
+    }
+}
+
+/// The LF corpus entries, in dependency order.
+pub fn entries() -> Vec<Entry> {
+    vec![
+        fo(
+            "ev",
+            &["ev"],
+            r"rel ev : nat :=
+              | ev_0  : ev 0
+              | ev_SS : forall n, ev n -> ev (S (S n))
+              .",
+            "IndProp: evenness",
+        ),
+        fo(
+            "ev'",
+            &["ev'"],
+            r"rel ev' : nat :=
+              | ev'_0   : ev' 0
+              | ev'_2   : ev' 2
+              | ev'_sum : forall n m, ev' n -> ev' m -> ev' (plus n m)
+              .",
+            "IndProp: alternative evenness with a sum conclusion (function call)",
+        ),
+        fo(
+            "le",
+            &["le"],
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            "IndProp: less-or-equal (non-linear reflexivity)",
+        ),
+        fo(
+            "lt",
+            &["lt"],
+            r"rel lt : nat nat :=
+              | lt_ : forall n m, le (S n) m -> lt n m
+              .",
+            "IndProp: strict order via le",
+        ),
+        fo(
+            "ge",
+            &["ge"],
+            r"rel ge : nat nat :=
+              | ge_ : forall n m, le m n -> ge n m
+              .",
+            "IndProp exercise: flipped order",
+        ),
+        fo(
+            "eq_nat",
+            &["eq_nat"],
+            r"rel eq_nat : nat nat :=
+              | eq_refl : forall n, eq_nat n n
+              .",
+            "ProofObjects: propositional equality at nat (non-linear)",
+        ),
+        fo(
+            "square_of",
+            &["square_of"],
+            r"rel square_of : nat nat :=
+              | sq : forall n, square_of n (mult n n)
+              .",
+            "IndProp exercise: function call in the conclusion (§3.1 of the paper)",
+        ),
+        fo(
+            "next_nat",
+            &["next_nat"],
+            r"rel next_nat : nat nat :=
+              | nn : forall n, next_nat n (S n)
+              .",
+            "IndProp exercise",
+        ),
+        fo(
+            "next_ev",
+            &["next_ev"],
+            r"rel next_ev : nat nat :=
+              | ne_1 : forall n, ev (S n) -> next_ev n (S n)
+              | ne_2 : forall n, ev (S (S n)) -> next_ev n (S (S n))
+              .",
+            "IndProp exercise: non-linear across argument positions",
+        ),
+        fo(
+            "total_relation",
+            &["total_relation"],
+            r"rel total_relation : nat nat :=
+              | total : forall n m, total_relation n m
+              .",
+            "IndProp exercise",
+        ),
+        fo(
+            "empty_relation",
+            &["empty_relation"],
+            r"rel empty_relation : nat nat := .",
+            "IndProp exercise: no constructors",
+        ),
+        fo(
+            "R",
+            &["R"],
+            r"rel R : nat nat nat :=
+              | c1 : R 0 0 0
+              | c2 : forall m n o, R m n o -> R (S m) n (S o)
+              | c3 : forall m n o, R m n o -> R m (S n) (S o)
+              | c4 : forall m n o, R (S m) (S n) (S (S o)) -> R m n o
+              | c5 : forall m n o, R m n o -> R n m o
+              .",
+            "IndProp exercise: ternary playground relation (c4/c5 defeat structural recursion)",
+        ),
+        fo(
+            "collatz_holds_for",
+            &["collatz_holds_for"],
+            r"rel collatz_holds_for : nat :=
+              | Chf_one  : collatz_holds_for 1
+              | Chf_even : forall n, evenb n = true ->
+                           collatz_holds_for (div2 n) -> collatz_holds_for n
+              | Chf_odd  : forall n, evenb n = false ->
+                           collatz_holds_for (plus (mult 3 n) 1) -> collatz_holds_for n
+              .",
+            "IndProp: Collatz — a genuinely semi-decidable predicate",
+        ),
+        fo(
+            "in_list",
+            &["in_list"],
+            r"rel in_list : nat (list nat) :=
+              | in_here  : forall x l, in_list x (cons x l)
+              | in_there : forall x y l, in_list x l -> in_list x (cons y l)
+              .",
+            "Logic: membership, inductive form",
+        ),
+        fo(
+            "subseq",
+            &["subseq"],
+            r"rel subseq : (list nat) (list nat) :=
+              | sub_nil  : forall l, subseq nil l
+              | sub_take : forall x l1 l2, subseq l1 l2 -> subseq (cons x l1) (cons x l2)
+              | sub_skip : forall x l1 l2, subseq l1 l2 -> subseq l1 (cons x l2)
+              .",
+            "IndProp exercise: subsequences (non-linear cons)",
+        ),
+        fo(
+            "pal",
+            &["pal"],
+            r"rel pal : (list nat) :=
+              | pal_nil  : pal nil
+              | pal_sing : forall x, pal (cons x nil)
+              | pal_app  : forall x l, pal l -> pal (cons x (app l (cons x nil)))
+              .",
+            "IndProp exercise: palindromes (function call + non-linear conclusion)",
+        ),
+        fo(
+            "nostutter",
+            &["nostutter"],
+            r"rel nostutter : (list nat) :=
+              | ns_nil  : nostutter nil
+              | ns_sing : forall x, nostutter (cons x nil)
+              | ns_cons : forall x y l, x <> y -> nostutter (cons y l) ->
+                          nostutter (cons x (cons y l))
+              .",
+            "IndProp exercise: disequality premise",
+        ),
+        fo(
+            "merge",
+            &["merge"],
+            r"rel merge : (list nat) (list nat) (list nat) :=
+              | merge_nil   : merge nil nil nil
+              | merge_left  : forall x l1 l2 l, merge l1 l2 l ->
+                              merge (cons x l1) l2 (cons x l)
+              | merge_right : forall x l1 l2 l, merge l1 l2 l ->
+                              merge l1 (cons x l2) (cons x l)
+              .",
+            "IndProp exercise: interleavings (non-linear across positions)",
+        ),
+        fo(
+            "repeats",
+            &["repeats"],
+            r"rel repeats : (list nat) :=
+              | rep_here  : forall x l, in_list x l -> repeats (cons x l)
+              | rep_later : forall x l, repeats l -> repeats (cons x l)
+              .",
+            "IndProp exercise (pigeonhole)",
+        ),
+        fo(
+            "nodup",
+            &["nodup"],
+            r"rel nodup : (list nat) :=
+              | nd_nil  : nodup nil
+              | nd_cons : forall x l, ~ (in_list x l) -> nodup l -> nodup (cons x l)
+              .",
+            "Logic exercise: negated premise",
+        ),
+        fo(
+            "disjoint",
+            &["disjoint"],
+            r"rel disjoint : (list nat) (list nat) :=
+              | dj_nil  : forall l, disjoint nil l
+              | dj_cons : forall x l1 l2, ~ (in_list x l2) -> disjoint l1 l2 ->
+                          disjoint (cons x l1) l2
+              .",
+            "Logic exercise: disjoint lists via a negated membership premise",
+        ),
+        fo(
+            "exp_match",
+            &["exp_match"],
+            r"data reg_exp := EmptySet | EmptyStr | Chr nat
+                           | Cat reg_exp reg_exp | Union reg_exp reg_exp | Star reg_exp .
+              rel exp_match : (list nat) reg_exp :=
+              | MEmpty   : exp_match nil EmptyStr
+              | MChar    : forall x, exp_match (cons x nil) (Chr x)
+              | MApp     : forall s1 re1 s2 re2,
+                  exp_match s1 re1 -> exp_match s2 re2 ->
+                  exp_match (app s1 s2) (Cat re1 re2)
+              | MUnionL  : forall s re1 re2, exp_match s re1 -> exp_match s (Union re1 re2)
+              | MUnionR  : forall s re1 re2, exp_match s re2 -> exp_match s (Union re1 re2)
+              | MStar0   : forall re, exp_match nil (Star re)
+              | MStarApp : forall s1 s2 re,
+                  exp_match s1 re -> exp_match s2 (Star re) ->
+                  exp_match (app s1 s2) (Star re)
+              .",
+            "IndProp: regular-expression matching — the chapter's centerpiece",
+        ),
+        // ---- higher-order entries (no source), as excluded in §6.1 ----
+        ho("and", "ProofObjects: conjunction — Prop-indexed"),
+        ho("or", "ProofObjects: disjunction — Prop-indexed"),
+        ho("ex", "ProofObjects: existential — quantifies over a predicate"),
+        ho("True", "ProofObjects: trivial proposition — Prop-valued constructor"),
+        ho("False", "ProofObjects: absurd proposition — Prop-valued"),
+        ho("eq_poly", "ProofObjects: polymorphic equality at arbitrary Type"),
+        ho("reflect", "IndProp: reflection predicate — indexed by a Prop"),
+        ho("all", "Logic exercise `All`: quantifies over a predicate on elements"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lf_has_first_order_majority() {
+        let es = entries();
+        let fo_count = es.iter().filter(|e| e.scope == Scope::FirstOrder).count();
+        let ho_count = es.iter().filter(|e| e.scope == Scope::HigherOrder).count();
+        assert!(fo_count > ho_count);
+        assert!(fo_count >= 20);
+    }
+
+    #[test]
+    fn entries_have_unique_names() {
+        let es = entries();
+        let mut names: Vec<_> = es.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), es.len());
+    }
+}

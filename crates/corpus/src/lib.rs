@@ -1,0 +1,306 @@
+//! The Software Foundations corpus (§6.1 of the paper).
+//!
+//! The paper evaluates its derivation procedure on every inductive
+//! relation in the first two Software Foundations volumes — *Logical
+//! Foundations* (LF) and *Programming Language Foundations* (PLF) —
+//! reporting, in Table 1, how many relations exist, how many the full
+//! algorithm handles, and how many the restricted core Algorithm 1
+//! handles.
+//!
+//! This crate transcribes a representative corpus of those relations
+//! into the surface syntax: predicates on naturals and lists, regular
+//! expression matching, the IMP language's big-step evaluators, the
+//! small-step toy language of the *Smallstep* chapter, STLC typing, and
+//! sortedness/permutation predicates. Relations that range over
+//! higher-order data (functions or propositions) are recorded as
+//! [`Scope::HigherOrder`] entries without source, mirroring the
+//! relations the paper excludes ("computations over higher order data",
+//! §6.1).
+//!
+//! The Table 1 reproduction (`indrel-bench`, `table1` binary) loads the
+//! corpus, attempts both the full derivation and the Algorithm 1
+//! baseline on every first-order relation, and prints the counts.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_corpus::{corpus_env, entries, Volume};
+//!
+//! let (universe, env) = corpus_env();
+//! // Every first-order entry parsed and registered:
+//! let lf: Vec<_> = entries().into_iter()
+//!     .filter(|e| e.volume == Volume::Lf)
+//!     .collect();
+//! assert!(lf.len() >= 20);
+//! assert!(env.rel_id("exp_match").is_some());
+//! let _ = universe;
+//! ```
+
+pub mod lf;
+pub mod plf;
+
+use indrel_rel::parse::parse_program;
+use indrel_rel::RelEnv;
+use indrel_term::{TypeExpr, Universe, Value};
+
+/// Which Software Foundations volume an entry comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Volume {
+    /// Logical Foundations.
+    Lf,
+    /// Programming Language Foundations.
+    Plf,
+}
+
+impl std::fmt::Display for Volume {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Volume::Lf => write!(f, "LF"),
+            Volume::Plf => write!(f, "PLF"),
+        }
+    }
+}
+
+/// Whether the relation is inside the class the framework targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scope {
+    /// First-order: datatypes, naturals, booleans, lists — encodable.
+    FirstOrder,
+    /// Quantifies over functions or propositions — out of scope, as in
+    /// the paper.
+    HigherOrder,
+}
+
+/// One corpus entry: an inductive relation (or a small cluster that
+/// must be declared together) from LF or PLF.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Entry name (the SF definition's name).
+    pub name: &'static str,
+    /// Source volume.
+    pub volume: Volume,
+    /// Names of the relations this entry declares.
+    pub relations: &'static [&'static str],
+    /// Surface syntax, `None` for higher-order entries.
+    pub source: Option<&'static str>,
+    /// Scope classification.
+    pub scope: Scope,
+    /// Where in SF the relation appears / why it is out of scope.
+    pub note: &'static str,
+}
+
+/// All corpus entries, LF first, in dependency order.
+pub fn entries() -> Vec<Entry> {
+    let mut out = lf::entries();
+    out.extend(plf::entries());
+    out
+}
+
+/// Registers the helper functions the corpus relations use (`eqb`,
+/// `leb`, `andb`, `double`, `div2`, …) on top of the standard library.
+pub fn register_corpus_funs(u: &mut Universe) {
+    u.std_list();
+    u.std_pair();
+    u.std_funs();
+    let nat = TypeExpr::Nat;
+    let b = TypeExpr::Bool;
+    let nat2bool = |u: &mut Universe, name: &str, f: fn(u64, u64) -> bool| {
+        if u.fun_id(name).is_none() {
+            u.declare_fun(name, vec![TypeExpr::Nat, TypeExpr::Nat], TypeExpr::Bool, move |args| {
+                Value::bool(f(
+                    args[0].as_nat().expect("nat"),
+                    args[1].as_nat().expect("nat"),
+                ))
+            })
+            .expect("fresh function name");
+        }
+    };
+    nat2bool(u, "eqb", |a, b| a == b);
+    nat2bool(u, "leb", |a, b| a <= b);
+    nat2bool(u, "ltb", |a, b| a < b);
+    if u.fun_id("andb").is_none() {
+        u.declare_fun("andb", vec![b.clone(), b.clone()], b.clone(), |args| {
+            Value::bool(args[0].as_bool().expect("bool") && args[1].as_bool().expect("bool"))
+        })
+        .expect("fresh function name");
+        u.declare_fun("orb", vec![b.clone(), b.clone()], b.clone(), |args| {
+            Value::bool(args[0].as_bool().expect("bool") || args[1].as_bool().expect("bool"))
+        })
+        .expect("fresh function name");
+        u.declare_fun("notb", vec![b.clone()], b, |args| {
+            Value::bool(!args[0].as_bool().expect("bool"))
+        })
+        .expect("fresh function name");
+        u.declare_fun("double", vec![nat.clone()], nat.clone(), |args| {
+            Value::nat(args[0].as_nat().expect("nat").saturating_mul(2))
+        })
+        .expect("fresh function name");
+        u.declare_fun("div2", vec![nat.clone()], nat.clone(), |args| {
+            Value::nat(args[0].as_nat().expect("nat") / 2)
+        })
+        .expect("fresh function name");
+        u.declare_fun("evenb", vec![nat], TypeExpr::Bool, |args| {
+            Value::bool(args[0].as_nat().expect("nat") % 2 == 0)
+        })
+        .expect("fresh function name");
+    }
+}
+
+/// Loads the whole first-order corpus into a fresh universe and
+/// relation environment.
+///
+/// # Panics
+///
+/// Panics if a corpus source fails to parse — the test suite keeps this
+/// impossible.
+pub fn corpus_env() -> (Universe, RelEnv) {
+    let mut u = Universe::new();
+    register_corpus_funs(&mut u);
+    plf::register_stlc(&mut u);
+    let mut env = RelEnv::new();
+    for entry in entries() {
+        if let Some(src) = entry.source {
+            parse_program(&mut u, &mut env, src)
+                .unwrap_or_else(|e| panic!("corpus entry `{}` failed to parse: {e}", entry.name));
+        }
+    }
+    (u, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_core::{LibraryBuilder, Mode};
+    use indrel_semantics::{ProofSystem, Tv};
+
+    #[test]
+    fn corpus_parses() {
+        let (_, env) = corpus_env();
+        // Every declared relation is registered.
+        for e in entries() {
+            if e.source.is_some() {
+                for r in e.relations {
+                    assert!(env.rel_id(r).is_some(), "relation `{r}` of `{}` missing", e.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_has_both_volumes_and_scopes() {
+        let es = entries();
+        assert!(es.iter().any(|e| e.volume == Volume::Lf));
+        assert!(es.iter().any(|e| e.volume == Volume::Plf));
+        assert!(es.iter().any(|e| e.scope == Scope::HigherOrder));
+        // Higher-order entries carry no source; first-order ones do.
+        for e in &es {
+            match e.scope {
+                Scope::FirstOrder => assert!(e.source.is_some(), "{} has no source", e.name),
+                Scope::HigherOrder => assert!(e.source.is_none(), "{} should have no source", e.name),
+            }
+        }
+    }
+
+    #[test]
+    fn all_first_order_checkers_derive() {
+        let (u, env) = corpus_env();
+        let mut b = LibraryBuilder::new(u, env);
+        for e in entries() {
+            if e.source.is_none() {
+                continue;
+            }
+            for r in e.relations {
+                let id = b.env().rel_id(r).unwrap();
+                b.derive_checker(id)
+                    .unwrap_or_else(|err| panic!("deriving checker for `{r}`: {err}"));
+            }
+        }
+    }
+
+    #[test]
+    fn spot_check_corpus_semantics() {
+        let (u, env) = corpus_env();
+        let even = env.rel_id("ev").unwrap();
+        let exp_match = env.rel_id("exp_match").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(even).unwrap();
+        b.derive_checker(exp_match).unwrap();
+        let lib = b.build();
+        assert_eq!(lib.check(even, 12, 12, &[Value::nat(10)]), Some(true));
+        assert_eq!(lib.check(even, 12, 12, &[Value::nat(9)]), Some(false));
+        // exp_match [1] (Chr 1)
+        let u = lib.universe();
+        let chr = u.ctor_id("Chr").unwrap();
+        let re = Value::ctor(chr, vec![Value::nat(1)]);
+        let s = u.list_value([Value::nat(1)]);
+        assert_eq!(lib.check(exp_match, 6, 6, &[s, re.clone()]), Some(true));
+        let s2 = u.list_value([Value::nat(2)]);
+        assert_eq!(lib.check(exp_match, 6, 6, &[s2, re]), Some(false));
+    }
+
+    #[test]
+    fn ceval_checker_executes_programs() {
+        let (u, env) = corpus_env();
+        let ceval = env.rel_id("ceval").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(ceval).unwrap();
+        let lib = b.build();
+        let u = lib.universe();
+        // X := 2; Y := 3  starting from the empty state.
+        let casgn = u.ctor_id("CAsgn").unwrap();
+        let cseq = u.ctor_id("CSeq").unwrap();
+        let anum = u.ctor_id("ANum").unwrap();
+        let pair = u.ctor_id("Pair").unwrap();
+        let prog = Value::ctor(
+            cseq,
+            vec![
+                Value::ctor(casgn, vec![Value::nat(0), Value::ctor(anum, vec![Value::nat(2)])]),
+                Value::ctor(casgn, vec![Value::nat(1), Value::ctor(anum, vec![Value::nat(3)])]),
+            ],
+        );
+        let st0 = u.list_value([]);
+        let st2 = u.list_value([
+            Value::ctor(pair, vec![Value::nat(1), Value::nat(3)]),
+            Value::ctor(pair, vec![Value::nat(0), Value::nat(2)]),
+        ]);
+        assert_eq!(
+            lib.check(ceval, 8, 8, &[prog, st0, st2]),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn corpus_agrees_with_reference_on_small_relations() {
+        let (u, env) = corpus_env();
+        let sys = ProofSystem::new(u.clone(), env.clone()).unwrap();
+        let subseq = env.rel_id("subseq").unwrap();
+        let l1 = u.list_value([Value::nat(1), Value::nat(2)]);
+        let l2 = u.list_value([Value::nat(1), Value::nat(3), Value::nat(2)]);
+        assert_eq!(sys.holds(subseq, &[l1.clone(), l2.clone()], 10), Tv::True);
+        assert_eq!(sys.holds(subseq, &[l2, l1], 10), Tv::False);
+    }
+
+    #[test]
+    fn stepstar_enumerates_reductions() {
+        let (u, env) = corpus_env();
+        let step = env.rel_id("tm_step").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_producer(step, Mode::producer(2, &[1])).unwrap();
+        let lib = b.build();
+        let u = lib.universe();
+        // P (C 1) (C 2) steps to C 3.
+        let c = u.ctor_id("C").unwrap();
+        let p = u.ctor_id("P").unwrap();
+        let t = Value::ctor(
+            p,
+            vec![
+                Value::ctor(c, vec![Value::nat(1)]),
+                Value::ctor(c, vec![Value::nat(2)]),
+            ],
+        );
+        let outs = lib
+            .enumerate(step, &Mode::producer(2, &[1]), 6, 6, &[t])
+            .values();
+        assert_eq!(outs, vec![vec![Value::ctor(c, vec![Value::nat(3)])]]);
+    }
+}

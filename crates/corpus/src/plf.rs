@@ -1,0 +1,500 @@
+//! Programming Language Foundations (PLF) relations.
+//!
+//! The IMP language's big-step evaluators (with states as association
+//! lists, the one representation change the paper also makes — maps as
+//! functions become lists, §6.1), the *Smallstep* chapter's toy
+//! language, the simply typed lambda calculus, and the
+//! sortedness/permutation predicates.
+
+use crate::{Entry, Scope, Volume};
+use indrel_term::{TypeExpr, Universe, Value};
+
+fn fo(name: &'static str, relations: &'static [&'static str], source: &'static str, note: &'static str) -> Entry {
+    Entry {
+        name,
+        volume: Volume::Plf,
+        relations,
+        source: Some(source),
+        scope: Scope::FirstOrder,
+        note,
+    }
+}
+
+fn ho(name: &'static str, note: &'static str) -> Entry {
+    Entry {
+        name,
+        volume: Volume::Plf,
+        relations: &[],
+        source: None,
+        scope: Scope::HigherOrder,
+        note,
+    }
+}
+
+/// Declares the STLC datatypes (`ty`, `tml`) and registers the native
+/// `lift_tm`/`subst_tm` de Bruijn operations they need. Idempotent.
+///
+/// # Panics
+///
+/// Panics only if the universe contains conflicting declarations.
+pub fn register_stlc(u: &mut Universe) {
+    if u.dt_id("ty").is_some() {
+        return;
+    }
+    let ty = u
+        .declare_datatype(
+            "ty",
+            0,
+            &[
+                ("TN", vec![]),
+                ("TArrow", vec![TypeExpr::named("ty"), TypeExpr::named("ty")]),
+            ],
+        )
+        .expect("fresh datatype");
+    let tml = u
+        .declare_datatype(
+            "tml",
+            0,
+            &[
+                ("TmConst", vec![TypeExpr::Nat]),
+                ("TmAdd", vec![TypeExpr::named("tml"), TypeExpr::named("tml")]),
+                ("TmVar", vec![TypeExpr::Nat]),
+                ("TmApp", vec![TypeExpr::named("tml"), TypeExpr::named("tml")]),
+                ("TmAbs", vec![TypeExpr::datatype(ty), TypeExpr::named("tml")]),
+            ],
+        )
+        .expect("fresh datatype");
+    let tml_ty = TypeExpr::datatype(tml);
+    let c_const = u.ctor_id("TmConst").expect("declared");
+    let c_add = u.ctor_id("TmAdd").expect("declared");
+    let c_var = u.ctor_id("TmVar").expect("declared");
+    let c_app = u.ctor_id("TmApp").expect("declared");
+    let c_abs = u.ctor_id("TmAbs").expect("declared");
+
+    // lift c t: increment de Bruijn indices >= c.
+    fn lift(
+        ids: (indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId),
+        c: u64,
+        t: &Value,
+    ) -> Value {
+        let (c_const, c_add, c_var, c_app, c_abs) = ids;
+        let (ctor, args) = t.as_ctor().expect("tml value");
+        if ctor == c_var {
+            let i = args[0].as_nat().expect("nat index");
+            Value::ctor(c_var, vec![Value::nat(if i >= c { i + 1 } else { i })])
+        } else if ctor == c_const {
+            t.clone()
+        } else if ctor == c_add || ctor == c_app {
+            Value::ctor(
+                ctor,
+                vec![lift(ids, c, &args[0]), lift(ids, c, &args[1])],
+            )
+        } else if ctor == c_abs {
+            Value::ctor(ctor, vec![args[0].clone(), lift(ids, c + 1, &args[1])])
+        } else {
+            t.clone()
+        }
+    }
+
+    // subst j s t: capture-avoiding substitution of s for index j in t.
+    fn subst(
+        ids: (indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId),
+        j: u64,
+        s: &Value,
+        t: &Value,
+    ) -> Value {
+        let (c_const, c_add, c_var, c_app, c_abs) = ids;
+        let (ctor, args) = t.as_ctor().expect("tml value");
+        if ctor == c_var {
+            let i = args[0].as_nat().expect("nat index");
+            if i == j {
+                s.clone()
+            } else if i > j {
+                Value::ctor(c_var, vec![Value::nat(i - 1)])
+            } else {
+                t.clone()
+            }
+        } else if ctor == c_const {
+            t.clone()
+        } else if ctor == c_add || ctor == c_app {
+            Value::ctor(
+                ctor,
+                vec![subst(ids, j, s, &args[0]), subst(ids, j, s, &args[1])],
+            )
+        } else if ctor == c_abs {
+            Value::ctor(
+                ctor,
+                vec![args[0].clone(), subst(ids, j + 1, &lift(ids, 0, s), &args[1])],
+            )
+        } else {
+            t.clone()
+        }
+    }
+
+    let ids = (c_const, c_add, c_var, c_app, c_abs);
+    u.declare_fun(
+        "lift_tm",
+        vec![TypeExpr::Nat, tml_ty.clone()],
+        tml_ty.clone(),
+        move |args| lift(ids, args[0].as_nat().expect("nat"), &args[1]),
+    )
+    .expect("fresh function");
+    u.declare_fun(
+        "subst_tm",
+        vec![TypeExpr::Nat, tml_ty.clone(), tml_ty.clone()],
+        tml_ty,
+        move |args| subst(ids, args[0].as_nat().expect("nat"), &args[1], &args[2]),
+    )
+    .expect("fresh function");
+}
+
+/// The PLF corpus entries, in dependency order. The STLC entries assume
+/// [`register_stlc`] ran first (done by [`crate::corpus_env`]).
+pub fn entries() -> Vec<Entry> {
+    vec![
+        fo(
+            "imp_lookup",
+            &["lookupR"],
+            r"data aexp := ANum nat | AId nat | APlus aexp aexp
+                        | AMinus aexp aexp | AMult aexp aexp .
+              data bexp := BTrue | BFalse | BEq aexp aexp | BLe aexp aexp
+                        | BNot bexp | BAnd bexp bexp .
+              data com := CSkip | CAsgn nat aexp | CSeq com com
+                        | CIf bexp com com | CWhile bexp com .
+              rel lookupR : (list (pair nat nat)) nat nat :=
+              | lu_here  : forall x n st, lookupR (cons (Pair x n) st) x n
+              | lu_there : forall x y n m st, x <> y -> lookupR st x n ->
+                           lookupR (cons (Pair y m) st) x n
+              .",
+            "Maps (as association lists, the paper's representation change)",
+        ),
+        fo(
+            "aevalR",
+            &["aevalS"],
+            r"rel aevalS : (list (pair nat nat)) aexp nat :=
+              | E_ANum   : forall st n, aevalS st (ANum n) n
+              | E_AId    : forall st x n, lookupR st x n -> aevalS st (AId x) n
+              | E_APlus  : forall st a1 a2 n1 n2,
+                  aevalS st a1 n1 -> aevalS st a2 n2 ->
+                  aevalS st (APlus a1 a2) (plus n1 n2)
+              | E_AMinus : forall st a1 a2 n1 n2,
+                  aevalS st a1 n1 -> aevalS st a2 n2 ->
+                  aevalS st (AMinus a1 a2) (minus n1 n2)
+              | E_AMult  : forall st a1 a2 n1 n2,
+                  aevalS st a1 n1 -> aevalS st a2 n2 ->
+                  aevalS st (AMult a1 a2) (mult n1 n2)
+              .",
+            "Imp: big-step arithmetic evaluation",
+        ),
+        fo(
+            "bevalR",
+            &["bevalS"],
+            r"rel bevalS : (list (pair nat nat)) bexp bool :=
+              | E_BTrue  : forall st, bevalS st BTrue true
+              | E_BFalse : forall st, bevalS st BFalse false
+              | E_BEq    : forall st a1 a2 n1 n2,
+                  aevalS st a1 n1 -> aevalS st a2 n2 ->
+                  bevalS st (BEq a1 a2) (eqb n1 n2)
+              | E_BLe    : forall st a1 a2 n1 n2,
+                  aevalS st a1 n1 -> aevalS st a2 n2 ->
+                  bevalS st (BLe a1 a2) (leb n1 n2)
+              | E_BNot   : forall st b v, bevalS st b v -> bevalS st (BNot b) (notb v)
+              | E_BAnd   : forall st b1 b2 v1 v2,
+                  bevalS st b1 v1 -> bevalS st b2 v2 ->
+                  bevalS st (BAnd b1 b2) (andb v1 v2)
+              .",
+            "Imp: big-step boolean evaluation",
+        ),
+        fo(
+            "ceval",
+            &["ceval"],
+            r"rel ceval : com (list (pair nat nat)) (list (pair nat nat)) :=
+              | E_Skip       : forall st, ceval CSkip st st
+              | E_Asgn       : forall st a n x, aevalS st a n ->
+                               ceval (CAsgn x a) st (cons (Pair x n) st)
+              | E_Seq        : forall c1 c2 st st' st'',
+                  ceval c1 st st' -> ceval c2 st' st'' ->
+                  ceval (CSeq c1 c2) st st''
+              | E_IfTrue     : forall st st' b c1 c2,
+                  bevalS st b true -> ceval c1 st st' ->
+                  ceval (CIf b c1 c2) st st'
+              | E_IfFalse    : forall st st' b c1 c2,
+                  bevalS st b false -> ceval c2 st st' ->
+                  ceval (CIf b c1 c2) st st'
+              | E_WhileFalse : forall b st c,
+                  bevalS st b false -> ceval (CWhile b c) st st
+              | E_WhileTrue  : forall st st' st'' b c,
+                  bevalS st b true -> ceval c st st' ->
+                  ceval (CWhile b c) st' st'' ->
+                  ceval (CWhile b c) st st''
+              .",
+            "Imp: big-step command evaluation — E_Seq/E_WhileTrue need an intermediate-state producer",
+        ),
+        fo(
+            "ceval_break",
+            &["cevalB"],
+            r"data comb := CBSkip | CBBreak | CBAsgn nat aexp | CBSeq comb comb
+                        | CBIf bexp comb comb | CBWhile bexp comb .
+              data result := SContinue | SBreak .
+              rel cevalB : comb (list (pair nat nat)) result (list (pair nat nat)) :=
+              | EB_Skip  : forall st, cevalB CBSkip st SContinue st
+              | EB_Break : forall st, cevalB CBBreak st SBreak st
+              | EB_Asgn  : forall st a n x, aevalS st a n ->
+                  cevalB (CBAsgn x a) st SContinue (cons (Pair x n) st)
+              | EB_SeqBreak : forall c1 c2 st st',
+                  cevalB c1 st SBreak st' ->
+                  cevalB (CBSeq c1 c2) st SBreak st'
+              | EB_SeqContinue : forall c1 c2 st st' st'' s,
+                  cevalB c1 st SContinue st' -> cevalB c2 st' s st'' ->
+                  cevalB (CBSeq c1 c2) st s st''
+              | EB_IfTrue : forall st st' b c1 c2 s,
+                  bevalS st b true -> cevalB c1 st s st' ->
+                  cevalB (CBIf b c1 c2) st s st'
+              | EB_IfFalse : forall st st' b c1 c2 s,
+                  bevalS st b false -> cevalB c2 st s st' ->
+                  cevalB (CBIf b c1 c2) st s st'
+              | EB_WhileFalse : forall b st c,
+                  bevalS st b false -> cevalB (CBWhile b c) st SContinue st
+              | EB_WhileTrueBreak : forall st st' b c,
+                  bevalS st b true -> cevalB c st SBreak st' ->
+                  cevalB (CBWhile b c) st SContinue st'
+              | EB_WhileTrueContinue : forall st st' st'' b c,
+                  bevalS st b true -> cevalB c st SContinue st' ->
+                  cevalB (CBWhile b c) st' SContinue st'' ->
+                  cevalB (CBWhile b c) st SContinue st''
+              .",
+            "Imp exercise `break_imp`: commands with early loop exit — the signal \
+             result is threaded through the derivation",
+        ),
+        fo(
+            "aevalD",
+            &["aevalD"],
+            r"data aexpd := DNum nat | DPlus aexpd aexpd | DDiv aexpd aexpd .
+              rel aevalD : aexpd nat :=
+              | D_Num  : forall n, aevalD (DNum n) n
+              | D_Plus : forall a1 a2 n1 n2,
+                  aevalD a1 n1 -> aevalD a2 n2 -> aevalD (DPlus a1 a2) (plus n1 n2)
+              | D_Div  : forall a1 a2 n1 n2 n3,
+                  aevalD a1 n1 -> aevalD a2 n2 -> n2 <> 0 ->
+                  mult n2 n3 = n1 ->
+                  aevalD (DDiv a1 a2) n3
+              .",
+            "Imp: evaluation as a relation — division makes evaluation partial,              the chapter's motivation for relational style (n3 is existential for checking)",
+        ),
+        fo(
+            "tm_smallstep",
+            &["tm_value", "tm_eval", "tm_step", "tm_multistep"],
+            r"data tm := C nat | P tm tm .
+              rel tm_value : tm :=
+              | v_const : forall n, tm_value (C n)
+              .
+              rel tm_eval : tm nat :=
+              | E_Const : forall n, tm_eval (C n) n
+              | E_Plus  : forall t1 t2 v1 v2,
+                  tm_eval t1 v1 -> tm_eval t2 v2 -> tm_eval (P t1 t2) (plus v1 v2)
+              .
+              rel tm_step : tm tm :=
+              | ST_PlusConstConst : forall v1 v2,
+                  tm_step (P (C v1) (C v2)) (C (plus v1 v2))
+              | ST_Plus1 : forall t1 t1' t2,
+                  tm_step t1 t1' -> tm_step (P t1 t2) (P t1' t2)
+              | ST_Plus2 : forall v1 t2 t2',
+                  tm_step t2 t2' -> tm_step (P (C v1) t2) (P (C v1) t2')
+              .
+              rel tm_multistep : tm tm :=
+              | tms_refl : forall t, tm_multistep t t
+              | tms_step : forall t1 t2 t3,
+                  tm_step t1 t2 -> tm_multistep t2 t3 -> tm_multistep t1 t3
+              .",
+            "Smallstep: the toy arithmetic language; tms_step has an existential middle term",
+        ),
+        fo(
+            "stlc",
+            &["stlc_lookup", "stlc_value", "stlc_typing", "stlc_step", "stlc_multistep"],
+            r"rel stlc_lookup : (list ty) nat ty :=
+              | lk_here  : forall t G, stlc_lookup (cons t G) 0 t
+              | lk_there : forall t t' G n,
+                  stlc_lookup G n t -> stlc_lookup (cons t' G) (S n) t
+              .
+              rel stlc_value : tml :=
+              | v_tmconst : forall n, stlc_value (TmConst n)
+              | v_tmabs   : forall t e, stlc_value (TmAbs t e)
+              .
+              rel stlc_typing : (list ty) tml ty :=
+              | T_Const : forall G n, stlc_typing G (TmConst n) TN
+              | T_Add   : forall G e1 e2,
+                  stlc_typing G e1 TN -> stlc_typing G e2 TN ->
+                  stlc_typing G (TmAdd e1 e2) TN
+              | T_Var   : forall G x t, stlc_lookup G x t -> stlc_typing G (TmVar x) t
+              | T_Abs   : forall G t1 t2 e,
+                  stlc_typing (cons t1 G) e t2 ->
+                  stlc_typing G (TmAbs t1 e) (TArrow t1 t2)
+              | T_App   : forall G e1 e2 t1 t2,
+                  stlc_typing G e2 t1 -> stlc_typing G e1 (TArrow t1 t2) ->
+                  stlc_typing G (TmApp e1 e2) t2
+              .
+              rel stlc_step : tml tml :=
+              | ST_AppAbs    : forall t e v, stlc_value v ->
+                  stlc_step (TmApp (TmAbs t e) v) (subst_tm 0 v e)
+              | ST_App1      : forall e1 e1' e2,
+                  stlc_step e1 e1' -> stlc_step (TmApp e1 e2) (TmApp e1' e2)
+              | ST_App2      : forall v e2 e2', stlc_value v ->
+                  stlc_step e2 e2' -> stlc_step (TmApp v e2) (TmApp v e2')
+              | ST_AddConsts : forall n1 n2,
+                  stlc_step (TmAdd (TmConst n1) (TmConst n2)) (TmConst (plus n1 n2))
+              | ST_Add1      : forall e1 e1' e2,
+                  stlc_step e1 e1' -> stlc_step (TmAdd e1 e2) (TmAdd e1' e2)
+              | ST_Add2      : forall v e2 e2', stlc_value v ->
+                  stlc_step e2 e2' -> stlc_step (TmAdd v e2) (TmAdd v e2')
+              .
+              rel stlc_multistep : tml tml :=
+              | sms_refl : forall e, stlc_multistep e e
+              | sms_step : forall e1 e2 e3,
+                  stlc_step e1 e2 -> stlc_multistep e2 e3 -> stlc_multistep e1 e3
+              .",
+            "Stlc: the paper's running example — typing (existential in T_App), substitution-based step",
+        ),
+        fo(
+            "typed_arith",
+            &["bvalue", "nvalue", "tb_step", "tb_typing"],
+            r"data tb := Tru | Fls | Test tb tb tb | Zro | Scc tb | Prd tb | Iszro tb .
+              data tyb := TBool | TNat .
+              rel bvalue : tb :=
+              | bv_tru : bvalue Tru
+              | bv_fls : bvalue Fls
+              .
+              rel nvalue : tb :=
+              | nv_zro : nvalue Zro
+              | nv_scc : forall t, nvalue t -> nvalue (Scc t)
+              .
+              rel tb_step : tb tb :=
+              | ST_TestTru  : forall t1 t2, tb_step (Test Tru t1 t2) t1
+              | ST_TestFls  : forall t1 t2, tb_step (Test Fls t1 t2) t2
+              | ST_Test     : forall t1 t1' t2 t3,
+                  tb_step t1 t1' -> tb_step (Test t1 t2 t3) (Test t1' t2 t3)
+              | ST_Scc      : forall t t', tb_step t t' -> tb_step (Scc t) (Scc t')
+              | ST_PrdZro   : tb_step (Prd Zro) Zro
+              | ST_PrdScc   : forall t, nvalue t -> tb_step (Prd (Scc t)) t
+              | ST_Prd      : forall t t', tb_step t t' -> tb_step (Prd t) (Prd t')
+              | ST_IszroZro : tb_step (Iszro Zro) Tru
+              | ST_IszroScc : forall t, nvalue t -> tb_step (Iszro (Scc t)) Fls
+              | ST_Iszro    : forall t t', tb_step t t' -> tb_step (Iszro t) (Iszro t')
+              .
+              rel tb_typing : tb tyb :=
+              | T_Tru   : tb_typing Tru TBool
+              | T_Fls   : tb_typing Fls TBool
+              | T_Test  : forall t1 t2 t3 T,
+                  tb_typing t1 TBool -> tb_typing t2 T -> tb_typing t3 T ->
+                  tb_typing (Test t1 t2 t3) T
+              | T_Zro   : tb_typing Zro TNat
+              | T_Scc   : forall t, tb_typing t TNat -> tb_typing (Scc t) TNat
+              | T_Prd   : forall t, tb_typing t TNat -> tb_typing (Prd t) TNat
+              | T_Iszro : forall t, tb_typing t TNat -> tb_typing (Iszro t) TBool
+              .",
+            "Types: the typed arithmetic language (values, step, typing)",
+        ),
+        fo(
+            "sorted",
+            &["sorted"],
+            r"rel sorted : (list nat) :=
+              | sorted_nil  : sorted nil
+              | sorted_sing : forall x, sorted (cons x nil)
+              | sorted_cons : forall x y l, le x y -> sorted (cons y l) ->
+                              sorted (cons x (cons y l))
+              .",
+            "Sorting (also the §6.3 reflection case study)",
+        ),
+        fo(
+            "permutation",
+            &["permutation"],
+            r"rel permutation : (list nat) (list nat) :=
+              | perm_nil   : permutation nil nil
+              | perm_skip  : forall x l l', permutation l l' ->
+                             permutation (cons x l) (cons x l')
+              | perm_swap  : forall x y l,
+                             permutation (cons y (cons x l)) (cons x (cons y l))
+              | perm_trans : forall l1 l2 l3,
+                             permutation l1 l2 -> permutation l2 l3 ->
+                             permutation l1 l3
+              .",
+            "Sorting: Permutation — perm_trans has an existential list",
+        ),
+        // ---- higher-order entries (no source) ----
+        ho("multi", "Smallstep: `multi R` is parameterized by a relation"),
+        ho("hoare_proof", "Hoare2: assertions are predicates over states"),
+        ho("halts", "Norm: defined through an existential over derivations"),
+        ho("cimp_ceval", "Auto/Imp variants quantifying over maps-as-functions"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stlc_registration_is_idempotent() {
+        let mut u = Universe::new();
+        u.std_list();
+        register_stlc(&mut u);
+        register_stlc(&mut u);
+        assert!(u.fun_id("subst_tm").is_some());
+        assert!(u.fun_id("lift_tm").is_some());
+    }
+
+    #[test]
+    fn subst_beta_reduces() {
+        let mut u = Universe::new();
+        u.std_list();
+        register_stlc(&mut u);
+        let var = u.ctor_id("TmVar").unwrap();
+        let constc = u.ctor_id("TmConst").unwrap();
+        let add = u.ctor_id("TmAdd").unwrap();
+        let subst = u.fun_id("subst_tm").unwrap();
+        // subst 0 (TmConst 5) (TmAdd (TmVar 0) (TmVar 0)) = TmAdd 5 5
+        let body = Value::ctor(
+            add,
+            vec![
+                Value::ctor(var, vec![Value::nat(0)]),
+                Value::ctor(var, vec![Value::nat(0)]),
+            ],
+        );
+        let five = Value::ctor(constc, vec![Value::nat(5)]);
+        let out = u
+            .fun(subst)
+            .apply(&[Value::nat(0), five.clone(), body]);
+        assert_eq!(out, Value::ctor(add, vec![five.clone(), five]));
+    }
+
+    #[test]
+    fn subst_shifts_free_vars_under_binders() {
+        let mut u = Universe::new();
+        u.std_list();
+        register_stlc(&mut u);
+        let var = u.ctor_id("TmVar").unwrap();
+        let abs = u.ctor_id("TmAbs").unwrap();
+        let tn = u.ctor_id("TN").unwrap();
+        let subst = u.fun_id("subst_tm").unwrap();
+        // subst 0 (TmVar 3) (TmAbs TN (TmVar 1)) = TmAbs TN (TmVar 4):
+        // the substituted term's free variable is lifted under the binder.
+        let body = Value::ctor(
+            abs,
+            vec![Value::ctor(tn, vec![]), Value::ctor(var, vec![Value::nat(1)])],
+        );
+        let s = Value::ctor(var, vec![Value::nat(3)]);
+        let out = u.fun(subst).apply(&[Value::nat(0), s, body]);
+        let expected = Value::ctor(
+            abs,
+            vec![Value::ctor(tn, vec![]), Value::ctor(var, vec![Value::nat(4)])],
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn plf_entries_unique() {
+        let es = entries();
+        let mut names: Vec<_> = es.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), es.len());
+    }
+}

@@ -1,0 +1,692 @@
+//! The information-flow-control case study (§6.2, after "Testing
+//! Noninterference, Quickly").
+//!
+//! A small abstract stack machine with labeled data: every value
+//! carries a security label (`L`ow or `H`igh); instructions propagate
+//! labels by joining the labels of their operands. The property under
+//! test is a form of *end-to-end noninterference*: running the same
+//! program on two machines whose states agree on all `L`-labeled data
+//! (they are **indistinguishable**) must end in indistinguishable
+//! states.
+//!
+//! The inductive specification is the indistinguishability relation
+//! (`indist`, built from `indist_atom` over `indist_list`), from which
+//! the framework derives:
+//!
+//! * the **checker** compared against a handwritten one in Figure 3,
+//! * a **variation generator** (`indist` with the second machine as
+//!   output): given a machine, produce an indistinguishable one — the
+//!   "generation by variation" of the original IFC testing papers.
+//!
+//! The suite's mutation is a label-propagation bug: `Add` takes the
+//! label of its first operand instead of the join, leaking `H` data
+//! into `L` results.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_ifc::{Ifc, Lab, Instr, Mutation};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let ifc = Ifc::new();
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let (prog, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+//! assert!(ifc.handwritten_indist(&m1, &m2));
+//! // End-to-end noninterference: never `Some(false)` for the correct
+//! // machine (`None` discards runs that got stuck).
+//! assert_ne!(ifc.noninterference_holds(&prog, &m1, &m2, Mutation::None), Some(false));
+//! ```
+
+use indrel_core::{Library, LibraryBuilder, Mode};
+use indrel_rel::parse::parse_program;
+use indrel_rel::RelEnv;
+use indrel_term::{CtorId, RelId, Universe, Value};
+use rand::Rng as _;
+
+/// A security label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lab {
+    /// Public.
+    L,
+    /// Secret.
+    H,
+}
+
+impl Lab {
+    /// Label join (least upper bound).
+    pub fn join(self, other: Lab) -> Lab {
+        if self == Lab::H || other == Lab::H {
+            Lab::H
+        } else {
+            Lab::L
+        }
+    }
+}
+
+/// A labeled value.
+pub type Atom = (u64, Lab);
+
+/// Machine instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Push a labeled constant.
+    Push(u64, Lab),
+    /// Discard the stack top.
+    Pop,
+    /// Pop two atoms, push their sum with the joined label.
+    Add,
+    /// Pop an address, push the memory cell it names (label joined with
+    /// the address label).
+    Load,
+    /// Pop an address and a value, store the value (label joined with
+    /// the address label).
+    Store,
+    /// Do nothing.
+    Noop,
+    /// Stop.
+    Halt,
+}
+
+/// A machine state: program counter, stack, memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Machine {
+    /// Program counter.
+    pub pc: u64,
+    /// The stack (top first).
+    pub stack: Vec<Atom>,
+    /// The memory.
+    pub mem: Vec<Atom>,
+}
+
+/// The result of one machine step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// The instruction executed; the machine continues.
+    Running,
+    /// The machine halted cleanly (`Halt` or past the program's end).
+    Halted,
+    /// The machine got stuck (stack underflow, empty memory, or a
+    /// forbidden sensitive upgrade).
+    Stuck,
+}
+
+/// Which label-propagation mutation the simulator applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mutation {
+    /// Correct propagation.
+    #[default]
+    None,
+    /// `Add` takes the first operand's label instead of the join.
+    AddNoJoin,
+    /// `Load` ignores the address label.
+    LoadNoJoin,
+}
+
+/// The specification, in the surface syntax.
+pub const IFC_SOURCE: &str = r"
+data lab := L | H .
+data atom := Atom nat lab .
+data mach := M nat (list atom) (list atom) .
+rel lab_le : lab lab :=
+| LL : lab_le L L
+| LH : lab_le L H
+| HH : lab_le H H
+.
+rel indist_atom : atom atom :=
+| ia_high : forall n m, indist_atom (Atom n H) (Atom m H)
+| ia_low  : forall n, indist_atom (Atom n L) (Atom n L)
+.
+rel indist_list : (list atom) (list atom) :=
+| il_nil  : indist_list nil nil
+| il_cons : forall a1 a2 l1 l2,
+    indist_atom a1 a2 -> indist_list l1 l2 ->
+    indist_list (cons a1 l1) (cons a2 l2)
+.
+rel indist : mach mach :=
+| im : forall pc s1 s2 m1 m2,
+    indist_list s1 s2 -> indist_list m1 m2 ->
+    indist (M pc s1 m1) (M pc s2 m2)
+.
+";
+
+/// The IFC case study.
+#[derive(Clone)]
+pub struct Ifc {
+    lib: Library,
+    indist: RelId,
+    c_l: CtorId,
+    c_h: CtorId,
+    c_atom: CtorId,
+    c_m: CtorId,
+}
+
+impl std::fmt::Debug for Ifc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ifc").finish_non_exhaustive()
+    }
+}
+
+impl Default for Ifc {
+    fn default() -> Ifc {
+        Ifc::new()
+    }
+}
+
+impl Ifc {
+    /// Parses the specification and derives the indistinguishability
+    /// checker and the variation generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the embedded specification fails to parse or
+    /// derive, which the test suite rules out.
+    pub fn new() -> Ifc {
+        let mut u = Universe::new();
+        u.std_list();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, IFC_SOURCE).expect("embedded source parses");
+        let indist = env.rel_id("indist").expect("declared");
+        let ids = (
+            u.ctor_id("L").expect("declared"),
+            u.ctor_id("H").expect("declared"),
+            u.ctor_id("Atom").expect("declared"),
+            u.ctor_id("M").expect("declared"),
+        );
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(indist).expect("indist checker derives");
+        b.derive_producer(indist, Mode::producer(2, &[1]))
+            .expect("variation generator derives");
+        Ifc {
+            lib: b.build(),
+            indist,
+            c_l: ids.0,
+            c_h: ids.1,
+            c_atom: ids.2,
+            c_m: ids.3,
+        }
+    }
+
+    /// The underlying instance library.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The `indist` relation.
+    pub fn indist_relation(&self) -> RelId {
+        self.indist
+    }
+
+    /// The variation mode `indist m1 ?m2`.
+    pub fn variation_mode(&self) -> Mode {
+        Mode::producer(2, &[1])
+    }
+
+    // ------------------------------------------------------------------
+    // Value encoding
+    // ------------------------------------------------------------------
+
+    fn lab_value(&self, l: Lab) -> Value {
+        match l {
+            Lab::L => Value::ctor(self.c_l, vec![]),
+            Lab::H => Value::ctor(self.c_h, vec![]),
+        }
+    }
+
+    fn atom_value(&self, a: Atom) -> Value {
+        Value::ctor(self.c_atom, vec![Value::nat(a.0), self.lab_value(a.1)])
+    }
+
+    /// Encodes a machine state as a term for the checkers.
+    pub fn machine_value(&self, m: &Machine) -> Value {
+        let enc = |atoms: &[Atom]| {
+            self.lib
+                .universe()
+                .list_value(atoms.iter().map(|a| self.atom_value(*a)))
+        };
+        Value::ctor(
+            self.c_m,
+            vec![Value::nat(m.pc), enc(&m.stack), enc(&m.mem)],
+        )
+    }
+
+    /// Decodes a machine state from a term (inverse of
+    /// [`Ifc::machine_value`]); `None` on malformed terms.
+    pub fn machine_of_value(&self, v: &Value) -> Option<Machine> {
+        let (c, args) = v.as_ctor()?;
+        if c != self.c_m {
+            return None;
+        }
+        let dec = |v: &Value| -> Option<Vec<Atom>> {
+            self.lib
+                .universe()
+                .list_elems(v)?
+                .into_iter()
+                .map(|a| {
+                    let (c, args) = a.as_ctor()?;
+                    if c != self.c_atom {
+                        return None;
+                    }
+                    let n = args[0].as_nat()?;
+                    let (lc, _) = args[1].as_ctor()?;
+                    Some((n, if lc == self.c_h { Lab::H } else { Lab::L }))
+                })
+                .collect()
+        };
+        Some(Machine {
+            pc: args[0].as_nat()?,
+            stack: dec(&args[1])?,
+            mem: dec(&args[2])?,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Handwritten baselines
+    // ------------------------------------------------------------------
+
+    /// The handwritten indistinguishability checker.
+    pub fn handwritten_indist(&self, m1: &Machine, m2: &Machine) -> bool {
+        fn lists(a: &[Atom], b: &[Atom]) -> bool {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|((n1, l1), (n2, l2))| match (l1, l2) {
+                    (Lab::H, Lab::H) => true,
+                    (Lab::L, Lab::L) => n1 == n2,
+                    _ => false,
+                })
+        }
+        m1.pc == m2.pc && lists(&m1.stack, &m2.stack) && lists(&m1.mem, &m2.mem)
+    }
+
+    /// The handwritten checker over the *term encoding* (same
+    /// representation the derived checker sees — the Figure 3
+    /// baseline).
+    pub fn handwritten_indist_value(&self, v1: &Value, v2: &Value) -> bool {
+        let (c1, a1) = v1.as_ctor().expect("machine value");
+        let (c2, a2) = v2.as_ctor().expect("machine value");
+        debug_assert!(c1 == self.c_m && c2 == self.c_m);
+        if a1[0] != a2[0] {
+            return false;
+        }
+        self.indist_list_value(&a1[1], &a2[1]) && self.indist_list_value(&a1[2], &a2[2])
+    }
+
+    fn indist_list_value(&self, mut l1: &Value, mut l2: &Value) -> bool {
+        loop {
+            match (l1.as_ctor(), l2.as_ctor()) {
+                (Some((c1, a1)), Some((c2, a2))) if c1 == c2 => {
+                    if a1.is_empty() {
+                        return true; // both nil
+                    }
+                    let (_, x1) = a1[0].as_ctor().expect("atom");
+                    let (_, x2) = a2[0].as_ctor().expect("atom");
+                    let (lc1, _) = x1[1].as_ctor().expect("label");
+                    let (lc2, _) = x2[1].as_ctor().expect("label");
+                    let ok = if lc1 == self.c_h && lc2 == self.c_h {
+                        true
+                    } else if lc1 == self.c_l && lc2 == self.c_l {
+                        x1[0] == x2[0]
+                    } else {
+                        false
+                    };
+                    if !ok {
+                        return false;
+                    }
+                    l1 = &a1[1];
+                    l2 = &a2[1];
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// The derived indistinguishability checker.
+    pub fn derived_indist(&self, v1: &Value, v2: &Value, fuel: u64) -> Option<bool> {
+        self.lib
+            .check(self.indist, fuel, fuel, &[v1.clone(), v2.clone()])
+    }
+
+    /// The derived variation generator: an indistinguishable machine,
+    /// given one machine.
+    pub fn derived_vary(&self, m: &Machine, size: u64, rng: &mut dyn rand::RngCore) -> Option<Machine> {
+        let v = self.machine_value(m);
+        let out = self
+            .lib
+            .generate(self.indist, &self.variation_mode(), size, size, &[v], rng)?;
+        self.machine_of_value(&out[0])
+    }
+
+    /// The handwritten variation: copy `L` atoms, refresh `H` payloads.
+    pub fn handwritten_vary(&self, m: &Machine, rng: &mut dyn rand::RngCore) -> Machine {
+        let vary = |atoms: &[Atom], rng: &mut dyn rand::RngCore| {
+            atoms
+                .iter()
+                .map(|&(n, l)| match l {
+                    Lab::L => (n, l),
+                    Lab::H => (rng.gen_range(0..16), Lab::H),
+                })
+                .collect()
+        };
+        Machine {
+            pc: m.pc,
+            stack: vary(&m.stack, rng),
+            mem: vary(&m.mem, rng),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The machine
+    // ------------------------------------------------------------------
+
+    /// Executes one instruction.
+    ///
+    /// `Store` enforces the *no-sensitive-upgrade* rule of the IFC
+    /// literature: writing through a `H`-labeled address to an
+    /// `L`-labeled cell is forbidden (the machine gets stuck), since
+    /// the write set itself would leak the secret address.
+    pub fn step(&self, prog: &[Instr], m: &mut Machine, mutation: Mutation) -> Status {
+        let Some(instr) = prog.get(m.pc as usize) else {
+            return Status::Halted;
+        };
+        match *instr {
+            Instr::Halt => return Status::Halted,
+            Instr::Noop => {}
+            Instr::Push(n, l) => m.stack.push((n, l)),
+            Instr::Pop => {
+                if m.stack.pop().is_none() {
+                    return Status::Stuck;
+                }
+            }
+            Instr::Add => {
+                let (Some(a), Some(b)) = (m.stack.pop(), m.stack.pop()) else {
+                    return Status::Stuck;
+                };
+                let label = match mutation {
+                    // BUG: forgets to join the second operand's label.
+                    Mutation::AddNoJoin => a.1,
+                    _ => a.1.join(b.1),
+                };
+                m.stack.push((a.0.wrapping_add(b.0), label));
+            }
+            Instr::Load => {
+                let Some((addr, la)) = m.stack.pop() else {
+                    return Status::Stuck;
+                };
+                if m.mem.is_empty() {
+                    return Status::Stuck;
+                }
+                let (v, lv) = m.mem[addr as usize % m.mem.len()];
+                let label = match mutation {
+                    // BUG: ignores the address label.
+                    Mutation::LoadNoJoin => lv,
+                    _ => lv.join(la),
+                };
+                m.stack.push((v, label));
+            }
+            Instr::Store => {
+                let (Some((addr, la)), Some((v, lv))) = (m.stack.pop(), m.stack.pop()) else {
+                    return Status::Stuck;
+                };
+                if m.mem.is_empty() {
+                    return Status::Stuck;
+                }
+                let len = m.mem.len();
+                let idx = addr as usize % len;
+                // No sensitive upgrade: a high address may only name
+                // cells that are already high.
+                if la == Lab::H && m.mem[idx].1 == Lab::L {
+                    return Status::Stuck;
+                }
+                m.mem[idx] = (v, lv.join(la));
+            }
+        }
+        m.pc += 1;
+        Status::Running
+    }
+
+    /// Runs up to `max_steps` instructions; the boolean is `true` when
+    /// the machine halted cleanly (rather than getting stuck or running
+    /// out of steps).
+    pub fn run(
+        &self,
+        prog: &[Instr],
+        mut m: Machine,
+        max_steps: usize,
+        mutation: Mutation,
+    ) -> (Machine, bool) {
+        for _ in 0..max_steps {
+            match self.step(prog, &mut m, mutation) {
+                Status::Running => {}
+                Status::Halted => return (m, true),
+                Status::Stuck => return (m, false),
+            }
+        }
+        (m, false)
+    }
+
+    /// Generates a random program and a pair of indistinguishable
+    /// starting machines (generation by variation).
+    pub fn gen_indist_pair(
+        &self,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> (Vec<Instr>, Machine, Machine) {
+        let prog_len = rng.gen_range(1..=size.max(1) as usize + 2);
+        let prog: Vec<Instr> = (0..prog_len)
+            .map(|_| match rng.gen_range(0..8) {
+                0 | 1 => Instr::Push(
+                    rng.gen_range(0..8),
+                    if rng.gen_range(0..2) == 0 { Lab::L } else { Lab::H },
+                ),
+                2 => Instr::Pop,
+                3 | 4 => Instr::Add,
+                5 => Instr::Load,
+                6 => Instr::Store,
+                _ => Instr::Noop,
+            })
+            .collect();
+        let rand_atoms = |k: usize, rng: &mut dyn rand::RngCore| -> Vec<Atom> {
+            (0..k)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..8),
+                        if rng.gen_range(0..2) == 0 { Lab::L } else { Lab::H },
+                    )
+                })
+                .collect()
+        };
+        let m1 = Machine {
+            pc: 0,
+            stack: rand_atoms(rng.gen_range(2..6), rng),
+            mem: rand_atoms(rng.gen_range(2..5), rng),
+        };
+        let m2 = self.handwritten_vary(&m1, rng);
+        (prog, m1, m2)
+    }
+
+    /// End-to-end noninterference for one generated pair: run both
+    /// machines; when both halt cleanly, compare final states with the
+    /// handwritten checker. `None` discards the test (some run got
+    /// stuck — the EENI side condition).
+    pub fn noninterference_holds(
+        &self,
+        prog: &[Instr],
+        m1: &Machine,
+        m2: &Machine,
+        mutation: Mutation,
+    ) -> Option<bool> {
+        let (f1, ok1) = self.run(prog, m1.clone(), 64, mutation);
+        let (f2, ok2) = self.run(prog, m2.clone(), 64, mutation);
+        (ok1 && ok2).then(|| self.handwritten_indist(&f1, &f2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn label_join() {
+        assert_eq!(Lab::L.join(Lab::L), Lab::L);
+        assert_eq!(Lab::L.join(Lab::H), Lab::H);
+        assert_eq!(Lab::H.join(Lab::L), Lab::H);
+        assert_eq!(Lab::H.join(Lab::H), Lab::H);
+    }
+
+    #[test]
+    fn handwritten_and_derived_indist_agree() {
+        let ifc = Ifc::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (_, m1, m2) = ifc.gen_indist_pair(5, &mut rng);
+            let v1 = ifc.machine_value(&m1);
+            let v2 = ifc.machine_value(&m2);
+            let hand = ifc.handwritten_indist_value(&v1, &v2);
+            assert_eq!(hand, ifc.handwritten_indist(&m1, &m2));
+            assert_eq!(ifc.derived_indist(&v1, &v2, 64), Some(hand));
+        }
+    }
+
+    #[test]
+    fn derived_indist_rejects_low_differences() {
+        let ifc = Ifc::new();
+        let m1 = Machine {
+            pc: 0,
+            stack: vec![(1, Lab::L)],
+            mem: vec![(2, Lab::H)],
+        };
+        let mut m2 = m1.clone();
+        m2.stack[0] = (9, Lab::L);
+        let v1 = ifc.machine_value(&m1);
+        let v2 = ifc.machine_value(&m2);
+        assert_eq!(ifc.derived_indist(&v1, &v2, 64), Some(false));
+        // High differences are fine.
+        let mut m3 = m1.clone();
+        m3.mem[0] = (7, Lab::H);
+        let v3 = ifc.machine_value(&m3);
+        assert_eq!(ifc.derived_indist(&v1, &v3, 64), Some(true));
+        // Different pc is distinguishable.
+        let mut m4 = m1.clone();
+        m4.pc = 1;
+        let v4 = ifc.machine_value(&m4);
+        assert_eq!(ifc.derived_indist(&v1, &v4, 64), Some(false));
+    }
+
+    #[test]
+    fn machine_value_round_trips() {
+        let ifc = Ifc::new();
+        let m = Machine {
+            pc: 3,
+            stack: vec![(1, Lab::L), (2, Lab::H)],
+            mem: vec![(5, Lab::H)],
+        };
+        let v = ifc.machine_value(&m);
+        assert_eq!(ifc.machine_of_value(&v), Some(m));
+    }
+
+    #[test]
+    fn derived_variation_is_sound() {
+        let ifc = Ifc::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut produced = 0;
+        for _ in 0..50 {
+            let (_, m1, _) = ifc.gen_indist_pair(4, &mut rng);
+            if let Some(m2) = ifc.derived_vary(&m1, 12, &mut rng) {
+                produced += 1;
+                assert!(
+                    ifc.handwritten_indist(&m1, &m2),
+                    "derived variation produced a distinguishable machine"
+                );
+            }
+        }
+        assert!(produced > 25, "variation should mostly succeed: {produced}");
+    }
+
+    #[test]
+    fn noninterference_holds_for_correct_machine() {
+        let ifc = Ifc::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut decided = 0;
+        for _ in 0..500 {
+            let (prog, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+            match ifc.noninterference_holds(&prog, &m1, &m2, Mutation::None) {
+                Some(ok) => {
+                    decided += 1;
+                    assert!(ok, "NI violated by the correct machine on {prog:?} {m1:?} {m2:?}");
+                }
+                None => {} // discarded: a run got stuck
+            }
+        }
+        assert!(decided > 100, "most runs should halt cleanly: {decided}");
+    }
+
+    #[test]
+    fn mutations_violate_noninterference() {
+        let ifc = Ifc::new();
+        for mutation in [Mutation::AddNoJoin, Mutation::LoadNoJoin] {
+            let mut rng = SmallRng::seed_from_u64(4);
+            let mut broken = false;
+            for _ in 0..2000 {
+                let (prog, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+                if ifc.noninterference_holds(&prog, &m1, &m2, mutation) == Some(false) {
+                    broken = true;
+                    break;
+                }
+            }
+            assert!(broken, "{mutation:?} should violate noninterference");
+        }
+    }
+
+    #[test]
+    fn machine_executes_programs() {
+        let ifc = Ifc::new();
+        let prog = vec![
+            Instr::Push(2, Lab::L),
+            Instr::Push(3, Lab::H),
+            Instr::Add,
+            Instr::Halt,
+        ];
+        let (m, halted) = ifc.run(
+            &prog,
+            Machine {
+                pc: 0,
+                stack: vec![],
+                mem: vec![(0, Lab::L)],
+            },
+            10,
+            Mutation::None,
+        );
+        assert!(halted);
+        assert_eq!(m.stack, vec![(5, Lab::H)]);
+        // The mutated Add forgets the low operand's... high label:
+        let (m2, _) = ifc.run(
+            &prog,
+            Machine {
+                pc: 0,
+                stack: vec![],
+                mem: vec![(0, Lab::L)],
+            },
+            10,
+            Mutation::AddNoJoin,
+        );
+        assert_eq!(m2.stack, vec![(5, Lab::H)]);
+        // Put the high atom first so the buggy Add mislabels.
+        let prog2 = vec![
+            Instr::Push(3, Lab::H),
+            Instr::Push(2, Lab::L),
+            Instr::Add,
+            Instr::Halt,
+        ];
+        let (m3, _) = ifc.run(
+            &prog2,
+            Machine {
+                pc: 0,
+                stack: vec![],
+                mem: vec![(0, Lab::L)],
+            },
+            10,
+            Mutation::AddNoJoin,
+        );
+        assert_eq!(m3.stack, vec![(5, Lab::L)], "label leak");
+    }
+}

@@ -1,0 +1,338 @@
+//! A QuickChick-style property-based testing runner.
+//!
+//! This crate provides the harness that the paper's evaluation (§6.2)
+//! exercises: generate test inputs with a (handwritten or derived)
+//! generator, check a property with a (handwritten or derived) checker,
+//! and measure **throughput** (tests per second, Figure 3) and **mean
+//! tests to failure** (the mutation study).
+//!
+//! Inputs are tuples of [`Value`]s; a generator may fail to produce
+//! (backtracking exhausted), which counts as a *discard*, exactly like
+//! QuickChick's `None` results.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_pbt::{Runner, TestOutcome};
+//! use indrel_term::Value;
+//!
+//! let runner = Runner::new(42);
+//! let report = runner.run(
+//!     1000,
+//!     |size, rng| Some(vec![Value::nat(rand::Rng::gen_range(rng, 0..=size))]),
+//!     |args| TestOutcome::from_bool(args[0].as_nat().unwrap() <= 100),
+//! );
+//! assert!(report.failed.is_none());
+//! assert_eq!(report.passed, 1000);
+//! ```
+
+use indrel_term::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The verdict of one test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TestOutcome {
+    /// The property held.
+    Pass,
+    /// The property failed — a counterexample.
+    Fail,
+    /// The input did not satisfy the property's precondition.
+    Discard,
+}
+
+impl TestOutcome {
+    /// `true → Pass`, `false → Fail`.
+    pub fn from_bool(b: bool) -> TestOutcome {
+        if b {
+            TestOutcome::Pass
+        } else {
+            TestOutcome::Fail
+        }
+    }
+
+    /// Converts a three-valued checker result; `None` discards (the
+    /// checker could not decide within fuel).
+    pub fn from_check(r: Option<bool>) -> TestOutcome {
+        match r {
+            Some(true) => TestOutcome::Pass,
+            Some(false) => TestOutcome::Fail,
+            None => TestOutcome::Discard,
+        }
+    }
+}
+
+/// The result of a bounded test run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Tests that passed.
+    pub passed: usize,
+    /// Inputs discarded (generator failures or property preconditions).
+    pub discarded: usize,
+    /// The first counterexample, with the number of tests executed
+    /// before it (inclusive).
+    pub failed: Option<(Vec<Value>, usize)>,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.failed {
+            None => write!(f, "+++ Passed {} tests ({} discards)", self.passed, self.discarded),
+            Some((_, n)) => write!(f, "*** Failed after {n} tests ({} discards)", self.discarded),
+        }
+    }
+}
+
+/// Throughput measurement (Figure 3's metric).
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Tests executed.
+    pub tests: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Tests per second.
+    pub fn tests_per_second(&self) -> f64 {
+        self.tests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Mean-tests-to-failure measurement (the §6.2 mutation study metric).
+#[derive(Clone, Copy, Debug)]
+pub struct MeanTestsToFailure {
+    /// Trials that found the bug.
+    pub failures: usize,
+    /// Trials that hit the test budget without failing.
+    pub exhausted: usize,
+    /// Mean number of tests needed to find the bug, over failing
+    /// trials.
+    pub mean: f64,
+}
+
+/// A deterministic test runner.
+///
+/// Generators receive a size parameter and the runner's RNG; properties
+/// receive the generated tuple.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    seed: u64,
+    size: u64,
+    max_discards: usize,
+}
+
+impl Runner {
+    /// A runner with the given seed, default size 10, and a discard
+    /// budget of 10× the test budget.
+    pub fn new(seed: u64) -> Runner {
+        Runner {
+            seed,
+            size: 10,
+            max_discards: 0,
+        }
+    }
+
+    /// Sets the generation size.
+    pub fn with_size(mut self, size: u64) -> Runner {
+        self.size = size;
+        self
+    }
+
+    /// Runs up to `n` tests.
+    pub fn run(
+        &self,
+        n: usize,
+        mut generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
+        mut property: impl FnMut(&[Value]) -> TestOutcome,
+    ) -> RunReport {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut passed = 0;
+        let mut discarded = 0;
+        let max_discards = if self.max_discards == 0 {
+            10 * n
+        } else {
+            self.max_discards
+        };
+        while passed < n && discarded < max_discards {
+            let Some(input) = generate(self.size, &mut rng) else {
+                discarded += 1;
+                continue;
+            };
+            match property(&input) {
+                TestOutcome::Pass => passed += 1,
+                TestOutcome::Discard => discarded += 1,
+                TestOutcome::Fail => {
+                    return RunReport {
+                        passed,
+                        discarded,
+                        failed: Some((input, passed + 1)),
+                    };
+                }
+            }
+        }
+        RunReport {
+            passed,
+            discarded,
+            failed: None,
+        }
+    }
+
+    /// Measures throughput: runs tests until `budget` elapses (checking
+    /// the clock every `batch` tests), returning the count and the
+    /// exact elapsed time. Failures and discards still count as
+    /// executed tests, matching the paper's tests-per-second metric.
+    pub fn throughput(
+        &self,
+        budget: Duration,
+        batch: usize,
+        mut generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
+        mut property: impl FnMut(&[Value]) -> TestOutcome,
+    ) -> Throughput {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let start = Instant::now();
+        let mut tests = 0usize;
+        loop {
+            for _ in 0..batch {
+                if let Some(input) = generate(self.size, &mut rng) {
+                    let _ = property(&input);
+                }
+                tests += 1;
+            }
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        Throughput {
+            tests,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs `trials` independent bug hunts, each with a budget of
+    /// `budget` tests, and reports the mean number of tests needed to
+    /// find a counterexample.
+    pub fn mean_tests_to_failure(
+        &self,
+        trials: usize,
+        budget: usize,
+        mut generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
+        mut property: impl FnMut(&[Value]) -> TestOutcome,
+    ) -> MeanTestsToFailure {
+        let mut failures = 0usize;
+        let mut exhausted = 0usize;
+        let mut total_tests = 0usize;
+        for trial in 0..trials {
+            let runner = Runner {
+                seed: self.seed.wrapping_add(trial as u64).wrapping_mul(0x9E3779B9),
+                size: self.size,
+                max_discards: self.max_discards,
+            };
+            let report = runner.run(budget, &mut generate, &mut property);
+            match report.failed {
+                Some((_, n)) => {
+                    failures += 1;
+                    total_tests += n;
+                }
+                None => exhausted += 1,
+            }
+        }
+        MeanTestsToFailure {
+            failures,
+            exhausted,
+            mean: if failures == 0 {
+                f64::NAN
+            } else {
+                total_tests as f64 / failures as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    fn gen_nat(size: u64, rng: &mut dyn rand::RngCore) -> Option<Vec<Value>> {
+        Some(vec![Value::nat(rng.gen_range(0..=size))])
+    }
+
+    #[test]
+    fn passing_property_runs_to_budget() {
+        let r = Runner::new(1).run(500, gen_nat, |_| TestOutcome::Pass);
+        assert_eq!(r.passed, 500);
+        assert!(r.failed.is_none());
+        assert!(r.to_string().contains("Passed"));
+    }
+
+    #[test]
+    fn failing_property_reports_counterexample() {
+        let r = Runner::new(1).with_size(100).run(10_000, gen_nat, |args| {
+            TestOutcome::from_bool(args[0].as_nat().unwrap() < 90)
+        });
+        let (cex, n) = r.failed.clone().expect("should fail");
+        assert!(cex[0].as_nat().unwrap() >= 90);
+        assert!(n >= 1);
+        assert!(r.to_string().contains("Failed"));
+    }
+
+    #[test]
+    fn discards_bound_the_run() {
+        let r = Runner::new(1).run(100, |_, _| None, |_| TestOutcome::Pass);
+        assert_eq!(r.passed, 0);
+        assert_eq!(r.discarded, 1000);
+    }
+
+    #[test]
+    fn from_check_maps_three_values() {
+        assert_eq!(TestOutcome::from_check(Some(true)), TestOutcome::Pass);
+        assert_eq!(TestOutcome::from_check(Some(false)), TestOutcome::Fail);
+        assert_eq!(TestOutcome::from_check(None), TestOutcome::Discard);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let prop = |args: &[Value]| TestOutcome::from_bool(args[0].as_nat().unwrap() != 7);
+        let a = Runner::new(9).with_size(10).run(1000, gen_nat, prop);
+        let b = Runner::new(9).with_size(10).run(1000, gen_nat, prop);
+        assert_eq!(a.failed.is_some(), b.failed.is_some());
+        if let (Some((_, na)), Some((_, nb))) = (a.failed, b.failed) {
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn throughput_counts_tests() {
+        let t = Runner::new(1).throughput(
+            Duration::from_millis(20),
+            64,
+            gen_nat,
+            |_| TestOutcome::Pass,
+        );
+        assert!(t.tests >= 64);
+        assert!(t.tests_per_second() > 0.0);
+    }
+
+    #[test]
+    fn mtf_finds_seeded_bug() {
+        let m = Runner::new(5).with_size(50).mean_tests_to_failure(
+            20,
+            10_000,
+            gen_nat,
+            |args| TestOutcome::from_bool(args[0].as_nat().unwrap() % 37 != 0 || args[0].as_nat().unwrap() == 0),
+        );
+        assert!(m.failures > 0);
+        assert!(m.mean >= 1.0);
+    }
+
+    #[test]
+    fn mtf_reports_exhaustion() {
+        let m = Runner::new(5).mean_tests_to_failure(3, 50, gen_nat, |_| TestOutcome::Pass);
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.exhausted, 3);
+        assert!(m.mean.is_nan());
+    }
+}

@@ -1,0 +1,154 @@
+//! Three-valued checker combinators.
+//!
+//! A checker result is an `Option<bool>`: `Some(true)` (holds),
+//! `Some(false)` (does not hold), `None` (out of fuel). These
+//! combinators implement the paper's `.&&`, `~`, and `backtracking`.
+
+/// The result of a semi-decision procedure.
+pub type CheckResult = Option<bool>;
+
+/// The three-valued conjunction `.&&` of §2, with a thunked right-hand
+/// side to avoid unnecessary evaluation:
+///
+/// ```text
+/// Some false .&& _ = Some false
+/// None       .&& _ = None
+/// Some true  .&& b = b
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::cand;
+/// assert_eq!(cand(Some(true), || Some(false)), Some(false));
+/// assert_eq!(cand(Some(false), || panic!("not evaluated")), Some(false));
+/// assert_eq!(cand(None, || panic!("not evaluated")), None);
+/// ```
+pub fn cand(a: CheckResult, b: impl FnOnce() -> CheckResult) -> CheckResult {
+    match a {
+        Some(false) => Some(false),
+        None => None,
+        Some(true) => b(),
+    }
+}
+
+/// Three-valued negation `~`: swaps `Some(true)` and `Some(false)`,
+/// leaves `None` unaffected (§5.2.1, "checker matching (negation)").
+pub fn cnot(a: CheckResult) -> CheckResult {
+    a.map(|b| !b)
+}
+
+/// The `backtracking` combinator of Figure 1.
+///
+/// Runs thunked checker options in order and returns:
+/// * `Some(true)` as soon as any option does,
+/// * `Some(false)` if **all** options do,
+/// * `None` otherwise (some option needs more fuel).
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::backtracking;
+/// let r = backtracking([
+///     || Some(false),
+///     || Some(true),
+///     || panic!("short-circuits"),
+/// ]);
+/// assert_eq!(r, Some(true));
+/// ```
+pub fn backtracking<F>(options: impl IntoIterator<Item = F>) -> CheckResult
+where
+    F: FnOnce() -> CheckResult,
+{
+    let mut needs_fuel = false;
+    for opt in options {
+        match opt() {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => needs_fuel = true,
+        }
+    }
+    if needs_fuel {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// Three-valued disjunction, used by derived checkers for decidable
+/// disjunctive premises. Dual to [`cand`].
+pub fn cor(a: CheckResult, b: impl FnOnce() -> CheckResult) -> CheckResult {
+    match a {
+        Some(true) => Some(true),
+        None => None,
+        Some(false) => b(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cand_truth_table() {
+        assert_eq!(cand(Some(true), || Some(true)), Some(true));
+        assert_eq!(cand(Some(true), || Some(false)), Some(false));
+        assert_eq!(cand(Some(true), || None), None);
+        assert_eq!(cand(Some(false), || Some(true)), Some(false));
+        assert_eq!(cand(None, || Some(true)), None);
+    }
+
+    #[test]
+    fn cor_truth_table() {
+        assert_eq!(cor(Some(false), || Some(true)), Some(true));
+        assert_eq!(cor(Some(true), || Some(false)), Some(true));
+        assert_eq!(cor(Some(false), || None), None);
+        assert_eq!(cor(None, || Some(true)), None);
+    }
+
+    #[test]
+    fn cnot_swaps() {
+        assert_eq!(cnot(Some(true)), Some(false));
+        assert_eq!(cnot(Some(false)), Some(true));
+        assert_eq!(cnot(None), None);
+    }
+
+    #[test]
+    fn backtracking_all_false_is_false() {
+        let r = backtracking([|| Some(false), || Some(false)]);
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn backtracking_any_none_without_true_is_none() {
+        let r = backtracking([|| Some(false), || None, || Some(false)]);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn backtracking_true_wins_over_none() {
+        let r = backtracking([|| None, || Some(true)]);
+        assert_eq!(r, Some(true));
+    }
+
+    #[test]
+    fn backtracking_empty_is_false() {
+        let r = backtracking(Vec::<fn() -> CheckResult>::new());
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn backtracking_is_lazy_after_true() {
+        use std::cell::Cell;
+        let ran = Cell::new(false);
+        let r = backtracking::<Box<dyn FnOnce() -> CheckResult>>([
+            Box::new(|| Some(true)) as Box<dyn FnOnce() -> CheckResult>,
+            Box::new(|| {
+                ran.set(true);
+                Some(false)
+            }),
+        ]);
+        assert_eq!(r, Some(true));
+        assert!(!ran.get());
+    }
+}

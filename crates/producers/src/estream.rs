@@ -1,0 +1,355 @@
+//! Lazy enumerator streams — the `E` producer.
+//!
+//! An enumerator for `A` is conceptually `nat → list (option A)` in the
+//! paper: a lazy list whose elements are either produced values or an
+//! out-of-fuel marker (`fuelE`). Here the size parameter has already
+//! been applied, leaving a lazy stream of [`Outcome`]s.
+
+use crate::checker::CheckResult;
+
+/// One element of an enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome<T> {
+    /// A produced value.
+    Val(T),
+    /// The enumerator ran out of fuel on this branch (`fuelE`).
+    OutOfFuel,
+}
+
+impl<T> Outcome<T> {
+    /// Extracts the value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            Outcome::Val(v) => Some(v),
+            Outcome::OutOfFuel => None,
+        }
+    }
+
+    /// Maps over the produced value.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Val(v) => Outcome::Val(f(v)),
+            Outcome::OutOfFuel => Outcome::OutOfFuel,
+        }
+    }
+}
+
+/// A lazy enumerator stream.
+///
+/// Streams are consumed at most once; combinators take the stream by
+/// value. Laziness matters: [`bind_ec`] short-circuits on the first
+/// satisfying value, which is what keeps derived checkers that
+/// enumerate existential witnesses (§3.1) efficient.
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::{EStream, Outcome};
+/// let s = EStream::from_values(0..3).bind(|n| {
+///     if n % 2 == 0 { EStream::ret(n * 10) } else { EStream::empty() }
+/// });
+/// assert_eq!(s.values(), vec![0, 20]);
+/// ```
+pub struct EStream<T> {
+    inner: Box<dyn Iterator<Item = Outcome<T>>>,
+}
+
+impl<T> std::fmt::Debug for EStream<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EStream").finish_non_exhaustive()
+    }
+}
+
+impl<T: 'static> EStream<T> {
+    /// The empty enumeration (`failE`).
+    pub fn empty() -> EStream<T> {
+        EStream {
+            inner: Box::new(std::iter::empty()),
+        }
+    }
+
+    /// A single out-of-fuel outcome (`fuelE`).
+    pub fn fuel() -> EStream<T> {
+        EStream {
+            inner: Box::new(std::iter::once(Outcome::OutOfFuel)),
+        }
+    }
+
+    /// The singleton enumeration (`retE`).
+    pub fn ret(value: T) -> EStream<T> {
+        EStream {
+            inner: Box::new(std::iter::once(Outcome::Val(value))),
+        }
+    }
+
+    /// An enumeration of the given values.
+    pub fn from_values(values: impl IntoIterator<Item = T> + 'static) -> EStream<T>
+    where
+        <Vec<T> as IntoIterator>::IntoIter: 'static,
+    {
+        EStream {
+            inner: Box::new(values.into_iter().map(Outcome::Val)),
+        }
+    }
+
+    /// An enumeration from raw outcomes.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = Outcome<T>> + 'static) -> EStream<T> {
+        EStream {
+            inner: Box::new(outcomes.into_iter()),
+        }
+    }
+
+    /// A lazily-forced stream: `thunk` runs only when the first element
+    /// is demanded.
+    pub fn defer(thunk: impl FnOnce() -> EStream<T> + 'static) -> EStream<T> {
+        let mut slot = Some(thunk);
+        let mut current: Option<EStream<T>> = None;
+        EStream {
+            inner: Box::new(std::iter::from_fn(move || {
+                if current.is_none() {
+                    current = Some(slot.take().expect("defer forced once")());
+                }
+                current.as_mut().expect("just set").inner.next()
+            })),
+        }
+    }
+
+    /// Monadic bind (`bindE`): enumerates all values of `self`, feeding
+    /// each to `k` and concatenating the results; out-of-fuel outcomes
+    /// pass through.
+    pub fn bind<U: 'static>(self, mut k: impl FnMut(T) -> EStream<U> + 'static) -> EStream<U>
+    where
+        T: 'static,
+    {
+        let mut outer = self.inner;
+        let mut current: Option<Box<dyn Iterator<Item = Outcome<U>>>> = None;
+        EStream {
+            inner: Box::new(std::iter::from_fn(move || loop {
+                if let Some(cur) = &mut current {
+                    if let Some(item) = cur.next() {
+                        return Some(item);
+                    }
+                    current = None;
+                }
+                match outer.next()? {
+                    Outcome::OutOfFuel => return Some(Outcome::OutOfFuel),
+                    Outcome::Val(v) => current = Some(k(v).inner),
+                }
+            })),
+        }
+    }
+
+    /// Maps over produced values.
+    pub fn map<U: 'static>(self, mut f: impl FnMut(T) -> U + 'static) -> EStream<U>
+    where
+        T: 'static,
+    {
+        EStream {
+            inner: Box::new(self.inner.map(move |o| o.map(&mut f))),
+        }
+    }
+
+    /// Keeps only values satisfying the predicate.
+    pub fn filter(self, mut pred: impl FnMut(&T) -> bool + 'static) -> EStream<T> {
+        EStream {
+            inner: Box::new(self.inner.filter(move |o| match o {
+                Outcome::Val(v) => pred(v),
+                Outcome::OutOfFuel => true,
+            })),
+        }
+    }
+
+    /// Collects all outcomes (forces the whole stream).
+    pub fn outcomes(self) -> Vec<Outcome<T>> {
+        self.inner.collect()
+    }
+
+    /// Collects all produced values, discarding fuel markers.
+    pub fn values(self) -> Vec<T> {
+        self.inner.filter_map(Outcome::value).collect()
+    }
+
+    /// Returns the first produced value, if any, without forcing the
+    /// rest of the stream.
+    pub fn first(mut self) -> Option<T> {
+        self.inner.find_map(Outcome::value)
+    }
+
+    /// Takes at most `n` outcomes.
+    pub fn take(self, n: usize) -> EStream<T> {
+        EStream {
+            inner: Box::new(self.inner.take(n)),
+        }
+    }
+}
+
+impl<T> Iterator for EStream<T> {
+    type Item = Outcome<T>;
+
+    fn next(&mut self) -> Option<Outcome<T>> {
+        self.inner.next()
+    }
+}
+
+/// The `enumerating` combinator of Figure 2: lazily concatenates the
+/// enumerations produced by a list of thunked handlers.
+pub fn enumerating<T: 'static, F>(handlers: impl IntoIterator<Item = F> + 'static) -> EStream<T>
+where
+    F: FnOnce() -> EStream<T>,
+{
+    let mut iter = handlers.into_iter();
+    let mut current: Option<EStream<T>> = None;
+    EStream {
+        inner: Box::new(std::iter::from_fn(move || loop {
+            if let Some(cur) = &mut current {
+                if let Some(item) = cur.inner.next() {
+                    return Some(item);
+                }
+                current = None;
+            }
+            current = Some(iter.next()?());
+        })),
+    }
+}
+
+/// The mixed bind `bind_ec` of §4: sequences an enumerator with a
+/// checker continuation, iterating through all enumerated witnesses.
+///
+/// Returns `Some(true)` if any witness makes the continuation conclude
+/// positively; `Some(false)` if every branch conclusively fails; `None`
+/// if some branch ran out of fuel without a positive conclusion.
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::{bind_ec, EStream};
+/// // ∃ n ∈ {0,1,2}, n = 2 ?
+/// let r = bind_ec(EStream::from_values(0..3), |n| Some(n == 2));
+/// assert_eq!(r, Some(true));
+/// ```
+pub fn bind_ec<T: 'static>(
+    stream: EStream<T>,
+    mut k: impl FnMut(T) -> CheckResult,
+) -> CheckResult {
+    let mut needs_fuel = false;
+    for outcome in stream.inner {
+        match outcome {
+            Outcome::OutOfFuel => needs_fuel = true,
+            Outcome::Val(v) => match k(v) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => needs_fuel = true,
+            },
+        }
+    }
+    if needs_fuel {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn ret_and_empty() {
+        assert_eq!(EStream::ret(1).values(), vec![1]);
+        assert!(EStream::<i32>::empty().values().is_empty());
+        assert_eq!(EStream::<i32>::fuel().outcomes(), vec![Outcome::OutOfFuel]);
+    }
+
+    #[test]
+    fn bind_concatenates() {
+        let s = EStream::from_values(vec![1, 2]).bind(|n| EStream::from_values(vec![n, n * 10]));
+        assert_eq!(s.values(), vec![1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn bind_passes_fuel_through() {
+        let s = EStream::from_outcomes(vec![Outcome::Val(1), Outcome::OutOfFuel, Outcome::Val(2)])
+            .bind(|n| EStream::ret(n + 1));
+        assert_eq!(
+            s.outcomes(),
+            vec![Outcome::Val(2), Outcome::OutOfFuel, Outcome::Val(3)]
+        );
+    }
+
+    #[test]
+    fn enumerating_is_lazy() {
+        let forced = Rc::new(Cell::new(0));
+        let f1 = forced.clone();
+        let f2 = forced.clone();
+        let s = enumerating::<i32, Box<dyn FnOnce() -> EStream<i32>>>(vec![
+            Box::new(move || {
+                f1.set(f1.get() + 1);
+                EStream::ret(1)
+            }) as Box<dyn FnOnce() -> EStream<i32>>,
+            Box::new(move || {
+                f2.set(f2.get() + 1);
+                EStream::ret(2)
+            }),
+        ]);
+        let first = s.first();
+        assert_eq!(first, Some(1));
+        // Only the first handler was forced.
+        assert_eq!(forced.get(), 1);
+    }
+
+    #[test]
+    fn bind_ec_short_circuits() {
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        let r = bind_ec(EStream::from_values(0..100), move |n| {
+            c.set(c.get() + 1);
+            Some(n == 3)
+        });
+        assert_eq!(r, Some(true));
+        assert_eq!(count.get(), 4);
+    }
+
+    #[test]
+    fn bind_ec_exhaustive_false() {
+        let r = bind_ec(EStream::from_values(0..5), |n| Some(n > 100));
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn bind_ec_fuel_poisons_false() {
+        let r = bind_ec(
+            EStream::from_outcomes(vec![Outcome::Val(1), Outcome::OutOfFuel]),
+            |_| Some(false),
+        );
+        assert_eq!(r, None);
+        // ... but not a positive conclusion:
+        let r = bind_ec(
+            EStream::from_outcomes(vec![Outcome::OutOfFuel, Outcome::Val(1)]),
+            |_| Some(true),
+        );
+        assert_eq!(r, Some(true));
+    }
+
+    #[test]
+    fn defer_runs_once_on_demand() {
+        let forced = Rc::new(Cell::new(0));
+        let f = forced.clone();
+        let s = EStream::defer(move || {
+            f.set(f.get() + 1);
+            EStream::from_values(vec![1, 2])
+        });
+        assert_eq!(forced.get(), 0);
+        assert_eq!(s.values(), vec![1, 2]);
+        assert_eq!(forced.get(), 1);
+    }
+
+    #[test]
+    fn map_filter_take_first() {
+        let s = EStream::from_values(0..10).map(|n| n * 2).filter(|n| n % 3 == 0);
+        assert_eq!(s.take(3).values(), vec![0, 6, 12]);
+        assert_eq!(EStream::from_values(5..9).first(), Some(5));
+        assert_eq!(EStream::<i32>::empty().first(), None);
+    }
+}

@@ -1,0 +1,236 @@
+//! Random generators — the `G` producer.
+//!
+//! A generator for `A` is a wrapper around `nat → Rand → A` (§4). Here
+//! [`Gen`] is a first-class sized generator; the `backtrack` combinator
+//! mirrors QuickChick's: it repeatedly picks among weighted options,
+//! discarding options that fail, until one produces a value or all are
+//! exhausted.
+
+use rand::Rng as _;
+use std::rc::Rc;
+
+/// A first-class sized random generator (`G A`).
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::Gen;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let pairs = Gen::new(|size, rng| {
+///     (rand::Rng::gen_range(rng, 0..=size), rand::Rng::gen_range(rng, 0..=size))
+/// });
+/// let doubled = pairs.map(|(a, b)| a + b);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let v = doubled.generate(10, &mut rng);
+/// assert!(v <= 20);
+/// ```
+#[derive(Clone)]
+pub struct Gen<A> {
+    run: Rc<dyn Fn(u64, &mut dyn rand::RngCore) -> A>,
+}
+
+impl<A> std::fmt::Debug for Gen<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gen").finish_non_exhaustive()
+    }
+}
+
+impl<A: 'static> Gen<A> {
+    /// Wraps a sized, seeded sampling function.
+    pub fn new(run: impl Fn(u64, &mut dyn rand::RngCore) -> A + 'static) -> Gen<A> {
+        Gen { run: Rc::new(run) }
+    }
+
+    /// The constant generator (`retG`).
+    pub fn ret(value: A) -> Gen<A>
+    where
+        A: Clone,
+    {
+        Gen::new(move |_, _| value.clone())
+    }
+
+    /// Samples a value.
+    pub fn generate(&self, size: u64, rng: &mut dyn rand::RngCore) -> A {
+        (self.run)(size, rng)
+    }
+
+    /// Maps over generated values.
+    pub fn map<B: 'static>(&self, f: impl Fn(A) -> B + 'static) -> Gen<B> {
+        let run = self.run.clone();
+        Gen::new(move |size, rng| f(run(size, rng)))
+    }
+
+    /// Monadic bind (`bindG`).
+    pub fn bind<B: 'static>(&self, k: impl Fn(A) -> Gen<B> + 'static) -> Gen<B> {
+        let run = self.run.clone();
+        Gen::new(move |size, rng| k(run(size, rng)).generate(size, rng))
+    }
+
+    /// Reinterprets the generator at a fixed size.
+    pub fn resize(&self, size: u64) -> Gen<A> {
+        let run = self.run.clone();
+        Gen::new(move |_, rng| run(size, rng))
+    }
+}
+
+/// Picks uniformly among the given values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn one_of<A: Clone + 'static>(values: Vec<A>) -> Gen<A> {
+    assert!(!values.is_empty(), "one_of requires at least one value");
+    Gen::new(move |_, rng| values[rng.gen_range(0..values.len())].clone())
+}
+
+/// Picks among weighted generators (`frequency`).
+///
+/// # Panics
+///
+/// Panics if all weights are zero or the list is empty.
+pub fn frequency<A: 'static>(choices: Vec<(u64, Gen<A>)>) -> Gen<A> {
+    let total: u64 = choices.iter().map(|(w, _)| *w).sum();
+    assert!(total > 0, "frequency requires a positive total weight");
+    Gen::new(move |size, rng| {
+        let mut pick = rng.gen_range(0..total);
+        for (w, g) in &choices {
+            if pick < *w {
+                return g.generate(size, rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weights cover the range")
+    })
+}
+
+/// QuickChick's `backtrack` combinator over *partial* options.
+///
+/// Each option is a weight plus a thunk that may fail (`None`). The
+/// combinator repeatedly picks an option at random, proportionally to
+/// weight; a failing option is discarded and the rest are retried, so
+/// the overall result is `None` only when every option has failed.
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::backtrack;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let r = backtrack(
+///     vec![
+///         (1, Box::new(|_: &mut dyn rand::RngCore| None) as Box<dyn Fn(&mut dyn rand::RngCore) -> Option<i32>>),
+///         (3, Box::new(|_: &mut dyn rand::RngCore| Some(7))),
+///     ],
+///     &mut rng,
+/// );
+/// assert_eq!(r, Some(7));
+/// ```
+pub fn backtrack<A>(
+    mut options: Vec<(u64, Box<dyn Fn(&mut dyn rand::RngCore) -> Option<A> + '_>)>,
+    rng: &mut dyn rand::RngCore,
+) -> Option<A> {
+    options.retain(|(w, _)| *w > 0);
+    while !options.is_empty() {
+        let total: u64 = options.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut index = 0;
+        for (i, (w, _)) in options.iter().enumerate() {
+            if pick < *w {
+                index = i;
+                break;
+            }
+            pick -= *w;
+        }
+        if let Some(v) = (options[index].1)(rng) {
+            return Some(v);
+        }
+        let _discarded = options.swap_remove(index);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ret_and_map() {
+        let g = Gen::ret(5).map(|n| n * 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(g.generate(0, &mut rng), 10);
+    }
+
+    #[test]
+    fn bind_threads_size_and_seed() {
+        let g = Gen::new(|size, rng| rng.gen_range(0..=size))
+            .bind(|n| Gen::new(move |_, _| n + 100));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let v = g.generate(5, &mut rng);
+        assert!((100..=105).contains(&v));
+    }
+
+    #[test]
+    fn resize_fixes_size() {
+        let g = Gen::new(|size, _| size).resize(3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(g.generate(1000, &mut rng), 3);
+    }
+
+    #[test]
+    fn one_of_hits_all_values() {
+        let g = one_of(vec![1, 2, 3]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[g.generate(0, &mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn frequency_respects_zero_weight() {
+        let g = frequency(vec![(0, Gen::ret(1)), (5, Gen::ret(2))]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(g.generate(0, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn backtrack_exhausts_failures() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r: Option<i32> = backtrack(
+            vec![
+                (1, Box::new(|_: &mut dyn rand::RngCore| None) as _),
+                (1, Box::new(|_: &mut dyn rand::RngCore| None) as _),
+            ],
+            &mut rng,
+        );
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn backtrack_finds_the_single_success() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let r = backtrack(
+                vec![
+                    (5, Box::new(|_: &mut dyn rand::RngCore| None) as _),
+                    (1, Box::new(|_: &mut dyn rand::RngCore| Some(42)) as _),
+                    (5, Box::new(|_: &mut dyn rand::RngCore| None) as _),
+                ],
+                &mut rng,
+            );
+            assert_eq!(r, Some(42));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one_of requires")]
+    fn one_of_empty_panics() {
+        let _ = one_of(Vec::<i32>::new());
+    }
+}

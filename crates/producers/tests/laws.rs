@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) for the producer/checker
+//! combinator laws the derivation relies on (§4).
+
+use indrel_producers::{
+    backtracking, bind_ce, bind_cg, bind_ec, cand, cnot, cor, enumerating, EStream, Outcome,
+};
+use proptest::prelude::*;
+
+fn outcomes_strategy() -> impl Strategy<Value = Vec<Outcome<i32>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..20i32).prop_map(Outcome::Val),
+            Just(Outcome::OutOfFuel),
+        ],
+        0..8,
+    )
+}
+
+fn stream(v: Vec<Outcome<i32>>) -> EStream<i32> {
+    EStream::from_outcomes(v)
+}
+
+proptest! {
+    // Left identity: ret(a).bind(f) == f(a).
+    #[test]
+    fn bind_left_identity(a in 0..50i32, k in 0..5i32) {
+        let f = move |x: i32| EStream::from_values(vec![x, x + k]);
+        let lhs = EStream::ret(a).bind(f).outcomes();
+        let rhs = f(a).outcomes();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    // Right identity: m.bind(ret) == m.
+    #[test]
+    fn bind_right_identity(v in outcomes_strategy()) {
+        let lhs = stream(v.clone()).bind(EStream::ret).outcomes();
+        prop_assert_eq!(lhs, v);
+    }
+
+    // Associativity: (m.bind(f)).bind(g) == m.bind(|x| f(x).bind(g)).
+    #[test]
+    fn bind_associativity(v in outcomes_strategy(), k in 1..4i32) {
+        let f = move |x: i32| EStream::from_values(vec![x, x + 1]);
+        let g = move |x: i32| {
+            if x % k == 0 {
+                EStream::ret(x * 10)
+            } else {
+                EStream::empty()
+            }
+        };
+        let lhs = stream(v.clone()).bind(f).bind(g).outcomes();
+        let rhs = stream(v).bind(move |x| f(x).bind(g)).outcomes();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    // Fuel outcomes are preserved by bind (the completeness proofs
+    // depend on fuel markers never being silently dropped).
+    #[test]
+    fn bind_preserves_fuel_count(v in outcomes_strategy()) {
+        let fuel_in = v.iter().filter(|o| matches!(o, Outcome::OutOfFuel)).count();
+        let out = stream(v).bind(|x| EStream::from_values(vec![x])).outcomes();
+        let fuel_out = out.iter().filter(|o| matches!(o, Outcome::OutOfFuel)).count();
+        prop_assert_eq!(fuel_in, fuel_out);
+    }
+
+    // bind_ec agrees with the spec: Some(true) iff some value
+    // satisfies; Some(false) iff no fuel marker and none satisfies.
+    #[test]
+    fn bind_ec_spec(v in outcomes_strategy(), modulus in 1..5i32) {
+        let has_fuel = v.iter().any(|o| matches!(o, Outcome::OutOfFuel));
+        let has_hit = v.iter().any(|o| matches!(o, Outcome::Val(x) if x % modulus == 0));
+        let r = bind_ec(stream(v), |x| Some(x % modulus == 0));
+        if has_hit {
+            prop_assert_eq!(r, Some(true));
+        } else if has_fuel {
+            prop_assert_eq!(r, None);
+        } else {
+            prop_assert_eq!(r, Some(false));
+        }
+    }
+
+    // enumerating == lazy concatenation.
+    #[test]
+    fn enumerating_is_concatenation(a in outcomes_strategy(), b in outcomes_strategy()) {
+        let expected: Vec<Outcome<i32>> = a.iter().chain(b.iter()).copied().collect();
+        let got = enumerating::<i32, Box<dyn FnOnce() -> EStream<i32>>>(vec![
+            {
+                let a = a.clone();
+                Box::new(move || stream(a)) as Box<dyn FnOnce() -> EStream<i32>>
+            },
+            {
+                let b = b.clone();
+                Box::new(move || stream(b))
+            },
+        ])
+        .outcomes();
+        prop_assert_eq!(got, expected);
+    }
+
+    // De Morgan-ish duality between the three-valued connectives.
+    #[test]
+    fn cand_cor_duality(a in proptest::option::of(any::<bool>()),
+                        b in proptest::option::of(any::<bool>())) {
+        prop_assert_eq!(
+            cnot(cand(a, || b)),
+            cor(cnot(a), || cnot(b))
+        );
+    }
+
+    // backtracking spec (§5.2): Some(true) iff some option returns it.
+    #[test]
+    fn backtracking_spec(opts in proptest::collection::vec(
+        proptest::option::of(any::<bool>()), 0..7)) {
+        let r = backtracking(opts.iter().map(|o| move || *o));
+        let any_true = opts.contains(&Some(true));
+        let any_none = opts.contains(&None);
+        if any_true {
+            prop_assert_eq!(r, Some(true));
+        } else if any_none {
+            prop_assert_eq!(r, None);
+        } else {
+            prop_assert_eq!(r, Some(false));
+        }
+    }
+
+    // The mixed binds respect the checker verdict.
+    #[test]
+    fn mixed_binds_gate(check in proptest::option::of(any::<bool>()), payload in 0..100i32) {
+        let ce = bind_ce(check, || EStream::ret(payload)).outcomes();
+        match check {
+            Some(true) => prop_assert_eq!(ce, vec![Outcome::Val(payload)]),
+            Some(false) => prop_assert!(ce.is_empty()),
+            None => prop_assert_eq!(ce, vec![Outcome::OutOfFuel]),
+        }
+        let cg = bind_cg(check, || Some(payload));
+        prop_assert_eq!(cg.is_some(), check == Some(true));
+    }
+}

@@ -1,0 +1,246 @@
+//! Proof by computational reflection (§6.3 of the paper).
+//!
+//! The paper's case study: proving `Sorted (repeat 1 2000)`.
+//!
+//! * The **naive** route builds an explicit proof object by repeatedly
+//!   applying the suitable `Sorted` constructor (the `repeat eapply`
+//!   script) and then has the kernel re-check the whole term — both the
+//!   term size and the structural comparisons grow quadratically, which
+//!   is what made the Coq proof take 11.2 s to construct and 16.3 s to
+//!   check.
+//! * The **reflective** route runs the *derived checker* once and
+//!   appeals to its soundness — in Coq, the mechanized soundness
+//!   theorem; here, the soundness certificate of `indrel-validate` —
+//!   turning the proof into a single computation.
+//!
+//! [`Reflection::compare`] measures both routes; the
+//! `indrel-bench` crate's `reflection` binary prints the table.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_reflect::Reflection;
+//!
+//! let r = Reflection::new();
+//! let l = r.repeat_list(1, 50);
+//! // Naive: construct an explicit derivation and kernel-check it.
+//! let proof = r.naive_prove(&l).unwrap();
+//! assert!(r.kernel_check(&proof).is_ok());
+//! // Reflective: one checker run.
+//! assert_eq!(r.reflective_check(&l), Some(true));
+//! ```
+
+use indrel_core::{Library, LibraryBuilder};
+use indrel_semantics::{Proof, ProofError, ProofSystem};
+use indrel_term::{RelId, Value};
+use std::time::{Duration, Instant};
+
+/// Timings for one `Sorted (repeat 1 n)` experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ReflectionReport {
+    /// List length.
+    pub n: u64,
+    /// Proof-object node count.
+    pub proof_size: u64,
+    /// Time to construct the explicit proof.
+    pub construct: Duration,
+    /// Time for the kernel to re-check it.
+    pub kernel_check: Duration,
+    /// Time for one derived-checker run.
+    pub reflective: Duration,
+}
+
+impl ReflectionReport {
+    /// Naive total (construction + checking) over reflective time.
+    pub fn speedup(&self) -> f64 {
+        (self.construct + self.kernel_check).as_secs_f64() / self.reflective.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The reflection case study over the corpus `sorted` relation.
+#[derive(Debug)]
+pub struct Reflection {
+    sys: ProofSystem,
+    lib: Library,
+    sorted: RelId,
+}
+
+impl Default for Reflection {
+    fn default() -> Reflection {
+        Reflection::new()
+    }
+}
+
+impl Reflection {
+    /// Loads the corpus, derives the `sorted` checker, and builds the
+    /// reference proof system.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the corpus fails to load, which the test suites
+    /// rule out.
+    pub fn new() -> Reflection {
+        let (u, env) = indrel_corpus::corpus_env();
+        let sorted = env.rel_id("sorted").expect("corpus relation");
+        let sys = ProofSystem::new(u.clone(), env.clone()).expect("corpus preprocesses");
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(sorted).expect("sorted checker derives");
+        Reflection {
+            sys,
+            lib: b.build(),
+            sorted,
+        }
+    }
+
+    /// The `sorted` relation.
+    pub fn sorted_relation(&self) -> RelId {
+        self.sorted
+    }
+
+    /// The library holding the derived checker.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The reference proof system (the "kernel").
+    pub fn system(&self) -> &ProofSystem {
+        &self.sys
+    }
+
+    /// `repeat x n`: the list of `n` copies of `x`.
+    pub fn repeat_list(&self, x: u64, n: u64) -> Value {
+        self.lib
+            .universe()
+            .list_value((0..n).map(|_| Value::nat(x)))
+    }
+
+    /// Builds the explicit derivation of `sorted l` by proof search
+    /// (the analogue of `repeat (eapply Sorted_cons; …)`).
+    pub fn naive_prove(&self, l: &Value) -> Option<Proof> {
+        let depth = l.size() + 2;
+        self.sys.prove(self.sorted, std::slice::from_ref(l), depth)
+    }
+
+    /// Kernel-checks an explicit proof (the analogue of `Qed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProofError`] in a malformed proof.
+    pub fn kernel_check(&self, proof: &Proof) -> Result<(), ProofError> {
+        self.sys.check_proof(proof)
+    }
+
+    /// One derived-checker run with just enough fuel (the analogue of
+    /// `eapply sound; compute; reflexivity`).
+    pub fn reflective_check(&self, l: &Value) -> Option<bool> {
+        let fuel = l.size() + 2;
+        self.lib.check(self.sorted, fuel, fuel, std::slice::from_ref(l))
+    }
+
+    /// Runs both routes on `sorted (repeat 1 n)` and reports timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either route fails to establish the (true) property.
+    pub fn compare(&self, n: u64) -> ReflectionReport {
+        let l = self.repeat_list(1, n);
+
+        let t0 = Instant::now();
+        let proof = self.naive_prove(&l).expect("the list is sorted");
+        let construct = t0.elapsed();
+
+        let t1 = Instant::now();
+        self.kernel_check(&proof).expect("the proof checks");
+        let kernel_check = t1.elapsed();
+
+        let t2 = Instant::now();
+        let ok = self.reflective_check(&l);
+        let reflective = t2.elapsed();
+        assert_eq!(ok, Some(true), "the derived checker accepts");
+
+        ReflectionReport {
+            n,
+            proof_size: proof.size(),
+            construct,
+            kernel_check,
+            reflective,
+        }
+    }
+}
+
+/// Runs [`Reflection::compare`] for each length on a thread with a
+/// large stack.
+///
+/// Proof construction and checking recurse once per list element; at
+/// the paper's `n = 2000` (and beyond) that exceeds the 2 MiB default
+/// of test threads. The whole case study is built inside the spawned
+/// thread because libraries are single-threaded (`Rc`-based).
+///
+/// # Panics
+///
+/// Panics if the worker thread cannot be spawned or a comparison fails.
+pub fn compare_with_big_stack(lengths: &[u64]) -> Vec<ReflectionReport> {
+    let lengths = lengths.to_vec();
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(move || {
+            let r = Reflection::new();
+            lengths.iter().map(|&n| r.compare(n)).collect()
+        })
+        .expect("spawn reflection worker")
+        .join()
+        .expect("reflection worker succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_routes_prove_sortedness() {
+        let r = Reflection::new();
+        let l = r.repeat_list(1, 100);
+        let proof = r.naive_prove(&l).unwrap();
+        assert!(r.kernel_check(&proof).is_ok());
+        assert_eq!(r.reflective_check(&l), Some(true));
+        // proof: 99 Sorted_cons nodes + 1 Sorted_sing + le sub-proofs
+        assert!(proof.size() >= 100);
+    }
+
+    #[test]
+    fn unsorted_lists_are_rejected_by_both() {
+        let r = Reflection::new();
+        let u = r.library().universe();
+        let l = u.list_value([Value::nat(2), Value::nat(1)]);
+        assert!(r.naive_prove(&l).is_none());
+        assert_eq!(r.reflective_check(&l), Some(false));
+    }
+
+    #[test]
+    fn compare_runs_at_paper_scale() {
+        // The paper's instance is n = 2000; keep the unit test at 400
+        // to stay fast, the bench binary runs 2000.
+        let r = Reflection::new();
+        let report = r.compare(400);
+        assert_eq!(report.n, 400);
+        assert!(report.proof_size >= 400);
+        // The reflective route must win by a wide margin.
+        assert!(
+            report.speedup() > 2.0,
+            "expected reflection to be much faster: {report:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_proofs_fail_the_kernel() {
+        let r = Reflection::new();
+        let l = r.repeat_list(1, 10);
+        let mut proof = r.naive_prove(&l).unwrap();
+        // Graft the wrong sub-derivation.
+        let small = r.naive_prove(&r.repeat_list(1, 3)).unwrap();
+        // subproofs: [le proof, sorted proof] for sorted_cons
+        let last = proof.subproofs.len() - 1;
+        proof.subproofs[last] = small;
+        assert!(r.kernel_check(&proof).is_err());
+    }
+}

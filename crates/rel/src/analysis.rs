@@ -1,0 +1,176 @@
+//! Syntactic feature analysis of relations.
+//!
+//! The evaluation of the paper (Table 1) compares the fully general
+//! derivation against the restricted core of §3 ("Algorithm 1"): rule
+//! conclusions must be *linear constructor terms*, every universally
+//! quantified variable must be bound in the conclusion (no existential
+//! quantification), and premises must be positive relation applications.
+//! This module classifies a relation along those axes.
+
+use crate::relation::{Premise, Relation};
+use indrel_term::{TermExpr, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The features of a relation that fall outside the restricted core
+/// grammar of Algorithm 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Some rule repeats a variable in its conclusion.
+    pub nonlinear_conclusion: bool,
+    /// Some rule conclusion contains a function call.
+    pub funcall_in_conclusion: bool,
+    /// Some rule has variables that appear only in premises.
+    pub existentials: bool,
+    /// Some rule has a negated premise.
+    pub negated_premises: bool,
+    /// Some rule has a source-level (dis)equality premise.
+    pub eq_premises: bool,
+}
+
+impl Features {
+    /// `true` when the relation is inside the restricted core grammar of
+    /// §3, so the baseline Algorithm 1 can derive its checker.
+    pub fn algorithm1_ok(&self) -> bool {
+        !(self.nonlinear_conclusion
+            || self.funcall_in_conclusion
+            || self.existentials
+            || self.negated_premises
+            || self.eq_premises)
+    }
+}
+
+impl fmt::Display for Features {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.nonlinear_conclusion {
+            parts.push("non-linear");
+        }
+        if self.funcall_in_conclusion {
+            parts.push("function-calls");
+        }
+        if self.existentials {
+            parts.push("existentials");
+        }
+        if self.negated_premises {
+            parts.push("negation");
+        }
+        if self.eq_premises {
+            parts.push("equalities");
+        }
+        if parts.is_empty() {
+            write!(f, "core")
+        } else {
+            write!(f, "{}", parts.join("+"))
+        }
+    }
+}
+
+/// Computes the features of a relation.
+pub fn features(relation: &Relation) -> Features {
+    let mut out = Features::default();
+    for rule in relation.rules() {
+        let mut occurrences: Vec<VarId> = Vec::new();
+        for e in rule.conclusion() {
+            occurrences.extend(e.occurrences());
+            if contains_funcall(e) {
+                out.funcall_in_conclusion = true;
+            }
+        }
+        let mut set: BTreeSet<VarId> = BTreeSet::new();
+        for v in &occurrences {
+            if !set.insert(*v) {
+                out.nonlinear_conclusion = true;
+            }
+        }
+        if !rule.existential_vars().is_empty() {
+            out.existentials = true;
+        }
+        for p in rule.premises() {
+            match p {
+                Premise::Rel { negated, .. } => {
+                    if *negated {
+                        out.negated_premises = true;
+                    }
+                }
+                Premise::Eq { .. } => out.eq_premises = true,
+            }
+        }
+    }
+    out
+}
+
+fn contains_funcall(e: &TermExpr) -> bool {
+    match e {
+        TermExpr::Var(_) | TermExpr::NatLit(_) | TermExpr::BoolLit(_) => false,
+        TermExpr::Succ(inner) => contains_funcall(inner),
+        TermExpr::Ctor(_, args) => args.iter().any(contains_funcall),
+        TermExpr::Fun(_, _) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelEnv;
+    use crate::RuleBuilder;
+    use indrel_term::TypeExpr;
+
+    #[test]
+    fn core_relation_is_algorithm1_ok() {
+        let mut env = RelEnv::new();
+        let le = env
+            .reserve("le", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("le_S");
+        let n = b.var("n", TypeExpr::Nat);
+        let m = b.var("m", TypeExpr::Nat);
+        b.premise_rel(le, vec![TermExpr::Var(n), TermExpr::Var(m)]);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::succ(TermExpr::Var(m))]);
+        env.relation_mut(le).rules_mut().push(rule);
+        let f = features(env.relation(le));
+        assert!(f.algorithm1_ok());
+        assert_eq!(f.to_string(), "core");
+    }
+
+    #[test]
+    fn detects_each_feature() {
+        let mut env = RelEnv::new();
+        let q = env.reserve("q", vec![TypeExpr::Nat]).unwrap();
+        let r = env
+            .reserve("r", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+
+        // non-linear conclusion
+        let mut b = RuleBuilder::new("c1");
+        let n = b.var("n", TypeExpr::Nat);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        assert!(features(env.relation(r)).nonlinear_conclusion);
+
+        // existential
+        let mut b = RuleBuilder::new("c2");
+        let n = b.var("n", TypeExpr::Nat);
+        let m = b.var("m", TypeExpr::Nat);
+        let x = b.var("x", TypeExpr::Nat);
+        b.premise_rel(q, vec![TermExpr::Var(x)]);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(m)]);
+        let rel2 = crate::relation::Relation::new("r2", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
+        let f = features(&rel2);
+        assert!(f.existentials);
+        assert!(!f.algorithm1_ok());
+        assert!(f.to_string().contains("existentials"));
+
+        // negation + equality
+        let mut b = RuleBuilder::new("c3");
+        let n = b.var("n", TypeExpr::Nat);
+        b.premise_not_rel(q, vec![TermExpr::Var(n)]);
+        b.premise_eq(TermExpr::Var(n), TermExpr::NatLit(0));
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n)]);
+        let rel3 = crate::relation::Relation::new("r3", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
+        let f = features(&rel3);
+        assert!(f.negated_premises);
+        assert!(f.eq_premises);
+        assert!(f.nonlinear_conclusion);
+    }
+}

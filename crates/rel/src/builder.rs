@@ -1,0 +1,155 @@
+//! Programmatic construction of rules.
+
+use crate::relation::{Premise, Rule};
+use indrel_term::{RelId, TermExpr, TypeExpr, VarId};
+use std::collections::HashMap;
+
+/// A non-consuming builder for [`Rule`]s ([C-BUILDER]).
+///
+/// Variables are introduced by name on first use through
+/// [`RuleBuilder::var`]; premises are added in order; the terminal method
+/// [`RuleBuilder::conclusion`] produces the rule.
+///
+/// # Example
+///
+/// ```
+/// use indrel_rel::RuleBuilder;
+/// use indrel_term::{RelId, TermExpr, TypeExpr};
+///
+/// let le = RelId::new(0);
+/// let mut b = RuleBuilder::new("le_S");
+/// let n = b.var("n", TypeExpr::Nat);
+/// let m = b.var("m", TypeExpr::Nat);
+/// b.premise_rel(le, vec![TermExpr::Var(n), TermExpr::Var(m)]);
+/// let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::succ(TermExpr::Var(m))]);
+/// assert_eq!(rule.name(), "le_S");
+/// assert_eq!(rule.num_vars(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleBuilder {
+    name: String,
+    var_names: Vec<String>,
+    var_types: Vec<Option<TypeExpr>>,
+    by_name: HashMap<String, VarId>,
+    premises: Vec<Premise>,
+}
+
+impl RuleBuilder {
+    /// Starts building a rule with the given constructor name.
+    pub fn new(name: impl Into<String>) -> RuleBuilder {
+        RuleBuilder {
+            name: name.into(),
+            var_names: Vec::new(),
+            var_types: Vec::new(),
+            by_name: HashMap::new(),
+            premises: Vec::new(),
+        }
+    }
+
+    /// Introduces (or looks up) a variable with a type annotation.
+    pub fn var(&mut self, name: &str, ty: TypeExpr) -> VarId {
+        self.var_inner(name, Some(ty))
+    }
+
+    /// Introduces (or looks up) a variable whose type will be inferred.
+    pub fn var_untyped(&mut self, name: &str) -> VarId {
+        self.var_inner(name, None)
+    }
+
+    fn var_inner(&mut self, name: &str, ty: Option<TypeExpr>) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            if let (Some(t), None) = (&ty, &self.var_types[id.index()]) {
+                self.var_types[id.index()] = Some(t.clone());
+            }
+            return id;
+        }
+        let id = VarId::new(self.var_names.len());
+        self.var_names.push(name.to_string());
+        self.var_types.push(ty);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a positive relation premise `Q e₁ … eₙ`.
+    pub fn premise_rel(&mut self, rel: RelId, args: Vec<TermExpr>) -> &mut Self {
+        self.premises.push(Premise::Rel {
+            rel,
+            args,
+            negated: false,
+        });
+        self
+    }
+
+    /// Adds a negated relation premise `¬ (Q e₁ … eₙ)`.
+    pub fn premise_not_rel(&mut self, rel: RelId, args: Vec<TermExpr>) -> &mut Self {
+        self.premises.push(Premise::Rel {
+            rel,
+            args,
+            negated: true,
+        });
+        self
+    }
+
+    /// Adds an equality premise `e₁ = e₂`.
+    pub fn premise_eq(&mut self, lhs: TermExpr, rhs: TermExpr) -> &mut Self {
+        self.premises.push(Premise::Eq {
+            lhs,
+            rhs,
+            negated: false,
+        });
+        self
+    }
+
+    /// Adds a disequality premise `e₁ ≠ e₂`.
+    pub fn premise_neq(&mut self, lhs: TermExpr, rhs: TermExpr) -> &mut Self {
+        self.premises.push(Premise::Eq {
+            lhs,
+            rhs,
+            negated: true,
+        });
+        self
+    }
+
+    /// Finishes the rule with the conclusion's argument expressions.
+    pub fn conclusion(&self, args: Vec<TermExpr>) -> Rule {
+        Rule::new(
+            self.name.clone(),
+            self.var_names.clone(),
+            self.var_types.clone(),
+            self.premises.clone(),
+            args,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_deduplicate_by_name() {
+        let mut b = RuleBuilder::new("r");
+        let x1 = b.var_untyped("x");
+        let x2 = b.var("x", TypeExpr::Nat);
+        assert_eq!(x1, x2);
+        let rule = b.conclusion(vec![TermExpr::Var(x1)]);
+        assert_eq!(rule.num_vars(), 1);
+        // annotation supplied on second use sticks
+        assert_eq!(rule.var_types()[0], Some(TypeExpr::Nat));
+    }
+
+    #[test]
+    fn premises_accumulate_in_order() {
+        let q = RelId::new(3);
+        let mut b = RuleBuilder::new("r");
+        let x = b.var("x", TypeExpr::Nat);
+        b.premise_eq(TermExpr::Var(x), TermExpr::NatLit(0));
+        b.premise_not_rel(q, vec![TermExpr::Var(x)]);
+        b.premise_neq(TermExpr::Var(x), TermExpr::NatLit(1));
+        let rule = b.conclusion(vec![TermExpr::Var(x)]);
+        assert_eq!(rule.premises().len(), 3);
+        assert!(!rule.premises()[0].is_negated());
+        assert!(rule.premises()[1].is_negated());
+        assert!(rule.premises()[2].is_negated());
+    }
+}

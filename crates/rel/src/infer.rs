@@ -1,0 +1,521 @@
+//! Type inference for rule variables.
+//!
+//! Rule variables may be annotated explicitly (`forall (x : nat), …`) or
+//! left to inference. Inference propagates the declared argument types
+//! of relations, constructors, and functions top-down through rule
+//! conclusions and premises, and propagates types across equality
+//! premises until a fixpoint. Variables whose types remain unknown are
+//! reported; the derivation engine only requires a type when it must
+//! instantiate a variable with an unconstrained producer.
+
+use crate::relation::{Premise, RelEnv, Relation, Rule};
+use indrel_term::{TermExpr, TypeExpr, Universe, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// A type error found during inference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InferError {
+    /// A variable is used at two incompatible types.
+    Conflict {
+        /// The offending rule name.
+        rule: String,
+        /// The variable name.
+        var: String,
+        /// First type.
+        expected: String,
+        /// Second type.
+        found: String,
+    },
+    /// An expression's head does not fit the expected type.
+    Mismatch {
+        /// The offending rule name.
+        rule: String,
+        /// Description of the ill-typed expression.
+        detail: String,
+    },
+    /// A premise applies a relation at the wrong arity.
+    Arity {
+        /// The offending rule name.
+        rule: String,
+        /// The relation or constructor name.
+        head: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::Conflict {
+                rule,
+                var,
+                expected,
+                found,
+            } => write!(
+                f,
+                "rule `{rule}`: variable `{var}` used at both `{expected}` and `{found}`"
+            ),
+            InferError::Mismatch { rule, detail } => write!(f, "rule `{rule}`: {detail}"),
+            InferError::Arity {
+                rule,
+                head,
+                expected,
+                found,
+            } => write!(
+                f,
+                "rule `{rule}`: `{head}` expects {expected} arguments, found {found}"
+            ),
+        }
+    }
+}
+
+impl Error for InferError {}
+
+/// Runs inference over every rule of `relation`, filling in variable
+/// types in place. Returns the names of variables that remain untyped.
+///
+/// # Errors
+///
+/// Returns an [`InferError`] on conflicting or ill-typed uses.
+pub fn infer_relation(
+    universe: &Universe,
+    env: &RelEnv,
+    relation: &mut Relation,
+) -> Result<Vec<String>, InferError> {
+    let arg_types = relation.arg_types().to_vec();
+    let mut untyped = Vec::new();
+    for rule in relation.rules_mut() {
+        untyped.extend(infer_rule(universe, env, &arg_types, rule)?);
+    }
+    Ok(untyped)
+}
+
+fn infer_rule(
+    universe: &Universe,
+    env: &RelEnv,
+    arg_types: &[TypeExpr],
+    rule: &mut Rule,
+) -> Result<Vec<String>, InferError> {
+    let mut cx = Cx {
+        universe,
+        rule_name: rule.name().to_string(),
+        var_names: rule.var_names().to_vec(),
+        types: rule.var_types().to_vec(),
+    };
+    if rule.conclusion().len() != arg_types.len() {
+        return Err(InferError::Arity {
+            rule: cx.rule_name,
+            head: "conclusion".to_string(),
+            expected: arg_types.len(),
+            found: rule.conclusion().len(),
+        });
+    }
+    // Fixpoint: checking is monotone (only fills in var types), so a few
+    // rounds suffice; equality premises may need the extra rounds.
+    for _round in 0..4 {
+        let before = cx.types.clone();
+        for (e, t) in rule.conclusion().iter().zip(arg_types) {
+            cx.check(e, t)?;
+        }
+        for p in rule.premises() {
+            match p {
+                Premise::Rel { rel, args, .. } => {
+                    let decl = env.relation(*rel);
+                    if args.len() != decl.arity() {
+                        return Err(InferError::Arity {
+                            rule: cx.rule_name,
+                            head: decl.name().to_string(),
+                            expected: decl.arity(),
+                            found: args.len(),
+                        });
+                    }
+                    let tys = decl.arg_types().to_vec();
+                    for (e, t) in args.iter().zip(&tys) {
+                        cx.check(e, t)?;
+                    }
+                }
+                Premise::Eq { lhs, rhs, .. } => {
+                    if let Some(t) = cx.synth(lhs) {
+                        cx.check(rhs, &t)?;
+                    } else if let Some(t) = cx.synth(rhs) {
+                        cx.check(lhs, &t)?;
+                    }
+                }
+            }
+        }
+        if cx.types == before {
+            break;
+        }
+    }
+    let mut untyped = Vec::new();
+    for (i, t) in cx.types.iter().enumerate() {
+        if t.is_none() {
+            untyped.push(cx.var_names[i].clone());
+        }
+    }
+    let types = cx.types;
+    for (i, t) in types.into_iter().enumerate() {
+        if let Some(t) = t {
+            rule.set_var_type(VarId::new(i), t);
+        }
+    }
+    Ok(untyped)
+}
+
+struct Cx<'a> {
+    universe: &'a Universe,
+    rule_name: String,
+    var_names: Vec<String>,
+    types: Vec<Option<TypeExpr>>,
+}
+
+impl Cx<'_> {
+    /// Checks `e` against the (ground) expected type, binding variable
+    /// types along the way.
+    fn check(&mut self, e: &TermExpr, expected: &TypeExpr) -> Result<(), InferError> {
+        match e {
+            TermExpr::Var(x) => match &self.types[x.index()] {
+                None => {
+                    self.types[x.index()] = Some(expected.clone());
+                    Ok(())
+                }
+                Some(t) if t == expected => Ok(()),
+                Some(t) => Err(InferError::Conflict {
+                    rule: self.rule_name.clone(),
+                    var: self.var_names[x.index()].clone(),
+                    expected: t.display(self.universe).to_string(),
+                    found: expected.display(self.universe).to_string(),
+                }),
+            },
+            TermExpr::NatLit(_) => self.expect(expected, &TypeExpr::Nat, "a natural literal"),
+            TermExpr::BoolLit(_) => self.expect(expected, &TypeExpr::Bool, "a boolean literal"),
+            TermExpr::Succ(inner) => {
+                self.expect(expected, &TypeExpr::Nat, "a successor")?;
+                self.check(inner, &TypeExpr::Nat)
+            }
+            TermExpr::Ctor(c, args) => {
+                let decl = self.universe.ctor(*c);
+                let TypeExpr::App(dt, ty_args) = expected else {
+                    return Err(InferError::Mismatch {
+                        rule: self.rule_name.clone(),
+                        detail: format!(
+                            "constructor `{}` used where `{}` was expected",
+                            decl.name(),
+                            expected.display(self.universe)
+                        ),
+                    });
+                };
+                if decl.datatype() != *dt {
+                    return Err(InferError::Mismatch {
+                        rule: self.rule_name.clone(),
+                        detail: format!(
+                            "constructor `{}` does not belong to datatype `{}`",
+                            decl.name(),
+                            self.universe.datatype(*dt).name()
+                        ),
+                    });
+                }
+                if args.len() != decl.arity() {
+                    return Err(InferError::Arity {
+                        rule: self.rule_name.clone(),
+                        head: decl.name().to_string(),
+                        expected: decl.arity(),
+                        found: args.len(),
+                    });
+                }
+                let arg_tys = self.universe.ctor_arg_types(*c, ty_args);
+                for (a, t) in args.iter().zip(&arg_tys) {
+                    self.check(a, t)?;
+                }
+                Ok(())
+            }
+            TermExpr::Fun(fid, args) => {
+                let decl = self.universe.fun(*fid);
+                if args.len() != decl.arg_types().len() {
+                    return Err(InferError::Arity {
+                        rule: self.rule_name.clone(),
+                        head: decl.name().to_string(),
+                        expected: decl.arg_types().len(),
+                        found: args.len(),
+                    });
+                }
+                // Bind the function's type parameters by matching its
+                // declared return type against the expected type.
+                let mut subst: Vec<Option<TypeExpr>> = vec![None; 8];
+                if !match_params(decl.ret_type(), expected, &mut subst) {
+                    return Err(InferError::Mismatch {
+                        rule: self.rule_name.clone(),
+                        detail: format!(
+                            "function `{}` returns `{}` but `{}` was expected",
+                            decl.name(),
+                            decl.ret_type().display(self.universe),
+                            expected.display(self.universe)
+                        ),
+                    });
+                }
+                let arg_tys = decl.arg_types().to_vec();
+                for (a, t) in args.iter().zip(&arg_tys) {
+                    let inst = instantiate_partial(t, &subst);
+                    if inst.is_ground() {
+                        self.check(a, &inst)?;
+                    } else if let Some(syn) = self.synth(a) {
+                        // Use the argument's synthesized type to bind the
+                        // remaining parameters, then re-check.
+                        if match_params(t, &syn, &mut subst) {
+                            let inst = instantiate_partial(t, &subst);
+                            if inst.is_ground() {
+                                self.check(a, &inst)?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn expect(
+        &self,
+        expected: &TypeExpr,
+        actual: &TypeExpr,
+        what: &str,
+    ) -> Result<(), InferError> {
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(InferError::Mismatch {
+                rule: self.rule_name.clone(),
+                detail: format!(
+                    "{what} used where `{}` was expected",
+                    expected.display(self.universe)
+                ),
+            })
+        }
+    }
+
+    /// Attempts to synthesize a ground type for `e` bottom-up.
+    fn synth(&self, e: &TermExpr) -> Option<TypeExpr> {
+        match e {
+            TermExpr::Var(x) => self.types[x.index()].clone(),
+            TermExpr::NatLit(_) | TermExpr::Succ(_) => Some(TypeExpr::Nat),
+            TermExpr::BoolLit(_) => Some(TypeExpr::Bool),
+            TermExpr::Ctor(c, args) => {
+                let decl = self.universe.ctor(*c);
+                let dt = decl.datatype();
+                let nparams = self.universe.datatype(dt).nparams();
+                if nparams == 0 {
+                    return Some(TypeExpr::datatype(dt));
+                }
+                // Bind the datatype parameters from synthesized argument
+                // types.
+                let mut subst: Vec<Option<TypeExpr>> = vec![None; nparams];
+                let decl_args = decl.arg_types().to_vec();
+                for (a, t) in args.iter().zip(&decl_args) {
+                    if let Some(syn) = self.synth(a) {
+                        match_params(t, &syn, &mut subst);
+                    }
+                }
+                if subst.iter().take(nparams).all(Option::is_some) {
+                    Some(TypeExpr::App(
+                        dt,
+                        subst.into_iter().flatten().collect(),
+                    ))
+                } else {
+                    None
+                }
+            }
+            TermExpr::Fun(fid, _) => {
+                let ret = self.universe.fun(*fid).ret_type();
+                if ret.is_ground() {
+                    Some(ret.clone())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+}
+
+/// Matches a (possibly parameterized) declared type against a ground
+/// type, binding parameters in `subst`. Returns `false` on a structural
+/// mismatch.
+fn match_params(decl: &TypeExpr, ground: &TypeExpr, subst: &mut Vec<Option<TypeExpr>>) -> bool {
+    match (decl, ground) {
+        (TypeExpr::Param(i), g) => {
+            let i = *i as usize;
+            if subst.len() <= i {
+                subst.resize(i + 1, None);
+            }
+            match &subst[i] {
+                None => {
+                    subst[i] = Some(g.clone());
+                    true
+                }
+                Some(t) => t == g,
+            }
+        }
+        (TypeExpr::Nat, TypeExpr::Nat) | (TypeExpr::Bool, TypeExpr::Bool) => true,
+        (TypeExpr::App(d1, a1), TypeExpr::App(d2, a2)) => {
+            d1 == d2
+                && a1.len() == a2.len()
+                && a1
+                    .iter()
+                    .zip(a2.iter())
+                    .all(|(x, y)| match_params(x, y, subst))
+        }
+        _ => false,
+    }
+}
+
+fn instantiate_partial(ty: &TypeExpr, subst: &[Option<TypeExpr>]) -> TypeExpr {
+    match ty {
+        TypeExpr::Nat => TypeExpr::Nat,
+        TypeExpr::Bool => TypeExpr::Bool,
+        TypeExpr::Param(i) => subst
+            .get(*i as usize)
+            .and_then(Clone::clone)
+            .unwrap_or(TypeExpr::Param(*i)),
+        TypeExpr::App(dt, args) => TypeExpr::App(
+            *dt,
+            args.iter().map(|t| instantiate_partial(t, subst)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleBuilder;
+
+    #[test]
+    fn infers_from_conclusion() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        let le = env
+            .reserve("le", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("le_n");
+        let n = b.var_untyped("n");
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n)]);
+        env.relation_mut(le).rules_mut().push(rule);
+        let mut rel = env.relation(le).clone();
+        let untyped = infer_relation(&u, &env, &mut rel).unwrap();
+        assert!(untyped.is_empty());
+        assert_eq!(rel.rules()[0].var_types()[0], Some(TypeExpr::Nat));
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        let r = env
+            .reserve("r", vec![TypeExpr::Nat, TypeExpr::Bool])
+            .unwrap();
+        let mut b = RuleBuilder::new("bad");
+        let x = b.var_untyped("x");
+        let rule = b.conclusion(vec![TermExpr::Var(x), TermExpr::Var(x)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let mut rel = env.relation(r).clone();
+        let err = infer_relation(&u, &env, &mut rel).unwrap_err();
+        assert!(matches!(err, InferError::Conflict { .. }));
+    }
+
+    #[test]
+    fn infers_through_equality_premises() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let mult = u.fun_id("mult").unwrap();
+        let mut env = RelEnv::new();
+        // square_of n m with premise  mult n n = m
+        let sq = env
+            .reserve("square_of", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("sq");
+        let n = b.var_untyped("n");
+        let m = b.var_untyped("m");
+        b.premise_eq(
+            TermExpr::Fun(mult, vec![TermExpr::Var(n), TermExpr::Var(n)]),
+            TermExpr::Var(m),
+        );
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(m)]);
+        env.relation_mut(sq).rules_mut().push(rule);
+        let mut rel = env.relation(sq).clone();
+        let untyped = infer_relation(&u, &env, &mut rel).unwrap();
+        assert!(untyped.is_empty());
+    }
+
+    #[test]
+    fn infers_ctor_args_at_list_instance() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let cons = u.ctor_id("cons").unwrap();
+        let listnat = TypeExpr::App(list, vec![TypeExpr::Nat]);
+        let mut env = RelEnv::new();
+        let r = env.reserve("r", vec![listnat.clone()]).unwrap();
+        let mut b = RuleBuilder::new("c");
+        let x = b.var_untyped("x");
+        let xs = b.var_untyped("xs");
+        let rule = b.conclusion(vec![TermExpr::ctor(
+            cons,
+            vec![TermExpr::Var(x), TermExpr::Var(xs)],
+        )]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let mut rel = env.relation(r).clone();
+        infer_relation(&u, &env, &mut rel).unwrap();
+        assert_eq!(rel.rules()[0].var_types()[0], Some(TypeExpr::Nat));
+        assert_eq!(rel.rules()[0].var_types()[1], Some(listnat));
+    }
+
+    #[test]
+    fn synthesizes_parameterized_ctor_types() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let cons = u.ctor_id("cons").unwrap();
+        let nil = u.ctor_id("nil").unwrap();
+        let mut env = RelEnv::new();
+        let r = env.reserve("r", vec![TypeExpr::Nat]).unwrap();
+        // premise: l = cons 1 nil  (l's type must come from the rhs)
+        let mut b = RuleBuilder::new("c");
+        let n = b.var_untyped("n");
+        let l = b.var_untyped("l");
+        b.premise_eq(
+            TermExpr::Var(l),
+            TermExpr::ctor(
+                cons,
+                vec![TermExpr::NatLit(1), TermExpr::ctor(nil, vec![])],
+            ),
+        );
+        let rule = b.conclusion(vec![TermExpr::Var(n)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let mut rel = env.relation(r).clone();
+        infer_relation(&u, &env, &mut rel).unwrap();
+        assert_eq!(
+            rel.rules()[0].var_types()[1],
+            Some(TypeExpr::App(list, vec![TypeExpr::Nat]))
+        );
+    }
+
+    #[test]
+    fn reports_untyped_vars() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        let q = env.reserve("q", vec![TypeExpr::Nat]).unwrap();
+        let r = env.reserve("r", vec![TypeExpr::Nat]).unwrap();
+        let _ = q;
+        // A rule with a variable used nowhere typeable: forall n x, r n
+        // (x never occurs — degenerate but exercises the report).
+        let mut b = RuleBuilder::new("c");
+        let n = b.var_untyped("n");
+        let _x = b.var_untyped("x");
+        let rule = b.conclusion(vec![TermExpr::Var(n)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let mut rel = env.relation(r).clone();
+        let untyped = infer_relation(&u, &env, &mut rel).unwrap();
+        assert_eq!(untyped, vec!["x".to_string()]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Inductive relation definitions.
+//!
+//! This crate defines the specification language of the framework: an
+//! inductive relation is a list of *rules* (constructors in Coq
+//! terminology), each with universally quantified variables, a list of
+//! premises, and a conclusion `P e₁ … eₙ` — the grammar of §1/§3 of
+//! *Computing Correctly with Inductive Relations* (PLDI 2022):
+//!
+//! ```text
+//! Inductive P (A… : Type) : T₁ → ⋯ → Prop :=
+//! | C₁ : ∀ x₁…, (Q₁ e₁₁ …) → ⋯ → P e₁ … eₙ | …
+//! ```
+//!
+//! Premises are relation applications (possibly negated) or (dis)equalities
+//! between terms; conclusions are term expressions, possibly with
+//! non-linear variables and function calls, which the [`preprocess`]
+//! module rewrites into equality premises exactly as §3.1 describes.
+//!
+//! Relations can be written programmatically with [`RuleBuilder`] or,
+//! more conveniently, in a Coq-flavoured surface syntax via [`parse`]:
+//!
+//! ```
+//! use indrel_term::Universe;
+//! use indrel_rel::{RelEnv, parse::parse_program};
+//!
+//! let mut u = Universe::new();
+//! let mut env = RelEnv::new();
+//! parse_program(&mut u, &mut env, r"
+//!     rel le : nat nat :=
+//!     | le_n : forall n, le n n
+//!     | le_S : forall n m, le n m -> le n (S m)
+//!     .
+//! ").unwrap();
+//! let le = env.rel_id("le").unwrap();
+//! assert_eq!(env.relation(le).rules().len(), 2);
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod infer;
+pub mod parse;
+pub mod preprocess;
+pub mod relation;
+
+pub use builder::RuleBuilder;
+pub use relation::{Premise, RelEnv, Relation, Rule};

@@ -1,0 +1,989 @@
+//! Surface syntax for datatypes and inductive relations.
+//!
+//! The syntax is deliberately close to Coq's, so that relations from the
+//! Software Foundations corpus can be transcribed almost verbatim:
+//!
+//! ```text
+//! data tree := Leaf | Node nat tree tree .
+//!
+//! rel bst : nat nat tree :=
+//! | bst_leaf : forall lo hi, bst lo hi Leaf
+//! | bst_node : forall lo hi x l r,
+//!     lt lo x -> lt x hi ->
+//!     bst lo x l -> bst x hi r ->
+//!     bst lo hi (Node x l r)
+//! .
+//! ```
+//!
+//! * `data name 'a … := Ctor ty… | … .` declares a datatype (primes
+//!   introduce type parameters);
+//! * `rel name : ty… := | rule : forall binders, premise -> … -> conclusion … .`
+//!   declares an inductive relation;
+//! * premises are relation applications, negations `~ (q x)`, equalities
+//!   `e1 = e2`, and disequalities `e1 <> e2`;
+//! * `S e` is the successor of a natural; numerals are `nat` literals;
+//! * identifiers that are not constructors, functions, or relations are
+//!   universally quantified variables (binders in `forall` may carry
+//!   type annotations: `forall (x : nat) (l : list nat), …`);
+//! * `--` starts a line comment and `(* … *)` a block comment.
+//!
+//! Functions used in rules (e.g. `plus`) must already be registered in
+//! the [`Universe`]; see [`Universe::std_funs`].
+
+use crate::infer::infer_relation;
+use crate::relation::{Premise, RelEnv, Rule};
+use indrel_term::{TermExpr, TypeExpr, Universe, VarId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse (or resolution, or inference) error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// What a successful parse added to the universe and relation
+/// environment.
+#[derive(Clone, Debug, Default)]
+pub struct ParseOutput {
+    /// Names of declared datatypes, in order.
+    pub datatypes: Vec<String>,
+    /// Names of declared relations, in order.
+    pub relations: Vec<String>,
+    /// Variables whose types inference could not determine, as
+    /// `(relation, rule, variable)` triples.
+    pub untyped_vars: Vec<(String, String, String)>,
+}
+
+/// Parses a program, registering datatypes into `universe` and relations
+/// into `env`.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, resolution, or type error.
+pub fn parse_program(
+    universe: &mut Universe,
+    env: &mut RelEnv,
+    source: &str,
+) -> Result<ParseOutput, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        universe,
+        env,
+        output: ParseOutput::default(),
+    };
+    while !p.at_end() {
+        p.item()?;
+    }
+    Ok(p.output)
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Prime(String), // 'a
+    Num(u64),
+    ColonEq, // :=
+    Colon,
+    Comma,
+    Dot,
+    Bar,
+    LParen,
+    RParen,
+    Arrow,  // ->
+    Eq,     // =
+    Neq,    // <>
+    Tilde,  // ~
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |line: usize, col: usize, message: String| ParseError { line, col, message };
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col);
+            continue;
+        }
+        // comments
+        if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                advance(&mut i, &mut line, &mut col);
+            }
+            continue;
+        }
+        if c == '(' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            advance(&mut i, &mut line, &mut col);
+            advance(&mut i, &mut line, &mut col);
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '(' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    advance(&mut i, &mut line, &mut col);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&')') {
+                    depth -= 1;
+                    advance(&mut i, &mut line, &mut col);
+                }
+                advance(&mut i, &mut line, &mut col);
+            }
+            if depth > 0 {
+                return Err(err(tline, tcol, "unterminated block comment".into()));
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut n: u64 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(chars[i] as u64 - '0' as u64))
+                    .ok_or_else(|| err(tline, tcol, "numeral too large".into()))?;
+                advance(&mut i, &mut line, &mut col);
+            }
+            out.push(Token {
+                tok: Tok::Num(n),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'') {
+                s.push(chars[i]);
+                advance(&mut i, &mut line, &mut col);
+            }
+            out.push(Token {
+                tok: Tok::Ident(s),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        if c == '\'' {
+            advance(&mut i, &mut line, &mut col);
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                advance(&mut i, &mut line, &mut col);
+            }
+            if s.is_empty() {
+                return Err(err(tline, tcol, "expected type parameter name after `'`".into()));
+            }
+            out.push(Token {
+                tok: Tok::Prime(s),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let tok = match two.as_str() {
+            ":=" => Some((Tok::ColonEq, 2)),
+            "->" => Some((Tok::Arrow, 2)),
+            "<>" => Some((Tok::Neq, 2)),
+            _ => None,
+        };
+        let (tok, n) = match tok {
+            Some(t) => t,
+            None => match c {
+                ':' => (Tok::Colon, 1),
+                ',' => (Tok::Comma, 1),
+                '.' => (Tok::Dot, 1),
+                '|' => (Tok::Bar, 1),
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '=' => (Tok::Eq, 1),
+                '~' => (Tok::Tilde, 1),
+                other => {
+                    return Err(err(tline, tcol, format!("unexpected character `{other}`")));
+                }
+            },
+        };
+        for _ in 0..n {
+            advance(&mut i, &mut line, &mut col);
+        }
+        out.push(Token {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Raw terms (resolved after parsing)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Raw {
+    Num(u64),
+    App(String, Vec<Raw>, usize, usize),
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    universe: &'a mut Universe,
+    env: &'a mut RelEnv,
+    output: ParseOutput,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.tokens[self.pos].line, self.tokens[self.pos].col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<(), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "data" => self.data_decl(),
+            Tok::Ident(s) if s == "rel" => self.rel_decl(),
+            _ => Err(self.error("expected `data` or `rel` declaration")),
+        }
+    }
+
+    // data name 'a … := Ctor ty… | … .
+    fn data_decl(&mut self) -> Result<(), ParseError> {
+        self.bump(); // data
+        let name = self.ident("datatype name")?;
+        let mut params = Vec::new();
+        while let Tok::Prime(p) = self.peek().clone() {
+            self.bump();
+            params.push(p);
+        }
+        self.expect(Tok::ColonEq, "`:=`")?;
+        let dt = self
+            .universe
+            .reserve_datatype(&name, params.len())
+            .map_err(|e| self.error(e.to_string()))?;
+        loop {
+            let cname = self.ident("constructor name")?;
+            let mut arg_types = Vec::new();
+            while self.starts_type() {
+                arg_types.push(self.atom_type(&params)?);
+            }
+            self.universe
+                .define_ctor(dt, &cname, arg_types)
+                .map_err(|e| self.error(e.to_string()))?;
+            match self.bump() {
+                Tok::Bar => continue,
+                Tok::Dot => break,
+                _ => return Err(self.error("expected `|` or `.` after constructor")),
+            }
+        }
+        self.output.datatypes.push(name);
+        Ok(())
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(_) | Tok::Prime(_) | Tok::LParen)
+    }
+
+    fn atom_type(&mut self, params: &[String]) -> Result<TypeExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Prime(p) => {
+                self.bump();
+                let idx = params
+                    .iter()
+                    .position(|q| *q == p)
+                    .ok_or_else(|| self.error(format!("unknown type parameter `'{p}`")))?;
+                Ok(TypeExpr::Param(idx as u32))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                self.resolve_type_head(&s, Vec::new())
+            }
+            Tok::LParen => {
+                self.bump();
+                let head = self.ident("type name")?;
+                let mut args = Vec::new();
+                while self.starts_type() {
+                    args.push(self.atom_type(params)?);
+                }
+                self.expect(Tok::RParen, "`)`")?;
+                self.resolve_type_head(&head, args)
+            }
+            _ => Err(self.error("expected a type")),
+        }
+    }
+
+    fn resolve_type_head(&self, head: &str, args: Vec<TypeExpr>) -> Result<TypeExpr, ParseError> {
+        match head {
+            "nat" => {
+                if args.is_empty() {
+                    Ok(TypeExpr::Nat)
+                } else {
+                    Err(self.error("`nat` takes no type arguments"))
+                }
+            }
+            "bool" => {
+                if args.is_empty() {
+                    Ok(TypeExpr::Bool)
+                } else {
+                    Err(self.error("`bool` takes no type arguments"))
+                }
+            }
+            _ => {
+                let dt = self
+                    .universe
+                    .dt_id(head)
+                    .ok_or_else(|| self.error(format!("unknown type `{head}`")))?;
+                let want = self.universe.datatype(dt).nparams();
+                if want != args.len() {
+                    return Err(self.error(format!(
+                        "type `{head}` expects {want} arguments, found {}",
+                        args.len()
+                    )));
+                }
+                Ok(TypeExpr::App(dt, args))
+            }
+        }
+    }
+
+    // rel name : ty… := | rule … .
+    fn rel_decl(&mut self) -> Result<(), ParseError> {
+        self.bump(); // rel
+        let name = self.ident("relation name")?;
+        self.expect(Tok::Colon, "`:`")?;
+        let mut arg_types = Vec::new();
+        while self.starts_type() {
+            arg_types.push(self.atom_type(&[])?);
+        }
+        self.expect(Tok::ColonEq, "`:=`")?;
+        let rel = self
+            .env
+            .reserve(&name, arg_types)
+            .map_err(|e| self.error(e.to_string()))?;
+        let mut rules = Vec::new();
+        loop {
+            match self.bump() {
+                Tok::Bar => rules.push(self.rule(&name)?),
+                Tok::Dot => break,
+                _ => return Err(self.error("expected `|` or `.`")),
+            }
+        }
+        *self.env.relation_mut(rel).rules_mut() = rules;
+        // Run type inference now that the rules are installed.
+        let mut relation = self.env.relation(rel).clone();
+        let untyped = infer_relation(self.universe, self.env, &mut relation)
+            .map_err(|e| self.error(e.to_string()))?;
+        for (rule, var) in relation
+            .rules()
+            .iter()
+            .flat_map(|r| {
+                let name = r.name().to_string();
+                r.var_names()
+                    .iter()
+                    .zip(r.var_types())
+                    .filter(|(_, t)| t.is_none())
+                    .map(move |(v, _)| (name.clone(), v.clone()))
+            })
+        {
+            self.output.untyped_vars.push((name.clone(), rule, var));
+        }
+        let _ = untyped;
+        *self.env.relation_mut(rel) = relation;
+        self.output.relations.push(name);
+        Ok(())
+    }
+
+    // rule := IDENT ":" ["forall" binders ","] segments
+    fn rule(&mut self, rel_name: &str) -> Result<Rule, ParseError> {
+        let rule_name = self.ident("rule name")?;
+        self.expect(Tok::Colon, "`:`")?;
+        let mut scope = Scope::default();
+        if matches!(self.peek(), Tok::Ident(s) if s == "forall") {
+            self.bump();
+            loop {
+                match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        scope.declare(&s, None);
+                    }
+                    Tok::LParen => {
+                        self.bump();
+                        let mut names = Vec::new();
+                        while let Tok::Ident(s) = self.peek().clone() {
+                            self.bump();
+                            names.push(s);
+                        }
+                        self.expect(Tok::Colon, "`:` in binder")?;
+                        let head = self.ident("type name")?;
+                        let mut args = Vec::new();
+                        while self.starts_type() {
+                            args.push(self.atom_type(&[])?);
+                        }
+                        let ty = self.resolve_type_head(&head, args)?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        for n in names {
+                            scope.declare(&n, Some(ty.clone()));
+                        }
+                    }
+                    Tok::Comma => {
+                        self.bump();
+                        break;
+                    }
+                    _ => return Err(self.error("expected binder or `,`")),
+                }
+            }
+        }
+        // Parse arrow-separated segments.
+        let mut segments = Vec::new();
+        loop {
+            segments.push(self.segment()?);
+            if matches!(self.peek(), Tok::Arrow) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let (conclusion_raw, premise_raws) = segments
+            .split_last()
+            .map(|(c, ps)| (c.clone(), ps.to_vec()))
+            .ok_or_else(|| self.error("empty rule"))?;
+
+        // Resolve premises.
+        let mut premises = Vec::new();
+        for seg in premise_raws {
+            premises.push(self.resolve_premise(seg, &mut scope)?);
+        }
+        // Resolve conclusion — must apply the relation being declared.
+        let Segment::App { negated, raw } = conclusion_raw else {
+            return Err(self.error("rule conclusion must apply the relation being declared"));
+        };
+        if negated {
+            return Err(self.error("rule conclusion cannot be negated"));
+        }
+        let Raw::App(head, args, line, col) = raw else {
+            return Err(self.error("rule conclusion must apply the relation being declared"));
+        };
+        if head != rel_name {
+            return Err(ParseError {
+                line,
+                col,
+                message: format!("conclusion applies `{head}`, expected `{rel_name}`"),
+            });
+        }
+        let conclusion = args
+            .into_iter()
+            .map(|r| self.resolve_term(r, &mut scope))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Rule::new(
+            rule_name,
+            scope.names,
+            scope.types,
+            premises,
+            conclusion,
+        ))
+    }
+
+    /// Parses a segment: either `~ app`, an application, or
+    /// `term (=|<>) term`.
+    fn segment(&mut self) -> Result<Segment, ParseError> {
+        let negated = if matches!(self.peek(), Tok::Tilde) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let lhs = self.app_term()?;
+        match self.peek() {
+            Tok::Eq => {
+                self.bump();
+                let rhs = self.app_term()?;
+                Ok(Segment::Equality {
+                    negated,
+                    lhs,
+                    rhs,
+                })
+            }
+            Tok::Neq => {
+                self.bump();
+                let rhs = self.app_term()?;
+                Ok(Segment::Equality {
+                    negated: !negated,
+                    lhs,
+                    rhs,
+                })
+            }
+            _ => Ok(Segment::App { negated, raw: lhs }),
+        }
+    }
+
+    /// Parses an application-style raw term: `head atom*` or an atom.
+    fn app_term(&mut self) -> Result<Raw, ParseError> {
+        let (line, col) = self.here();
+        match self.peek().clone() {
+            Tok::Ident(head) => {
+                self.bump();
+                let mut args = Vec::new();
+                while self.starts_atom() {
+                    args.push(self.atom_term()?);
+                }
+                Ok(Raw::App(head, args, line, col))
+            }
+            _ => self.atom_term(),
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(_) | Tok::Num(_) | Tok::LParen)
+    }
+
+    fn atom_term(&mut self) -> Result<Raw, ParseError> {
+        let (line, col) = self.here();
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Raw::Num(n))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Raw::App(s, Vec::new(), line, col))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.app_term()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(t)
+            }
+            _ => Err(self.error("expected a term")),
+        }
+    }
+
+    fn resolve_premise(&mut self, seg: Segment, scope: &mut Scope) -> Result<Premise, ParseError> {
+        match seg {
+            Segment::Equality { negated, lhs, rhs } => Ok(Premise::Eq {
+                lhs: self.resolve_term(lhs, scope)?,
+                rhs: self.resolve_term(rhs, scope)?,
+                negated,
+            }),
+            Segment::App { negated, raw } => {
+                let Raw::App(head, args, line, col) = raw else {
+                    return Err(self.error("a premise must apply a relation"));
+                };
+                let Some(rel) = self.env.rel_id(&head) else {
+                    return Err(ParseError {
+                        line,
+                        col,
+                        message: format!("unknown relation `{head}` in premise"),
+                    });
+                };
+                let args = args
+                    .into_iter()
+                    .map(|r| self.resolve_term(r, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Premise::Rel {
+                    rel,
+                    args,
+                    negated,
+                })
+            }
+        }
+    }
+
+    fn resolve_term(&mut self, raw: Raw, scope: &mut Scope) -> Result<TermExpr, ParseError> {
+        match raw {
+            Raw::Num(n) => Ok(TermExpr::NatLit(n)),
+            Raw::App(head, args, line, col) => {
+                let args: Vec<TermExpr> = args
+                    .into_iter()
+                    .map(|r| self.resolve_term(r, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                match head.as_str() {
+                    "true" if args.is_empty() => return Ok(TermExpr::BoolLit(true)),
+                    "false" if args.is_empty() => return Ok(TermExpr::BoolLit(false)),
+                    "S" => {
+                        if args.len() != 1 {
+                            return Err(ParseError {
+                                line,
+                                col,
+                                message: "`S` takes exactly one argument".into(),
+                            });
+                        }
+                        return Ok(TermExpr::succ(args.into_iter().next().expect("one arg")));
+                    }
+                    "O" if args.is_empty() => return Ok(TermExpr::NatLit(0)),
+                    _ => {}
+                }
+                if let Some(c) = self.universe.ctor_id(&head) {
+                    let want = self.universe.ctor(c).arity();
+                    if want != args.len() {
+                        return Err(ParseError {
+                            line,
+                            col,
+                            message: format!(
+                                "constructor `{head}` expects {want} arguments, found {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                    return Ok(TermExpr::Ctor(c, args));
+                }
+                if let Some(f) = self.universe.fun_id(&head) {
+                    let want = self.universe.fun(f).arg_types().len();
+                    if want != args.len() {
+                        return Err(ParseError {
+                            line,
+                            col,
+                            message: format!(
+                                "function `{head}` expects {want} arguments, found {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                    return Ok(TermExpr::Fun(f, args));
+                }
+                if self.env.rel_id(&head).is_some() {
+                    return Err(ParseError {
+                        line,
+                        col,
+                        message: format!("relation `{head}` used in term position"),
+                    });
+                }
+                // A variable.
+                if !args.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        col,
+                        message: format!("variable `{head}` cannot be applied to arguments"),
+                    });
+                }
+                Ok(TermExpr::Var(scope.declare(&head, None)))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Segment {
+    App { negated: bool, raw: Raw },
+    Equality { negated: bool, lhs: Raw, rhs: Raw },
+}
+
+#[derive(Default)]
+struct Scope {
+    names: Vec<String>,
+    types: Vec<Option<TypeExpr>>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl Scope {
+    fn declare(&mut self, name: &str, ty: Option<TypeExpr>) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            if let (Some(t), None) = (&ty, &self.types[id.index()]) {
+                self.types[id.index()] = Some(t.clone());
+            }
+            return id;
+        }
+        let id = VarId::new(self.names.len());
+        self.names.push(name.to_string());
+        self.types.push(ty);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+}
+
+/// Declares a relation from source and returns its id; convenience for
+/// single-relation programs.
+///
+/// # Errors
+///
+/// Propagates [`ParseError`], and reports a program that declares no
+/// relation.
+pub fn parse_relation(
+    universe: &mut Universe,
+    env: &mut RelEnv,
+    source: &str,
+) -> Result<indrel_term::RelId, ParseError> {
+    let out = parse_program(universe, env, source)?;
+    let name = out.relations.last().ok_or(ParseError {
+        line: 1,
+        col: 1,
+        message: "program declares no relation".into(),
+    })?;
+    Ok(env.rel_id(name).expect("just declared"))
+}
+
+/// Used by tests and docs: a fresh universe with the standard datatypes
+/// and functions registered.
+pub fn std_universe() -> Universe {
+    let mut u = Universe::new();
+    u.std_list();
+    u.std_pair();
+    u.std_option();
+    u.std_funs();
+    u
+}
+
+#[allow(clippy::items_after_test_module)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::features;
+    use crate::relation::Premise;
+
+    #[test]
+    fn parses_data_and_rel() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        let out = parse_program(
+            &mut u,
+            &mut env,
+            r"
+            data tree := Leaf | Node nat tree tree .
+            rel mirror : tree tree :=
+            | m_leaf : mirror Leaf Leaf
+            | m_node : forall x l r l' r',
+                mirror l l' -> mirror r r' ->
+                mirror (Node x l r) (Node x r' l')
+            .
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.datatypes, vec!["tree"]);
+        assert_eq!(out.relations, vec!["mirror"]);
+        let rel = env.rel_id("mirror").unwrap();
+        assert_eq!(env.relation(rel).rules().len(), 2);
+        assert!(out.untyped_vars.is_empty());
+        // inference typed everything
+        let rule = &env.relation(rel).rules()[1];
+        assert!(rule.var_types().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn parses_le_with_succ() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            rel le : nat nat :=
+            | le_n : forall n, le n n
+            | le_S : forall n m, le n m -> le n (S m)
+            .
+            ",
+        )
+        .unwrap();
+        let le = env.rel_id("le").unwrap();
+        let rule = &env.relation(le).rules()[1];
+        assert_eq!(rule.conclusion()[1], TermExpr::succ(TermExpr::var(1)));
+        // le_n has a non-linear conclusion
+        assert!(features(env.relation(le)).nonlinear_conclusion);
+    }
+
+    #[test]
+    fn parses_negation_equality_and_functions() {
+        let mut u = std_universe();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            rel even' : nat :=
+            | even_0 : even' 0
+            | even_SS : forall n, even' n -> even' (S (S n))
+            .
+            rel weird : nat nat :=
+            | w : forall n m,
+                ~ (even' n) -> plus n 1 = m -> n <> 4 -> weird n m
+            .
+            ",
+        )
+        .unwrap();
+        let w = env.rel_id("weird").unwrap();
+        let rule = &env.relation(w).rules()[0];
+        assert_eq!(rule.premises().len(), 3);
+        assert!(matches!(
+            rule.premises()[0],
+            Premise::Rel { negated: true, .. }
+        ));
+        assert!(matches!(
+            rule.premises()[1],
+            Premise::Eq { negated: false, .. }
+        ));
+        assert!(matches!(
+            rule.premises()[2],
+            Premise::Eq { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_parameterized_types_and_annotations() {
+        let mut u = std_universe();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            rel in_list : nat (list nat) :=
+            | in_here : forall (x : nat) (l : list nat), in_list x (cons x l)
+            | in_there : forall x y l, in_list x l -> in_list x (cons y l)
+            .
+            ",
+        )
+        .unwrap();
+        let r = env.rel_id("in_list").unwrap();
+        assert_eq!(env.relation(r).arity(), 2);
+        let rule = &env.relation(r).rules()[0];
+        assert!(features(env.relation(r)).nonlinear_conclusion);
+        assert_eq!(rule.var_types()[0], Some(TypeExpr::Nat));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            -- a line comment
+            (* a (* nested *) block comment *)
+            rel z : nat := | z0 : z 0 .
+            ",
+        )
+        .unwrap();
+        assert!(env.rel_id("z").is_some());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        let err =
+            parse_program(&mut u, &mut env, "rel r : nat := | a : q 1 -> r 0 .").unwrap_err();
+        assert!(err.message.contains("unknown relation `q`"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn conclusion_must_match_declared_relation() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, "rel a : nat := | a0 : a 0 .").unwrap();
+        let err =
+            parse_program(&mut u, &mut env, "rel b : nat := | b0 : a 0 .").unwrap_err();
+        assert!(err.message.contains("expected `b`"));
+    }
+
+    #[test]
+    fn parse_relation_returns_last_declared() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        let id = parse_relation(&mut u, &mut env, "rel only : nat := | o : only 0 .").unwrap();
+        assert_eq!(env.relation(id).name(), "only");
+    }
+
+    #[test]
+    fn numerals_and_o_are_nat_literals() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            "rel t : nat := | t1 : t 5 | t2 : t O .",
+        )
+        .unwrap();
+        let t = env.rel_id("t").unwrap();
+        assert_eq!(env.relation(t).rules()[0].conclusion()[0], TermExpr::NatLit(5));
+        assert_eq!(env.relation(t).rules()[1].conclusion()[0], TermExpr::NatLit(0));
+    }
+}

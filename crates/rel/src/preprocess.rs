@@ -1,0 +1,266 @@
+//! The preprocessing phase of §3.1: rewriting non-linear conclusion
+//! patterns and conclusion function calls into equality premises.
+//!
+//! After preprocessing, every rule conclusion is a vector of *linear
+//! constructor terms* — exactly the shape the core derivation algorithm
+//! (Algorithm 1) requires — and the extra constraints appear as
+//! [`Premise::Eq`] premises prepended to the rule, mirroring the paper's
+//! rewrite of
+//!
+//! ```text
+//! TAbs : forall e t1 t2, typing (t1 :: Γ) e t2 ->
+//!        typing Γ (Abs t1 e) (Arr t1 t2)
+//! ```
+//!
+//! into
+//!
+//! ```text
+//! TAbs : forall e t1 t2 t1', t1 = t1' -> typing (t1 :: Γ) e t2 ->
+//!        typing Γ (Abs t1 e) (Arr t1' t2)
+//! ```
+
+use crate::infer::{infer_relation, InferError};
+use crate::relation::{Premise, RelEnv, Relation, Rule};
+use indrel_term::{TermExpr, Universe, VarId};
+use std::collections::BTreeSet;
+
+/// Statistics about what preprocessing had to rewrite; used by the
+/// Table 1 harness to classify relations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreprocessReport {
+    /// Number of variable occurrences renamed to restore linearity.
+    pub nonlinear_occurrences: usize,
+    /// Number of function calls hoisted out of conclusions.
+    pub hoisted_calls: usize,
+}
+
+impl PreprocessReport {
+    /// `true` when the relation was already in core form.
+    pub fn is_trivial(&self) -> bool {
+        self.nonlinear_occurrences == 0 && self.hoisted_calls == 0
+    }
+}
+
+/// Preprocesses every rule of a relation, returning the rewritten
+/// relation and a report. The input relation is left untouched.
+///
+/// # Errors
+///
+/// Propagates [`InferError`] from re-running type inference over the
+/// rewritten rules (fresh variables receive their types here).
+pub fn preprocess_relation(
+    universe: &Universe,
+    env: &RelEnv,
+    relation: &Relation,
+) -> Result<(Relation, PreprocessReport), InferError> {
+    let mut report = PreprocessReport::default();
+    let mut rules = Vec::with_capacity(relation.rules().len());
+    for rule in relation.rules() {
+        rules.push(preprocess_rule(rule, &mut report));
+    }
+    let mut out = Relation::new(relation.name(), relation.arg_types().to_vec(), rules);
+    infer_relation(universe, env, &mut out)?;
+    Ok((out, report))
+}
+
+fn preprocess_rule(rule: &Rule, report: &mut PreprocessReport) -> Rule {
+    let mut new_rule = Rule::new(
+        rule.name(),
+        rule.var_names().to_vec(),
+        rule.var_types().to_vec(),
+        Vec::new(),
+        Vec::new(),
+    );
+    let mut seen: BTreeSet<VarId> = BTreeSet::new();
+    let mut extra: Vec<Premise> = Vec::new();
+    let mut conclusion = Vec::with_capacity(rule.conclusion().len());
+    for e in rule.conclusion() {
+        conclusion.push(rewrite(e, &mut seen, &mut extra, &mut new_rule, report));
+    }
+    *new_rule.conclusion_mut() = conclusion;
+    let premises = new_rule.premises_mut();
+    premises.extend(extra);
+    premises.extend(rule.premises().iter().cloned());
+    new_rule
+}
+
+/// Rewrites one conclusion expression: hoists function calls and renames
+/// repeated variables, accumulating equality premises.
+fn rewrite(
+    e: &TermExpr,
+    seen: &mut BTreeSet<VarId>,
+    extra: &mut Vec<Premise>,
+    rule: &mut Rule,
+    report: &mut PreprocessReport,
+) -> TermExpr {
+    match e {
+        TermExpr::Var(x) => {
+            if seen.insert(*x) {
+                e.clone()
+            } else {
+                report.nonlinear_occurrences += 1;
+                let name = format!("{}'", rule.var_names()[x.index()]);
+                let ty = rule.var_types()[x.index()].clone();
+                let fresh = rule.add_var(fresh_name(rule, name), ty);
+                // t1 = t1'  (original on the left, as in the paper)
+                extra.push(Premise::Eq {
+                    lhs: TermExpr::Var(*x),
+                    rhs: TermExpr::Var(fresh),
+                    negated: false,
+                });
+                TermExpr::Var(fresh)
+            }
+        }
+        TermExpr::NatLit(_) | TermExpr::BoolLit(_) => e.clone(),
+        TermExpr::Succ(inner) => TermExpr::succ(rewrite(inner, seen, extra, rule, report)),
+        TermExpr::Ctor(c, args) => TermExpr::Ctor(
+            *c,
+            args.iter()
+                .map(|a| rewrite(a, seen, extra, rule, report))
+                .collect(),
+        ),
+        TermExpr::Fun(_, _) => {
+            report.hoisted_calls += 1;
+            let fresh = rule.add_var(fresh_name(rule, "m".to_string()), None);
+            // n * n = m  (the call on the left, as in the paper)
+            extra.push(Premise::Eq {
+                lhs: e.clone(),
+                rhs: TermExpr::Var(fresh),
+                negated: false,
+            });
+            TermExpr::Var(fresh)
+        }
+    }
+}
+
+fn fresh_name(rule: &Rule, base: String) -> String {
+    if !rule.var_names().contains(&base) {
+        return base;
+    }
+    let mut i = 1;
+    loop {
+        let candidate = format!("{base}{i}");
+        if !rule.var_names().contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleBuilder;
+    use indrel_term::TypeExpr;
+
+    #[test]
+    fn linear_rules_untouched() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        let le = env
+            .reserve("le", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("le_S");
+        let n = b.var("n", TypeExpr::Nat);
+        let m = b.var("m", TypeExpr::Nat);
+        b.premise_rel(le, vec![TermExpr::Var(n), TermExpr::Var(m)]);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::succ(TermExpr::Var(m))]);
+        env.relation_mut(le).rules_mut().push(rule);
+        let (out, report) = preprocess_relation(&u, &env, env.relation(le)).unwrap();
+        assert!(report.is_trivial());
+        assert_eq!(out.rules()[0].premises().len(), 1);
+        assert_eq!(out.rules()[0].num_vars(), 2);
+    }
+
+    #[test]
+    fn nonlinear_var_renamed_with_equality() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        // eq_nat n n  (reflexivity with a non-linear conclusion)
+        let r = env
+            .reserve("eq_nat", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("refl");
+        let n = b.var("n", TypeExpr::Nat);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let (out, report) = preprocess_relation(&u, &env, env.relation(r)).unwrap();
+        assert_eq!(report.nonlinear_occurrences, 1);
+        let rule = &out.rules()[0];
+        assert_eq!(rule.num_vars(), 2);
+        assert_eq!(rule.var_names()[1], "n'");
+        // fresh variable got the original's type
+        assert_eq!(rule.var_types()[1], Some(TypeExpr::Nat));
+        assert_eq!(rule.conclusion()[0], TermExpr::var(0));
+        assert_eq!(rule.conclusion()[1], TermExpr::var(1));
+        assert!(matches!(rule.premises()[0], Premise::Eq { negated: false, .. }));
+    }
+
+    #[test]
+    fn function_call_hoisted() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let mult = u.fun_id("mult").unwrap();
+        let mut env = RelEnv::new();
+        // square_of : sq : forall n, square_of n (n * n)
+        let r = env
+            .reserve("square_of", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("sq");
+        let n = b.var("n", TypeExpr::Nat);
+        let rule = b.conclusion(vec![
+            TermExpr::Var(n),
+            TermExpr::Fun(mult, vec![TermExpr::Var(n), TermExpr::Var(n)]),
+        ]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let (out, report) = preprocess_relation(&u, &env, env.relation(r)).unwrap();
+        assert_eq!(report.hoisted_calls, 1);
+        let rule = &out.rules()[0];
+        assert_eq!(rule.num_vars(), 2);
+        // conclusion is now square_of n m
+        assert_eq!(rule.conclusion()[1], TermExpr::var(1));
+        // with premise  mult n n = m
+        match &rule.premises()[0] {
+            Premise::Eq { lhs, rhs, negated } => {
+                assert!(!negated);
+                assert!(matches!(lhs, TermExpr::Fun(_, _)));
+                assert_eq!(*rhs, TermExpr::var(1));
+            }
+            other => panic!("expected Eq premise, got {other:?}"),
+        }
+        // inference filled in the fresh variable's type
+        assert_eq!(rule.var_types()[1], Some(TypeExpr::Nat));
+    }
+
+    #[test]
+    fn nonlinear_across_arguments() {
+        let u = Universe::new();
+        let mut env = RelEnv::new();
+        let mut u2 = Universe::new();
+        let pairdt = u2.std_pair();
+        let _ = pairdt;
+        // Use a plain two-argument relation with tripled variable.
+        let r = env
+            .reserve("triple", vec![TypeExpr::Nat, TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let mut b = RuleBuilder::new("t");
+        let n = b.var("n", TypeExpr::Nat);
+        let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n), TermExpr::Var(n)]);
+        env.relation_mut(r).rules_mut().push(rule);
+        let (out, report) = preprocess_relation(&u, &env, env.relation(r)).unwrap();
+        assert_eq!(report.nonlinear_occurrences, 2);
+        let rule = &out.rules()[0];
+        assert_eq!(rule.num_vars(), 3);
+        assert_eq!(rule.premises().len(), 2);
+        // conclusion variables are pairwise distinct now
+        let vars: Vec<_> = rule
+            .conclusion()
+            .iter()
+            .flat_map(|e| e.variables())
+            .collect();
+        let mut dedup = vars.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(vars.len(), dedup.len());
+    }
+}

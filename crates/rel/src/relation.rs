@@ -1,0 +1,463 @@
+//! Relations, rules, and premises.
+
+use indrel_term::{RelId, TermExpr, TypeExpr, Universe, VarId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A premise of a rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Premise {
+    /// An application of an inductive relation, `Q e₁ … eₙ`, or its
+    /// negation `¬ (Q e₁ … eₙ)`.
+    Rel {
+        /// The relation applied.
+        rel: RelId,
+        /// Argument expressions.
+        args: Vec<TermExpr>,
+        /// `true` for a negated premise.
+        negated: bool,
+    },
+    /// A (dis)equality between two terms, `e₁ = e₂` or `e₁ ≠ e₂`.
+    ///
+    /// Equalities arise both in source programs and from the
+    /// preprocessing of non-linear patterns and function calls (§3.1).
+    Eq {
+        /// Left-hand side.
+        lhs: TermExpr,
+        /// Right-hand side.
+        rhs: TermExpr,
+        /// `true` for a disequality.
+        negated: bool,
+    },
+}
+
+impl Premise {
+    /// All variables occurring in the premise.
+    pub fn variables(&self) -> std::collections::BTreeSet<VarId> {
+        let mut out = std::collections::BTreeSet::new();
+        match self {
+            Premise::Rel { args, .. } => {
+                for a in args {
+                    out.extend(a.variables());
+                }
+            }
+            Premise::Eq { lhs, rhs, .. } => {
+                out.extend(lhs.variables());
+                out.extend(rhs.variables());
+            }
+        }
+        out
+    }
+
+    /// `true` when the premise is negated.
+    pub fn is_negated(&self) -> bool {
+        match self {
+            Premise::Rel { negated, .. } | Premise::Eq { negated, .. } => *negated,
+        }
+    }
+}
+
+/// A rule (constructor) of an inductive relation.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    name: String,
+    var_names: Vec<String>,
+    var_types: Vec<Option<TypeExpr>>,
+    premises: Vec<Premise>,
+    conclusion: Vec<TermExpr>,
+}
+
+impl Rule {
+    /// Creates a rule. Prefer [`crate::RuleBuilder`] or the parser.
+    pub fn new(
+        name: impl Into<String>,
+        var_names: Vec<String>,
+        var_types: Vec<Option<TypeExpr>>,
+        premises: Vec<Premise>,
+        conclusion: Vec<TermExpr>,
+    ) -> Rule {
+        Rule {
+            name: name.into(),
+            var_names,
+            var_types,
+            premises,
+            conclusion,
+        }
+    }
+
+    /// Rule (constructor) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of universally quantified variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Variable names, indexed by [`VarId`].
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// Inferred or annotated variable types, indexed by [`VarId`].
+    pub fn var_types(&self) -> &[Option<TypeExpr>] {
+        &self.var_types
+    }
+
+    /// Premises in source order.
+    pub fn premises(&self) -> &[Premise] {
+        &self.premises
+    }
+
+    /// The argument expressions of the conclusion `P e₁ … eₙ`.
+    pub fn conclusion(&self) -> &[TermExpr] {
+        &self.conclusion
+    }
+
+    /// `true` when the rule has a premise on the relation `rel` itself
+    /// (i.e. the constructor is recursive).
+    pub fn is_recursive(&self, rel: RelId) -> bool {
+        self.premises.iter().any(|p| match p {
+            Premise::Rel { rel: q, .. } => *q == rel,
+            Premise::Eq { .. } => false,
+        })
+    }
+
+    /// Variables appearing in premises but not in the conclusion — the
+    /// *existentially quantified* variables of §3.1.
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        let mut concl: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+        for e in &self.conclusion {
+            concl.extend(e.variables());
+        }
+        let mut out = Vec::new();
+        for p in &self.premises {
+            for v in p.variables() {
+                if !concl.contains(&v) && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn set_var_type(&mut self, var: VarId, ty: TypeExpr) {
+        self.var_types[var.index()] = Some(ty);
+    }
+
+    pub(crate) fn add_var(&mut self, name: String, ty: Option<TypeExpr>) -> VarId {
+        let id = VarId::new(self.var_names.len());
+        self.var_names.push(name);
+        self.var_types.push(ty);
+        id
+    }
+
+    pub(crate) fn premises_mut(&mut self) -> &mut Vec<Premise> {
+        &mut self.premises
+    }
+
+    pub(crate) fn conclusion_mut(&mut self) -> &mut Vec<TermExpr> {
+        &mut self.conclusion
+    }
+}
+
+/// An inductive relation: a name, argument types, and rules.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    name: String,
+    arg_types: Vec<TypeExpr>,
+    rules: Vec<Rule>,
+}
+
+impl Relation {
+    /// Creates a relation.
+    pub fn new(name: impl Into<String>, arg_types: Vec<TypeExpr>, rules: Vec<Rule>) -> Relation {
+        Relation {
+            name: name.into(),
+            arg_types,
+            rules,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Argument types `T₁ … Tₙ` of `P : T₁ → ⋯ → Tₙ → Prop`.
+    pub fn arg_types(&self) -> &[TypeExpr] {
+        &self.arg_types
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arg_types.len()
+    }
+
+    /// Rules in declaration order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub(crate) fn rules_mut(&mut self) -> &mut Vec<Rule> {
+        &mut self.rules
+    }
+}
+
+/// Error raised when registering relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelEnvError {
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for RelEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelEnvError::DuplicateRelation(n) => write!(f, "duplicate relation `{n}`"),
+        }
+    }
+}
+
+impl Error for RelEnvError {}
+
+/// The registry of inductive relations, owning the [`RelId`] space.
+#[derive(Clone, Debug, Default)]
+pub struct RelEnv {
+    rels: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl RelEnv {
+    /// Creates an empty environment.
+    pub fn new() -> RelEnv {
+        RelEnv::default()
+    }
+
+    /// Registers a relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelEnvError::DuplicateRelation`] if the name is taken.
+    pub fn declare(&mut self, relation: Relation) -> Result<RelId, RelEnvError> {
+        if self.by_name.contains_key(relation.name()) {
+            return Err(RelEnvError::DuplicateRelation(relation.name().to_string()));
+        }
+        let id = RelId::new(self.rels.len());
+        self.by_name.insert(relation.name().to_string(), id);
+        self.rels.push(relation);
+        Ok(id)
+    }
+
+    /// Reserves an id for a relation being parsed, so rules can refer to
+    /// the relation itself.
+    pub(crate) fn reserve(&mut self, name: &str, arg_types: Vec<TypeExpr>) -> Result<RelId, RelEnvError> {
+        self.declare(Relation::new(name, arg_types, Vec::new()))
+    }
+
+    pub(crate) fn relation_mut(&mut self, rel: RelId) -> &mut Relation {
+        &mut self.rels[rel.index()]
+    }
+
+    /// Looks up a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this environment.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.rels[rel.index()]
+    }
+
+    /// Resolves a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// `true` when no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over `(id, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId::new(i), r))
+    }
+
+    /// Renders a rule in roughly the surface syntax, for diagnostics.
+    pub fn display_rule<'a>(&'a self, universe: &'a Universe, rel: RelId, rule: &'a Rule) -> DisplayRule<'a> {
+        DisplayRule {
+            env: self,
+            universe,
+            rel,
+            rule,
+        }
+    }
+}
+
+/// Helper returned by [`RelEnv::display_rule`].
+#[derive(Debug)]
+pub struct DisplayRule<'a> {
+    env: &'a RelEnv,
+    universe: &'a Universe,
+    rel: RelId,
+    rule: &'a Rule,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.rule.var_names();
+        write!(f, "{} :", self.rule.name())?;
+        if !names.is_empty() {
+            write!(f, " forall")?;
+            for n in names {
+                write!(f, " {n}")?;
+            }
+            write!(f, ",")?;
+        }
+        for p in self.rule.premises() {
+            match p {
+                Premise::Rel { rel, args, negated } => {
+                    write!(f, " ")?;
+                    if *negated {
+                        write!(f, "~ ")?;
+                    }
+                    write!(f, "{}", self.env.relation(*rel).name())?;
+                    for a in args {
+                        write!(f, " {}", ParenExpr(a, self.universe, names))?;
+                    }
+                }
+                Premise::Eq { lhs, rhs, negated } => {
+                    write!(
+                        f,
+                        " {} {} {}",
+                        lhs.display(self.universe, names),
+                        if *negated { "<>" } else { "=" },
+                        rhs.display(self.universe, names)
+                    )?;
+                }
+            }
+            write!(f, " ->")?;
+        }
+        write!(f, " {}", self.env.relation(self.rel).name())?;
+        for a in self.rule.conclusion() {
+            write!(f, " {}", ParenExpr(a, self.universe, names))?;
+        }
+        Ok(())
+    }
+}
+
+struct ParenExpr<'a>(&'a TermExpr, &'a Universe, &'a [String]);
+
+impl fmt::Display for ParenExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atomic = matches!(
+            self.0,
+            TermExpr::Var(_) | TermExpr::NatLit(_) | TermExpr::BoolLit(_)
+        ) || matches!(self.0, TermExpr::Ctor(_, args) if args.is_empty());
+        if atomic {
+            write!(f, "{}", self.0.display(self.1, self.2))
+        } else {
+            write!(f, "({})", self.0.display(self.1, self.2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le_relation(env: &mut RelEnv) -> RelId {
+        // le : nat -> nat -> Prop
+        let le = env
+            .reserve("le", vec![TypeExpr::Nat, TypeExpr::Nat])
+            .unwrap();
+        let le_n = Rule::new(
+            "le_n",
+            vec!["n".into()],
+            vec![Some(TypeExpr::Nat)],
+            vec![],
+            vec![TermExpr::var(0), TermExpr::var(0)],
+        );
+        let le_s = Rule::new(
+            "le_S",
+            vec!["n".into(), "m".into()],
+            vec![Some(TypeExpr::Nat), Some(TypeExpr::Nat)],
+            vec![Premise::Rel {
+                rel: le,
+                args: vec![TermExpr::var(0), TermExpr::var(1)],
+                negated: false,
+            }],
+            vec![TermExpr::var(0), TermExpr::succ(TermExpr::var(1))],
+        );
+        env.relation_mut(le).rules_mut().extend([le_n, le_s]);
+        le
+    }
+
+    #[test]
+    fn declare_and_query() {
+        let mut env = RelEnv::new();
+        let le = le_relation(&mut env);
+        assert_eq!(env.relation(le).name(), "le");
+        assert_eq!(env.relation(le).arity(), 2);
+        assert_eq!(env.rel_id("le"), Some(le));
+        assert!(env.relation(le).rules()[1].is_recursive(le));
+        assert!(!env.relation(le).rules()[0].is_recursive(le));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut env = RelEnv::new();
+        le_relation(&mut env);
+        assert!(env.reserve("le", vec![]).is_err());
+    }
+
+    #[test]
+    fn existential_vars_detected() {
+        let mut env = RelEnv::new();
+        let le = le_relation(&mut env);
+        // between : n <= m -> m <= p -> between n p   (m is existential)
+        let rule = Rule::new(
+            "between",
+            vec!["n".into(), "m".into(), "p".into()],
+            vec![Some(TypeExpr::Nat); 3],
+            vec![
+                Premise::Rel {
+                    rel: le,
+                    args: vec![TermExpr::var(0), TermExpr::var(1)],
+                    negated: false,
+                },
+                Premise::Rel {
+                    rel: le,
+                    args: vec![TermExpr::var(1), TermExpr::var(2)],
+                    negated: false,
+                },
+            ],
+            vec![TermExpr::var(0), TermExpr::var(2)],
+        );
+        assert_eq!(rule.existential_vars(), vec![VarId::new(1)]);
+        assert!(rule.premises()[0].variables().contains(&VarId::new(0)));
+        assert!(!rule.premises()[0].is_negated());
+    }
+
+    #[test]
+    fn display_rule_round_trips_syntax() {
+        let mut env = RelEnv::new();
+        let le = le_relation(&mut env);
+        let u = Universe::new();
+        let shown = env
+            .display_rule(&u, le, &env.relation(le).rules()[1])
+            .to_string();
+        assert_eq!(shown, "le_S : forall n m, le n m -> le n (S m)");
+    }
+}

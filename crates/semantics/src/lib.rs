@@ -1,0 +1,53 @@
+//! Reference semantics for inductive relations.
+//!
+//! An inductive relation *holds* on ground arguments exactly when a
+//! finite derivation tree exists. This crate implements that meaning
+//! directly — a bounded proof search that is deliberately independent of
+//! the derivation algorithm under test — and serves two purposes:
+//!
+//! * it is the **ground truth** against which `indrel-validate` checks
+//!   the soundness and completeness of derived checkers and producers
+//!   (the role played by the inductive relation itself in the paper's
+//!   Ltac2 translation-validation proofs, §5), and
+//! * it constructs explicit **derivation trees** ([`Proof`]) with a
+//!   structural [`ProofSystem::check_proof`] "kernel", the substrate of
+//!   the proof-by-reflection case study (§6.3).
+//!
+//! Search is bounded in two directions: `depth` bounds derivation-tree
+//! height, and a `value_bound` bounds the size of candidate witnesses
+//! for existentially quantified variables. Within those bounds the
+//! search is exhaustive, so `Tv::False` is conclusive *relative to the
+//! bounds* only when no branch was cut off — otherwise [`Tv::Unknown`]
+//! is returned, mirroring the three-valued discipline of derived
+//! checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_semantics::{ProofSystem, Tv};
+//! use indrel_rel::{parse::parse_program, RelEnv};
+//! use indrel_term::{Universe, Value};
+//!
+//! let mut u = Universe::new();
+//! let mut env = RelEnv::new();
+//! parse_program(&mut u, &mut env, r"
+//!     rel even' : nat :=
+//!     | even_0  : even' 0
+//!     | even_SS : forall n, even' n -> even' (S (S n))
+//!     .
+//! ").unwrap();
+//! let even = env.rel_id("even'").unwrap();
+//! let sys = ProofSystem::new(u, env).unwrap();
+//! assert_eq!(sys.holds(even, &[Value::nat(6)], 10), Tv::True);
+//! assert_eq!(sys.holds(even, &[Value::nat(5)], 10), Tv::False);
+//! let proof = sys.prove(even, &[Value::nat(6)], 10).unwrap();
+//! assert!(sys.check_proof(&proof).is_ok());
+//! ```
+
+pub mod proof;
+pub mod search;
+pub mod tv;
+
+pub use proof::{Proof, ProofError};
+pub use search::ProofSystem;
+pub use tv::Tv;

@@ -1,0 +1,401 @@
+//! Explicit derivation trees and the structural proof "kernel".
+//!
+//! A [`Proof`] is the analogue of a Coq proof term for an inductive
+//! predicate: a tree of rule applications, each node carrying the
+//! witness bindings for the rule's universally quantified variables.
+//! [`ProofSystem::check_proof`] plays the role of the kernel's type
+//! checker: it re-matches every node against its rule and structurally
+//! compares premise instantiations with sub-proof conclusions — the
+//! honest O(size) comparisons that make large proof terms expensive to
+//! check (§6.3).
+
+use crate::search::ProofSystem;
+use crate::tv::Tv;
+use indrel_rel::Premise;
+use indrel_term::{Env, RelId, Value, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// A derivation tree for `rel args`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proof {
+    /// The relation concluded.
+    pub rel: RelId,
+    /// Index of the applied rule in the *preprocessed* relation.
+    pub rule_index: usize,
+    /// Witness values for the rule's variables (slot-indexed; `None`
+    /// for variables the derivation never needed).
+    pub bindings: Vec<Option<Value>>,
+    /// Sub-proofs for the positive relational premises, in premise
+    /// order.
+    pub subproofs: Vec<Proof>,
+}
+
+impl Proof {
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> u64 {
+        1 + self.subproofs.iter().map(Proof::size).sum::<u64>()
+    }
+
+    /// Height of the tree.
+    pub fn height(&self) -> u64 {
+        1 + self
+            .subproofs
+            .iter()
+            .map(Proof::height)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Why a proof failed to check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// A node refers to a rule index that does not exist.
+    NoSuchRule {
+        /// Relation name.
+        rel: String,
+        /// The bad index.
+        rule_index: usize,
+    },
+    /// A rule variable needed by the rule has no binding.
+    MissingBinding {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A premise's instantiation does not match the sub-proof's
+    /// conclusion (or a sub-proof proves the wrong relation).
+    PremiseMismatch {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Premise index.
+        premise: usize,
+    },
+    /// An equality premise is violated by the bindings.
+    EqualityViolated {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Premise index.
+        premise: usize,
+    },
+    /// A negated premise could not be refuted by bounded search.
+    NegationUnverified {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Premise index.
+        premise: usize,
+    },
+    /// The node has the wrong number of sub-proofs.
+    SubproofCount {
+        /// Relation name.
+        rel: String,
+        /// Rule name.
+        rule: String,
+        /// Expected count.
+        expected: usize,
+        /// Found count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::NoSuchRule { rel, rule_index } => {
+                write!(f, "`{rel}` has no rule #{rule_index}")
+            }
+            ProofError::MissingBinding { rel, rule, var } => {
+                write!(f, "`{rel}.{rule}`: variable `{var}` has no witness")
+            }
+            ProofError::PremiseMismatch { rel, rule, premise } => {
+                write!(f, "`{rel}.{rule}`: premise #{premise} does not match its sub-proof")
+            }
+            ProofError::EqualityViolated { rel, rule, premise } => {
+                write!(f, "`{rel}.{rule}`: equality premise #{premise} violated")
+            }
+            ProofError::NegationUnverified { rel, rule, premise } => {
+                write!(f, "`{rel}.{rule}`: negated premise #{premise} not refuted")
+            }
+            ProofError::SubproofCount {
+                rel,
+                rule,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{rel}.{rule}`: expected {expected} sub-proofs, found {found}"
+            ),
+        }
+    }
+}
+
+impl Error for ProofError {}
+
+impl ProofSystem {
+    /// The conclusion arguments a proof node establishes, computed from
+    /// its bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed proofs (check first).
+    pub fn conclusion_args(&self, proof: &Proof) -> Vec<Value> {
+        let rule = &self.prepared(proof.rel).rules()[proof.rule_index];
+        let env = bindings_env(proof);
+        rule.conclusion()
+            .iter()
+            .map(|e| {
+                e.eval(&env, self.universe())
+                    .expect("proof bindings cover the conclusion")
+            })
+            .collect()
+    }
+
+    /// Structurally checks a derivation tree, the way a proof kernel
+    /// re-typechecks a proof term.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProofError`] found.
+    pub fn check_proof(&self, proof: &Proof) -> Result<(), ProofError> {
+        let relation = self.prepared(proof.rel);
+        let rel_name = relation.name().to_string();
+        let Some(rule) = relation.rules().get(proof.rule_index) else {
+            return Err(ProofError::NoSuchRule {
+                rel: rel_name,
+                rule_index: proof.rule_index,
+            });
+        };
+        let env = bindings_env(proof);
+        // Every variable occurring in the conclusion or premises must
+        // have a witness.
+        let mut needed: Vec<VarId> = Vec::new();
+        for e in rule.conclusion() {
+            needed.extend(e.variables());
+        }
+        for p in rule.premises() {
+            needed.extend(p.variables());
+        }
+        for v in needed {
+            if env.get(v).is_none() {
+                return Err(ProofError::MissingBinding {
+                    rel: rel_name,
+                    rule: rule.name().to_string(),
+                    var: rule.var_names()[v.index()].clone(),
+                });
+            }
+        }
+        let positive: Vec<usize> = rule
+            .premises()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Premise::Rel { negated: false, .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if positive.len() != proof.subproofs.len() {
+            return Err(ProofError::SubproofCount {
+                rel: rel_name,
+                rule: rule.name().to_string(),
+                expected: positive.len(),
+                found: proof.subproofs.len(),
+            });
+        }
+        let mut sub = proof.subproofs.iter();
+        for (i, premise) in rule.premises().iter().enumerate() {
+            match premise {
+                Premise::Rel {
+                    rel: q,
+                    args,
+                    negated: false,
+                } => {
+                    let subproof = sub.next().expect("counted above");
+                    if subproof.rel != *q {
+                        return Err(ProofError::PremiseMismatch {
+                            rel: rel_name,
+                            rule: rule.name().to_string(),
+                            premise: i,
+                        });
+                    }
+                    let expected: Vec<Value> = args
+                        .iter()
+                        .map(|a| a.eval(&env, self.universe()).expect("bindings checked"))
+                        .collect();
+                    let actual = self.conclusion_args(subproof);
+                    // Honest structural comparison, as a kernel would
+                    // perform (no pointer-equality shortcuts).
+                    let eq = expected.len() == actual.len()
+                        && expected
+                            .iter()
+                            .zip(&actual)
+                            .all(|(a, b)| a.structurally_equal(b));
+                    if !eq {
+                        return Err(ProofError::PremiseMismatch {
+                            rel: rel_name,
+                            rule: rule.name().to_string(),
+                            premise: i,
+                        });
+                    }
+                    self.check_proof(subproof)?;
+                }
+                Premise::Rel {
+                    rel: q,
+                    args,
+                    negated: true,
+                } => {
+                    let vals: Vec<Value> = args
+                        .iter()
+                        .map(|a| a.eval(&env, self.universe()).expect("bindings checked"))
+                        .collect();
+                    if self.holds(*q, &vals, 16) != Tv::False {
+                        return Err(ProofError::NegationUnverified {
+                            rel: rel_name,
+                            rule: rule.name().to_string(),
+                            premise: i,
+                        });
+                    }
+                }
+                Premise::Eq { lhs, rhs, negated } => {
+                    let l = lhs.eval(&env, self.universe()).expect("bindings checked");
+                    let r = rhs.eval(&env, self.universe()).expect("bindings checked");
+                    if l.structurally_equal(&r) == *negated {
+                        return Err(ProofError::EqualityViolated {
+                            rel: rel_name,
+                            rule: rule.name().to_string(),
+                            premise: i,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn bindings_env(proof: &Proof) -> Env {
+    let mut env = Env::with_slots(proof.bindings.len());
+    for (i, b) in proof.bindings.iter().enumerate() {
+        if let Some(v) = b {
+            env.bind(VarId::new(i), v.clone());
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_rel::parse::parse_program;
+    use indrel_rel::RelEnv;
+    use indrel_term::Universe;
+
+    fn system(src: &str) -> (ProofSystem, Vec<RelId>) {
+        let mut u = Universe::new();
+        u.std_list();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        let out = parse_program(&mut u, &mut env, src).unwrap();
+        let ids = out
+            .relations
+            .iter()
+            .map(|n| env.rel_id(n).unwrap())
+            .collect();
+        (ProofSystem::new(u, env).unwrap(), ids)
+    }
+
+    #[test]
+    fn checks_even_proofs() {
+        let (sys, ids) = system(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+        );
+        let even = ids[0];
+        let proof = sys.prove(even, &[Value::nat(8)], 10).unwrap();
+        assert_eq!(proof.size(), 5);
+        assert_eq!(proof.height(), 5);
+        assert!(sys.check_proof(&proof).is_ok());
+        assert_eq!(sys.conclusion_args(&proof), vec![Value::nat(8)]);
+    }
+
+    #[test]
+    fn rejects_tampered_proofs() {
+        let (sys, ids) = system(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+        );
+        let even = ids[0];
+        let mut proof = sys.prove(even, &[Value::nat(4)], 10).unwrap();
+        // Tamper: claim the sub-derivation concludes even' 3.
+        proof.subproofs[0].bindings = vec![Some(Value::nat(1))];
+        assert!(matches!(
+            sys.check_proof(&proof),
+            Err(ProofError::PremiseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_subproof_count() {
+        let (sys, ids) = system(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+        );
+        let even = ids[0];
+        let mut proof = sys.prove(even, &[Value::nat(2)], 10).unwrap();
+        proof.subproofs.clear();
+        assert!(matches!(
+            sys.check_proof(&proof),
+            Err(ProofError::SubproofCount { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_bindings() {
+        let (sys, ids) = system(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+        );
+        let even = ids[0];
+        let mut proof = sys.prove(even, &[Value::nat(2)], 10).unwrap();
+        proof.bindings = vec![None];
+        assert!(matches!(
+            sys.check_proof(&proof),
+            Err(ProofError::MissingBinding { .. })
+        ));
+    }
+
+    #[test]
+    fn equality_premises_are_checked() {
+        let (sys, ids) = system(
+            r"rel square_of : nat nat :=
+              | sq : forall n, square_of n (mult n n)
+              .",
+        );
+        let sq = ids[0];
+        let proof = sys.prove(sq, &[Value::nat(4), Value::nat(16)], 3).unwrap();
+        assert!(sys.check_proof(&proof).is_ok());
+        let mut bad = proof.clone();
+        // Tamper with the hoisted `m` witness.
+        for b in bad.bindings.iter_mut() {
+            if *b == Some(Value::nat(16)) {
+                *b = Some(Value::nat(17));
+            }
+        }
+        assert!(sys.check_proof(&bad).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! Bounded proof search over preprocessed relations.
+
+use crate::proof::Proof;
+use crate::tv::Tv;
+use indrel_rel::preprocess::preprocess_relation;
+use indrel_rel::{Premise, RelEnv, Relation};
+use indrel_term::enumerate::values_up_to;
+use indrel_term::{Env, RelId, TermExpr, TypeExpr, Universe, Value, VarId};
+
+/// The reference proof-search engine.
+///
+/// Construction preprocesses every relation (non-linear conclusions and
+/// conclusion function calls become equality premises) so that matching
+/// a ground argument tuple against a rule conclusion is plain pattern
+/// matching. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct ProofSystem {
+    universe: Universe,
+    env: RelEnv,
+    prepared: Vec<Relation>,
+    value_bound: u64,
+}
+
+impl ProofSystem {
+    /// Builds a proof system over the given universe and relations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing/type-inference errors (as strings, to
+    /// keep this crate independent of the deriver's error type).
+    pub fn new(universe: Universe, env: RelEnv) -> Result<ProofSystem, String> {
+        let mut prepared = Vec::with_capacity(env.len());
+        for (_, relation) in env.iter() {
+            let (p, _) =
+                preprocess_relation(&universe, &env, relation).map_err(|e| e.to_string())?;
+            prepared.push(p);
+        }
+        Ok(ProofSystem {
+            universe,
+            env,
+            prepared,
+            value_bound: 6,
+        })
+    }
+
+    /// Sets the size bound for existential-witness enumeration
+    /// (default 6).
+    pub fn set_value_bound(&mut self, bound: u64) {
+        self.value_bound = bound;
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The relation environment.
+    pub fn env(&self) -> &RelEnv {
+        &self.env
+    }
+
+    /// The preprocessed form of `rel` used by search and proof checking.
+    pub fn prepared(&self, rel: RelId) -> &Relation {
+        &self.prepared[rel.index()]
+    }
+
+    /// Does `rel args` hold, searching derivations of height at most
+    /// `depth`?
+    pub fn holds(&self, rel: RelId, args: &[Value], depth: u64) -> Tv {
+        if depth == 0 {
+            return Tv::Unknown;
+        }
+        let relation = &self.prepared[rel.index()];
+        let mut acc = Tv::False;
+        for rule in relation.rules() {
+            let mut env = Env::with_slots(rule.num_vars());
+            if !match_conclusion(rule.conclusion(), args, &mut env) {
+                continue;
+            }
+            let r = self.premises_hold(rule, 0, &mut env, depth);
+            acc = acc.or(r);
+            if acc == Tv::True {
+                return Tv::True;
+            }
+        }
+        acc
+    }
+
+    fn premises_hold(
+        &self,
+        rule: &indrel_rel::Rule,
+        idx: usize,
+        env: &mut Env,
+        depth: u64,
+    ) -> Tv {
+        let Some(premise) = rule.premises().get(idx) else {
+            return Tv::True;
+        };
+        // Fast path: a positive equality with one side evaluable and the
+        // other a single unbound variable binds directly.
+        if let Premise::Eq {
+            lhs,
+            rhs,
+            negated: false,
+        } = premise
+        {
+            if let Some((var, val)) = solve_binding(lhs, rhs, env, &self.universe) {
+                env.bind(var, val);
+                let r = self.premises_hold(rule, idx + 1, env, depth);
+                env.unbind(var);
+                return r;
+            }
+        }
+        // Enumerate any remaining unbound variables of this premise.
+        let unbound: Vec<VarId> = premise
+            .variables()
+            .into_iter()
+            .filter(|v| env.get(*v).is_none())
+            .collect();
+        if let Some(&var) = unbound.first() {
+            let Some(ty) = rule.var_types()[var.index()].clone() else {
+                // Untypeable witness: cannot search conclusively.
+                return Tv::Unknown;
+            };
+            let mut acc = Tv::False;
+            for candidate in self.candidates(&ty) {
+                env.bind(var, candidate);
+                let r = self.premises_hold(rule, idx, env, depth);
+                acc = acc.or(r);
+                if acc == Tv::True {
+                    env.unbind(var);
+                    return Tv::True;
+                }
+            }
+            env.unbind(var);
+            // The witness space was truncated at `value_bound`, so a
+            // negative result is only conclusive up to that bound; we
+            // treat the bound as part of the ground-truth domain.
+            return acc;
+        }
+        let head = match premise {
+            Premise::Rel { rel, args, negated } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(env, &self.universe).expect("premise vars bound"))
+                    .collect();
+                let r = self.holds(*rel, &vals, depth - 1);
+                if *negated {
+                    r.not()
+                } else {
+                    r
+                }
+            }
+            Premise::Eq { lhs, rhs, negated } => {
+                let l = lhs.eval(env, &self.universe).expect("premise vars bound");
+                let r = rhs.eval(env, &self.universe).expect("premise vars bound");
+                Tv::from((l == r) != *negated)
+            }
+        };
+        match head {
+            Tv::False => Tv::False,
+            Tv::Unknown => {
+                // Continue to detect a conclusive False later on.
+                let rest = self.premises_hold(rule, idx + 1, env, depth);
+                Tv::Unknown.and(rest)
+            }
+            Tv::True => self.premises_hold(rule, idx + 1, env, depth),
+        }
+    }
+
+    /// Constructs a derivation tree for `rel args` of height at most
+    /// `depth`, if one exists within the bounds. This is the analogue
+    /// of building a proof term by repeated `eapply` (§6.3).
+    pub fn prove(&self, rel: RelId, args: &[Value], depth: u64) -> Option<Proof> {
+        if depth == 0 {
+            return None;
+        }
+        let relation = &self.prepared[rel.index()];
+        for (rule_index, rule) in relation.rules().iter().enumerate() {
+            let mut env = Env::with_slots(rule.num_vars());
+            if !match_conclusion(rule.conclusion(), args, &mut env) {
+                continue;
+            }
+            if let Some(subproofs) = self.prove_premises(rel, rule, 0, &mut env, depth) {
+                let bindings = (0..rule.num_vars())
+                    .map(|i| env.get(VarId::new(i)).cloned())
+                    .collect();
+                return Some(Proof {
+                    rel,
+                    rule_index,
+                    bindings,
+                    subproofs,
+                });
+            }
+        }
+        None
+    }
+
+    fn prove_premises(
+        &self,
+        rel: RelId,
+        rule: &indrel_rel::Rule,
+        idx: usize,
+        env: &mut Env,
+        depth: u64,
+    ) -> Option<Vec<Proof>> {
+        let Some(premise) = rule.premises().get(idx) else {
+            return Some(Vec::new());
+        };
+        if let Premise::Eq {
+            lhs,
+            rhs,
+            negated: false,
+        } = premise
+        {
+            if let Some((var, val)) = solve_binding(lhs, rhs, env, &self.universe) {
+                env.bind(var, val);
+                match self.prove_premises(rel, rule, idx + 1, env, depth) {
+                    Some(rest) => return Some(rest),
+                    None => {
+                        env.unbind(var);
+                        return None;
+                    }
+                }
+            }
+        }
+        let unbound: Vec<VarId> = premise
+            .variables()
+            .into_iter()
+            .filter(|v| env.get(*v).is_none())
+            .collect();
+        if let Some(&var) = unbound.first() {
+            let ty = rule.var_types()[var.index()].clone()?;
+            for candidate in self.candidates(&ty) {
+                env.bind(var, candidate);
+                if let Some(proofs) = self.prove_premises(rel, rule, idx, env, depth) {
+                    return Some(proofs);
+                }
+            }
+            env.unbind(var);
+            return None;
+        }
+        match premise {
+            Premise::Rel {
+                rel: q,
+                args,
+                negated,
+            } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(env, &self.universe).expect("premise vars bound"))
+                    .collect();
+                if *negated {
+                    // Proof objects carry no refutation evidence; a
+                    // negated premise is search-checked but contributes
+                    // no subtree.
+                    if self.holds(*q, &vals, depth - 1) != Tv::False {
+                        return None;
+                    }
+                    self.prove_premises(rel, rule, idx + 1, env, depth)
+                } else {
+                    let sub = self.prove(*q, &vals, depth - 1)?;
+                    let mut rest = self.prove_premises(rel, rule, idx + 1, env, depth)?;
+                    rest.insert(0, sub);
+                    Some(rest)
+                }
+            }
+            Premise::Eq { lhs, rhs, negated } => {
+                let l = lhs.eval(env, &self.universe).expect("premise vars bound");
+                let r = rhs.eval(env, &self.universe).expect("premise vars bound");
+                if (l == r) == *negated {
+                    return None;
+                }
+                self.prove_premises(rel, rule, idx + 1, env, depth)
+            }
+        }
+    }
+
+    fn candidates(&self, ty: &TypeExpr) -> Vec<Value> {
+        values_up_to(&self.universe, ty, self.value_bound)
+    }
+}
+
+/// Matches ground values against linear constructor-term conclusions.
+fn match_conclusion(conclusion: &[TermExpr], args: &[Value], env: &mut Env) -> bool {
+    debug_assert_eq!(conclusion.len(), args.len());
+    for (e, v) in conclusion.iter().zip(args) {
+        let Some(pat) = e.to_pattern() else {
+            return false;
+        };
+        if !pat.matches(v, env) {
+            return false;
+        }
+    }
+    true
+}
+
+/// If the equality binds a single unbound variable from an evaluable
+/// side, returns the binding.
+fn solve_binding(
+    lhs: &TermExpr,
+    rhs: &TermExpr,
+    env: &Env,
+    universe: &Universe,
+) -> Option<(VarId, Value)> {
+    let try_dir = |var_side: &TermExpr, val_side: &TermExpr| -> Option<(VarId, Value)> {
+        if let TermExpr::Var(x) = var_side {
+            if env.get(*x).is_none() {
+                if let Some(v) = val_side.eval(env, universe) {
+                    return Some((*x, v));
+                }
+            }
+        }
+        None
+    };
+    try_dir(lhs, rhs).or_else(|| try_dir(rhs, lhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_rel::parse::parse_program;
+
+    fn system(src: &str) -> (ProofSystem, Vec<RelId>) {
+        let mut u = Universe::new();
+        u.std_list();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        let out = parse_program(&mut u, &mut env, src).unwrap();
+        let ids = out
+            .relations
+            .iter()
+            .map(|n| env.rel_id(n).unwrap())
+            .collect();
+        (ProofSystem::new(u, env).unwrap(), ids)
+    }
+
+    #[test]
+    fn le_search() {
+        let (sys, ids) = system(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+        );
+        let le = ids[0];
+        assert_eq!(sys.holds(le, &[Value::nat(2), Value::nat(5)], 10), Tv::True);
+        assert_eq!(sys.holds(le, &[Value::nat(5), Value::nat(2)], 10), Tv::False);
+        assert_eq!(sys.holds(le, &[Value::nat(0), Value::nat(9)], 3), Tv::Unknown);
+    }
+
+    #[test]
+    fn square_of_search_handles_function_calls() {
+        let (sys, ids) = system(
+            r"rel square_of : nat nat :=
+              | sq : forall n, square_of n (mult n n)
+              .",
+        );
+        let sq = ids[0];
+        assert_eq!(sys.holds(sq, &[Value::nat(3), Value::nat(9)], 3), Tv::True);
+        assert_eq!(sys.holds(sq, &[Value::nat(3), Value::nat(8)], 3), Tv::False);
+    }
+
+    #[test]
+    fn existential_witnesses_are_searched() {
+        let (sys, ids) = system(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .
+              rel between : nat nat :=
+              | b : forall n m p, le n m -> le (S m) p -> between n p
+              .",
+        );
+        let between = ids[1];
+        assert_eq!(
+            sys.holds(between, &[Value::nat(1), Value::nat(3)], 10),
+            Tv::True
+        );
+        assert_eq!(
+            sys.holds(between, &[Value::nat(3), Value::nat(1)], 10),
+            Tv::False
+        );
+    }
+
+    #[test]
+    fn negated_premises_search() {
+        let (sys, ids) = system(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .
+              rel odd' : nat :=
+              | odd : forall n, ~ (even' n) -> odd' n
+              .",
+        );
+        let odd = ids[1];
+        assert_eq!(sys.holds(odd, &[Value::nat(3)], 10), Tv::True);
+        assert_eq!(sys.holds(odd, &[Value::nat(4)], 10), Tv::False);
+    }
+
+    #[test]
+    fn zero_relation_is_unknown_for_positives() {
+        let (sys, ids) = system(
+            r"rel zero : nat :=
+              | Zero : zero 0
+              | NonZero : forall n, zero (S n) -> zero n
+              .",
+        );
+        let zero = ids[0];
+        assert_eq!(sys.holds(zero, &[Value::nat(0)], 5), Tv::True);
+        assert_eq!(sys.holds(zero, &[Value::nat(2)], 5), Tv::Unknown);
+    }
+
+    #[test]
+    fn prove_builds_checkable_trees() {
+        let (sys, ids) = system(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+        );
+        let le = ids[0];
+        let proof = sys.prove(le, &[Value::nat(1), Value::nat(4)], 10).unwrap();
+        assert!(sys.check_proof(&proof).is_ok());
+        // height: le_S applied 3 times over le_n
+        assert_eq!(proof.height(), 4);
+        assert!(sys.prove(le, &[Value::nat(4), Value::nat(1)], 10).is_none());
+    }
+}

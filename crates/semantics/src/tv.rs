@@ -1,0 +1,116 @@
+//! The three-valued truth domain of bounded search.
+
+/// Bounded-search truth value.
+///
+/// `False` is conclusive relative to the search bounds: every branch was
+/// exhausted without a derivation and without hitting a bound. When any
+/// branch was cut off, the search answers [`Tv::Unknown`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tv {
+    /// A derivation exists within the bounds.
+    True,
+    /// No derivation exists (conclusively, within value bounds).
+    False,
+    /// The search was cut off before reaching a conclusion.
+    Unknown,
+}
+
+impl Tv {
+    /// Three-valued conjunction (for premises).
+    pub fn and(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::False, _) | (_, Tv::False) => Tv::False,
+            (Tv::Unknown, _) | (_, Tv::Unknown) => Tv::Unknown,
+            (Tv::True, Tv::True) => Tv::True,
+        }
+    }
+
+    /// Three-valued disjunction (for alternative rules/witnesses).
+    pub fn or(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::True, _) | (_, Tv::True) => Tv::True,
+            (Tv::Unknown, _) | (_, Tv::Unknown) => Tv::Unknown,
+            (Tv::False, Tv::False) => Tv::False,
+        }
+    }
+
+    /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)] // deliberate Kleene negation, not std::ops::Not
+    pub fn not(self) -> Tv {
+        match self {
+            Tv::True => Tv::False,
+            Tv::False => Tv::True,
+            Tv::Unknown => Tv::Unknown,
+        }
+    }
+
+    /// Conversion from a checker result (`Option<bool>`).
+    pub fn from_check(r: Option<bool>) -> Tv {
+        match r {
+            Some(true) => Tv::True,
+            Some(false) => Tv::False,
+            None => Tv::Unknown,
+        }
+    }
+
+    /// Conversion to a checker result.
+    pub fn to_check(self) -> Option<bool> {
+        match self {
+            Tv::True => Some(true),
+            Tv::False => Some(false),
+            Tv::Unknown => None,
+        }
+    }
+
+    /// `true` for [`Tv::True`].
+    pub fn is_true(self) -> bool {
+        self == Tv::True
+    }
+}
+
+impl From<bool> for Tv {
+    fn from(b: bool) -> Tv {
+        if b {
+            Tv::True
+        } else {
+            Tv::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Tv::True.and(Tv::True), Tv::True);
+        assert_eq!(Tv::True.and(Tv::Unknown), Tv::Unknown);
+        assert_eq!(Tv::Unknown.and(Tv::False), Tv::False);
+        assert_eq!(Tv::False.and(Tv::True), Tv::False);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Tv::False.or(Tv::False), Tv::False);
+        assert_eq!(Tv::False.or(Tv::Unknown), Tv::Unknown);
+        assert_eq!(Tv::Unknown.or(Tv::True), Tv::True);
+    }
+
+    #[test]
+    fn not_involutive_on_definite() {
+        assert_eq!(Tv::True.not().not(), Tv::True);
+        assert_eq!(Tv::False.not().not(), Tv::False);
+        assert_eq!(Tv::Unknown.not(), Tv::Unknown);
+    }
+
+    #[test]
+    fn check_round_trip() {
+        for tv in [Tv::True, Tv::False, Tv::Unknown] {
+            assert_eq!(Tv::from_check(tv.to_check()), tv);
+        }
+        assert_eq!(Tv::from(true), Tv::True);
+        assert!(Tv::True.is_true());
+        assert!(!Tv::Unknown.is_true());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests (proptest) for the reference semantics: the
+//! searcher, the prover, and the kernel must agree with each other and
+//! with native definitions.
+
+use indrel_rel::parse::parse_program;
+use indrel_rel::RelEnv;
+use indrel_semantics::{ProofSystem, Tv};
+use indrel_term::{Universe, Value};
+use proptest::prelude::*;
+use std::cell::OnceCell;
+
+thread_local! {
+    static SYS: OnceCell<(ProofSystem, indrel_term::RelId, indrel_term::RelId)> =
+        const { OnceCell::new() };
+}
+
+fn with_sys<R>(f: impl FnOnce(&ProofSystem, indrel_term::RelId, indrel_term::RelId) -> R) -> R {
+    SYS.with(|cell| {
+        let (sys, le, add3) = cell.get_or_init(|| {
+            let mut u = Universe::new();
+            u.std_list();
+            u.std_funs();
+            let mut env = RelEnv::new();
+            parse_program(
+                &mut u,
+                &mut env,
+                r"
+                rel le : nat nat :=
+                | le_n : forall n, le n n
+                | le_S : forall n m, le n m -> le n (S m)
+                .
+                rel add3 : nat nat nat :=
+                | add_0 : forall m, add3 0 m m
+                | add_S : forall n m p, add3 n m p -> add3 (S n) m (S p)
+                .
+                ",
+            )
+            .unwrap();
+            let le = env.rel_id("le").unwrap();
+            let add3 = env.rel_id("add3").unwrap();
+            (ProofSystem::new(u, env).unwrap(), le, add3)
+        });
+        f(sys, *le, *add3)
+    })
+}
+
+proptest! {
+    // The searcher decides le correctly given enough depth.
+    #[test]
+    fn holds_matches_native_le(n in 0u64..25, m in 0u64..25) {
+        with_sys(|sys, le, _| {
+            let depth = n.max(m) + 2;
+            let tv = sys.holds(le, &[Value::nat(n), Value::nat(m)], depth);
+            prop_assert_eq!(tv, Tv::from(n <= m));
+            Ok(())
+        })?;
+    }
+
+    // prove() finds a tree exactly when holds() says True, and the
+    // kernel accepts every tree prove() builds.
+    #[test]
+    fn prove_agrees_with_holds_and_kernel(n in 0u64..12, m in 0u64..12, p in 0u64..20) {
+        with_sys(|sys, _, add3| {
+            let args = [Value::nat(n), Value::nat(m), Value::nat(p)];
+            let depth = n + 3;
+            let tv = sys.holds(add3, &args, depth);
+            let proof = sys.prove(add3, &args, depth);
+            match tv {
+                Tv::True => {
+                    let proof = proof.expect("holds=True must have a tree");
+                    prop_assert!(sys.check_proof(&proof).is_ok());
+                    prop_assert_eq!(sys.conclusion_args(&proof), args.to_vec());
+                    prop_assert_eq!(n + m == p, true);
+                }
+                Tv::False => {
+                    prop_assert!(proof.is_none());
+                    prop_assert_eq!(n + m == p, false);
+                }
+                Tv::Unknown => {} // depth-limited; nothing to compare
+            }
+            Ok(())
+        })?;
+    }
+
+    // Depth monotonicity: a definite Tv never flips with more depth.
+    #[test]
+    fn holds_is_depth_monotonic(n in 0u64..10, m in 0u64..10, d1 in 1u64..8, extra in 0u64..8) {
+        with_sys(|sys, le, _| {
+            let args = [Value::nat(n), Value::nat(m)];
+            let first = sys.holds(le, &args, d1);
+            if first != Tv::Unknown {
+                prop_assert_eq!(sys.holds(le, &args, d1 + extra), first);
+            }
+            Ok(())
+        })?;
+    }
+
+    // Proof sizes are linear in the witness for add3 (structural sanity
+    // of the tree builder).
+    #[test]
+    fn proof_size_tracks_derivation_length(n in 0u64..10, m in 0u64..10) {
+        with_sys(|sys, _, add3| {
+            let args = [Value::nat(n), Value::nat(m), Value::nat(n + m)];
+            let proof = sys.prove(add3, &args, n + 2).expect("derivable");
+            prop_assert_eq!(proof.size(), n + 1);
+            prop_assert_eq!(proof.height(), n + 1);
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,676 @@
+//! The STLC case study — the paper's running example (§2) and
+//! benchmark \[15\].
+//!
+//! Builds on the corpus transcription of the simply typed lambda
+//! calculus (`stlc_typing`, `stlc_step`, …) and adds everything the
+//! evaluation needs:
+//!
+//! * a **handwritten typechecker** (the `typing_dec` of §2, completed
+//!   with type inference for the application case),
+//! * a **handwritten generator** of well-typed terms (the classic
+//!   QuickChick STLC generator: type-directed, backtracking),
+//! * the **derived** checker (`stlc_typing` at the all-input mode), the
+//!   derived type-inference enumerator of Figure 2 (`stlc_typing` with
+//!   the type as output), and the derived well-typed-term generator
+//!   (`stlc_typing` with the term as output),
+//! * a call-by-value **small-step evaluator** with the suite's
+//!   substitution/lifting **mutations**, which break type preservation
+//!   (§6.2's STLC bugs).
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_stlc::{Stlc, Mutation};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let stlc = Stlc::new();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! // Generate a closed term of type N -> N and typecheck it both ways.
+//! let ty = stlc.ty_arrow(stlc.ty_n(), stlc.ty_n());
+//! let e = stlc.handwritten_gen(&[], &ty, 5, &mut rng).unwrap();
+//! assert!(stlc.handwritten_check(&[], &e, &ty));
+//! assert_eq!(stlc.derived_check(&[], &e, &ty, 40), Some(true));
+//! ```
+
+use indrel_core::{Library, LibraryBuilder, Mode};
+use indrel_term::{CtorId, FunId, RelId, Value};
+use rand::Rng as _;
+
+/// Which mutation (if any) the evaluator applies — the suite's bugs in
+/// the substitution and lifting functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mutation {
+    /// Correct evaluator.
+    #[default]
+    None,
+    /// Substitution compares against `j + 1`, leaving the bound
+    /// variable unsubstituted (a dangling free variable after a beta
+    /// step — preservation breaks).
+    SubstOffByOne,
+    /// Lifting ignores its cutoff and shifts every variable, capturing
+    /// bound variables of the substituted value.
+    LiftNoCutoff,
+}
+
+/// The STLC case study.
+#[derive(Clone)]
+pub struct Stlc {
+    lib: Library,
+    typing: RelId,
+    step: RelId,
+    c_tn: CtorId,
+    c_arrow: CtorId,
+    c_const: CtorId,
+    c_add: CtorId,
+    c_var: CtorId,
+    c_app: CtorId,
+    c_abs: CtorId,
+    c_nil: CtorId,
+    c_cons: CtorId,
+    f_subst: FunId,
+}
+
+impl std::fmt::Debug for Stlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stlc").finish_non_exhaustive()
+    }
+}
+
+impl Default for Stlc {
+    fn default() -> Stlc {
+        Stlc::new()
+    }
+}
+
+impl Stlc {
+    /// Loads the corpus STLC and derives the checker, the
+    /// type-inference enumerator, and the well-typed-term generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the corpus fails to load or derive, which the
+    /// test suites rule out.
+    pub fn new() -> Stlc {
+        let (u, env) = indrel_corpus::corpus_env();
+        let typing = env.rel_id("stlc_typing").expect("corpus relation");
+        let step = env.rel_id("stlc_step").expect("corpus relation");
+        let ids = (
+            u.ctor_id("TN").expect("corpus ctor"),
+            u.ctor_id("TArrow").expect("corpus ctor"),
+            u.ctor_id("TmConst").expect("corpus ctor"),
+            u.ctor_id("TmAdd").expect("corpus ctor"),
+            u.ctor_id("TmVar").expect("corpus ctor"),
+            u.ctor_id("TmApp").expect("corpus ctor"),
+            u.ctor_id("TmAbs").expect("corpus ctor"),
+            u.ctor_id("nil").expect("std ctor"),
+            u.ctor_id("cons").expect("std ctor"),
+        );
+        let f_subst = u.fun_id("subst_tm").expect("corpus fun");
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(typing).expect("typing checker derives");
+        b.derive_producer(typing, Mode::producer(3, &[2]))
+            .expect("type-inference enumerator derives");
+        b.derive_producer(typing, Mode::producer(3, &[1]))
+            .expect("well-typed-term generator derives");
+        b.derive_checker(step).expect("step checker derives");
+        b.derive_producer(step, Mode::producer(2, &[1]))
+            .expect("step producer derives");
+        Stlc {
+            lib: b.build(),
+            typing,
+            step,
+            c_tn: ids.0,
+            c_arrow: ids.1,
+            c_const: ids.2,
+            c_add: ids.3,
+            c_var: ids.4,
+            c_app: ids.5,
+            c_abs: ids.6,
+            c_nil: ids.7,
+            c_cons: ids.8,
+            f_subst,
+        }
+    }
+
+    /// The underlying instance library.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The `stlc_typing` relation.
+    pub fn typing_relation(&self) -> RelId {
+        self.typing
+    }
+
+    /// The `stlc_step` relation.
+    pub fn step_relation(&self) -> RelId {
+        self.step
+    }
+
+    /// The mode producing terms: `stlc_typing Γ ?e t`.
+    pub fn term_mode(&self) -> Mode {
+        Mode::producer(3, &[1])
+    }
+
+    /// The mode inferring types: `stlc_typing Γ e ?t` (Figure 2).
+    pub fn type_mode(&self) -> Mode {
+        Mode::producer(3, &[2])
+    }
+
+    // ---- value builders ----
+
+    /// The base type `N`.
+    pub fn ty_n(&self) -> Value {
+        Value::ctor(self.c_tn, vec![])
+    }
+
+    /// The arrow type.
+    pub fn ty_arrow(&self, a: Value, b: Value) -> Value {
+        Value::ctor(self.c_arrow, vec![a, b])
+    }
+
+    /// A constant.
+    pub fn con(&self, n: u64) -> Value {
+        Value::ctor(self.c_const, vec![Value::nat(n)])
+    }
+
+    /// An addition.
+    pub fn add(&self, a: Value, b: Value) -> Value {
+        Value::ctor(self.c_add, vec![a, b])
+    }
+
+    /// A de Bruijn variable.
+    pub fn var(&self, i: u64) -> Value {
+        Value::ctor(self.c_var, vec![Value::nat(i)])
+    }
+
+    /// An application.
+    pub fn app(&self, f: Value, a: Value) -> Value {
+        Value::ctor(self.c_app, vec![f, a])
+    }
+
+    /// A lambda abstraction.
+    pub fn abs(&self, ty: Value, body: Value) -> Value {
+        Value::ctor(self.c_abs, vec![ty, body])
+    }
+
+    /// Builds the environment value from a slice of types (innermost
+    /// binder first).
+    pub fn ctx(&self, tys: &[Value]) -> Value {
+        let mut acc = Value::ctor(self.c_nil, vec![]);
+        for t in tys.iter().rev() {
+            acc = Value::ctor(self.c_cons, vec![t.clone(), acc.clone()]);
+        }
+        acc
+    }
+
+    /// A random type of the given depth budget.
+    pub fn random_ty(&self, size: u64, rng: &mut dyn rand::RngCore) -> Value {
+        if size == 0 || rng.gen_range(0..3) > 0 {
+            self.ty_n()
+        } else {
+            let a = self.random_ty(size - 1, rng);
+            let b = self.random_ty(size - 1, rng);
+            self.ty_arrow(a, b)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Handwritten baselines
+    // ------------------------------------------------------------------
+
+    /// Type inference, the handwritten way: `type_of Γ e`.
+    pub fn type_of(&self, ctx: &[Value], e: &Value) -> Option<Value> {
+        let (c, args) = e.as_ctor().expect("term value");
+        if c == self.c_const {
+            Some(self.ty_n())
+        } else if c == self.c_add {
+            let t1 = self.type_of(ctx, &args[0])?;
+            let t2 = self.type_of(ctx, &args[1])?;
+            (t1 == self.ty_n() && t2 == self.ty_n()).then(|| self.ty_n())
+        } else if c == self.c_var {
+            let i = args[0].as_nat().expect("nat index") as usize;
+            ctx.get(i).cloned()
+        } else if c == self.c_abs {
+            let mut ctx2 = Vec::with_capacity(ctx.len() + 1);
+            ctx2.push(args[0].clone());
+            ctx2.extend(ctx.iter().cloned());
+            let t2 = self.type_of(&ctx2, &args[1])?;
+            Some(self.ty_arrow(args[0].clone(), t2))
+        } else if c == self.c_app {
+            let tf = self.type_of(ctx, &args[0])?;
+            let ta = self.type_of(ctx, &args[1])?;
+            let (cf, fargs) = tf.as_ctor()?;
+            (cf == self.c_arrow && fargs[0] == ta).then(|| fargs[1].clone())
+        } else {
+            None
+        }
+    }
+
+    /// The handwritten checker `typing_dec` of §2, completed through
+    /// inference.
+    pub fn handwritten_check(&self, ctx: &[Value], e: &Value, t: &Value) -> bool {
+        self.type_of(ctx, e).as_ref() == Some(t)
+    }
+
+    /// The classic handwritten generator of well-typed terms: pick a
+    /// constructor compatible with the goal type, generate premises
+    /// type-directedly, backtrack on failure.
+    pub fn handwritten_gen(
+        &self,
+        ctx: &[Value],
+        ty: &Value,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Value> {
+        // Candidate productions, weighted like the derived generator:
+        // base constructors weight 1, recursive ones weight `size`.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Prod {
+            Con,
+            VarP,
+            Abs,
+            Add,
+            App,
+        }
+        let (tc, targs) = ty.as_ctor().expect("type value");
+        let is_n = tc == self.c_tn;
+        let mut options: Vec<(u64, Prod)> = Vec::new();
+        if is_n {
+            options.push((1, Prod::Con));
+        } else {
+            options.push((1, Prod::Abs));
+        }
+        options.push((1, Prod::VarP));
+        if size > 0 {
+            if is_n {
+                options.push((size, Prod::Add));
+            }
+            options.push((size, Prod::App));
+        }
+        while !options.is_empty() {
+            let total: u64 = options.iter().map(|(w, _)| w).sum();
+            let mut pick = rng.gen_range(0..total);
+            let mut idx = 0;
+            for (i, (w, _)) in options.iter().enumerate() {
+                if pick < *w {
+                    idx = i;
+                    break;
+                }
+                pick -= *w;
+            }
+            let prod = options[idx].1;
+            let produced = match prod {
+                Prod::Con => Some(self.con(rng.gen_range(0..=size))),
+                Prod::VarP => {
+                    let hits: Vec<u64> = ctx
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| *t == ty)
+                        .map(|(i, _)| i as u64)
+                        .collect();
+                    if hits.is_empty() {
+                        None
+                    } else {
+                        Some(self.var(hits[rng.gen_range(0..hits.len())]))
+                    }
+                }
+                Prod::Abs => {
+                    let t1 = targs[0].clone();
+                    let t2 = targs[1].clone();
+                    let mut ctx2 = Vec::with_capacity(ctx.len() + 1);
+                    ctx2.push(t1.clone());
+                    ctx2.extend(ctx.iter().cloned());
+                    self.handwritten_gen(&ctx2, &t2, size.saturating_sub(1), rng)
+                        .map(|body| self.abs(t1, body))
+                }
+                Prod::Add => {
+                    let a = self.handwritten_gen(ctx, &self.ty_n(), size - 1, rng);
+                    let b = a.and_then(|a| {
+                        self.handwritten_gen(ctx, &self.ty_n(), size - 1, rng)
+                            .map(|b| (a, b))
+                    });
+                    b.map(|(a, b)| self.add(a, b))
+                }
+                Prod::App => {
+                    let t1 = self.random_ty(2, rng);
+                    let tf = self.ty_arrow(t1.clone(), ty.clone());
+                    let f = self.handwritten_gen(ctx, &tf, size - 1, rng);
+                    f.and_then(|f| {
+                        self.handwritten_gen(ctx, &t1, size - 1, rng)
+                            .map(|a| self.app(f, a))
+                    })
+                }
+            };
+            if produced.is_some() {
+                return produced;
+            }
+            let _ = options.swap_remove(idx);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Derived artifacts
+    // ------------------------------------------------------------------
+
+    /// The derived checker for `stlc_typing`.
+    pub fn derived_check(&self, ctx: &[Value], e: &Value, t: &Value, fuel: u64) -> Option<bool> {
+        self.lib
+            .check(self.typing, fuel, fuel, &[self.ctx(ctx), e.clone(), t.clone()])
+    }
+
+    /// The derived type-inference enumerator (Figure 2), returning the
+    /// first inferred type.
+    pub fn derived_infer(&self, ctx: &[Value], e: &Value, fuel: u64) -> Option<Value> {
+        self.lib
+            .enumerate(self.typing, &self.type_mode(), fuel, fuel, &[self.ctx(ctx), e.clone()])
+            .first()
+            .map(|mut outs| outs.pop().expect("one output"))
+    }
+
+    /// The derived generator of well-typed terms.
+    pub fn derived_gen(
+        &self,
+        ctx: &[Value],
+        ty: &Value,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Value> {
+        self.lib
+            .generate(
+                self.typing,
+                &self.term_mode(),
+                size,
+                size,
+                &[self.ctx(ctx), ty.clone()],
+                rng,
+            )
+            .map(|mut outs| outs.pop().expect("one output"))
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation and mutations
+    // ------------------------------------------------------------------
+
+    /// `true` when the term is a value (constant or abstraction).
+    pub fn is_value(&self, e: &Value) -> bool {
+        let (c, _) = e.as_ctor().expect("term value");
+        c == self.c_const || c == self.c_abs
+    }
+
+    fn lift(&self, mutation: Mutation, cutoff: u64, e: &Value) -> Value {
+        let (c, args) = e.as_ctor().expect("term value");
+        if c == self.c_var {
+            let i = args[0].as_nat().expect("nat index");
+            let shifted = match mutation {
+                // BUG: ignores the cutoff, capturing bound variables.
+                Mutation::LiftNoCutoff => i + 1,
+                _ => {
+                    if i >= cutoff {
+                        i + 1
+                    } else {
+                        i
+                    }
+                }
+            };
+            self.var(shifted)
+        } else if c == self.c_const {
+            e.clone()
+        } else if c == self.c_add || c == self.c_app {
+            Value::ctor(
+                c,
+                vec![
+                    self.lift(mutation, cutoff, &args[0]),
+                    self.lift(mutation, cutoff, &args[1]),
+                ],
+            )
+        } else {
+            // abs
+            Value::ctor(
+                c,
+                vec![args[0].clone(), self.lift(mutation, cutoff + 1, &args[1])],
+            )
+        }
+    }
+
+    /// Substitution with an optional injected bug.
+    pub fn subst(&self, mutation: Mutation, j: u64, s: &Value, e: &Value) -> Value {
+        let (c, args) = e.as_ctor().expect("term value");
+        if c == self.c_var {
+            let i = args[0].as_nat().expect("nat index");
+            let target = match mutation {
+                // BUG: substitutes one binder too high, leaving the real
+                // occurrence dangling.
+                Mutation::SubstOffByOne => j + 1,
+                _ => j,
+            };
+            if i == target {
+                s.clone()
+            } else if i > j {
+                self.var(i - 1)
+            } else {
+                self.var(i)
+            }
+        } else if c == self.c_const {
+            e.clone()
+        } else if c == self.c_add || c == self.c_app {
+            Value::ctor(
+                c,
+                vec![
+                    self.subst(mutation, j, s, &args[0]),
+                    self.subst(mutation, j, s, &args[1]),
+                ],
+            )
+        } else {
+            // abs
+            let lifted = self.lift(mutation, 0, s);
+            Value::ctor(
+                c,
+                vec![args[0].clone(), self.subst(mutation, j + 1, &lifted, &args[1])],
+            )
+        }
+    }
+
+    /// One call-by-value step; `None` for values and stuck terms.
+    pub fn step(&self, mutation: Mutation, e: &Value) -> Option<Value> {
+        let (c, args) = e.as_ctor().expect("term value");
+        if c == self.c_app {
+            let (f, a) = (&args[0], &args[1]);
+            if !self.is_value(f) {
+                return Some(self.app(self.step(mutation, f)?, a.clone()));
+            }
+            if !self.is_value(a) {
+                return Some(self.app(f.clone(), self.step(mutation, a)?));
+            }
+            let (fc, fargs) = f.as_ctor().expect("term value");
+            (fc == self.c_abs).then(|| self.subst(mutation, 0, a, &fargs[1]))
+        } else if c == self.c_add {
+            let (a, b) = (&args[0], &args[1]);
+            if !self.is_value(a) {
+                return Some(self.add(self.step(mutation, a)?, b.clone()));
+            }
+            if !self.is_value(b) {
+                return Some(self.add(a.clone(), self.step(mutation, b)?));
+            }
+            let (ca, aargs) = a.as_ctor().expect("term value");
+            let (cb, bargs) = b.as_ctor().expect("term value");
+            (ca == self.c_const && cb == self.c_const).then(|| {
+                self.con(
+                    aargs[0]
+                        .as_nat()
+                        .expect("nat")
+                        .saturating_add(bargs[0].as_nat().expect("nat")),
+                )
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The correct substitution function registered in the universe
+    /// (used by the `stlc_step` relation).
+    pub fn subst_fun(&self) -> FunId {
+        self.f_subst
+    }
+
+    /// Preservation: if `e : t` in the empty context and `e` steps
+    /// (under the mutated evaluator), the result still has type `t`.
+    /// Returns `None` when `e` does not step.
+    pub fn preservation_holds(&self, mutation: Mutation, e: &Value, t: &Value) -> Option<bool> {
+        let e2 = self.step(mutation, e)?;
+        Some(self.handwritten_check(&[], &e2, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn handwritten_and_derived_checkers_agree_on_generated_terms() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut checked = 0;
+        for _ in 0..60 {
+            let ty = s.random_ty(2, &mut rng);
+            if let Some(e) = s.handwritten_gen(&[], &ty, 4, &mut rng) {
+                assert!(s.handwritten_check(&[], &e, &ty));
+                assert_eq!(
+                    s.derived_check(&[], &e, &ty, 40),
+                    Some(true),
+                    "term should typecheck"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 30);
+    }
+
+    #[test]
+    fn derived_checker_rejects_ill_typed_terms() {
+        let s = Stlc::new();
+        // (Con 1) (Con 2) — applying a number.
+        let bad = s.app(s.con(1), s.con(2));
+        assert_eq!(s.derived_check(&[], &bad, &s.ty_n(), 40), Some(false));
+        // Add of an abstraction.
+        let bad2 = s.add(s.con(1), s.abs(s.ty_n(), s.var(0)));
+        assert_eq!(s.derived_check(&[], &bad2, &s.ty_n(), 40), Some(false));
+        // Unbound variable.
+        let bad3 = s.var(0);
+        assert_eq!(s.derived_check(&[], &bad3, &s.ty_n(), 40), Some(false));
+    }
+
+    #[test]
+    fn derived_inference_matches_handwritten() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let ty = s.random_ty(2, &mut rng);
+            if let Some(e) = s.handwritten_gen(&[], &ty, 3, &mut rng) {
+                let inferred = s.derived_infer(&[], &e, 30);
+                assert_eq!(inferred.as_ref(), s.type_of(&[], &e).as_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn derived_generator_produces_well_typed_terms() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut produced = 0;
+        for _ in 0..60 {
+            let ty = s.random_ty(1, &mut rng);
+            if let Some(e) = s.derived_gen(&[], &ty, 4, &mut rng) {
+                produced += 1;
+                assert!(
+                    s.handwritten_check(&[], &e, &ty),
+                    "derived generator produced an ill-typed term"
+                );
+            }
+        }
+        assert!(produced > 20, "generator should mostly succeed: {produced}");
+    }
+
+    #[test]
+    fn derived_generator_respects_context() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ctx = vec![s.ty_n(), s.ty_arrow(s.ty_n(), s.ty_n())];
+        for _ in 0..30 {
+            if let Some(e) = s.derived_gen(&ctx, &s.ty_n(), 4, &mut rng) {
+                assert!(s.handwritten_check(&ctx, &e, &s.ty_n()));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_preserves_types() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut stepped = 0;
+        for _ in 0..200 {
+            let ty = s.random_ty(1, &mut rng);
+            if let Some(e) = s.handwritten_gen(&[], &ty, 5, &mut rng) {
+                if let Some(ok) = s.preservation_holds(Mutation::None, &e, &ty) {
+                    assert!(ok, "correct evaluator broke preservation");
+                    stepped += 1;
+                }
+            }
+        }
+        assert!(stepped > 10, "some generated terms should step: {stepped}");
+    }
+
+    #[test]
+    fn mutations_break_preservation() {
+        let s = Stlc::new();
+        for mutation in [Mutation::SubstOffByOne, Mutation::LiftNoCutoff] {
+            let mut rng = SmallRng::seed_from_u64(6);
+            let mut broken = false;
+            for _ in 0..3000 {
+                let ty = s.random_ty(2, &mut rng);
+                if let Some(e) = s.handwritten_gen(&[], &ty, 6, &mut rng) {
+                    if s.preservation_holds(mutation, &e, &ty) == Some(false) {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            assert!(broken, "{mutation:?} should violate preservation");
+        }
+    }
+
+    #[test]
+    fn beta_reduction_computes() {
+        let s = Stlc::new();
+        // (\x:N. x + x) 21  →  21 + 21  →  42
+        let f = s.abs(s.ty_n(), s.add(s.var(0), s.var(0)));
+        let e = s.app(f, s.con(21));
+        let e1 = s.step(Mutation::None, &e).unwrap();
+        let e2 = s.step(Mutation::None, &e1).unwrap();
+        assert_eq!(e2, s.con(42));
+        assert!(s.step(Mutation::None, &e2).is_none());
+    }
+
+    #[test]
+    fn derived_step_agrees_with_native_evaluator() {
+        let s = Stlc::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mode = Mode::producer(2, &[1]);
+        for _ in 0..40 {
+            let ty = s.random_ty(1, &mut rng);
+            let Some(e) = s.handwritten_gen(&[], &ty, 4, &mut rng) else {
+                continue;
+            };
+            let native = s.step(Mutation::None, &e);
+            let derived = s
+                .library()
+                .enumerate(s.step_relation(), &mode, 30, 30, std::slice::from_ref(&e))
+                .first()
+                .map(|mut o| o.pop().unwrap());
+            assert_eq!(native, derived, "step disagreement on {e:?}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Bounded-exhaustive enumeration of raw values of a type.
+//!
+//! This module implements the *unconstrained* enumerator: all values of a
+//! ground [`TypeExpr`] whose [`Value::size`] is bounded. It is the
+//! fallback producer used when the derivation algorithm must instantiate
+//! a variable that no premise constrains, and it drives the
+//! bounded-exhaustive half of the validation harness.
+
+use crate::types::TypeExpr;
+use crate::universe::Universe;
+use crate::value::Value;
+
+/// Enumerates every value of `ty` with `Value::size` exactly `size`.
+///
+/// # Panics
+///
+/// Panics if `ty` is not ground or mentions an unknown datatype.
+pub fn values_of_exact(universe: &Universe, ty: &TypeExpr, size: u64) -> Vec<Value> {
+    match ty {
+        TypeExpr::Nat => vec![Value::nat(size)],
+        TypeExpr::Bool => {
+            if size == 0 {
+                vec![Value::bool(false), Value::bool(true)]
+            } else {
+                Vec::new()
+            }
+        }
+        TypeExpr::Param(_) => panic!("cannot enumerate a non-ground type"),
+        TypeExpr::App(dt, ty_args) => {
+            let mut out = Vec::new();
+            if size == 0 {
+                return out;
+            }
+            for &ctor in universe.datatype(*dt).ctors() {
+                let arg_tys = universe.ctor_arg_types(ctor, ty_args);
+                for args in tuples_of_total_size(universe, &arg_tys, size - 1) {
+                    out.push(Value::ctor(ctor, args));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Enumerates every value of `ty` with `Value::size` at most `size`.
+///
+/// # Panics
+///
+/// Panics if `ty` is not ground or mentions an unknown datatype.
+pub fn values_up_to(universe: &Universe, ty: &TypeExpr, size: u64) -> Vec<Value> {
+    let mut out = Vec::new();
+    for s in 0..=size {
+        out.extend(values_of_exact(universe, ty, s));
+    }
+    out
+}
+
+/// Enumerates every tuple of values for `tys` whose sizes sum to exactly
+/// `total`.
+fn tuples_of_total_size(universe: &Universe, tys: &[TypeExpr], total: u64) -> Vec<Vec<Value>> {
+    match tys.split_first() {
+        None => {
+            if total == 0 {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            }
+        }
+        Some((first, rest)) => {
+            let mut out = Vec::new();
+            for s in 0..=total {
+                let heads = values_of_exact(universe, first, s);
+                if heads.is_empty() {
+                    continue;
+                }
+                let tails = tuples_of_total_size(universe, rest, total - s);
+                for head in &heads {
+                    for tail in &tails {
+                        let mut tuple = Vec::with_capacity(tys.len());
+                        tuple.push(head.clone());
+                        tuple.extend(tail.iter().cloned());
+                        out.push(tuple);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Enumerates every tuple of values for `tys` with each component of size
+/// at most `size`. Used by the validation harness to sweep relation
+/// input spaces.
+pub fn tuples_up_to(universe: &Universe, tys: &[TypeExpr], size: u64) -> Vec<Vec<Value>> {
+    match tys.split_first() {
+        None => vec![Vec::new()],
+        Some((first, rest)) => {
+            let heads = values_up_to(universe, first, size);
+            let tails = tuples_up_to(universe, rest, size);
+            let mut out = Vec::with_capacity(heads.len() * tails.len());
+            for head in &heads {
+                for tail in &tails {
+                    let mut tuple = Vec::with_capacity(tys.len());
+                    tuple.push(head.clone());
+                    tuple.extend(tail.iter().cloned());
+                    out.push(tuple);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The maximum [`Value::size`] of any inhabitant of `ty`, or `None`
+/// when inhabitants of unbounded size exist (recursive datatypes,
+/// naturals). Used by the executors to decide whether a bounded
+/// enumeration of a type was *truncated* — a truncated enumeration
+/// must surface an out-of-fuel outcome to keep derived checkers
+/// monotonic.
+pub fn finite_size_bound(universe: &Universe, ty: &TypeExpr) -> Option<u64> {
+    fn go(universe: &Universe, ty: &TypeExpr, visiting: &mut Vec<crate::ids::DtId>) -> Option<u64> {
+        match ty {
+            TypeExpr::Nat => None,
+            TypeExpr::Bool => Some(0),
+            TypeExpr::Param(_) => panic!("cannot bound a non-ground type"),
+            TypeExpr::App(dt, args) => {
+                if visiting.contains(dt) {
+                    return None; // recursive datatype: unbounded
+                }
+                visiting.push(*dt);
+                let mut max = 0u64;
+                for &ctor in universe.datatype(*dt).ctors() {
+                    let mut total = 1u64;
+                    for at in universe.ctor_arg_types(ctor, args) {
+                        match go(universe, &at, visiting) {
+                            Some(b) => total += b,
+                            None => {
+                                visiting.pop();
+                                return None;
+                            }
+                        }
+                    }
+                    max = max.max(total);
+                }
+                visiting.pop();
+                Some(max)
+            }
+        }
+    }
+    go(universe, ty, &mut Vec::new())
+}
+
+/// Counts the values of `ty` with size at most `size` without
+/// materializing them (used by tests and by sizing heuristics).
+pub fn count_up_to(universe: &Universe, ty: &TypeExpr, size: u64) -> u64 {
+    (0..=size).map(|s| count_exact(universe, ty, s)).sum()
+}
+
+fn count_exact(universe: &Universe, ty: &TypeExpr, size: u64) -> u64 {
+    match ty {
+        TypeExpr::Nat => 1,
+        TypeExpr::Bool => {
+            if size == 0 {
+                2
+            } else {
+                0
+            }
+        }
+        TypeExpr::Param(_) => panic!("cannot count a non-ground type"),
+        TypeExpr::App(dt, ty_args) => {
+            if size == 0 {
+                return 0;
+            }
+            universe
+                .datatype(*dt)
+                .ctors()
+                .iter()
+                .map(|&ctor| {
+                    let arg_tys = universe.ctor_arg_types(ctor, ty_args);
+                    count_tuples(universe, &arg_tys, size - 1)
+                })
+                .sum()
+        }
+    }
+}
+
+fn count_tuples(universe: &Universe, tys: &[TypeExpr], total: u64) -> u64 {
+    match tys.split_first() {
+        None => u64::from(total == 0),
+        Some((first, rest)) => (0..=total)
+            .map(|s| {
+                let h = count_exact(universe, first, s);
+                if h == 0 {
+                    0
+                } else {
+                    h * count_tuples(universe, rest, total - s)
+                }
+            })
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_universe() -> (Universe, TypeExpr) {
+        let mut u = Universe::new();
+        let dt = u
+            .declare_datatype(
+                "tree",
+                0,
+                &[
+                    ("Leaf", vec![]),
+                    (
+                        "Node",
+                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                    ),
+                ],
+            )
+            .unwrap();
+        (u, TypeExpr::datatype(dt))
+    }
+
+    #[test]
+    fn nats_enumerate_by_magnitude() {
+        let u = Universe::new();
+        assert_eq!(values_up_to(&u, &TypeExpr::Nat, 3).len(), 4);
+        assert_eq!(values_of_exact(&u, &TypeExpr::Nat, 2), vec![Value::nat(2)]);
+    }
+
+    #[test]
+    fn bools_have_size_zero() {
+        let u = Universe::new();
+        assert_eq!(values_up_to(&u, &TypeExpr::Bool, 5).len(), 2);
+    }
+
+    #[test]
+    fn trees_enumerate_without_duplicates() {
+        let (u, ty) = tree_universe();
+        let all = values_up_to(&u, &ty, 5);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+        assert!(all.iter().all(|v| v.size() <= 5));
+        // Leaf is the only size-1 tree.
+        assert_eq!(values_of_exact(&u, &ty, 1).len(), 1);
+        // size 3: Node 0 Leaf Leaf (nat must be 0).
+        assert_eq!(values_of_exact(&u, &ty, 3).len(), 1);
+    }
+
+    #[test]
+    fn counts_agree_with_enumeration() {
+        let (u, ty) = tree_universe();
+        for s in 0..=6 {
+            assert_eq!(
+                count_up_to(&u, &ty, s),
+                values_up_to(&u, &ty, s).len() as u64,
+                "size {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn lists_of_nats() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let ty = TypeExpr::App(list, vec![TypeExpr::Nat]);
+        let all = values_up_to(&u, &ty, 4);
+        // nil (1), [0..3] as singletons with element+2 nodes... just check
+        // membership and boundedness.
+        assert!(all.contains(&u.list_value([])));
+        assert!(all.contains(&u.list_value([Value::nat(2)])));
+        assert!(all.iter().all(|v| v.size() <= 4));
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn tuples_sweep_products() {
+        let u = Universe::new();
+        let tys = vec![TypeExpr::Nat, TypeExpr::Nat];
+        let tuples = tuples_up_to(&u, &tys, 2);
+        assert_eq!(tuples.len(), 9);
+    }
+}

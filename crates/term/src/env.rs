@@ -1,0 +1,105 @@
+//! Variable environments.
+
+use crate::ids::VarId;
+use crate::value::Value;
+
+/// A partial assignment of rule variables to values.
+///
+/// Environments are dense slot vectors indexed by [`VarId`]; a slot is
+/// `None` while the variable is still *undefined* (an output yet to be
+/// produced, in the vocabulary of §4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use indrel_term::{Env, VarId, Value};
+/// let mut env = Env::with_slots(2);
+/// let x = VarId::new(0);
+/// assert!(env.get(x).is_none());
+/// env.bind(x, Value::nat(7));
+/// assert_eq!(env.get(x), Some(&Value::nat(7)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    slots: Vec<Option<Value>>,
+}
+
+impl Env {
+    /// Creates an environment with `n` undefined slots.
+    pub fn with_slots(n: usize) -> Env {
+        Env {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the environment has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, var: VarId) -> Option<&Value> {
+        self.slots.get(var.index()).and_then(Option::as_ref)
+    }
+
+    /// Binds a variable to a value, overwriting any previous binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot index is out of range.
+    pub fn bind(&mut self, var: VarId, value: Value) {
+        self.slots[var.index()] = Some(value);
+    }
+
+    /// Removes a binding (used when backtracking out of a pattern match).
+    pub fn unbind(&mut self, var: VarId) {
+        if var.index() < self.slots.len() {
+            self.slots[var.index()] = None;
+        }
+    }
+
+    /// Clears all bindings and resizes to `n` undefined slots without
+    /// reallocating when capacity suffices (used by the executor's
+    /// buffer pool).
+    pub fn reset(&mut self, n: usize) {
+        self.slots.clear();
+        self.slots.resize(n, None);
+    }
+
+    /// Iterates over bound `(var, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Value)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (VarId::new(i), v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut env = Env::with_slots(3);
+        assert_eq!(env.len(), 3);
+        assert!(!env.is_empty());
+        env.bind(VarId::new(1), Value::nat(4));
+        assert_eq!(env.get(VarId::new(1)), Some(&Value::nat(4)));
+        assert_eq!(env.iter().count(), 1);
+        env.unbind(VarId::new(1));
+        assert!(env.get(VarId::new(1)).is_none());
+    }
+
+    #[test]
+    fn empty_env() {
+        let env = Env::with_slots(0);
+        assert!(env.is_empty());
+        assert_eq!(env.iter().count(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Constructor terms with variables and function calls — the grammar of
+//! rule conclusions and premise arguments.
+
+use crate::env::Env;
+use crate::ids::{CtorId, FunId, VarId};
+use crate::pattern::Pattern;
+use crate::universe::Universe;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term expression.
+///
+/// This is the `e` of the paper's grammar: variables, literals, fully
+/// applied constructors, successor, and calls to registered total
+/// functions. Expressions evaluate under an [`Env`] once all their
+/// variables are bound.
+///
+/// # Example
+///
+/// ```
+/// use indrel_term::{TermExpr, Env, Universe, Value, VarId};
+/// let mut u = Universe::new();
+/// u.std_funs();
+/// let plus = u.fun_id("plus").unwrap();
+/// // plus n n
+/// let e = TermExpr::Fun(plus, vec![TermExpr::var(0), TermExpr::var(0)]);
+/// let mut env = Env::with_slots(1);
+/// env.bind(VarId::new(0), Value::nat(21));
+/// assert_eq!(e.eval(&env, &u), Some(Value::nat(42)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TermExpr {
+    /// A rule variable.
+    Var(VarId),
+    /// A natural literal.
+    NatLit(u64),
+    /// A boolean literal.
+    BoolLit(bool),
+    /// Successor of a natural-valued expression (Coq's `S`).
+    Succ(Box<TermExpr>),
+    /// A fully applied constructor.
+    Ctor(CtorId, Vec<TermExpr>),
+    /// A call to a registered total function.
+    Fun(FunId, Vec<TermExpr>),
+}
+
+impl TermExpr {
+    /// Convenience constructor for [`TermExpr::Var`].
+    pub fn var(index: usize) -> TermExpr {
+        TermExpr::Var(VarId::new(index))
+    }
+
+    /// Convenience constructor for [`TermExpr::Ctor`].
+    pub fn ctor(ctor: CtorId, args: Vec<TermExpr>) -> TermExpr {
+        TermExpr::Ctor(ctor, args)
+    }
+
+    /// The successor expression `S e`.
+    pub fn succ(e: TermExpr) -> TermExpr {
+        TermExpr::Succ(Box::new(e))
+    }
+
+    /// Evaluates the expression; `None` if any variable is unbound.
+    pub fn eval(&self, env: &Env, universe: &Universe) -> Option<Value> {
+        match self {
+            TermExpr::Var(x) => env.get(*x).cloned(),
+            TermExpr::NatLit(n) => Some(Value::nat(*n)),
+            TermExpr::BoolLit(b) => Some(Value::bool(*b)),
+            TermExpr::Succ(e) => {
+                let v = e.eval(env, universe)?;
+                Some(Value::nat(v.as_nat()?.saturating_add(1)))
+            }
+            TermExpr::Ctor(c, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env, universe)?);
+                }
+                Some(Value::ctor(*c, vals))
+            }
+            TermExpr::Fun(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env, universe)?);
+                }
+                Some(universe.fun(*f).apply(&vals))
+            }
+        }
+    }
+
+    /// The set of variables occurring in the expression.
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            TermExpr::Var(x) => {
+                out.insert(*x);
+            }
+            TermExpr::NatLit(_) | TermExpr::BoolLit(_) => {}
+            TermExpr::Succ(e) => e.collect_vars(out),
+            TermExpr::Ctor(_, args) | TermExpr::Fun(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Variable occurrences in left-to-right order, with duplicates.
+    pub fn occurrences(&self) -> Vec<VarId> {
+        fn go(e: &TermExpr, out: &mut Vec<VarId>) {
+            match e {
+                TermExpr::Var(x) => out.push(*x),
+                TermExpr::NatLit(_) | TermExpr::BoolLit(_) => {}
+                TermExpr::Succ(e) => go(e, out),
+                TermExpr::Ctor(_, args) | TermExpr::Fun(_, args) => {
+                    for a in args {
+                        go(a, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Returns `true` when the expression contains no function calls —
+    /// i.e. it is a *constructor term* in the sense of §3.
+    pub fn is_constructor_term(&self) -> bool {
+        match self {
+            TermExpr::Var(_) | TermExpr::NatLit(_) | TermExpr::BoolLit(_) => true,
+            TermExpr::Succ(e) => e.is_constructor_term(),
+            TermExpr::Ctor(_, args) => args.iter().all(TermExpr::is_constructor_term),
+            TermExpr::Fun(_, _) => false,
+        }
+    }
+
+    /// Converts a constructor term to the corresponding pattern.
+    ///
+    /// Returns `None` if the expression contains a function call. The
+    /// resulting pattern may be non-linear if the expression repeats a
+    /// variable; the preprocessing phase linearizes conclusions before
+    /// this conversion is used by the derivation algorithm.
+    pub fn to_pattern(&self) -> Option<Pattern> {
+        match self {
+            TermExpr::Var(x) => Some(Pattern::Var(*x)),
+            TermExpr::NatLit(n) => Some(Pattern::NatLit(*n)),
+            TermExpr::BoolLit(b) => Some(Pattern::BoolLit(*b)),
+            TermExpr::Succ(e) => Some(Pattern::Succ(Box::new(e.to_pattern()?))),
+            TermExpr::Ctor(c, args) => {
+                let mut pats = Vec::with_capacity(args.len());
+                for a in args {
+                    pats.push(a.to_pattern()?);
+                }
+                Some(Pattern::Ctor(*c, pats))
+            }
+            TermExpr::Fun(_, _) => None,
+        }
+    }
+
+    /// Substitutes a variable by another expression.
+    pub fn subst_var(&self, var: VarId, replacement: &TermExpr) -> TermExpr {
+        match self {
+            TermExpr::Var(x) if *x == var => replacement.clone(),
+            TermExpr::Var(_) | TermExpr::NatLit(_) | TermExpr::BoolLit(_) => self.clone(),
+            TermExpr::Succ(e) => TermExpr::succ(e.subst_var(var, replacement)),
+            TermExpr::Ctor(c, args) => TermExpr::Ctor(
+                *c,
+                args.iter().map(|a| a.subst_var(var, replacement)).collect(),
+            ),
+            TermExpr::Fun(f, args) => TermExpr::Fun(
+                *f,
+                args.iter().map(|a| a.subst_var(var, replacement)).collect(),
+            ),
+        }
+    }
+
+    /// Renders the expression with names from the universe and variable
+    /// name table.
+    pub fn display<'a>(
+        &'a self,
+        universe: &'a Universe,
+        var_names: &'a [String],
+    ) -> DisplayExpr<'a> {
+        DisplayExpr {
+            expr: self,
+            universe,
+            var_names,
+        }
+    }
+}
+
+/// Helper returned by [`TermExpr::display`].
+#[derive(Debug)]
+pub struct DisplayExpr<'a> {
+    expr: &'a TermExpr,
+    universe: &'a Universe,
+    var_names: &'a [String],
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.expr, self.universe, self.var_names, f, false)
+    }
+}
+
+fn fmt_expr(
+    e: &TermExpr,
+    universe: &Universe,
+    var_names: &[String],
+    f: &mut fmt::Formatter<'_>,
+    nested: bool,
+) -> fmt::Result {
+    let head_args: (String, &[TermExpr]) = match e {
+        TermExpr::Var(x) => {
+            return match var_names.get(x.index()) {
+                Some(name) => write!(f, "{name}"),
+                None => write!(f, "{x}"),
+            };
+        }
+        TermExpr::NatLit(n) => return write!(f, "{n}"),
+        TermExpr::BoolLit(b) => return write!(f, "{b}"),
+        TermExpr::Succ(inner) => ("S".to_string(), std::slice::from_ref(inner)),
+        TermExpr::Ctor(c, args) => (universe.ctor(*c).name().to_string(), args),
+        TermExpr::Fun(fun, args) => (universe.fun(*fun).name().to_string(), args),
+    };
+    let (head, args) = head_args;
+    if args.is_empty() {
+        return write!(f, "{head}");
+    }
+    if nested {
+        write!(f, "(")?;
+    }
+    write!(f, "{head}")?;
+    for a in args {
+        write!(f, " ")?;
+        fmt_expr(a, universe, var_names, f, true)?;
+    }
+    if nested {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_requires_bindings() {
+        let u = Universe::new();
+        let e = TermExpr::succ(TermExpr::var(0));
+        let env = Env::with_slots(1);
+        assert_eq!(e.eval(&env, &u), None);
+        let mut env = env;
+        env.bind(VarId::new(0), Value::nat(4));
+        assert_eq!(e.eval(&env, &u), Some(Value::nat(5)));
+    }
+
+    #[test]
+    fn eval_function_calls() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let mult = u.fun_id("mult").unwrap();
+        let e = TermExpr::Fun(mult, vec![TermExpr::NatLit(6), TermExpr::NatLit(7)]);
+        assert_eq!(e.eval(&Env::with_slots(0), &u), Some(Value::nat(42)));
+    }
+
+    #[test]
+    fn constructor_terms_and_patterns() {
+        let mut u = Universe::new();
+        u.std_list();
+        u.std_funs();
+        let cons = u.ctor_id("cons").unwrap();
+        let plus = u.fun_id("plus").unwrap();
+        let ct = TermExpr::ctor(cons, vec![TermExpr::var(0), TermExpr::var(1)]);
+        assert!(ct.is_constructor_term());
+        assert!(ct.to_pattern().is_some());
+        let ft = TermExpr::ctor(cons, vec![TermExpr::Fun(plus, vec![]), TermExpr::var(0)]);
+        assert!(!ft.is_constructor_term());
+        assert!(ft.to_pattern().is_none());
+    }
+
+    #[test]
+    fn variables_and_occurrences() {
+        let e = TermExpr::succ(TermExpr::Ctor(
+            CtorId::new(0),
+            vec![TermExpr::var(1), TermExpr::var(0), TermExpr::var(1)],
+        ));
+        assert_eq!(
+            e.variables().into_iter().collect::<Vec<_>>(),
+            vec![VarId::new(0), VarId::new(1)]
+        );
+        assert_eq!(
+            e.occurrences(),
+            vec![VarId::new(1), VarId::new(0), VarId::new(1)]
+        );
+    }
+
+    #[test]
+    fn subst_var_replaces_all() {
+        let e = TermExpr::Ctor(
+            CtorId::new(0),
+            vec![TermExpr::var(0), TermExpr::var(0)],
+        );
+        let s = e.subst_var(VarId::new(0), &TermExpr::NatLit(3));
+        assert_eq!(
+            s,
+            TermExpr::Ctor(CtorId::new(0), vec![TermExpr::NatLit(3), TermExpr::NatLit(3)])
+        );
+    }
+
+    #[test]
+    fn display_expr() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let plus = u.fun_id("plus").unwrap();
+        let names = vec!["n".to_string()];
+        let e = TermExpr::Fun(plus, vec![TermExpr::var(0), TermExpr::succ(TermExpr::var(0))]);
+        assert_eq!(e.display(&u, &names).to_string(), "plus n (S n)");
+    }
+}

@@ -1,0 +1,276 @@
+//! Patterns and pattern matching.
+
+use crate::env::Env;
+use crate::ids::{CtorId, VarId};
+use crate::universe::Universe;
+use crate::value::Value;
+use std::fmt;
+
+/// A pattern over [`Value`]s.
+///
+/// Patterns produced by the derivation algorithm are *linear* — every
+/// variable occurs at most once — because the preprocessing phase of
+/// §3.1 of the paper rewrites non-linear conclusions into equality
+/// premises. [`Pattern::matches`] nevertheless tolerates repeated
+/// variables by checking value equality, which the reference semantics
+/// uses directly.
+///
+/// Natural numbers can be deconstructed with [`Pattern::Succ`], playing
+/// the role of Coq's `S` constructor over the machine representation.
+///
+/// # Example
+///
+/// ```
+/// use indrel_term::{Pattern, Value, VarId, Env};
+/// // the pattern `S (S n)`
+/// let p = Pattern::Succ(Box::new(Pattern::Succ(Box::new(Pattern::Var(VarId::new(0))))));
+/// let mut env = Env::with_slots(1);
+/// assert!(p.matches(&Value::nat(5), &mut env));
+/// assert_eq!(env.get(VarId::new(0)), Some(&Value::nat(3)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// Matches anything, binds nothing.
+    Wild,
+    /// Binds a variable (or, if already bound, checks equality).
+    Var(VarId),
+    /// Matches an exact natural literal.
+    NatLit(u64),
+    /// Matches `n + 1` and continues on `n`.
+    Succ(Box<Pattern>),
+    /// Matches an exact boolean.
+    BoolLit(bool),
+    /// Matches a constructor application.
+    Ctor(CtorId, Vec<Pattern>),
+}
+
+impl Pattern {
+    /// Convenience constructor for [`Pattern::Ctor`].
+    pub fn ctor(ctor: CtorId, args: Vec<Pattern>) -> Pattern {
+        Pattern::Ctor(ctor, args)
+    }
+
+    /// Convenience constructor for [`Pattern::Var`].
+    pub fn var(index: usize) -> Pattern {
+        Pattern::Var(VarId::new(index))
+    }
+
+    /// Attempts to match `value`, extending `env` with bindings.
+    ///
+    /// On failure the environment may contain partial bindings; callers
+    /// that backtrack either clone the environment first or rebind on the
+    /// next attempt (derived handlers always rebind every variable they
+    /// touch, so stale bindings are harmless there).
+    ///
+    /// If a [`Pattern::Var`] is already bound in `env`, the existing
+    /// binding must be equal to the scrutinee.
+    pub fn matches(&self, value: &Value, env: &mut Env) -> bool {
+        match self {
+            Pattern::Wild => true,
+            Pattern::Var(x) => match env.get(*x) {
+                Some(bound) => bound == value,
+                None => {
+                    env.bind(*x, value.clone());
+                    true
+                }
+            },
+            Pattern::NatLit(n) => value.as_nat() == Some(*n),
+            Pattern::Succ(inner) => match value.as_nat() {
+                Some(n) if n > 0 => inner.matches(&Value::nat(n - 1), env),
+                _ => false,
+            },
+            Pattern::BoolLit(b) => value.as_bool() == Some(*b),
+            Pattern::Ctor(c, pats) => match value.as_ctor() {
+                Some((vc, args)) if vc == *c && args.len() == pats.len() => pats
+                    .iter()
+                    .zip(args.iter())
+                    .all(|(p, v)| p.matches(v, env)),
+                _ => false,
+            },
+        }
+    }
+
+    /// Collects the variables bound by this pattern, in left-to-right
+    /// order (with duplicates if the pattern is non-linear).
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Pattern::Wild | Pattern::NatLit(_) | Pattern::BoolLit(_) => {}
+            Pattern::Var(x) => out.push(*x),
+            Pattern::Succ(inner) => inner.collect_vars(out),
+            Pattern::Ctor(_, pats) => {
+                for p in pats {
+                    p.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when the pattern binds each variable at most once.
+    pub fn is_linear(&self) -> bool {
+        let mut vars = self.variables();
+        let n = vars.len();
+        vars.sort_unstable();
+        vars.dedup();
+        vars.len() == n
+    }
+
+    /// Renders the pattern with constructor names from the universe and
+    /// variable names from the provided table.
+    pub fn display<'a>(&'a self, universe: &'a Universe, var_names: &'a [String]) -> DisplayPattern<'a> {
+        DisplayPattern {
+            pattern: self,
+            universe,
+            var_names,
+        }
+    }
+}
+
+/// Helper returned by [`Pattern::display`].
+#[derive(Debug)]
+pub struct DisplayPattern<'a> {
+    pattern: &'a Pattern,
+    universe: &'a Universe,
+    var_names: &'a [String],
+}
+
+impl fmt::Display for DisplayPattern<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pattern(self.pattern, self.universe, self.var_names, f, false)
+    }
+}
+
+fn fmt_pattern(
+    p: &Pattern,
+    universe: &Universe,
+    var_names: &[String],
+    f: &mut fmt::Formatter<'_>,
+    nested: bool,
+) -> fmt::Result {
+    match p {
+        Pattern::Wild => write!(f, "_"),
+        Pattern::Var(x) => match var_names.get(x.index()) {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "{x}"),
+        },
+        Pattern::NatLit(n) => write!(f, "{n}"),
+        Pattern::BoolLit(b) => write!(f, "{b}"),
+        Pattern::Succ(inner) => {
+            if nested {
+                write!(f, "(")?;
+            }
+            write!(f, "S ")?;
+            fmt_pattern(inner, universe, var_names, f, true)?;
+            if nested {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Pattern::Ctor(c, pats) => {
+            let name = universe.ctor(*c).name();
+            if pats.is_empty() {
+                write!(f, "{name}")
+            } else {
+                if nested {
+                    write!(f, "(")?;
+                }
+                write!(f, "{name}")?;
+                for p in pats {
+                    write!(f, " ")?;
+                    fmt_pattern(p, universe, var_names, f, true)?;
+                }
+                if nested {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_pattern_matches_and_binds() {
+        let mut u = Universe::new();
+        u.std_list();
+        let cons = u.ctor_id("cons").unwrap();
+        let nil = u.ctor_id("nil").unwrap();
+        let p = Pattern::ctor(cons, vec![Pattern::var(0), Pattern::var(1)]);
+        let v = u.list_value([Value::nat(9)]);
+        let mut env = Env::with_slots(2);
+        assert!(p.matches(&v, &mut env));
+        assert_eq!(env.get(VarId::new(0)), Some(&Value::nat(9)));
+        assert_eq!(env.get(VarId::new(1)), Some(&Value::ctor(nil, vec![])));
+    }
+
+    #[test]
+    fn mismatched_ctor_fails() {
+        let mut u = Universe::new();
+        u.std_list();
+        let nil = u.ctor_id("nil").unwrap();
+        let cons = u.ctor_id("cons").unwrap();
+        let p = Pattern::ctor(cons, vec![Pattern::Wild, Pattern::Wild]);
+        let mut env = Env::with_slots(0);
+        assert!(!p.matches(&Value::ctor(nil, vec![]), &mut env));
+    }
+
+    #[test]
+    fn succ_pattern_decrements() {
+        let p = Pattern::Succ(Box::new(Pattern::var(0)));
+        let mut env = Env::with_slots(1);
+        assert!(!p.matches(&Value::nat(0), &mut env));
+        assert!(p.matches(&Value::nat(1), &mut env));
+        assert_eq!(env.get(VarId::new(0)), Some(&Value::nat(0)));
+    }
+
+    #[test]
+    fn nat_and_bool_literals() {
+        let mut env = Env::with_slots(0);
+        assert!(Pattern::NatLit(4).matches(&Value::nat(4), &mut env));
+        assert!(!Pattern::NatLit(4).matches(&Value::nat(5), &mut env));
+        assert!(Pattern::BoolLit(true).matches(&Value::bool(true), &mut env));
+        assert!(!Pattern::BoolLit(true).matches(&Value::bool(false), &mut env));
+        assert!(!Pattern::NatLit(0).matches(&Value::bool(false), &mut env));
+    }
+
+    #[test]
+    fn nonlinear_pattern_checks_equality() {
+        let mut u = Universe::new();
+        u.std_pair();
+        let pair = u.ctor_id("Pair").unwrap();
+        let p = Pattern::ctor(pair, vec![Pattern::var(0), Pattern::var(0)]);
+        assert!(!p.is_linear());
+        let mut env = Env::with_slots(1);
+        assert!(p.matches(&Value::ctor(pair, vec![Value::nat(1), Value::nat(1)]), &mut env));
+        let mut env2 = Env::with_slots(1);
+        assert!(!p.matches(&Value::ctor(pair, vec![Value::nat(1), Value::nat(2)]), &mut env2));
+    }
+
+    #[test]
+    fn variables_in_order() {
+        let mut u = Universe::new();
+        u.std_pair();
+        let pair = u.ctor_id("Pair").unwrap();
+        let p = Pattern::ctor(pair, vec![Pattern::var(2), Pattern::Succ(Box::new(Pattern::var(1)))]);
+        assert_eq!(p.variables(), vec![VarId::new(2), VarId::new(1)]);
+        assert!(p.is_linear());
+    }
+
+    #[test]
+    fn display_pattern() {
+        let mut u = Universe::new();
+        u.std_list();
+        let cons = u.ctor_id("cons").unwrap();
+        let names = vec!["x".to_string(), "xs".to_string()];
+        let p = Pattern::ctor(cons, vec![Pattern::var(0), Pattern::var(1)]);
+        assert_eq!(p.display(&u, &names).to_string(), "cons x xs");
+    }
+}

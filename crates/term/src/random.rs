@@ -1,0 +1,160 @@
+//! Random generation of raw values of a type — the unconstrained
+//! generator fallback.
+
+use crate::types::TypeExpr;
+use crate::universe::Universe;
+use crate::value::Value;
+use rand::Rng;
+
+/// Generates a random value of `ty` with size roughly bounded by `size`.
+///
+/// Constructor choice follows the QuickChick convention: at size 0 only
+/// base (non-recursive) constructors are eligible; otherwise recursive
+/// constructors are weighted by the remaining size. Recursive arguments
+/// share the remaining budget.
+///
+/// # Panics
+///
+/// Panics if `ty` is not ground, or if a datatype has no base
+/// constructor (such a type has no finite inhabitants).
+pub fn random_value(universe: &Universe, ty: &TypeExpr, size: u64, rng: &mut dyn rand::RngCore) -> Value {
+    match ty {
+        TypeExpr::Nat => Value::nat(rng.gen_range(0..=size)),
+        TypeExpr::Bool => Value::bool(rng.gen_range(0..2) == 1),
+        TypeExpr::Param(_) => panic!("cannot generate a non-ground type"),
+        TypeExpr::App(dt, ty_args) => {
+            let decl = universe.datatype(*dt);
+            let base: Vec<_> = decl
+                .ctors()
+                .iter()
+                .copied()
+                .filter(|&c| universe.ctor(c).is_base())
+                .collect();
+            let recursive: Vec<_> = decl
+                .ctors()
+                .iter()
+                .copied()
+                .filter(|&c| !universe.ctor(c).is_base())
+                .collect();
+            assert!(
+                !base.is_empty(),
+                "datatype `{}` has no base constructor",
+                decl.name()
+            );
+            let ctor = if size == 0 || recursive.is_empty() {
+                base[rng.gen_range(0..base.len())]
+            } else {
+                // Weight: each base constructor 1, each recursive
+                // constructor `size`.
+                let total = base.len() as u64 + recursive.len() as u64 * size;
+                let mut pick = rng.gen_range(0..total);
+                if pick < base.len() as u64 {
+                    base[pick as usize]
+                } else {
+                    pick -= base.len() as u64;
+                    recursive[(pick / size) as usize]
+                }
+            };
+            let arg_tys = universe.ctor_arg_types(ctor, ty_args);
+            let nrec = arg_tys
+                .iter()
+                .filter(|t| mentions_dt(t, *dt))
+                .count()
+                .max(1) as u64;
+            let child_budget = size.saturating_sub(1) / nrec;
+            let args = arg_tys
+                .iter()
+                .map(|t| {
+                    let budget = if mentions_dt(t, *dt) {
+                        child_budget
+                    } else {
+                        size.saturating_sub(1)
+                    };
+                    random_value(universe, t, budget, rng)
+                })
+                .collect();
+            Value::ctor(ctor, args)
+        }
+    }
+}
+
+fn mentions_dt(ty: &TypeExpr, dt: crate::ids::DtId) -> bool {
+    match ty {
+        TypeExpr::Nat | TypeExpr::Bool | TypeExpr::Param(_) => false,
+        TypeExpr::App(d, args) => *d == dt || args.iter().any(|t| mentions_dt(t, dt)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_nats_in_range() {
+        let u = Universe::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = random_value(&u, &TypeExpr::Nat, 10, &mut rng);
+            assert!(v.as_nat().unwrap() <= 10);
+        }
+    }
+
+    #[test]
+    fn size_zero_trees_are_leaves() {
+        let mut u = Universe::new();
+        let dt = u
+            .declare_datatype(
+                "tree",
+                0,
+                &[
+                    ("Leaf", vec![]),
+                    (
+                        "Node",
+                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                    ),
+                ],
+            )
+            .unwrap();
+        let leaf = u.ctor_id("Leaf").unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ty = TypeExpr::datatype(dt);
+        for _ in 0..20 {
+            let v = random_value(&u, &ty, 0, &mut rng);
+            assert_eq!(v, Value::ctor(leaf, vec![]));
+        }
+        // At larger sizes we should see some nodes.
+        let node = u.ctor_id("Node").unwrap();
+        let mut saw_node = false;
+        for _ in 0..50 {
+            let v = random_value(&u, &ty, 8, &mut rng);
+            if v.as_ctor().map(|(c, _)| c) == Some(node) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    #[test]
+    fn random_lists_terminate() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let ty = TypeExpr::App(list, vec![TypeExpr::Nat]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = random_value(&u, &ty, 12, &mut rng);
+            assert!(u.list_elems(&v).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let u = Universe::new();
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va = random_value(&u, &TypeExpr::Nat, 100, &mut a);
+        let vb = random_value(&u, &TypeExpr::Nat, 100, &mut b);
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,162 @@
+//! Type expressions.
+//!
+//! Types are first order: machine naturals, booleans, type parameters
+//! (inside datatype declarations only), and fully applied datatypes.
+//! Relations and rule variables are always *monomorphic* — parameterized
+//! datatypes such as `list A` must be fully applied at use sites, exactly
+//! as the fully-applied `Inductive P (A … : Type)` headers of the paper.
+
+use crate::ids::DtId;
+use crate::universe::Universe;
+use std::fmt;
+
+/// A first-order type expression.
+///
+/// # Example
+///
+/// ```
+/// use indrel_term::TypeExpr;
+/// let t = TypeExpr::Nat;
+/// assert!(t.is_ground());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum TypeExpr {
+    /// Machine natural numbers (`nat`). Patterns may still deconstruct
+    /// them through zero/successor, see [`Pattern`](crate::Pattern).
+    Nat,
+    /// Booleans (`bool`).
+    Bool,
+    /// A type parameter of the enclosing datatype declaration
+    /// (de Bruijn-style index into the declaration's parameter list).
+    Param(u32),
+    /// A datatype applied to type arguments, e.g. `list nat`.
+    App(DtId, Vec<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// A nullary datatype reference by id.
+    pub fn datatype(dt: DtId) -> TypeExpr {
+        TypeExpr::App(dt, Vec::new())
+    }
+
+    /// Placeholder used by doc examples and tests: refers to a datatype by
+    /// name. Encoded as an
+    /// unresolved application with an invalid id; prefer
+    /// [`Universe::type_named`] in real code.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the returned type must be resolved through a
+    /// [`Universe`] before use.
+    pub fn named(_name: &str) -> TypeExpr {
+        // Names are resolved during datatype declaration; see
+        // `Universe::declare_datatype`, which patches self-references.
+        TypeExpr::App(DtId::new(u32::MAX as usize - 1), Vec::new())
+    }
+
+    /// Returns `true` when the type contains no [`TypeExpr::Param`].
+    pub fn is_ground(&self) -> bool {
+        match self {
+            TypeExpr::Nat | TypeExpr::Bool => true,
+            TypeExpr::Param(_) => false,
+            TypeExpr::App(_, args) => args.iter().all(TypeExpr::is_ground),
+        }
+    }
+
+    /// Substitutes type parameters by the given instantiation.
+    ///
+    /// Used to compute the concrete argument types of a constructor of a
+    /// parameterized datatype at a ground instance (e.g. the `cons`
+    /// arguments at `list nat`).
+    pub fn instantiate(&self, args: &[TypeExpr]) -> TypeExpr {
+        match self {
+            TypeExpr::Nat => TypeExpr::Nat,
+            TypeExpr::Bool => TypeExpr::Bool,
+            TypeExpr::Param(i) => args
+                .get(*i as usize)
+                .cloned()
+                .unwrap_or(TypeExpr::Param(*i)),
+            TypeExpr::App(dt, inner) => TypeExpr::App(
+                *dt,
+                inner.iter().map(|t| t.instantiate(args)).collect(),
+            ),
+        }
+    }
+
+    /// Renders the type using datatype names from the universe.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> DisplayType<'a> {
+        DisplayType { ty: self, universe }
+    }
+}
+
+/// Helper returned by [`TypeExpr::display`].
+#[derive(Debug)]
+pub struct DisplayType<'a> {
+    ty: &'a TypeExpr,
+    universe: &'a Universe,
+}
+
+impl fmt::Display for DisplayType<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_type(self.ty, self.universe, f, false)
+    }
+}
+
+fn fmt_type(
+    ty: &TypeExpr,
+    universe: &Universe,
+    f: &mut fmt::Formatter<'_>,
+    nested: bool,
+) -> fmt::Result {
+    match ty {
+        TypeExpr::Nat => write!(f, "nat"),
+        TypeExpr::Bool => write!(f, "bool"),
+        TypeExpr::Param(i) => write!(f, "'{}", (b'a' + (*i as u8 % 26)) as char),
+        TypeExpr::App(dt, args) => {
+            let name = universe.datatype(*dt).name();
+            if args.is_empty() {
+                write!(f, "{name}")
+            } else {
+                if nested {
+                    write!(f, "(")?;
+                }
+                write!(f, "{name}")?;
+                for a in args {
+                    write!(f, " ")?;
+                    fmt_type(a, universe, f, true)?;
+                }
+                if nested {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn instantiate_substitutes_params() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let t = TypeExpr::App(list, vec![TypeExpr::Param(0)]);
+        let inst = t.instantiate(&[TypeExpr::Nat]);
+        assert_eq!(inst, TypeExpr::App(list, vec![TypeExpr::Nat]));
+        assert!(inst.is_ground());
+        assert!(!t.is_ground());
+    }
+
+    #[test]
+    fn display_types() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let t = TypeExpr::App(list, vec![TypeExpr::Nat]);
+        assert_eq!(t.display(&u).to_string(), "list nat");
+        let nested = TypeExpr::App(list, vec![t.clone()]);
+        assert_eq!(nested.display(&u).to_string(), "list (list nat)");
+    }
+}

@@ -1,0 +1,666 @@
+//! The universe: a registry of datatypes and total first-order functions.
+
+use crate::ids::{CtorId, DtId, FunId};
+use crate::types::TypeExpr;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// The sentinel produced by [`TypeExpr::named`]: resolved to the datatype
+/// currently being declared.
+const SELF_SENTINEL: usize = u32::MAX as usize - 1;
+
+/// A constructor declaration.
+#[derive(Clone, Debug)]
+pub struct CtorDecl {
+    name: String,
+    datatype: DtId,
+    arg_types: Vec<TypeExpr>,
+}
+
+impl CtorDecl {
+    /// Constructor name as written in the surface syntax.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The datatype this constructor belongs to.
+    pub fn datatype(&self) -> DtId {
+        self.datatype
+    }
+
+    /// Declared argument types (may mention the owning datatype's
+    /// parameters through [`TypeExpr::Param`]).
+    pub fn arg_types(&self) -> &[TypeExpr] {
+        &self.arg_types
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.arg_types.len()
+    }
+
+    /// Returns `true` when no argument mentions the owning datatype —
+    /// i.e. the constructor is a *base* (non-recursive) constructor.
+    pub fn is_base(&self) -> bool {
+        fn mentions(ty: &TypeExpr, dt: DtId) -> bool {
+            match ty {
+                TypeExpr::Nat | TypeExpr::Bool | TypeExpr::Param(_) => false,
+                TypeExpr::App(d, args) => *d == dt || args.iter().any(|t| mentions(t, dt)),
+            }
+        }
+        !self.arg_types.iter().any(|t| mentions(t, self.datatype))
+    }
+}
+
+/// A datatype declaration.
+#[derive(Clone, Debug)]
+pub struct DatatypeDecl {
+    name: String,
+    nparams: usize,
+    ctors: Vec<CtorId>,
+}
+
+impl DatatypeDecl {
+    /// Datatype name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of type parameters.
+    pub fn nparams(&self) -> usize {
+        self.nparams
+    }
+
+    /// Constructors in declaration order.
+    pub fn ctors(&self) -> &[CtorId] {
+        &self.ctors
+    }
+}
+
+/// A registered total first-order function, such as `plus` or list
+/// append. Function calls may appear in premises and (after the
+/// preprocessing of §3.1) give rise to equality constraints when they
+/// appear in rule conclusions.
+#[derive(Clone)]
+pub struct FunDecl {
+    name: String,
+    arg_types: Vec<TypeExpr>,
+    ret_type: TypeExpr,
+    imp: Rc<dyn Fn(&[Value]) -> Value>,
+}
+
+impl FunDecl {
+    /// Function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Argument types.
+    pub fn arg_types(&self) -> &[TypeExpr] {
+        &self.arg_types
+    }
+
+    /// Result type.
+    pub fn ret_type(&self) -> &TypeExpr {
+        &self.ret_type
+    }
+
+    /// Applies the function.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when applied to ill-typed arguments.
+    pub fn apply(&self, args: &[Value]) -> Value {
+        (self.imp)(args)
+    }
+}
+
+impl fmt::Debug for FunDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunDecl")
+            .field("name", &self.name)
+            .field("arity", &self.arg_types.len())
+            .finish()
+    }
+}
+
+/// Error raised by universe declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeclareError {
+    /// A datatype with this name already exists.
+    DuplicateDatatype(String),
+    /// A constructor with this name already exists.
+    DuplicateCtor(String),
+    /// A function with this name already exists.
+    DuplicateFun(String),
+}
+
+impl fmt::Display for DeclareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclareError::DuplicateDatatype(n) => write!(f, "duplicate datatype `{n}`"),
+            DeclareError::DuplicateCtor(n) => write!(f, "duplicate constructor `{n}`"),
+            DeclareError::DuplicateFun(n) => write!(f, "duplicate function `{n}`"),
+        }
+    }
+}
+
+impl Error for DeclareError {}
+
+/// A registry of datatypes, constructors, and functions.
+///
+/// All ids handed out by a universe are only meaningful relative to that
+/// universe. See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    datatypes: Vec<DatatypeDecl>,
+    ctors: Vec<CtorDecl>,
+    funs: Vec<FunDecl>,
+    dt_by_name: HashMap<String, DtId>,
+    ctor_by_name: HashMap<String, CtorId>,
+    fun_by_name: HashMap<String, FunId>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Universe {
+        Universe::default()
+    }
+
+    /// Reserves a datatype id without defining constructors yet; needed
+    /// for mutually recursive datatypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeclareError::DuplicateDatatype`] if the name is taken.
+    pub fn reserve_datatype(&mut self, name: &str, nparams: usize) -> Result<DtId, DeclareError> {
+        if self.dt_by_name.contains_key(name) {
+            return Err(DeclareError::DuplicateDatatype(name.to_string()));
+        }
+        let id = DtId::new(self.datatypes.len());
+        self.datatypes.push(DatatypeDecl {
+            name: name.to_string(),
+            nparams,
+            ctors: Vec::new(),
+        });
+        self.dt_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a constructor to a reserved datatype. Occurrences of the
+    /// [`TypeExpr::named`] sentinel in `arg_types` are resolved to `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeclareError::DuplicateCtor`] if the constructor name is
+    /// taken.
+    pub fn define_ctor(
+        &mut self,
+        dt: DtId,
+        name: &str,
+        arg_types: Vec<TypeExpr>,
+    ) -> Result<CtorId, DeclareError> {
+        if self.ctor_by_name.contains_key(name) {
+            return Err(DeclareError::DuplicateCtor(name.to_string()));
+        }
+        let arg_types = arg_types
+            .into_iter()
+            .map(|t| resolve_self(t, dt))
+            .collect();
+        let id = CtorId::new(self.ctors.len());
+        self.ctors.push(CtorDecl {
+            name: name.to_string(),
+            datatype: dt,
+            arg_types,
+        });
+        self.datatypes[dt.index()].ctors.push(id);
+        self.ctor_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declares a datatype and all of its constructors in one step.
+    /// Occurrences of [`TypeExpr::named`] in argument types refer to the
+    /// datatype being declared (self-recursion); use
+    /// [`Universe::reserve_datatype`] + [`Universe::define_ctor`] for
+    /// mutual recursion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-name errors.
+    pub fn declare_datatype(
+        &mut self,
+        name: &str,
+        nparams: usize,
+        ctors: &[(&str, Vec<TypeExpr>)],
+    ) -> Result<DtId, DeclareError> {
+        let dt = self.reserve_datatype(name, nparams)?;
+        for (cname, args) in ctors {
+            self.define_ctor(dt, cname, args.clone())?;
+        }
+        Ok(dt)
+    }
+
+    /// Registers a total function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeclareError::DuplicateFun`] if the name is taken.
+    pub fn declare_fun(
+        &mut self,
+        name: &str,
+        arg_types: Vec<TypeExpr>,
+        ret_type: TypeExpr,
+        imp: impl Fn(&[Value]) -> Value + 'static,
+    ) -> Result<FunId, DeclareError> {
+        if self.fun_by_name.contains_key(name) {
+            return Err(DeclareError::DuplicateFun(name.to_string()));
+        }
+        let id = FunId::new(self.funs.len());
+        self.funs.push(FunDecl {
+            name: name.to_string(),
+            arg_types,
+            ret_type,
+            imp: Rc::new(imp),
+        });
+        self.fun_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a datatype declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe.
+    pub fn datatype(&self, dt: DtId) -> &DatatypeDecl {
+        &self.datatypes[dt.index()]
+    }
+
+    /// Looks up a constructor declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe.
+    pub fn ctor(&self, ctor: CtorId) -> &CtorDecl {
+        &self.ctors[ctor.index()]
+    }
+
+    /// Looks up a function declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe.
+    pub fn fun(&self, fun: FunId) -> &FunDecl {
+        &self.funs[fun.index()]
+    }
+
+    /// Resolves a datatype by name.
+    pub fn dt_id(&self, name: &str) -> Option<DtId> {
+        self.dt_by_name.get(name).copied()
+    }
+
+    /// Resolves a constructor by name.
+    pub fn ctor_id(&self, name: &str) -> Option<CtorId> {
+        self.ctor_by_name.get(name).copied()
+    }
+
+    /// Resolves a function by name.
+    pub fn fun_id(&self, name: &str) -> Option<FunId> {
+        self.fun_by_name.get(name).copied()
+    }
+
+    /// A nullary type by datatype name.
+    pub fn type_named(&self, name: &str) -> Option<TypeExpr> {
+        self.dt_id(name).map(TypeExpr::datatype)
+    }
+
+    /// Concrete argument types of `ctor` at the ground datatype instance
+    /// `ty_args` (the applied type arguments of the owning datatype).
+    pub fn ctor_arg_types(&self, ctor: CtorId, ty_args: &[TypeExpr]) -> Vec<TypeExpr> {
+        self.ctor(ctor)
+            .arg_types()
+            .iter()
+            .map(|t| t.instantiate(ty_args))
+            .collect()
+    }
+
+    /// Number of datatypes.
+    pub fn num_datatypes(&self) -> usize {
+        self.datatypes.len()
+    }
+
+    /// Pretty-prints a value using constructor names.
+    pub fn display_value<'a>(&'a self, value: &'a Value) -> DisplayValue<'a> {
+        DisplayValue {
+            universe: self,
+            value,
+        }
+    }
+
+    // ----- standard library -----
+
+    /// The `list` datatype (`nil | cons 'a (list 'a)`), declared on first
+    /// use.
+    pub fn std_list(&mut self) -> DtId {
+        if let Some(dt) = self.dt_id("list") {
+            return dt;
+        }
+        let dt = self.reserve_datatype("list", 1).expect("fresh name");
+        self.define_ctor(dt, "nil", vec![]).expect("fresh ctor");
+        self.define_ctor(
+            dt,
+            "cons",
+            vec![TypeExpr::Param(0), TypeExpr::App(dt, vec![TypeExpr::Param(0)])],
+        )
+        .expect("fresh ctor");
+        dt
+    }
+
+    /// The `pair` datatype (`Pair 'a 'b`), declared on first use.
+    pub fn std_pair(&mut self) -> DtId {
+        if let Some(dt) = self.dt_id("pair") {
+            return dt;
+        }
+        let dt = self.reserve_datatype("pair", 2).expect("fresh name");
+        self.define_ctor(dt, "Pair", vec![TypeExpr::Param(0), TypeExpr::Param(1)])
+            .expect("fresh ctor");
+        dt
+    }
+
+    /// The `option` datatype (`None' | Some' 'a`), declared on first use.
+    pub fn std_option(&mut self) -> DtId {
+        if let Some(dt) = self.dt_id("option") {
+            return dt;
+        }
+        let dt = self.reserve_datatype("option", 1).expect("fresh name");
+        self.define_ctor(dt, "None'", vec![]).expect("fresh ctor");
+        self.define_ctor(dt, "Some'", vec![TypeExpr::Param(0)])
+            .expect("fresh ctor");
+        dt
+    }
+
+    /// Builds a list value from the given elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `list` datatype has not been declared (call
+    /// [`Universe::std_list`] first).
+    pub fn list_value(&self, elems: impl IntoIterator<Item = Value>) -> Value {
+        let nil = self.ctor_id("nil").expect("std_list declared");
+        let cons = self.ctor_id("cons").expect("std_list declared");
+        let elems: Vec<Value> = elems.into_iter().collect();
+        let mut acc = Value::ctor(nil, vec![]);
+        for v in elems.into_iter().rev() {
+            acc = Value::ctor(cons, vec![v, acc]);
+        }
+        acc
+    }
+
+    /// Converts a list value back to a vector of elements; `None` when the
+    /// value is not a list.
+    pub fn list_elems(&self, mut v: &Value) -> Option<Vec<Value>> {
+        let nil = self.ctor_id("nil")?;
+        let cons = self.ctor_id("cons")?;
+        let mut out = Vec::new();
+        loop {
+            let (c, args) = v.as_ctor()?;
+            if c == nil {
+                return Some(out);
+            }
+            if c != cons {
+                return None;
+            }
+            out.push(args[0].clone());
+            v = &args[1];
+        }
+    }
+
+    /// Registers the standard arithmetic and list functions (`plus`,
+    /// `mult`, `minus`, `max'`, `min'`, `succ`, `app`, `len`, `rev`) and
+    /// returns nothing; ids can be recovered by name. Idempotent.
+    pub fn std_funs(&mut self) {
+        let list = self.std_list();
+        let list_p = TypeExpr::App(list, vec![TypeExpr::Param(0)]);
+        let nat = TypeExpr::Nat;
+        let reg = |u: &mut Universe,
+                       name: &str,
+                       args: Vec<TypeExpr>,
+                       ret: TypeExpr,
+                       f: Rc<dyn Fn(&[Value]) -> Value>| {
+            if u.fun_id(name).is_none() {
+                let id = FunId::new(u.funs.len());
+                u.funs.push(FunDecl {
+                    name: name.to_string(),
+                    arg_types: args,
+                    ret_type: ret,
+                    imp: f,
+                });
+                u.fun_by_name.insert(name.to_string(), id);
+            }
+        };
+        fn nat2(f: impl Fn(u64, u64) -> u64 + 'static) -> Rc<dyn Fn(&[Value]) -> Value> {
+            Rc::new(move |args: &[Value]| {
+                let a = args[0].as_nat().expect("nat argument");
+                let b = args[1].as_nat().expect("nat argument");
+                Value::nat(f(a, b))
+            })
+        }
+        reg(self, "plus", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_add(b)));
+        reg(self, "mult", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_mul(b)));
+        reg(self, "minus", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_sub(b)));
+        reg(self, "max'", vec![nat.clone(), nat.clone()], nat.clone(), nat2(u64::max));
+        reg(self, "min'", vec![nat.clone(), nat.clone()], nat.clone(), nat2(u64::min));
+        reg(
+            self,
+            "succ",
+            vec![nat.clone()],
+            nat.clone(),
+            Rc::new(|args: &[Value]| Value::nat(args[0].as_nat().expect("nat argument").saturating_add(1))),
+        );
+
+        let nil = self.ctor_id("nil").expect("std_list");
+        let cons = self.ctor_id("cons").expect("std_list");
+        let app_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
+            fn go(nil: CtorId, cons: CtorId, a: &Value, b: &Value) -> Value {
+                match a.as_ctor() {
+                    Some((c, elems)) if c == cons => {
+                        let rest = go(nil, cons, &elems[1], b);
+                        Value::ctor(cons, vec![elems[0].clone(), rest])
+                    }
+                    _ => b.clone(),
+                }
+            }
+            go(nil, cons, &args[0], &args[1])
+        });
+        reg(self, "app", vec![list_p.clone(), list_p.clone()], list_p.clone(), app_imp);
+
+        let len_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
+            let mut n = 0u64;
+            let mut v = &args[0];
+            while let Some((c, elems)) = v.as_ctor() {
+                if c != cons {
+                    break;
+                }
+                n += 1;
+                v = &elems[1];
+            }
+            Value::nat(n)
+        });
+        reg(self, "len", vec![list_p.clone()], nat, len_imp);
+
+        let rev_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
+            let mut acc = Value::ctor(nil, vec![]);
+            let mut v = &args[0];
+            while let Some((c, elems)) = v.as_ctor() {
+                if c != cons {
+                    break;
+                }
+                acc = Value::ctor(cons, vec![elems[0].clone(), acc]);
+                v = &elems[1];
+            }
+            acc
+        });
+        reg(self, "rev", vec![list_p.clone()], list_p, rev_imp);
+    }
+}
+
+fn resolve_self(ty: TypeExpr, dt: DtId) -> TypeExpr {
+    match ty {
+        TypeExpr::App(d, args) => {
+            let d = if d.index() == SELF_SENTINEL { dt } else { d };
+            TypeExpr::App(d, args.into_iter().map(|t| resolve_self(t, dt)).collect())
+        }
+        other => other,
+    }
+}
+
+/// Helper returned by [`Universe::display_value`].
+#[derive(Debug)]
+pub struct DisplayValue<'a> {
+    universe: &'a Universe,
+    value: &'a Value,
+}
+
+impl fmt::Display for DisplayValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_value(self.value, self.universe, f, false)
+    }
+}
+
+fn fmt_value(
+    v: &Value,
+    universe: &Universe,
+    f: &mut fmt::Formatter<'_>,
+    nested: bool,
+) -> fmt::Result {
+    match v {
+        Value::Nat(n) => write!(f, "{n}"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Ctor(c, args) => {
+            let name = universe.ctor(*c).name();
+            if args.is_empty() {
+                write!(f, "{name}")
+            } else {
+                if nested {
+                    write!(f, "(")?;
+                }
+                write!(f, "{name}")?;
+                for a in args.iter() {
+                    write!(f, " ")?;
+                    fmt_value(a, universe, f, true)?;
+                }
+                if nested {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut u = Universe::new();
+        let t = u
+            .declare_datatype(
+                "color",
+                0,
+                &[("Red", vec![]), ("Green", vec![]), ("Blue", vec![])],
+            )
+            .unwrap();
+        assert_eq!(u.datatype(t).name(), "color");
+        assert_eq!(u.datatype(t).ctors().len(), 3);
+        assert_eq!(u.dt_id("color"), Some(t));
+        assert!(u.ctor(u.ctor_id("Red").unwrap()).is_base());
+        assert!(u.declare_datatype("color", 0, &[]).is_err());
+    }
+
+    #[test]
+    fn self_reference_resolves() {
+        let mut u = Universe::new();
+        let t = u
+            .declare_datatype(
+                "tree",
+                0,
+                &[
+                    ("Leaf", vec![]),
+                    (
+                        "Node",
+                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                    ),
+                ],
+            )
+            .unwrap();
+        let node = u.ctor_id("Node").unwrap();
+        assert_eq!(u.ctor(node).arg_types()[1], TypeExpr::datatype(t));
+        assert!(!u.ctor(node).is_base());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let mut u = Universe::new();
+        u.std_list();
+        let l = u.list_value([Value::nat(1), Value::nat(2), Value::nat(3)]);
+        assert_eq!(
+            u.list_elems(&l),
+            Some(vec![Value::nat(1), Value::nat(2), Value::nat(3)])
+        );
+        assert_eq!(u.display_value(&l).to_string(), "cons 1 (cons 2 (cons 3 nil))");
+    }
+
+    #[test]
+    fn std_funs_compute() {
+        let mut u = Universe::new();
+        u.std_funs();
+        let plus = u.fun_id("plus").unwrap();
+        assert_eq!(u.fun(plus).apply(&[Value::nat(2), Value::nat(3)]), Value::nat(5));
+        let app = u.fun_id("app").unwrap();
+        let l1 = u.list_value([Value::nat(1)]);
+        let l2 = u.list_value([Value::nat(2)]);
+        let both = u.fun(app).apply(&[l1, l2]);
+        assert_eq!(u.list_elems(&both).unwrap().len(), 2);
+        let rev = u.fun_id("rev").unwrap();
+        let l = u.list_value([Value::nat(1), Value::nat(2)]);
+        let r = u.fun(rev).apply(&[l]);
+        assert_eq!(
+            u.list_elems(&r),
+            Some(vec![Value::nat(2), Value::nat(1)])
+        );
+        let len = u.fun_id("len").unwrap();
+        let l = u.list_value([Value::nat(5), Value::nat(6), Value::nat(7)]);
+        assert_eq!(u.fun(len).apply(&[l]), Value::nat(3));
+        // idempotent
+        u.std_funs();
+        assert_eq!(u.fun_id("plus"), Some(plus));
+    }
+
+    #[test]
+    fn ctor_arg_types_instantiate() {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let cons = u.ctor_id("cons").unwrap();
+        let tys = u.ctor_arg_types(cons, &[TypeExpr::Nat]);
+        assert_eq!(
+            tys,
+            vec![TypeExpr::Nat, TypeExpr::App(list, vec![TypeExpr::Nat])]
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_via_reserve() {
+        let mut u = Universe::new();
+        let a = u.reserve_datatype("even_t", 0).unwrap();
+        let b = u.reserve_datatype("odd_t", 0).unwrap();
+        u.define_ctor(a, "EZ", vec![]).unwrap();
+        u.define_ctor(a, "ES", vec![TypeExpr::datatype(b)]).unwrap();
+        u.define_ctor(b, "OS", vec![TypeExpr::datatype(a)]).unwrap();
+        assert!(u.ctor(u.ctor_id("ES").unwrap()).is_base()); // base w.r.t. its own datatype
+        assert_eq!(u.ctor(u.ctor_id("OS").unwrap()).arg_types()[0], TypeExpr::datatype(a));
+    }
+}

@@ -1,0 +1,207 @@
+//! Validation certificates.
+
+use std::fmt;
+
+/// Which artifact a certificate covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArtifactKind {
+    /// A semi-decision procedure.
+    Checker,
+    /// A bounded enumerator.
+    Enumerator,
+    /// A random generator.
+    Generator,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactKind::Checker => write!(f, "checker"),
+            ArtifactKind::Enumerator => write!(f, "enumerator"),
+            ArtifactKind::Generator => write!(f, "generator"),
+        }
+    }
+}
+
+/// Bounds used during validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidationParams {
+    /// Size bound for the swept argument tuples.
+    pub arg_size: u64,
+    /// Maximum checker fuel / producer size tried.
+    pub max_fuel: u64,
+    /// Depth bound for the reference search.
+    pub ref_depth: u64,
+    /// Witness-size bound for the reference search.
+    pub value_bound: u64,
+    /// Samples per input for generator validation.
+    pub gen_samples: usize,
+    /// RNG seed for generator validation.
+    pub seed: u64,
+}
+
+impl Default for ValidationParams {
+    fn default() -> ValidationParams {
+        ValidationParams {
+            arg_size: 4,
+            max_fuel: 12,
+            ref_depth: 12,
+            value_bound: 5,
+            gen_samples: 50,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A concrete counterexample found during validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The checker answered `Some true` but the relation does not hold.
+    CheckerUnsound {
+        /// Rendered argument tuple.
+        args: String,
+    },
+    /// The checker answered `Some false` but the relation holds.
+    CheckerUnsoundNegative {
+        /// Rendered argument tuple.
+        args: String,
+    },
+    /// The relation holds but no tried fuel produced `Some true`.
+    CheckerIncomplete {
+        /// Rendered argument tuple.
+        args: String,
+    },
+    /// A definite verdict changed when fuel increased.
+    NotMonotonic {
+        /// Rendered argument tuple (or input tuple for producers).
+        args: String,
+        /// The smaller fuel.
+        fuel_lo: u64,
+        /// The larger fuel.
+        fuel_hi: u64,
+    },
+    /// A produced output does not satisfy the relation.
+    ProducerUnsound {
+        /// Rendered inputs.
+        inputs: String,
+        /// Rendered outputs.
+        outputs: String,
+    },
+    /// A satisfying output was never produced.
+    ProducerIncomplete {
+        /// Rendered inputs.
+        inputs: String,
+        /// Rendered outputs.
+        outputs: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::CheckerUnsound { args } => {
+                write!(f, "unsound: Some(true) on ({args}) which does not hold")
+            }
+            Violation::CheckerUnsoundNegative { args } => {
+                write!(f, "negatively unsound: Some(false) on ({args}) which holds")
+            }
+            Violation::CheckerIncomplete { args } => {
+                write!(f, "incomplete: ({args}) holds but no fuel answers Some(true)")
+            }
+            Violation::NotMonotonic {
+                args,
+                fuel_lo,
+                fuel_hi,
+            } => write!(
+                f,
+                "non-monotonic on ({args}): verdict changed between fuel {fuel_lo} and {fuel_hi}"
+            ),
+            Violation::ProducerUnsound { inputs, outputs } => {
+                write!(f, "unsound: produced ({outputs}) for inputs ({inputs})")
+            }
+            Violation::ProducerIncomplete { inputs, outputs } => write!(
+                f,
+                "incomplete: ({outputs}) satisfies the relation for inputs ({inputs}) but was never produced"
+            ),
+        }
+    }
+}
+
+/// The result of validating one derived artifact.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Relation name.
+    pub rel: String,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Mode rendering (empty for checkers).
+    pub mode: String,
+    /// Number of argument/input tuples swept.
+    pub cases: usize,
+    /// Violations found (empty for a valid artifact).
+    pub violations: Vec<Violation>,
+    /// Cases where the reference search was itself inconclusive and the
+    /// comparison was skipped.
+    pub inconclusive: usize,
+    /// The bounds used.
+    pub params: ValidationParams,
+}
+
+impl Certificate {
+    /// `true` when no violations were found.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}{}: {} over {} cases ({} inconclusive)",
+            self.kind,
+            self.rel,
+            self.mode,
+            if self.is_valid() { "VALID" } else { "INVALID" },
+            self.cases,
+            self.inconclusive
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_display() {
+        let cert = Certificate {
+            rel: "le".into(),
+            kind: ArtifactKind::Checker,
+            mode: String::new(),
+            cases: 25,
+            violations: vec![],
+            inconclusive: 0,
+            params: ValidationParams::default(),
+        };
+        assert!(cert.is_valid());
+        assert!(cert.to_string().contains("VALID"));
+        let mut bad = cert;
+        bad.violations.push(Violation::CheckerUnsound {
+            args: "1, 2".into(),
+        });
+        assert!(!bad.is_valid());
+        assert!(bad.to_string().contains("unsound"));
+    }
+
+    #[test]
+    fn default_params_are_modest() {
+        let p = ValidationParams::default();
+        assert!(p.arg_size <= 6);
+        assert!(p.max_fuel >= p.ref_depth);
+    }
+}

@@ -1,0 +1,63 @@
+//! Translation validation for derived computations.
+//!
+//! The paper proves, per derived artifact and inside Coq, that the
+//! artifact is **sound**, **complete**, and **size-monotonic** with
+//! respect to its source relation (§5). Rust has no practical analogue
+//! of those foundational proofs, so this crate keeps the *shape* of
+//! translation validation — a post-hoc, per-artifact check producing a
+//! reusable certificate — while replacing "proof" with exhaustive
+//! verification over bounded domains against the independent reference
+//! semantics of [`indrel_semantics`]:
+//!
+//! * **checker soundness** — `check s args = Some true` implies the
+//!   relation holds (reference search agrees),
+//! * **negative soundness** — `Some false` implies it does not hold
+//!   (derivable from monotonicity + completeness in the paper),
+//! * **checker completeness** — whenever the relation holds, some fuel
+//!   makes the checker answer `Some true`,
+//! * **monotonicity** — once definite, larger fuel never changes the
+//!   verdict,
+//! * **producer soundness/completeness** — the set of outcomes equals
+//!   the set of satisfying outputs (exactly, for enumerators, over the
+//!   bounded domain; statistically for generators),
+//! * **producer monotonicity** — outcome sets grow with size.
+//!
+//! The paper's negative result is preserved: completeness of *negation*
+//! is not validated (it fails for relations like `zero`, §5.1), and a
+//! checker answering `None` forever on a non-inhabitant is not a
+//! certificate failure.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_core::{LibraryBuilder, Mode};
+//! use indrel_rel::{parse::parse_program, RelEnv};
+//! use indrel_term::Universe;
+//! use indrel_validate::Validator;
+//!
+//! let mut u = Universe::new();
+//! let mut env = RelEnv::new();
+//! parse_program(&mut u, &mut env, r"
+//!     rel le : nat nat :=
+//!     | le_n : forall n, le n n
+//!     | le_S : forall n m, le n m -> le n (S m)
+//!     .
+//! ").unwrap();
+//! let le = env.rel_id("le").unwrap();
+//! let mut b = LibraryBuilder::new(u, env);
+//! b.derive_checker(le).unwrap();
+//! b.derive_producer(le, Mode::producer(2, &[0])).unwrap();
+//! let lib = b.build();
+//!
+//! let validator = Validator::new(lib).unwrap();
+//! let cert = validator.validate_checker(le);
+//! assert!(cert.is_valid(), "{cert}");
+//! let cert = validator.validate_enumerator(le, &Mode::producer(2, &[0]));
+//! assert!(cert.is_valid(), "{cert}");
+//! ```
+
+mod certificate;
+mod validator;
+
+pub use certificate::{ArtifactKind, Certificate, ValidationParams, Violation};
+pub use validator::Validator;

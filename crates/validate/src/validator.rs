@@ -1,0 +1,451 @@
+//! The validation engine.
+
+use crate::certificate::{ArtifactKind, Certificate, ValidationParams, Violation};
+use indrel_core::{Library, Mode};
+use indrel_producers::Outcome;
+use indrel_semantics::{ProofSystem, Tv};
+use indrel_term::enumerate::tuples_up_to;
+use indrel_term::{RelId, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Validates derived artifacts of a [`Library`] against the reference
+/// semantics. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Validator {
+    lib: Library,
+    sys: ProofSystem,
+    params: ValidationParams,
+}
+
+impl Validator {
+    /// Builds a validator for the library, constructing the reference
+    /// proof system over the same universe and relations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing errors from the reference semantics.
+    pub fn new(lib: Library) -> Result<Validator, String> {
+        Validator::with_params(lib, ValidationParams::default())
+    }
+
+    /// Builds a validator with explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing errors from the reference semantics.
+    pub fn with_params(lib: Library, params: ValidationParams) -> Result<Validator, String> {
+        let mut sys = ProofSystem::new(lib.universe().clone(), lib.env().clone())?;
+        sys.set_value_bound(params.value_bound);
+        Ok(Validator { lib, sys, params })
+    }
+
+    /// The bounds in use.
+    pub fn params(&self) -> &ValidationParams {
+        &self.params
+    }
+
+    /// The underlying library.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    fn render(&self, vals: &[Value]) -> String {
+        vals.iter()
+            .map(|v| self.lib.universe().display_value(v).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Re-runs the reference search with a witness bound matching the
+    /// checker's maximum fuel, for double-checking would-be soundness
+    /// violations (the default bound can truncate large witnesses).
+    fn generous_holds(&self, rel: RelId, args: &[Value]) -> Tv {
+        let mut sys = ProofSystem::new(self.lib.universe().clone(), self.lib.env().clone())
+            .expect("relations already preprocessed once");
+        sys.set_value_bound(self.params.value_bound.max(self.params.max_fuel));
+        sys.holds(rel, args, self.params.ref_depth.max(self.params.max_fuel))
+    }
+
+    fn sweep_args(&self, rel: RelId) -> Vec<Vec<Value>> {
+        let tys = self.lib.env().relation(rel).arg_types().to_vec();
+        tuples_up_to(self.lib.universe(), &tys, self.params.arg_size)
+    }
+
+    /// Validates the checker instance for `rel`: soundness, negative
+    /// soundness, completeness, and monotonicity over the bounded
+    /// argument domain.
+    pub fn validate_checker(&self, rel: RelId) -> Certificate {
+        let mut violations = Vec::new();
+        let mut inconclusive = 0usize;
+        let tuples = self.sweep_args(rel);
+        for args in &tuples {
+            let reference = self.sys.holds(rel, args, self.params.ref_depth);
+            // Monotonicity: once definite, the verdict never changes.
+            let mut definite: Option<(bool, u64)> = None;
+            let mut final_result = None;
+            let mut monotonic = true;
+            for fuel in 0..=self.params.max_fuel {
+                let r = self.lib.check(rel, fuel, fuel, args);
+                if let Some(b) = r {
+                    match definite {
+                        None => definite = Some((b, fuel)),
+                        Some((b0, f0)) => {
+                            if b0 != b {
+                                violations.push(Violation::NotMonotonic {
+                                    args: self.render(args),
+                                    fuel_lo: f0,
+                                    fuel_hi: fuel,
+                                });
+                                monotonic = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                final_result = r;
+            }
+            if !monotonic {
+                // The verdict is unstable; comparing it against the
+                // reference would double-report the same defect.
+                continue;
+            }
+            match (final_result, reference) {
+                (Some(true), Tv::False) => {
+                    // The checker may have used a witness larger than the
+                    // reference search's value bound; re-verify with a
+                    // bound matching the checker's fuel before flagging.
+                    if self.generous_holds(rel, args) == Tv::False {
+                        violations.push(Violation::CheckerUnsound {
+                            args: self.render(args),
+                        });
+                    } else {
+                        inconclusive += 1;
+                    }
+                }
+                (Some(false), Tv::True) => violations.push(Violation::CheckerUnsoundNegative {
+                    args: self.render(args),
+                }),
+                (None, Tv::True) => {
+                    // `None` on a positive is an incompleteness.
+                    violations.push(Violation::CheckerIncomplete {
+                        args: self.render(args),
+                    });
+                }
+                (Some(true), Tv::Unknown) => {
+                    // A positive checker verdict with an inconclusive
+                    // reference can't be judged.
+                    inconclusive += 1;
+                }
+                _ => {
+                    if reference == Tv::Unknown {
+                        inconclusive += 1;
+                    }
+                }
+            }
+        }
+        Certificate {
+            rel: self.lib.env().relation(rel).name().to_string(),
+            kind: ArtifactKind::Checker,
+            mode: String::new(),
+            cases: tuples.len(),
+            violations,
+            inconclusive,
+            params: self.params,
+        }
+    }
+
+    /// The set of satisfying output tuples for `(rel, mode)` at the
+    /// given inputs, according to the reference semantics, restricted to
+    /// outputs within the sweep bound.
+    fn reference_outputs(&self, rel: RelId, mode: &Mode, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let tys: Vec<_> = mode
+            .out_positions()
+            .into_iter()
+            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
+            .collect();
+        let mut sat = Vec::new();
+        for outs in tuples_up_to(self.lib.universe(), &tys, self.params.arg_size) {
+            let args = assemble(mode, inputs, &outs);
+            if self.sys.holds(rel, &args, self.params.ref_depth) == Tv::True {
+                sat.push(outs);
+            }
+        }
+        sat
+    }
+
+    /// Validates the enumerator instance for `(rel, mode)`: soundness
+    /// of every outcome, completeness against the reference output set,
+    /// and monotonicity of outcome sets. (Duplicates are allowed: a
+    /// witness with several derivations is enumerated once per
+    /// derivation, as in QuickChick.)
+    pub fn validate_enumerator(&self, rel: RelId, mode: &Mode) -> Certificate {
+        let mut violations = Vec::new();
+        let mut inconclusive = 0usize;
+        let in_tys: Vec<_> = mode
+            .in_positions()
+            .into_iter()
+            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
+            .collect();
+        let input_tuples = tuples_up_to(self.lib.universe(), &in_tys, self.params.arg_size);
+        for inputs in &input_tuples {
+            let mut prev: BTreeSet<Vec<Value>> = BTreeSet::new();
+            let mut seen_at_max: BTreeSet<Vec<Value>> = BTreeSet::new();
+            for size in 0..=self.params.max_fuel {
+                let outcomes = self
+                    .lib
+                    .enumerate(rel, mode, size, size, inputs)
+                    .outcomes();
+                let mut cur: BTreeSet<Vec<Value>> = BTreeSet::new();
+                for o in outcomes {
+                    if let Outcome::Val(v) = o {
+                        cur.insert(v);
+                    }
+                }
+                // Monotonicity of outcome sets.
+                if !prev.is_subset(&cur) {
+                    violations.push(Violation::NotMonotonic {
+                        args: self.render(inputs),
+                        fuel_lo: size.saturating_sub(1),
+                        fuel_hi: size,
+                    });
+                }
+                prev = cur.clone();
+                if size == self.params.max_fuel {
+                    seen_at_max = cur;
+                }
+            }
+            // Soundness: everything produced satisfies the relation.
+            for outs in &seen_at_max {
+                let args = assemble(mode, inputs, outs);
+                match self.sys.holds(rel, &args, self.params.ref_depth) {
+                    Tv::False => violations.push(Violation::ProducerUnsound {
+                        inputs: self.render(inputs),
+                        outputs: self.render(outs),
+                    }),
+                    Tv::Unknown => inconclusive += 1,
+                    Tv::True => {}
+                }
+            }
+            // Completeness: every satisfying output (within bounds) is
+            // eventually produced.
+            for outs in self.reference_outputs(rel, mode, inputs) {
+                if !seen_at_max.contains(&outs) {
+                    violations.push(Violation::ProducerIncomplete {
+                        inputs: self.render(inputs),
+                        outputs: self.render(&outs),
+                    });
+                }
+            }
+        }
+        Certificate {
+            rel: self.lib.env().relation(rel).name().to_string(),
+            kind: ArtifactKind::Enumerator,
+            mode: mode.to_string(),
+            cases: input_tuples.len(),
+            violations,
+            inconclusive,
+            params: self.params,
+        }
+    }
+
+    /// Validates the generator instance for `(rel, mode)`: every sample
+    /// satisfies the relation (soundness); coverage of the reference
+    /// output set is reported through the certificate's `inconclusive`
+    /// count (samples can miss rare outputs without invalidating).
+    pub fn validate_generator(&self, rel: RelId, mode: &Mode) -> Certificate {
+        let mut violations = Vec::new();
+        let mut inconclusive = 0usize;
+        let in_tys: Vec<_> = mode
+            .in_positions()
+            .into_iter()
+            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
+            .collect();
+        let input_tuples = tuples_up_to(self.lib.universe(), &in_tys, self.params.arg_size);
+        let mut rng = SmallRng::seed_from_u64(self.params.seed);
+        for inputs in &input_tuples {
+            for _ in 0..self.params.gen_samples {
+                let Some(outs) =
+                    self.lib
+                        .generate(rel, mode, self.params.max_fuel, self.params.max_fuel, inputs, &mut rng)
+                else {
+                    continue;
+                };
+                let args = assemble(mode, inputs, &outs);
+                match self.sys.holds(rel, &args, self.params.ref_depth) {
+                    Tv::False => violations.push(Violation::ProducerUnsound {
+                        inputs: self.render(inputs),
+                        outputs: self.render(&outs),
+                    }),
+                    Tv::Unknown => inconclusive += 1,
+                    Tv::True => {}
+                }
+            }
+        }
+        Certificate {
+            rel: self.lib.env().relation(rel).name().to_string(),
+            kind: ArtifactKind::Generator,
+            mode: mode.to_string(),
+            cases: input_tuples.len(),
+            violations,
+            inconclusive,
+            params: self.params,
+        }
+    }
+}
+
+/// Reassembles a full argument tuple from mode-split inputs and outputs.
+fn assemble(mode: &Mode, inputs: &[Value], outputs: &[Value]) -> Vec<Value> {
+    let mut args = Vec::with_capacity(mode.arity());
+    let mut it_in = inputs.iter();
+    let mut it_out = outputs.iter();
+    for i in 0..mode.arity() {
+        if mode.is_out(i) {
+            args.push(it_out.next().expect("output arity").clone());
+        } else {
+            args.push(it_in.next().expect("input arity").clone());
+        }
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indrel_core::LibraryBuilder;
+    use indrel_rel::parse::parse_program;
+    use indrel_rel::RelEnv;
+    use indrel_term::Universe;
+    use std::rc::Rc;
+
+    fn validated_lib(src: &str, rel: &str, modes: &[Vec<usize>]) -> (Validator, RelId) {
+        let mut u = Universe::new();
+        u.std_list();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, src).unwrap();
+        let id = env.rel_id(rel).unwrap();
+        let arity = env.relation(id).arity();
+        let mut b = LibraryBuilder::new(u, env);
+        b.derive_checker(id).unwrap();
+        for outs in modes {
+            b.derive_producer(id, Mode::producer(arity, outs)).unwrap();
+        }
+        (Validator::new(b.build()).unwrap(), id)
+    }
+
+    const LE: &str = r"rel le : nat nat :=
+        | le_n : forall n, le n n
+        | le_S : forall n m, le n m -> le n (S m)
+        .";
+
+    #[test]
+    fn le_checker_certificate_is_valid() {
+        let (v, le) = validated_lib(LE, "le", &[]);
+        let cert = v.validate_checker(le);
+        assert!(cert.is_valid(), "{cert}");
+        assert!(cert.cases > 0);
+    }
+
+    #[test]
+    fn le_enumerator_certificates_are_valid() {
+        let (v, le) = validated_lib(LE, "le", &[vec![0], vec![1], vec![0, 1]]);
+        for outs in [vec![0usize], vec![1], vec![0, 1]] {
+            let cert = v.validate_enumerator(le, &Mode::producer(2, &outs));
+            assert!(cert.is_valid(), "{cert}");
+        }
+    }
+
+    #[test]
+    fn le_generator_certificate_is_valid() {
+        let (v, le) = validated_lib(LE, "le", &[vec![1]]);
+        let cert = v.validate_generator(le, &Mode::producer(2, &[1]));
+        assert!(cert.is_valid(), "{cert}");
+    }
+
+    #[test]
+    fn broken_handwritten_checker_is_caught() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, LE).unwrap();
+        let le = env.rel_id("le").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        // An unsound checker: claims le m n for everything.
+        b.register_checker(le, Rc::new(|_, _, _| Some(true)));
+        let v = Validator::new(b.build()).unwrap();
+        let cert = v.validate_checker(le);
+        assert!(!cert.is_valid());
+        assert!(cert
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::CheckerUnsound { .. })));
+    }
+
+    #[test]
+    fn incomplete_handwritten_checker_is_caught() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, LE).unwrap();
+        let le = env.rel_id("le").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        // Sound but incomplete-and-claiming-false: rejects everything.
+        b.register_checker(le, Rc::new(|_, _, _| Some(false)));
+        let v = Validator::new(b.build()).unwrap();
+        let cert = v.validate_checker(le);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::CheckerUnsoundNegative { .. })));
+    }
+
+    #[test]
+    fn nonmonotonic_checker_is_caught() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        parse_program(&mut u, &mut env, LE).unwrap();
+        let le = env.rel_id("le").unwrap();
+        let mut b = LibraryBuilder::new(u, env);
+        // Flips its verdict with fuel parity.
+        b.register_checker(le, Rc::new(|s, _, _| Some(s % 2 == 0)));
+        let v = Validator::new(b.build()).unwrap();
+        let cert = v.validate_checker(le);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::NotMonotonic { .. })));
+    }
+
+    #[test]
+    fn zero_relation_checker_still_validates() {
+        // §5.1: the zero relation's checker answers None forever on
+        // nonzero inputs; that is *not* a violation (completeness of
+        // negation is not required), it shows up as inconclusive cases.
+        let (v, zero) = validated_lib(
+            r"rel zero : nat :=
+              | Zero : zero 0
+              | NonZero : forall n, zero (S n) -> zero n
+              .",
+            "zero",
+            &[],
+        );
+        let cert = v.validate_checker(zero);
+        assert!(cert.is_valid(), "{cert}");
+        assert!(cert.inconclusive > 0);
+    }
+
+    #[test]
+    fn square_of_certificates() {
+        let (v, sq) = validated_lib(
+            r"rel square_of : nat nat :=
+              | sq : forall n, square_of n (mult n n)
+              .",
+            "square_of",
+            &[vec![1]],
+        );
+        let cert = v.validate_checker(sq);
+        assert!(cert.is_valid(), "{cert}");
+        let cert = v.validate_enumerator(sq, &Mode::producer(2, &[1]));
+        assert!(cert.is_valid(), "{cert}");
+    }
+}

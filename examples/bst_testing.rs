@@ -1,0 +1,62 @@
+//! Testing binary search trees with derived artifacts (§6.2, after
+//! "How to Specify It!").
+//!
+//! Derives the BST-invariant checker and a constrained tree generator
+//! from the `bst` relation, then uses them to find the injected
+//! insertion bug.
+//!
+//! ```text
+//! cargo run --release --example bst_testing
+//! ```
+
+use indrel::bst::Bst;
+use indrel::pbt::{Runner, TestOutcome};
+use indrel::term::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bst = Bst::new();
+    let u = bst.library().universe().clone();
+
+    // The derived generator produces trees satisfying `bst 0 24 ?t`.
+    let mut rng = SmallRng::seed_from_u64(9);
+    println!("random search trees from the derived generator:");
+    let mut shown = 0;
+    while shown < 3 {
+        if let Some(t) = bst.derived_gen(0, 24, 5, &mut rng) {
+            println!("  {}", u.display_value(&t));
+            assert_eq!(bst.derived_check(0, 24, &t, 64), Some(true));
+            shown += 1;
+        }
+    }
+
+    // Correct insertion preserves the invariant...
+    let b2 = bst.clone();
+    let gen = move |size: u64, rng: &mut dyn rand::RngCore| {
+        let t = b2.derived_gen(0, 24, size, rng)?;
+        let x = rand::Rng::gen_range(rng, 1..24u64);
+        Some(vec![Value::nat(x), t])
+    };
+    let b3 = bst.clone();
+    let ok = Runner::new(5).with_size(6).run(20_000, gen.clone(), move |args| {
+        let t2 = b3.insert(args[0].as_nat().unwrap(), &args[1]);
+        TestOutcome::from_check(b3.derived_check(0, 24, &t2, 64))
+    });
+    println!("\ninsert preserves the invariant: {ok}");
+
+    // ...and the mutated insertion does not.
+    let b4 = bst.clone();
+    let bad = Runner::new(5).with_size(6).run(20_000, gen, move |args| {
+        let t2 = b4.insert_buggy(args[0].as_nat().unwrap(), &args[1]);
+        TestOutcome::from_check(b4.derived_check(0, 24, &t2, 64))
+    });
+    println!("buggy insert: {bad}");
+    if let Some((cex, _)) = &bad.failed {
+        println!(
+            "  counterexample: insert {} into {}",
+            cex[0].as_nat().unwrap(),
+            u.display_value(&cex[1])
+        );
+    }
+}

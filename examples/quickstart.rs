@@ -1,0 +1,118 @@
+//! Quickstart: from an inductive relation to checkers, enumerators,
+//! and generators — with validation certificates.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use indrel::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Specify: inductive relations in a Coq-flavoured surface syntax.
+    // ------------------------------------------------------------------
+    let mut universe = Universe::new();
+    let mut relations = RelEnv::new();
+    parse_program(
+        &mut universe,
+        &mut relations,
+        r"
+        rel even' : nat :=
+        | even_0  : even' 0
+        | even_SS : forall n, even' n -> even' (S (S n))
+        .
+        rel le : nat nat :=
+        | le_n : forall n, le n n
+        | le_S : forall n m, le n m -> le n (S m)
+        .
+        ",
+    )
+    .expect("the specification parses");
+    let even = relations.rel_id("even'").unwrap();
+    let le = relations.rel_id("le").unwrap();
+
+    // ------------------------------------------------------------------
+    // 2. Derive: one algorithm, three instantiations (§4 of the paper).
+    // ------------------------------------------------------------------
+    let mut builder = LibraryBuilder::new(universe, relations);
+    builder.derive_checker(even).unwrap();
+    builder.derive_checker(le).unwrap();
+    let evens_mode = Mode::producer(1, &[0]);
+    let le_mode = Mode::producer(2, &[0]);
+    builder.derive_producer(even, evens_mode.clone()).unwrap();
+    builder.derive_producer(le, le_mode.clone()).unwrap();
+
+    // Inspect the derived "code" (the analogue of Figure 1).
+    println!("--- derived checker plan for even' ---");
+    println!(
+        "{}",
+        builder
+            .checker_plan(even)
+            .unwrap()
+            .display(builder.universe(), builder.env())
+    );
+    let lib = builder.build();
+
+    // ------------------------------------------------------------------
+    // 3. Check: three-valued semi-decision (Some(true)/Some(false)/None).
+    // ------------------------------------------------------------------
+    println!("--- checking ---");
+    for n in [0u64, 7, 10] {
+        println!(
+            "even' {n} with fuel 10  =>  {:?}",
+            lib.check(even, 10, 10, &[Value::nat(n)])
+        );
+    }
+    println!(
+        "even' 40 with fuel 3   =>  {:?}   (out of fuel)",
+        lib.check(even, 3, 3, &[Value::nat(40)])
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Enumerate: all witnesses, in a fair bounded order.
+    // ------------------------------------------------------------------
+    let evens: Vec<u64> = lib
+        .enumerate(even, &evens_mode, 5, 5, &[])
+        .values()
+        .into_iter()
+        .map(|out| out[0].as_nat().unwrap())
+        .collect();
+    println!("--- enumerating even numbers (size 5) ---\n{evens:?}");
+
+    let below: Vec<u64> = lib
+        .enumerate(le, &le_mode, 9, 9, &[Value::nat(6)])
+        .values()
+        .into_iter()
+        .map(|out| out[0].as_nat().unwrap())
+        .collect();
+    println!("--- enumerating n with le n 6 ---\n{below:?}");
+
+    // ------------------------------------------------------------------
+    // 5. Generate: random witnesses for property-based testing.
+    // ------------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(2022);
+    let samples: Vec<u64> = (0..12)
+        .filter_map(|_| lib.generate(even, &evens_mode, 12, 12, &[], &mut rng))
+        .map(|out| out[0].as_nat().unwrap())
+        .collect();
+    println!("--- sampling even numbers ---\n{samples:?}");
+
+    // ------------------------------------------------------------------
+    // 6. Validate: translation validation (§5) — soundness,
+    //    completeness, and monotonicity against the reference
+    //    semantics, packaged as certificates.
+    // ------------------------------------------------------------------
+    println!("--- validation certificates ---");
+    let validator = Validator::new(lib).unwrap();
+    for cert in [
+        validator.validate_checker(even),
+        validator.validate_checker(le),
+        validator.validate_enumerator(even, &evens_mode),
+        validator.validate_enumerator(le, &le_mode),
+        validator.validate_generator(le, &le_mode),
+    ] {
+        println!("{cert}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Proof by computational reflection (§6.3 of the paper):
+//! `Sorted (repeat 1 2000)` the slow way and the fast way.
+//!
+//! ```text
+//! cargo run --release --example reflection
+//! ```
+
+use indrel::reflect::compare_with_big_stack;
+
+fn main() {
+    println!("Proving  sorted (repeat 1 n)  two ways:");
+    println!("  naive:      build the explicit derivation tree, have the kernel re-check it");
+    println!("  reflective: run the derived (validated-sound) checker once\n");
+    for r in compare_with_big_stack(&[500, 1000, 2000]) {
+        println!(
+            "n={:<5} proof nodes {:<6} construct {:>10.3?}  kernel-check {:>10.3?}  reflective {:>10.3?}  speedup {:>6.1}x",
+            r.n,
+            r.proof_size,
+            r.construct,
+            r.kernel_check,
+            r.reflective,
+            r.speedup()
+        );
+    }
+    println!();
+    println!("The explicit proof carries every intermediate list; the kernel's");
+    println!("structural comparisons make checking quadratic in n, while the");
+    println!("reflective route is a single linear computation — the reason the");
+    println!("paper's Coq proof dropped from ~27 s to ~0.1 s.");
+}

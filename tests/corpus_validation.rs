@@ -1,0 +1,151 @@
+//! Translation validation over the Software Foundations corpus: every
+//! derived checker (and a selection of producers) earns a certificate
+//! against the reference semantics, on bounded domains.
+
+use indrel::core::{LibraryBuilder, Mode};
+use indrel::validate::{ValidationParams, Validator};
+
+fn small_params() -> ValidationParams {
+    ValidationParams {
+        arg_size: 3,
+        max_fuel: 10,
+        ref_depth: 10,
+        value_bound: 4,
+        gen_samples: 15,
+        seed: 99,
+    }
+}
+
+/// Checker certificates for the nat-flavoured LF relations.
+#[test]
+fn lf_nat_checkers_validate() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let names = [
+        "ev", "ev'", "le", "lt", "ge", "eq_nat", "square_of", "next_nat", "next_ev",
+        "total_relation", "empty_relation", "collatz_holds_for",
+    ];
+    let mut b = LibraryBuilder::new(u, env);
+    let ids: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let id = b.env().rel_id(n).unwrap();
+            b.derive_checker(id).unwrap();
+            id
+        })
+        .collect();
+    let v = Validator::with_params(b.build(), small_params()).unwrap();
+    for (name, id) in names.iter().zip(ids) {
+        let cert = v.validate_checker(id);
+        assert!(cert.is_valid(), "{name}: {cert}");
+    }
+}
+
+/// Checker certificates for the list-flavoured LF relations.
+#[test]
+fn lf_list_checkers_validate() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let names = ["in_list", "subseq", "pal", "nostutter", "merge", "repeats", "nodup"];
+    let mut b = LibraryBuilder::new(u, env);
+    let ids: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let id = b.env().rel_id(n).unwrap();
+            b.derive_checker(id).unwrap();
+            id
+        })
+        .collect();
+    let v = Validator::with_params(b.build(), small_params()).unwrap();
+    for (name, id) in names.iter().zip(ids) {
+        let cert = v.validate_checker(id);
+        assert!(cert.is_valid(), "{name}: {cert}");
+    }
+}
+
+/// Regular-expression matching: the `IndProp` centerpiece. The derived
+/// checker enumerates string splits for `Cat`/`Star`, so keep the fuel
+/// small — the split space is `O(2^fuel)`.
+#[test]
+fn exp_match_checker_validates() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let mut b = LibraryBuilder::new(u, env);
+    let id = b.env().rel_id("exp_match").unwrap();
+    b.derive_checker(id).unwrap();
+    let params = ValidationParams {
+        arg_size: 3,
+        max_fuel: 6,
+        ref_depth: 8,
+        value_bound: 4,
+        gen_samples: 5,
+        seed: 7,
+    };
+    let v = Validator::with_params(b.build(), params).unwrap();
+    let cert = v.validate_checker(id);
+    assert!(cert.is_valid(), "{cert}");
+}
+
+/// Producer certificates: enumerators must be exactly the satisfying
+/// output sets, generators must be sound.
+#[test]
+fn producer_certificates() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let mut b = LibraryBuilder::new(u, env);
+    let le = b.env().rel_id("le").unwrap();
+    let ev = b.env().rel_id("ev").unwrap();
+    let in_list = b.env().rel_id("in_list").unwrap();
+    let m_le = Mode::producer(2, &[1]);
+    let m_ev = Mode::producer(1, &[0]);
+    let m_in = Mode::producer(2, &[0]);
+    b.derive_producer(le, m_le.clone()).unwrap();
+    b.derive_producer(ev, m_ev.clone()).unwrap();
+    b.derive_producer(in_list, m_in.clone()).unwrap();
+    let v = Validator::with_params(b.build(), small_params()).unwrap();
+    for (name, id, mode) in [
+        ("le", le, &m_le),
+        ("ev", ev, &m_ev),
+        ("in_list", in_list, &m_in),
+    ] {
+        let cert = v.validate_enumerator(id, mode);
+        assert!(cert.is_valid(), "{name} enum: {cert}");
+        let cert = v.validate_generator(id, mode);
+        assert!(cert.is_valid(), "{name} gen: {cert}");
+    }
+}
+
+/// The IMP evaluators validate on tiny domains (deep relations: keep
+/// the sweep small).
+#[test]
+fn imp_lookup_validates() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let mut b = LibraryBuilder::new(u, env);
+    let lookup = b.env().rel_id("lookupR").unwrap();
+    b.derive_checker(lookup).unwrap();
+    let params = ValidationParams {
+        arg_size: 3,
+        max_fuel: 8,
+        ref_depth: 8,
+        value_bound: 3,
+        gen_samples: 5,
+        seed: 3,
+    };
+    let v = Validator::with_params(b.build(), params).unwrap();
+    let cert = v.validate_checker(lookup);
+    assert!(cert.is_valid(), "{cert}");
+}
+
+/// The case-study relations validate too.
+#[test]
+fn case_study_checkers_validate() {
+    let bst = indrel::bst::Bst::new();
+    let v = Validator::with_params(bst.library().clone(), small_params()).unwrap();
+    let cert = v.validate_checker(bst.relation());
+    assert!(cert.is_valid(), "bst: {cert}");
+
+    let ifc = indrel::ifc::Ifc::new();
+    let params = ValidationParams {
+        arg_size: 4,
+        ..small_params()
+    };
+    let v = Validator::with_params(ifc.library().clone(), params).unwrap();
+    let cert = v.validate_checker(ifc.indist_relation());
+    assert!(cert.is_valid(), "indist: {cert}");
+}

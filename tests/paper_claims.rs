@@ -1,0 +1,261 @@
+//! Tests pinning the specific claims and examples of the paper.
+
+use indrel::prelude::*;
+
+/// §2: the derived checker for `typing` — including the `App` case the
+/// handwritten sketch omits — decides the examples of the paper.
+#[test]
+fn section2_stlc_typing() {
+    let stlc = indrel::stlc::Stlc::new();
+    // Con n : N
+    assert_eq!(stlc.derived_check(&[], &stlc.con(3), &stlc.ty_n(), 20), Some(true));
+    // Abs N (Var 0) : N -> N
+    let id = stlc.abs(stlc.ty_n(), stlc.var(0));
+    let nn = stlc.ty_arrow(stlc.ty_n(), stlc.ty_n());
+    assert_eq!(stlc.derived_check(&[], &id, &nn, 20), Some(true));
+    // App (the case that needs enumeration of the argument type):
+    let e = stlc.app(id, stlc.con(7));
+    assert_eq!(stlc.derived_check(&[], &e, &stlc.ty_n(), 30), Some(true));
+    assert_eq!(stlc.derived_check(&[], &e, &nn, 30), Some(false));
+}
+
+/// §3.1 `square_of`: function calls in conclusions are hoisted into
+/// equality premises.
+#[test]
+fn section31_square_of() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let sq = env.rel_id("square_of").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(sq).unwrap();
+    b.derive_producer(sq, Mode::producer(2, &[1])).unwrap();
+    let lib = b.build();
+    assert_eq!(
+        lib.check(sq, 4, 4, &[Value::nat(12), Value::nat(144)]),
+        Some(true)
+    );
+    assert_eq!(
+        lib.check(sq, 4, 4, &[Value::nat(12), Value::nat(143)]),
+        Some(false)
+    );
+    let outs = lib
+        .enumerate(sq, &Mode::producer(2, &[1]), 1, 1, &[Value::nat(9)])
+        .values();
+    assert_eq!(outs, vec![vec![Value::nat(81)]]);
+}
+
+/// §5.1: the `zero` relation — checkers cannot be complete for
+/// negation; `None` forever on any positive input.
+#[test]
+fn section51_zero_incompleteness() {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    parse_program(
+        &mut u,
+        &mut env,
+        r"rel zero : nat :=
+          | Zero : zero 0
+          | NonZero : forall n, zero (S n) -> zero n
+          .",
+    )
+    .unwrap();
+    let zero = env.rel_id("zero").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(zero).unwrap();
+    let lib = b.build();
+    assert_eq!(lib.check(zero, 100, 100, &[Value::nat(0)]), Some(true));
+    for fuel in [1u64, 10, 100, 300] {
+        assert_eq!(lib.check(zero, fuel, fuel, &[Value::nat(7)]), None);
+    }
+}
+
+/// §5.1 monotonicity, stated over the fuel and checked on a sweep.
+#[test]
+fn section51_monotonicity() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let ev = env.rel_id("ev").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(ev).unwrap();
+    let lib = b.build();
+    for n in 0..12u64 {
+        let mut definite: Option<bool> = None;
+        for fuel in 0..14u64 {
+            match (definite, lib.check(ev, fuel, fuel, &[Value::nat(n)])) {
+                (None, Some(b)) => definite = Some(b),
+                (Some(b0), Some(b1)) => assert_eq!(b0, b1, "verdict changed on {n}"),
+                (_, None) => {}
+            }
+        }
+        assert_eq!(definite, Some(n % 2 == 0));
+    }
+}
+
+/// §8: mutually recursive *instances* are rejected (like the paper's
+/// implementation), with a clear error.
+#[test]
+fn section8_instance_cycles_are_rejected() {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    // a and b mutually refer with existentials that force producer
+    // instances of each other in both directions.
+    parse_program(
+        &mut u,
+        &mut env,
+        r"
+        rel a : nat :=
+        | a0 : a 0
+        .
+        rel b : nat :=
+        | b0 : b 0
+        .
+        ",
+    )
+    .unwrap();
+    // A direct self-cycle through a negated self premise: deriving the
+    // checker for `selfneg` needs the checker for `selfneg`.
+    parse_program(
+        &mut u,
+        &mut env,
+        r"
+        rel selfneg : nat :=
+        | s : forall n, ~ (selfneg n) -> selfneg (S n)
+        .
+        ",
+    )
+    .unwrap();
+    let selfneg = env.rel_id("selfneg").unwrap();
+    let mut builder = LibraryBuilder::new(u, env);
+    let err = builder.derive_checker(selfneg).unwrap_err();
+    assert!(matches!(err, DeriveError::InstanceCycle { .. }), "{err}");
+}
+
+/// §8 (lifted limitation): multiple producer outputs work here.
+#[test]
+fn section8_multiple_outputs_supported() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let subseq = env.rel_id("subseq").unwrap();
+    let mut b = LibraryBuilder::new(u.clone(), env);
+    let mode = Mode::producer(2, &[0, 1]);
+    b.derive_producer(subseq, mode.clone()).unwrap();
+    let lib = b.build();
+    let pairs = lib.enumerate(subseq, &mode, 4, 4, &[]).values();
+    assert!(!pairs.is_empty());
+    // Soundness of each produced pair: first is a subsequence of the
+    // second (checked natively).
+    for pair in &pairs {
+        let xs = u.list_elems(&pair[0]).unwrap();
+        let ys = u.list_elems(&pair[1]).unwrap();
+        let mut it = ys.iter();
+        let ok = xs.iter().all(|x| it.any(|y| y == x));
+        assert!(ok, "{pair:?}");
+    }
+}
+
+/// §8: the iterative-deepening `decide` driver gives decision-procedure
+/// ergonomics on complete checkers while staying honest (`None`) on
+/// semi-decidable instances.
+#[test]
+fn section8_decide_driver() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let ev = env.rel_id("ev").unwrap();
+    let mut b = LibraryBuilder::new(u.clone(), env.clone());
+    b.derive_checker(ev).unwrap();
+    let lib = b.build();
+    assert_eq!(lib.decide(ev, &[Value::nat(20)], 64), Some(true));
+    assert_eq!(lib.decide(ev, &[Value::nat(21)], 64), Some(false));
+
+    let mut u2 = Universe::new();
+    let mut env2 = RelEnv::new();
+    parse_program(
+        &mut u2,
+        &mut env2,
+        r"rel zero : nat :=
+          | Zero : zero 0
+          | NonZero : forall n, zero (S n) -> zero n
+          .",
+    )
+    .unwrap();
+    let zero = env2.rel_id("zero").unwrap();
+    let mut b2 = LibraryBuilder::new(u2, env2);
+    b2.derive_checker(zero).unwrap();
+    let lib2 = b2.build();
+    assert_eq!(lib2.decide(zero, &[Value::nat(3)], 64), None);
+}
+
+/// Evaluation as a relation (PLF `Imp`): division makes evaluation
+/// partial; the derived checker searches for the quotient witness.
+#[test]
+fn aeval_with_division_is_relational() {
+    let (u, env) = indrel::corpus::corpus_env();
+    let aevald = env.rel_id("aevalD").unwrap();
+    let mut b = LibraryBuilder::new(u.clone(), env);
+    b.derive_checker(aevald).unwrap();
+    let lib = b.build();
+    let c = |name: &str, args: Vec<Value>| Value::ctor(u.ctor_id(name).unwrap(), args);
+    // (6 / 2) evaluates to 3 …
+    let e = c(
+        "DDiv",
+        vec![c("DNum", vec![Value::nat(6)]), c("DNum", vec![Value::nat(2)])],
+    );
+    assert_eq!(lib.check(aevald, 8, 8, &[e.clone(), Value::nat(3)]), Some(true));
+    assert_eq!(lib.check(aevald, 8, 8, &[e, Value::nat(2)]), Some(false));
+    // … but (1 / 0) evaluates to nothing at all.
+    let bad = c(
+        "DDiv",
+        vec![c("DNum", vec![Value::nat(1)]), c("DNum", vec![Value::nat(0)])],
+    );
+    for n in 0..4u64 {
+        assert_ne!(
+            lib.check(aevald, 8, 8, &[bad.clone(), Value::nat(n)]),
+            Some(true)
+        );
+    }
+    // (7 / 2) doesn't evaluate either: division is exact.
+    let inexact = c(
+        "DDiv",
+        vec![c("DNum", vec![Value::nat(7)]), c("DNum", vec![Value::nat(2)])],
+    );
+    assert_ne!(
+        lib.check(aevald, 12, 12, &[inexact, Value::nat(3)]),
+        Some(true)
+    );
+}
+
+/// The three-valued conjunction of §2 short-circuits exactly as the
+/// paper defines `.&&`.
+#[test]
+fn section2_three_valued_conjunction() {
+    use indrel::producers::cand;
+    assert_eq!(cand(Some(false), || panic!("lazy")), Some(false));
+    assert_eq!(cand(None, || panic!("lazy")), None);
+    assert_eq!(cand(Some(true), || Some(false)), Some(false));
+}
+
+/// Fuel semantics of §2: `size` bounds recursion, `top_size` feeds
+/// external calls — a nested relation needs `top_size`, not `size`.
+#[test]
+fn section2_two_fuel_discipline() {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    parse_program(
+        &mut u,
+        &mut env,
+        r"
+        rel deep : nat :=
+        | d0 : deep 0
+        | dS : forall n, deep n -> deep (S n)
+        .
+        rel shallow : nat :=
+        | s : forall n, deep n -> shallow n
+        .
+        ",
+    )
+    .unwrap();
+    let shallow = env.rel_id("shallow").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(shallow).unwrap();
+    let lib = b.build();
+    // shallow needs only 1 step of its own recursion, but the external
+    // call to `deep 9` needs top fuel ≥ 10.
+    assert_eq!(lib.check(shallow, 1, 12, &[Value::nat(9)]), Some(true));
+    assert_eq!(lib.check(shallow, 1, 5, &[Value::nat(9)]), None);
+}

@@ -1,0 +1,131 @@
+//! Parser coverage: the rendered form of every corpus rule re-parses
+//! to the same rule (display/parse round trip), plus error-path
+//! coverage.
+
+use indrel::prelude::*;
+use indrel::rel::parse::parse_program;
+
+/// Every corpus rule survives a display → parse round trip.
+#[test]
+fn corpus_rules_round_trip_through_display() {
+    let (u, env) = indrel::corpus::corpus_env();
+    for (rel_id, relation) in env.iter() {
+        for rule in relation.rules() {
+            let rendered = env.display_rule(&u, rel_id, rule).to_string();
+            // Build a single-relation program around the rendered rule.
+            // The relation must be re-declared under a fresh name so
+            // the conclusion head matches; rewrite the head tokens.
+            let fresh = format!("{}_rt", relation.name());
+            let arg_tys: Vec<String> = relation
+                .arg_types()
+                .iter()
+                .map(|t| {
+                    let shown = t.display(&u).to_string();
+                    if shown.contains(' ') {
+                        format!("({shown})")
+                    } else {
+                        shown
+                    }
+                })
+                .collect();
+            let body = rendered.replace(
+                &format!(" {} ", relation.name()),
+                &format!(" {fresh} "),
+            );
+            // Only rules whose premises all refer to already-declared
+            // relations (or itself) can re-parse standalone; rules
+            // referring to *other* relations parse fine because the
+            // corpus env already declared them — but we must parse into
+            // a fresh env that has them. Clone the env.
+            let mut u2 = u.clone();
+            let mut env2 = env.clone();
+            let program = format!("rel {fresh} : {} :=\n| {body}\n.", arg_tys.join(" "));
+            let parsed = parse_program(&mut u2, &mut env2, &program);
+            let parsed = match parsed {
+                Ok(p) => p,
+                Err(e) => panic!(
+                    "rule `{}` of `{}` failed to re-parse:\n{program}\n{e}",
+                    rule.name(),
+                    relation.name()
+                ),
+            };
+            assert_eq!(parsed.relations, vec![fresh.clone()]);
+            let new_rel = env2.rel_id(&fresh).unwrap();
+            let new_rule = &env2.relation(new_rel).rules()[0];
+            assert_eq!(new_rule.name(), rule.name());
+            assert_eq!(new_rule.num_vars(), rule.num_vars());
+            assert_eq!(new_rule.premises().len(), rule.premises().len());
+            assert_eq!(new_rule.conclusion().len(), rule.conclusion().len());
+        }
+    }
+}
+
+#[test]
+fn parse_errors_are_informative() {
+    let cases: &[(&str, &str)] = &[
+        ("data", "expected datatype name"),
+        ("data d := C unknown_ty .", "unknown type"),
+        ("rel r : nat := | a : r x y .", "expects"),
+        ("rel r : nat := | a : S = 1 -> r 0 .", "exactly one argument"),
+        ("rel r : nat := | a : plus 1 = 1 -> r 0 .", "expects 2 arguments"),
+        ("rel r : nat := | a ", "expected"),
+        ("data d := C . data d := D .", "duplicate datatype"),
+        ("rel r : nat := . rel r : nat := .", "duplicate relation"),
+        ("@", "unexpected character"),
+        ("rel r : nat := | a : ~ (r 0) .", "cannot be negated"),
+    ];
+    for (src, needle) in cases {
+        let mut u = Universe::new();
+        u.std_funs();
+        let mut env = RelEnv::new();
+        let err = parse_program(&mut u, &mut env, src)
+            .expect_err(&format!("`{src}` should fail"));
+        assert!(
+            err.to_string().contains(needle),
+            "`{src}` produced `{err}` (wanted `{needle}`)"
+        );
+    }
+}
+
+#[test]
+fn type_errors_surface_through_the_parser() {
+    let mut u = Universe::new();
+    u.std_list();
+    let mut env = RelEnv::new();
+    // x used at both nat and bool.
+    let err = parse_program(
+        &mut u,
+        &mut env,
+        "rel r : nat bool := | a : forall x, r x x .",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("used at both"), "{err}");
+}
+
+#[test]
+fn annotations_override_inference_gaps() {
+    let mut u = Universe::new();
+    u.std_list();
+    u.std_funs();
+    let mut env = RelEnv::new();
+    // `l` occurs only under `len`, whose element type is unconstrained;
+    // the explicit annotation resolves it.
+    parse_program(
+        &mut u,
+        &mut env,
+        r"rel lenrel : nat :=
+          | l : forall (xs : list nat) n, len xs = n -> lenrel n
+          .",
+    )
+    .unwrap();
+    let r = env.rel_id("lenrel").unwrap();
+    let rule = &env.relation(r).rules()[0];
+    assert!(rule.var_types().iter().all(Option::is_some));
+    // And the annotated relation now derives (the unconstrained
+    // instantiation has a type to enumerate).
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(r).unwrap();
+    let lib = b.build();
+    assert_eq!(lib.check(r, 6, 6, &[Value::nat(2)]), Some(true));
+    assert_eq!(lib.check(r, 6, 6, &[Value::nat(9)]), None); // needs longer lists than the fuel allows
+}

@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on the framework's core invariants.
+
+use indrel::prelude::*;
+use proptest::prelude::*;
+use std::cell::OnceCell;
+
+// ---------------------------------------------------------------------
+// Shared fixtures (built once per process; proptest reruns closures).
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static LE_LIB: OnceCell<(Library, RelId)> = const { OnceCell::new() };
+    static SORTED_LIB: OnceCell<(Library, RelId, Universe)> = const { OnceCell::new() };
+}
+
+fn with_le<R>(f: impl FnOnce(&Library, RelId) -> R) -> R {
+    LE_LIB.with(|cell| {
+        let (lib, le) = cell.get_or_init(|| {
+            let mut u = Universe::new();
+            let mut env = RelEnv::new();
+            parse_program(
+                &mut u,
+                &mut env,
+                r"rel le : nat nat :=
+                  | le_n : forall n, le n n
+                  | le_S : forall n m, le n m -> le n (S m)
+                  .",
+            )
+            .unwrap();
+            let le = env.rel_id("le").unwrap();
+            let mut b = LibraryBuilder::new(u, env);
+            b.derive_checker(le).unwrap();
+            b.derive_producer(le, Mode::producer(2, &[0])).unwrap();
+            (b.build(), le)
+        });
+        f(lib, *le)
+    })
+}
+
+fn with_sorted<R>(f: impl FnOnce(&Library, RelId, &Universe) -> R) -> R {
+    SORTED_LIB.with(|cell| {
+        let (lib, sorted, u) = cell.get_or_init(|| {
+            let (u, env) = indrel::corpus::corpus_env();
+            let sorted = env.rel_id("sorted").unwrap();
+            let mut b = LibraryBuilder::new(u.clone(), env);
+            b.derive_checker(sorted).unwrap();
+            (b.build(), sorted, u)
+        });
+        f(lib, *sorted, u)
+    })
+}
+
+proptest! {
+    // The derived `le` checker agrees with machine comparison — i.e.
+    // it is sound and complete on the whole sampled domain.
+    #[test]
+    fn derived_le_checker_is_correct(n in 0u64..40, m in 0u64..40) {
+        with_le(|lib, le| {
+            let fuel = n.max(m) + 2;
+            let r = lib.check(le, fuel, fuel, &[Value::nat(n), Value::nat(m)]);
+            prop_assert_eq!(r, Some(n <= m));
+            Ok(())
+        })?;
+    }
+
+    // Monotonicity (§5.1): a definite verdict never changes with more
+    // fuel.
+    #[test]
+    fn derived_le_checker_is_monotonic(n in 0u64..20, m in 0u64..20, extra in 0u64..20) {
+        with_le(|lib, le| {
+            let args = [Value::nat(n), Value::nat(m)];
+            for fuel in 0..=(n.max(m) + 2) {
+                if let Some(b) = lib.check(le, fuel, fuel, &args) {
+                    let later = lib.check(le, fuel + extra, fuel + extra, &args);
+                    prop_assert_eq!(later, Some(b));
+                    break;
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    // Producer monotonicity (§5.1): outcome sets grow with size.
+    #[test]
+    fn derived_le_enumerator_is_size_monotonic(bound in 0u64..12, s1 in 0u64..8, extra in 0u64..4) {
+        with_le(|lib, le| {
+            let mode = Mode::producer(2, &[0]);
+            let at = |s: u64| -> Vec<Vec<Value>> {
+                lib.enumerate(le, &mode, s, s, &[Value::nat(bound)]).values()
+            };
+            let small = at(s1);
+            let big = at(s1 + extra);
+            for out in &small {
+                prop_assert!(big.contains(out), "lost {:?} when growing size", out);
+            }
+            Ok(())
+        })?;
+    }
+
+    // The derived `sorted` checker matches a native sortedness check on
+    // arbitrary short lists.
+    #[test]
+    fn derived_sorted_checker_is_correct(xs in proptest::collection::vec(0u64..8, 0..7)) {
+        with_sorted(|lib, sorted, u| {
+            let l = u.list_value(xs.iter().map(|&x| Value::nat(x)));
+            let fuel = xs.len() as u64 + xs.iter().copied().max().unwrap_or(0) + 3;
+            let expected = xs.windows(2).all(|w| w[0] <= w[1]);
+            let r = lib.check(sorted, fuel, fuel, &[l]);
+            prop_assert_eq!(r, Some(expected));
+            Ok(())
+        })?;
+    }
+
+    // Pattern matching inverts evaluation: a linear constructor term,
+    // evaluated under an environment, matches back and rebinds exactly
+    // the same values.
+    #[test]
+    fn pattern_matching_inverts_evaluation(a in 0u64..50, b in 0u64..50) {
+        let mut u = Universe::new();
+        u.std_pair();
+        let pair = u.ctor_id("Pair").unwrap();
+        let expr = TermExpr::ctor(
+            pair,
+            vec![TermExpr::var(0), TermExpr::succ(TermExpr::var(1))],
+        );
+        let mut env = Env::with_slots(2);
+        env.bind(VarId::new(0), Value::nat(a));
+        env.bind(VarId::new(1), Value::nat(b));
+        let v = expr.eval(&env, &u).unwrap();
+        let pat = expr.to_pattern().unwrap();
+        let mut env2 = Env::with_slots(2);
+        prop_assert!(pat.matches(&v, &mut env2));
+        prop_assert_eq!(env2.get(VarId::new(0)), Some(&Value::nat(a)));
+        prop_assert_eq!(env2.get(VarId::new(1)), Some(&Value::nat(b)));
+    }
+
+    // Bounded-exhaustive enumeration of raw values is duplicate-free
+    // and size-bounded, and counting agrees with it.
+    #[test]
+    fn raw_enumeration_invariants(size in 0u64..6) {
+        let mut u = Universe::new();
+        let list = u.std_list();
+        let ty = TypeExpr::App(list, vec![TypeExpr::Nat]);
+        let all = indrel::term::enumerate::values_up_to(&u, &ty, size);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(all.len(), dedup.len());
+        prop_assert!(all.iter().all(|v| v.size() <= size));
+        prop_assert_eq!(
+            indrel::term::enumerate::count_up_to(&u, &ty, size),
+            all.len() as u64
+        );
+    }
+
+    // The three-valued conjunction is associative and has Some(true)
+    // as unit (checker-combinator laws).
+    #[test]
+    fn cand_laws(a in proptest::option::of(any::<bool>()),
+                 b in proptest::option::of(any::<bool>()),
+                 c in proptest::option::of(any::<bool>())) {
+        use indrel::producers::cand;
+        prop_assert_eq!(cand(Some(true), || a), a);
+        prop_assert_eq!(
+            cand(cand(a, || b), || c),
+            cand(a, || cand(b, || c))
+        );
+    }
+
+    // backtracking is order-insensitive for definite outcomes: if any
+    // option is Some(true), the result is Some(true) regardless of
+    // permutation.
+    #[test]
+    fn backtracking_finds_truth_in_any_order(mut opts in proptest::collection::vec(
+        proptest::option::of(any::<bool>()), 1..6), rot in 0usize..6) {
+        use indrel::producers::backtracking;
+        let expect_true = opts.contains(&Some(true));
+        let k = rot % opts.len();
+        opts.rotate_left(k);
+        let r = backtracking(opts.iter().map(|o| move || *o));
+        prop_assert_eq!(r == Some(true), expect_true);
+    }
+}
+
+// Deterministic companion tests for the RNG-dependent pieces.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Derived generators are sound: every sample satisfies the
+    // relation.
+    #[test]
+    fn derived_le_generator_is_sound(bound in 0u64..15, seed in any::<u64>()) {
+        with_le(|lib, le| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mode = Mode::producer(2, &[0]);
+            if let Some(out) =
+                lib.generate(le, &mode, bound + 2, bound + 2, &[Value::nat(bound)], &mut rng)
+            {
+                prop_assert!(out[0].as_nat().unwrap() <= bound);
+            }
+            Ok(())
+        })?;
+    }
+}
