@@ -10,7 +10,9 @@ use rand::SeedableRng;
 fn bench_locality(c: &mut Criterion) {
     let bst = Bst::new();
     let mut rng = SmallRng::seed_from_u64(31);
-    let valid: Vec<Value> = (0..64).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let valid: Vec<Value> = (0..64)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
     let invalid: Vec<Value> = valid
         .iter()
         .map(|t| bst.tree_node(99, t.clone(), bst.leaf()))
@@ -38,7 +40,8 @@ fn bench_laziness(c: &mut Criterion) {
     let le = env.rel_id("le").expect("corpus relation");
     let mut b = indrel_core::LibraryBuilder::new(u, env);
     let mode = indrel_core::Mode::producer(2, &[0]);
-    b.derive_producer(le, mode.clone()).expect("le producer derives");
+    b.derive_producer(le, mode.clone())
+        .expect("le producer derives");
     let lib = b.build();
     let bound = Value::nat(10);
     let mut group = c.benchmark_group("ablation/enumeration_laziness");
@@ -60,7 +63,9 @@ fn bench_laziness(c: &mut Criterion) {
 fn bench_lowering(c: &mut Criterion) {
     let bst = Bst::new();
     let mut rng = SmallRng::seed_from_u64(33);
-    let trees: Vec<Value> = (0..64).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let trees: Vec<Value> = (0..64)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
     let args: Vec<Vec<Value>> = trees
         .into_iter()
         .map(|t| vec![Value::nat(0), Value::nat(24), t])

@@ -1,0 +1,104 @@
+//! Ablation: cost of the budget layer on the Figure 3 checker
+//! workloads.
+//!
+//! Three execution paths over identical inputs:
+//!
+//! * `check`            — the panicking entry point. Executors call
+//!   `charge_step`/`charge_backtrack` no-ops (one `RefCell` borrow +
+//!   `Option` check) because no meter is armed.
+//! * `try_unlimited`    — `try_check` with `Budget::unlimited()`: the
+//!   fast path that validates the request but never arms a meter.
+//! * `try_budgeted`     — `try_check` with a generous finite budget: a
+//!   meter is armed and every charge site pays the real accounting.
+//!
+//! The robustness acceptance bar: `check` (the path every existing
+//! caller takes) stays within ~5% of what it cost before the budget
+//! layer existed; `try_budgeted` shows the full price of metering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indrel_bst::Bst;
+use indrel_core::Budget;
+use indrel_ifc::Ifc;
+use indrel_term::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_bst(c: &mut Criterion) {
+    let bst = Bst::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let trees: Vec<Value> = (0..128)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
+    let lib = bst.library();
+    let rel = bst.relation();
+    let args: Vec<Vec<Value>> = trees
+        .iter()
+        .map(|t| vec![Value::nat(0), Value::nat(24), t.clone()])
+        .collect();
+    let budget = Budget::unlimited().with_steps(1_000_000);
+    let mut group = c.benchmark_group("budget_overhead/bst");
+    group.bench_function("check", |b| {
+        b.iter(|| {
+            for a in &args {
+                std::hint::black_box(lib.check(rel, 64, 64, a));
+            }
+        })
+    });
+    group.bench_function("try_unlimited", |b| {
+        b.iter(|| {
+            for a in &args {
+                std::hint::black_box(lib.try_check(rel, 64, 64, a, Budget::unlimited())).unwrap();
+            }
+        })
+    });
+    group.bench_function("try_budgeted", |b| {
+        b.iter(|| {
+            for a in &args {
+                std::hint::black_box(lib.try_check(rel, 64, 64, a, budget)).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_ifc(c: &mut Criterion) {
+    let ifc = Ifc::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let pairs: Vec<(Value, Value)> = (0..128)
+        .map(|_| {
+            let (_, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+            (ifc.machine_value(&m1), ifc.machine_value(&m2))
+        })
+        .collect();
+    let budget = Budget::unlimited().with_steps(1_000_000);
+    let mut group = c.benchmark_group("budget_overhead/ifc");
+    group.bench_function("check", |b| {
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.derived_indist(v1, v2, 64));
+            }
+        })
+    });
+    group.bench_function("try_budgeted", |b| {
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.library().try_check(
+                    ifc.indist_relation(),
+                    64,
+                    64,
+                    &[v1.clone(), v2.clone()],
+                    budget,
+                ))
+                .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bst, bench_ifc
+}
+criterion_main!(benches);

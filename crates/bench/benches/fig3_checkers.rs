@@ -12,7 +12,9 @@ use rand::SeedableRng;
 fn bench_bst(c: &mut Criterion) {
     let bst = Bst::new();
     let mut rng = SmallRng::seed_from_u64(1);
-    let trees: Vec<Value> = (0..128).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let trees: Vec<Value> = (0..128)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
     let mut group = c.benchmark_group("fig3_checkers/bst");
     group.bench_function("handwritten", |b| {
         b.iter_batched(

@@ -35,7 +35,9 @@ pub struct Locality {
 pub fn backtracking_locality(budget: Duration) -> Locality {
     let bst = Bst::new();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(31);
-    let valid: Vec<Value> = (0..64).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let valid: Vec<Value> = (0..64)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
     // Root key out of bounds: every handler's checks fail immediately.
     let invalid: Vec<Value> = valid
         .iter()
@@ -72,7 +74,9 @@ pub struct Lowering {
 pub fn lowering(budget: Duration) -> Lowering {
     let bst = Bst::new();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(33);
-    let trees: Vec<Value> = (0..64).map(|_| bst.handwritten_gen(0, 24, 6, &mut rng)).collect();
+    let trees: Vec<Value> = (0..64)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
     let rel = bst.relation();
     let lib = bst.library().clone();
     let args: Vec<Vec<Value>> = trees
@@ -118,7 +122,8 @@ pub fn enumeration_laziness(budget: Duration) -> Laziness {
     let le = env.rel_id("le").expect("corpus relation");
     let mut b = indrel_core::LibraryBuilder::new(u, env);
     let mode = indrel_core::Mode::producer(2, &[0]);
-    b.derive_producer(le, mode.clone()).expect("le producer derives");
+    b.derive_producer(le, mode.clone())
+        .expect("le producer derives");
     let lib = b.build();
     let bound = Value::nat(10);
     let measure = |force_all: bool| {
@@ -193,11 +198,13 @@ mod tests {
             },
         );
         a.derive_checker(even).unwrap();
-        a.derive_producer(even, indrel_core::Mode::producer(1, &[0])).unwrap();
+        a.derive_producer(even, indrel_core::Mode::producer(1, &[0]))
+            .unwrap();
         let a = a.build();
         let mut b = LibraryBuilder::new(u, env);
         b.derive_checker(even).unwrap();
-        b.derive_producer(even, indrel_core::Mode::producer(1, &[0])).unwrap();
+        b.derive_producer(even, indrel_core::Mode::producer(1, &[0]))
+            .unwrap();
         let b = b.build();
         for n in 0..20u64 {
             assert_eq!(

@@ -10,7 +10,9 @@
 use std::time::Duration;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     let budget = Duration::from_millis(
         std::env::var("FIG3_BUDGET_MS")
             .ok()

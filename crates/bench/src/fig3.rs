@@ -55,15 +55,18 @@ pub fn checkers(budget: Duration) -> Vec<CaseResult> {
 
     // ---- BST ----
     let bst = Bst::new();
-    let gen_bst = |size: u64, rng: &mut dyn rand::RngCore| {
-        Some(vec![bst.handwritten_gen(0, 24, size, rng)])
-    };
-    let hand = Runner::new(1).with_size(6).throughput(budget, 64, gen_bst, |args| {
-        TestOutcome::from_bool(bst.handwritten_check(0, 24, &args[0]))
-    });
-    let derv = Runner::new(1).with_size(6).throughput(budget, 64, gen_bst, |args| {
-        TestOutcome::from_check(bst.derived_check(0, 24, &args[0], BST_FUEL))
-    });
+    let gen_bst =
+        |size: u64, rng: &mut dyn rand::RngCore| Some(vec![bst.handwritten_gen(0, 24, size, rng)]);
+    let hand = Runner::new(1)
+        .with_size(6)
+        .throughput(budget, 64, gen_bst, |args| {
+            TestOutcome::from_bool(bst.handwritten_check(0, 24, &args[0]))
+        });
+    let derv = Runner::new(1)
+        .with_size(6)
+        .throughput(budget, 64, gen_bst, |args| {
+            TestOutcome::from_check(bst.derived_check(0, 24, &args[0], BST_FUEL))
+        });
     out.push(CaseResult {
         name: "BST",
         handwritten_tps: hand.tests_per_second(),
@@ -77,12 +80,16 @@ pub fn checkers(budget: Duration) -> Vec<CaseResult> {
         let (_, m1, m2) = ifc2.gen_indist_pair(size, rng);
         Some(vec![ifc2.machine_value(&m1), ifc2.machine_value(&m2)])
     };
-    let hand = Runner::new(2).with_size(6).throughput(budget, 64, gen_pair.clone(), |args| {
-        TestOutcome::from_bool(ifc.handwritten_indist_value(&args[0], &args[1]))
-    });
-    let derv = Runner::new(2).with_size(6).throughput(budget, 64, gen_pair, |args| {
-        TestOutcome::from_check(ifc.derived_indist(&args[0], &args[1], IFC_FUEL))
-    });
+    let hand = Runner::new(2)
+        .with_size(6)
+        .throughput(budget, 64, gen_pair.clone(), |args| {
+            TestOutcome::from_bool(ifc.handwritten_indist_value(&args[0], &args[1]))
+        });
+    let derv = Runner::new(2)
+        .with_size(6)
+        .throughput(budget, 64, gen_pair, |args| {
+            TestOutcome::from_check(ifc.derived_indist(&args[0], &args[1], IFC_FUEL))
+        });
     out.push(CaseResult {
         name: "IFC",
         handwritten_tps: hand.tests_per_second(),
@@ -97,12 +104,16 @@ pub fn checkers(budget: Duration) -> Vec<CaseResult> {
         let e = s2.handwritten_gen(&[], &ty, size, rng)?;
         Some(vec![e, ty])
     };
-    let hand = Runner::new(3).with_size(5).throughput(budget, 64, gen_term.clone(), |args| {
-        TestOutcome::from_bool(stlc.handwritten_check(&[], &args[0], &args[1]))
-    });
-    let derv = Runner::new(3).with_size(5).throughput(budget, 64, gen_term, |args| {
-        TestOutcome::from_check(stlc.derived_check(&[], &args[0], &args[1], STLC_FUEL))
-    });
+    let hand = Runner::new(3)
+        .with_size(5)
+        .throughput(budget, 64, gen_term.clone(), |args| {
+            TestOutcome::from_bool(stlc.handwritten_check(&[], &args[0], &args[1]))
+        });
+    let derv = Runner::new(3)
+        .with_size(5)
+        .throughput(budget, 64, gen_term, |args| {
+            TestOutcome::from_check(stlc.derived_check(&[], &args[0], &args[1], STLC_FUEL))
+        });
     out.push(CaseResult {
         name: "STLC",
         handwritten_tps: hand.tests_per_second(),

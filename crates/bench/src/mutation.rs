@@ -134,8 +134,7 @@ pub fn run(trials: usize, budget: usize) -> Vec<MutationResult> {
             let ifc = ifc.clone();
             move |args: &[Value]| {
                 let seed = args[0].as_nat().expect("nat");
-                let mut prng =
-                    <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+                let mut prng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
                 let (prog, _, _) = ifc.gen_indist_pair(IFC_PAIR_SIZE, &mut prng);
                 let m1 = ifc.machine_of_value(&args[1]).expect("machine");
                 let m2 = ifc.machine_of_value(&args[2]).expect("machine");
@@ -149,8 +148,7 @@ pub fn run(trials: usize, budget: usize) -> Vec<MutationResult> {
             let ifc = ifc.clone();
             move |size: u64, rng: &mut dyn rand::RngCore| {
                 let seed = rand::Rng::gen_range(rng, 0..u32::MAX as u64);
-                let mut prng =
-                    <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+                let mut prng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
                 let _ = size;
                 let (_, m1, m2) = ifc.gen_indist_pair(IFC_PAIR_SIZE, &mut prng);
                 Some(vec![
@@ -164,8 +162,7 @@ pub fn run(trials: usize, budget: usize) -> Vec<MutationResult> {
             let ifc = ifc.clone();
             move |size: u64, rng: &mut dyn rand::RngCore| {
                 let seed = rand::Rng::gen_range(rng, 0..u32::MAX as u64);
-                let mut prng =
-                    <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+                let mut prng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
                 let _ = size;
                 let (_, m1, _) = ifc.gen_indist_pair(IFC_PAIR_SIZE, &mut prng);
                 // Derived variation generator for the second machine.

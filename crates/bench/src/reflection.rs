@@ -48,6 +48,9 @@ mod tests {
         let reports = run(&[200, 800]);
         assert!(reports[0].speedup() > 1.0, "{reports:?}");
         assert!(reports[1].speedup() > 1.0, "{reports:?}");
-        assert!(reports[1].kernel_check > reports[0].kernel_check, "{reports:?}");
+        assert!(
+            reports[1].kernel_check > reports[0].kernel_check,
+            "{reports:?}"
+        );
     }
 }

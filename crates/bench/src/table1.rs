@@ -80,19 +80,13 @@ pub fn run() -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 1: derived computations from Software Foundations"
-        )?;
+        writeln!(f, "Table 1: derived computations from Software Foundations")?;
         writeln!(
             f,
             "{:<6} {:>10} {:>9} {:>13} {:>12}   (paper: total/derived/alg1)",
             "", "relations", "in-scope", "derived(full)", "derived(alg1)"
         )?;
-        for (name, row, paper) in [
-            ("LF", &self.lf, PAPER_LF),
-            ("PLF", &self.plf, PAPER_PLF),
-        ] {
+        for (name, row, paper) in [("LF", &self.lf, PAPER_LF), ("PLF", &self.plf, PAPER_PLF)] {
             writeln!(
                 f,
                 "{:<6} {:>10} {:>9} {:>13} {:>12}   ({}/{}/{})",
@@ -127,7 +121,12 @@ pub fn print_detail() {
     );
     for entry in entries() {
         if entry.source.is_none() {
-            println!("{:<6} {:<20} out of scope: {}", entry.volume.to_string(), entry.name, entry.note);
+            println!(
+                "{:<6} {:<20} out of scope: {}",
+                entry.volume.to_string(),
+                entry.name,
+                entry.note
+            );
             continue;
         }
         for rel_name in entry.relations {
@@ -165,8 +164,16 @@ mod tests {
     #[test]
     fn full_algorithm_derives_every_in_scope_relation() {
         let t = run();
-        assert_eq!(t.lf.derived_full, t.lf.in_scope, "LF failures: {:?}", t.lf.failed);
-        assert_eq!(t.plf.derived_full, t.plf.in_scope, "PLF failures: {:?}", t.plf.failed);
+        assert_eq!(
+            t.lf.derived_full, t.lf.in_scope,
+            "LF failures: {:?}",
+            t.lf.failed
+        );
+        assert_eq!(
+            t.plf.derived_full, t.plf.in_scope,
+            "PLF failures: {:?}",
+            t.plf.failed
+        );
     }
 
     #[test]
@@ -179,7 +186,10 @@ mod tests {
         assert!(t.lf.derived_alg1 > 0);
         // Ratios comparable to the paper's (11/30 ≈ 0.37, 25/67 ≈ 0.37).
         let ratio_lf = t.lf.derived_alg1 as f64 / t.lf.derived_full as f64;
-        assert!(ratio_lf < 0.8, "Algorithm 1 should be well under the full count");
+        assert!(
+            ratio_lf < 0.8,
+            "Algorithm 1 should be well under the full count"
+        );
     }
 
     #[test]

@@ -191,8 +191,12 @@ impl Bst {
 
     /// The derived checker.
     pub fn derived_check(&self, lo: u64, hi: u64, t: &Value, fuel: u64) -> Option<bool> {
-        self.lib
-            .check(self.bst, fuel, fuel, &[Value::nat(lo), Value::nat(hi), t.clone()])
+        self.lib.check(
+            self.bst,
+            fuel,
+            fuel,
+            &[Value::nat(lo), Value::nat(hi), t.clone()],
+        )
     }
 
     /// The derived generator for `bst lo hi ?t`.
@@ -300,7 +304,10 @@ mod tests {
         for _ in 0..100 {
             if let Some(t) = bst.derived_gen(0, 16, 5, &mut rng) {
                 produced += 1;
-                assert!(bst.handwritten_check(0, 16, &t), "derived gen produced a non-BST");
+                assert!(
+                    bst.handwritten_check(0, 16, &t),
+                    "derived gen produced a non-BST"
+                );
             }
         }
         assert!(produced > 50, "generator should mostly succeed: {produced}");
@@ -316,7 +323,10 @@ mod tests {
                 max_size = max_size.max(bst.tree_size(&t));
             }
         }
-        assert!(max_size >= 3, "expected some trees with ≥3 nodes, max was {max_size}");
+        assert!(
+            max_size >= 3,
+            "expected some trees with ≥3 nodes, max was {max_size}"
+        );
     }
 
     #[test]
@@ -339,7 +349,7 @@ mod tests {
         let report = runner.run(
             2000,
             move |size, rng| {
-                let t = b2.handwritten_gen(0, 24, size, rng)    ;
+                let t = b2.handwritten_gen(0, 24, size, rng);
                 let x = rand::Rng::gen_range(rng, 1..24u64);
                 Some(vec![Value::nat(x), t])
             },

@@ -88,12 +88,12 @@ mod tests {
     #[test]
     fn unknown_var_at_output_is_producible() {
         let v = TermExpr::var(0);
-        match classify_arg(&v, true, &known_none) {
-            ArgClass::ProducibleOutput { binds } => {
-                assert_eq!(binds.into_iter().collect::<Vec<_>>(), vec![VarId::new(0)]);
+        assert_eq!(
+            classify_arg(&v, true, &known_none),
+            ArgClass::ProducibleOutput {
+                binds: [VarId::new(0)].into_iter().collect()
             }
-            other => panic!("unexpected {other:?}"),
-        }
+        );
     }
 
     #[test]
@@ -112,12 +112,12 @@ mod tests {
         // Arr t1 t2 with t1 known, t2 unknown, at an output position.
         let e = TermExpr::ctor(CtorId::new(0), vec![TermExpr::var(0), TermExpr::var(1)]);
         let known = |v: VarId| v == VarId::new(0);
-        match classify_arg(&e, true, &known) {
-            ArgClass::ProducibleOutput { binds } => {
-                assert_eq!(binds.into_iter().collect::<Vec<_>>(), vec![VarId::new(1)]);
+        assert_eq!(
+            classify_arg(&e, true, &known),
+            ArgClass::ProducibleOutput {
+                binds: [VarId::new(1)].into_iter().collect()
             }
-            other => panic!("unexpected {other:?}"),
-        }
+        );
     }
 
     #[test]

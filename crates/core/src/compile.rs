@@ -232,13 +232,14 @@ impl HandlerCx<'_> {
     /// Emits an unconstrained-producer step for `var`.
     fn instantiate(&mut self, var: VarId) -> Result<(), DeriveError> {
         self.require_full("unconstrained instantiation")?;
-        let ty = self.slot_types[var.index()]
-            .clone()
-            .ok_or_else(|| DeriveError::UntypedVariable {
-                rel: self.rel_name.clone(),
-                rule: self.rule_name.clone(),
-                var: self.slot_names[var.index()].clone(),
-            })?;
+        let ty =
+            self.slot_types[var.index()]
+                .clone()
+                .ok_or_else(|| DeriveError::UntypedVariable {
+                    rel: self.rel_name.clone(),
+                    rule: self.rule_name.clone(),
+                    var: self.slot_names[var.index()].clone(),
+                })?;
         self.steps.push(Step::Unconstrained { var, ty });
         self.known[var.index()] = true;
         Ok(())
@@ -256,7 +257,12 @@ impl HandlerCx<'_> {
     }
 
     /// Schedules an equality premise.
-    fn schedule_eq(&mut self, lhs: &TermExpr, rhs: &TermExpr, negated: bool) -> Result<(), DeriveError> {
+    fn schedule_eq(
+        &mut self,
+        lhs: &TermExpr,
+        rhs: &TermExpr,
+        negated: bool,
+    ) -> Result<(), DeriveError> {
         self.require_full("equality premises")?;
         let lk = self.is_known_expr(lhs);
         let rk = self.is_known_expr(rhs);
@@ -293,7 +299,11 @@ impl HandlerCx<'_> {
     }
 
     /// Solves `unknown_side = known_expr` by binding or matching.
-    fn solve_eq(&mut self, unknown_side: &TermExpr, known_expr: &TermExpr) -> Result<(), DeriveError> {
+    fn solve_eq(
+        &mut self,
+        unknown_side: &TermExpr,
+        known_expr: &TermExpr,
+    ) -> Result<(), DeriveError> {
         match unknown_side {
             TermExpr::Var(x) if !self.known[x.index()] => {
                 self.steps.push(Step::EqBind {
@@ -361,7 +371,9 @@ impl HandlerCx<'_> {
 
         if unknown_positions.is_empty() {
             if is_self && self.mode.is_checker() {
-                self.steps.push(Step::RecCheck { args: args.to_vec() });
+                self.steps.push(Step::RecCheck {
+                    args: args.to_vec(),
+                });
                 return Ok(());
             }
             if is_self {
@@ -426,7 +438,9 @@ impl HandlerCx<'_> {
                 // Fallback: instantiate everything, then check.
                 self.instantiate_all(args)?;
                 if is_self && self.mode.is_checker() {
-                    self.steps.push(Step::RecCheck { args: args.to_vec() });
+                    self.steps.push(Step::RecCheck {
+                        args: args.to_vec(),
+                    });
                     return Ok(());
                 }
                 self.deps.ensure_checker(q)?;
@@ -484,7 +498,10 @@ impl HandlerCx<'_> {
                 Ok(())
             }
             None => {
-                debug_assert!(self.is_known_expr(arg), "non-pattern args are pre-instantiated");
+                debug_assert!(
+                    self.is_known_expr(arg),
+                    "non-pattern args are pre-instantiated"
+                );
                 self.steps.push(Step::EqCheck {
                     lhs: TermExpr::Var(slot),
                     rhs: arg.clone(),
@@ -535,8 +552,15 @@ mod tests {
               .",
         );
         let le = env.rel_id("le").unwrap();
-        let plan = compile_plan(&u, &env, le, Mode::checker(2), DeriveOptions::default(), &mut NoDeps)
-            .unwrap();
+        let plan = compile_plan(
+            &u,
+            &env,
+            le,
+            Mode::checker(2),
+            DeriveOptions::default(),
+            &mut NoDeps,
+        )
+        .unwrap();
         assert_eq!(plan.handlers.len(), 2);
         // le_n was linearized: one equality check, no recursion.
         assert!(!plan.handlers[0].recursive);
@@ -594,8 +618,15 @@ mod tests {
               .",
         );
         let b = env.rel_id("between").unwrap();
-        let plan = compile_plan(&u, &env, b, Mode::checker(2), DeriveOptions::default(), &mut NoDeps)
-            .unwrap();
+        let plan = compile_plan(
+            &u,
+            &env,
+            b,
+            Mode::checker(2),
+            DeriveOptions::default(),
+            &mut NoDeps,
+        )
+        .unwrap();
         let steps = &plan.handlers[0].steps;
         // First premise: le n m with m unknown → external producer at
         // mode (-,+); second premise fully known → external checker.
@@ -639,8 +670,15 @@ mod tests {
               .",
         );
         let r = env.rel_id("square_of").unwrap();
-        let plan = compile_plan(&u, &env, r, Mode::checker(2), DeriveOptions::default(), &mut NoDeps)
-            .unwrap();
+        let plan = compile_plan(
+            &u,
+            &env,
+            r,
+            Mode::checker(2),
+            DeriveOptions::default(),
+            &mut NoDeps,
+        )
+        .unwrap();
         // After hoisting: premise mult n n = m, both known → EqCheck.
         assert!(matches!(plan.handlers[0].steps[0], Step::EqCheck { .. }));
     }
@@ -700,8 +738,15 @@ mod tests {
               .",
         );
         let r = env.rel_id("lenrel").unwrap();
-        let err = compile_plan(&u, &env, r, Mode::checker(1), DeriveOptions::default(), &mut NoDeps)
-            .unwrap_err();
+        let err = compile_plan(
+            &u,
+            &env,
+            r,
+            Mode::checker(1),
+            DeriveOptions::default(),
+            &mut NoDeps,
+        )
+        .unwrap_err();
         assert!(matches!(err, DeriveError::UntypedVariable { .. }));
     }
 }

@@ -1,5 +1,6 @@
-//! Derivation errors.
+//! Derivation and execution errors.
 
+use indrel_producers::{Exhaustion, Resource};
 use std::error::Error;
 use std::fmt;
 
@@ -86,9 +87,140 @@ impl fmt::Display for DeriveError {
 
 impl Error for DeriveError {}
 
+/// Which kind of instance an execution entry point asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstanceKind {
+    /// A checker (the all-input mode).
+    Checker,
+    /// An enumerator for some producer mode.
+    Enumerator,
+    /// A random generator for some producer mode.
+    Generator,
+}
+
+impl fmt::Display for InstanceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InstanceKind::Checker => "checker",
+            InstanceKind::Enumerator => "enumerator",
+            InstanceKind::Generator => "generator",
+        })
+    }
+}
+
+/// Why a `try_*` execution entry point could not produce an answer.
+///
+/// The first two variants are caller errors, caught before any plan
+/// runs; the last two report a [budget](indrel_producers::Budget)
+/// cut-off. The panicking entry points ([`Library::check`] and
+/// friends) format the same values into their panic messages, so both
+/// API layers describe failures identically.
+///
+/// [`Library::check`]: crate::Library::check
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// No instance is registered or derived for the request.
+    NoInstance {
+        /// What was asked for.
+        kind: InstanceKind,
+        /// Relation name.
+        rel: String,
+        /// The producer mode, rendered as `(-,+,…)`; `None` for
+        /// checkers.
+        mode: Option<String>,
+    },
+    /// The argument tuple does not match the relation's arity (for
+    /// checkers) or the mode's input positions (for producers).
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Number of values the entry point expected.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A countable budget resource ran out before an answer was found.
+    BudgetExhausted {
+        /// The resource that ran out first.
+        resource: Resource,
+    },
+    /// The wall-clock deadline passed before an answer was found.
+    Deadline,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoInstance { kind, rel, mode } => match mode {
+                Some(mode) => write!(f, "no {kind} instance for `{rel}` at {mode}"),
+                None => write!(f, "no {kind} instance for `{rel}`"),
+            },
+            ExecError::ArityMismatch { rel, expected, got } => write!(
+                f,
+                "relation `{rel}` expects {expected} argument value(s) here, but {got} were supplied"
+            ),
+            ExecError::BudgetExhausted { resource } => {
+                write!(f, "{resource} budget exhausted before an answer was found")
+            }
+            ExecError::Deadline => f.write_str("deadline exceeded before an answer was found"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+impl From<Exhaustion> for ExecError {
+    fn from(e: Exhaustion) -> ExecError {
+        match e {
+            Exhaustion::Budget(resource) => ExecError::BudgetExhausted { resource },
+            Exhaustion::Deadline => ExecError::Deadline,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_errors_display() {
+        let e = ExecError::NoInstance {
+            kind: InstanceKind::Checker,
+            rel: "even".into(),
+            mode: None,
+        };
+        assert_eq!(e.to_string(), "no checker instance for `even`");
+        let e = ExecError::NoInstance {
+            kind: InstanceKind::Enumerator,
+            rel: "le".into(),
+            mode: Some("(-,+)".into()),
+        };
+        assert_eq!(e.to_string(), "no enumerator instance for `le` at (-,+)");
+        let e = ExecError::ArityMismatch {
+            rel: "le".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expects 2"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn exec_error_from_exhaustion() {
+        assert_eq!(
+            ExecError::from(Exhaustion::Budget(Resource::Steps)),
+            ExecError::BudgetExhausted {
+                resource: Resource::Steps
+            }
+        );
+        assert_eq!(ExecError::from(Exhaustion::Deadline), ExecError::Deadline);
+        assert!(ExecError::Deadline.to_string().contains("deadline"));
+        assert!(ExecError::BudgetExhausted {
+            resource: Resource::Backtracks
+        }
+        .to_string()
+        .contains("backtracks"));
+    }
 
     #[test]
     fn errors_display() {

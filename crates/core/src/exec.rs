@@ -11,12 +11,39 @@
 //! or producer starts with full fuel. Within a plan, recursive calls
 //! decrement `size`; at `size == 0` only non-recursive handlers run,
 //! plus an out-of-fuel outcome when recursive handlers were skipped.
+//!
+//! # Fuel vs. budget
+//!
+//! Fuel is *semantic*: it is part of the paper's definitions, and two
+//! runs with the same fuel compute the same three-valued answer —
+//! `None` at the fuel limit is itself a meaningful verdict ("more fuel
+//! might decide this"). A [`Budget`] is *operational*: it bounds the
+//! work the execution layer may spend — steps, backtracks, wall-clock
+//! time, argument term size — without changing the meaning of any
+//! answer produced within it. The budgeted entry points
+//! ([`Library::try_check`], [`Library::try_decide`],
+//! [`Library::try_enumerate`], [`Library::try_generate`]) arm a
+//! [`Meter`] on the library for the duration of the call; every
+//! executor charges whatever meter is armed, and the first failed
+//! charge *poisons* the meter, making executors unwind with their
+//! ordinary "no answer" values. The entry point then reports a
+//! structured [`ExecError`] instead of a fabricated verdict. The
+//! classic panicking entry points arm nothing and therefore pay almost
+//! nothing for the mechanism.
 
-use crate::library::{CheckerImpl, Library};
+use crate::error::{ExecError, InstanceKind};
+use crate::library::{CheckerImpl, Library, ProducerImpl};
 use crate::mode::Mode;
 use crate::plan::{Plan, Step};
-use indrel_producers::{backtracking, bind_ce, bind_ec, cnot, enumerating, EStream, Outcome};
-use indrel_term::{enumerate::{finite_size_bound, values_up_to}, random::random_value, Env, Pattern, RelId, TermExpr, Value};
+use indrel_producers::{
+    backtracking, backtracking_metered, bind_ce, bind_ec, cnot, enumerating, Budget, EStream,
+    Meter, Outcome,
+};
+use indrel_term::{
+    enumerate::{finite_size_bound, values_up_to},
+    random::random_value,
+    Env, Pattern, RelId, TermExpr, Value,
+};
 use std::rc::Rc;
 
 impl Library {
@@ -32,17 +59,25 @@ impl Library {
     /// Panics if no checker instance exists for `rel` (derive or
     /// register one first).
     pub fn check(&self, rel: RelId, size: u64, top_size: u64, args: &[Value]) -> Option<bool> {
-        match self
-            .inner
-            .checkers
-            .get(rel.index())
-            .and_then(Option::as_ref)
-            .unwrap_or_else(|| panic!("no checker instance for `{}`", self.inner.env.relation(rel).name()))
-        {
-            CheckerImpl::Hand(f) => f(size, top_size, args),
-            CheckerImpl::Plan(_, lowered) => {
-                self.run_lowered_check(&lowered.clone(), size, top_size, args)
+        let imp = self.require_checker(rel).unwrap_or_else(|e| panic!("{e}"));
+        self.run_checker_impl(&imp, size, top_size, args)
+    }
+
+    fn run_checker_impl(
+        &self,
+        imp: &CheckerImpl,
+        size: u64,
+        top_size: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        match imp {
+            CheckerImpl::Hand(f) => {
+                if !self.charge_step() {
+                    return None;
+                }
+                f(size, top_size, args)
             }
+            CheckerImpl::Plan(_, lowered) => self.run_lowered_check(lowered, size, top_size, args),
         }
     }
 
@@ -61,15 +96,14 @@ impl Library {
         top_size: u64,
         args: &[Value],
     ) -> Option<bool> {
-        match self
-            .inner
-            .checkers
-            .get(rel.index())
-            .and_then(Option::as_ref)
-            .unwrap_or_else(|| panic!("no checker instance for `{}`", self.inner.env.relation(rel).name()))
-        {
-            CheckerImpl::Hand(f) => f(size, top_size, args),
-            CheckerImpl::Plan(plan, _) => self.run_plan_check(&plan.clone(), size, top_size, args),
+        match self.require_checker(rel).unwrap_or_else(|e| panic!("{e}")) {
+            CheckerImpl::Hand(f) => {
+                if !self.charge_step() {
+                    return None;
+                }
+                f(size, top_size, args)
+            }
+            CheckerImpl::Plan(plan, _) => self.run_plan_check(&plan, size, top_size, args),
         }
     }
 
@@ -116,20 +150,34 @@ impl Library {
         inputs: &[Value],
     ) -> EStream<Vec<Value>> {
         let entry = self
-            .inner
-            .producers
-            .get(&(rel, mode.clone()))
-            .unwrap_or_else(|| {
-                panic!(
-                    "no producer instance for `{}` at {mode}",
-                    self.inner.env.relation(rel).name()
-                )
-            });
-        if let Some(f) = &entry.hand_enum {
-            return f(size, top_size, inputs);
+            .require_producer(rel, mode, InstanceKind::Enumerator)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.run_enum_impl(&entry, size, top_size, inputs)
+    }
+
+    fn run_enum_impl(
+        &self,
+        entry: &ProducerImpl,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+    ) -> EStream<Vec<Value>> {
+        let stream = if let Some(f) = &entry.hand_enum {
+            f(size, top_size, inputs)
+        } else {
+            let plan = entry
+                .plan
+                .as_ref()
+                .expect("require_producer checked")
+                .clone();
+            self.run_plan_enum(&plan, size, top_size, inputs)
+        };
+        // When a budget is armed, every element demanded from this
+        // stream (handwritten or derived) charges a step.
+        match self.active_meter() {
+            Some(m) => stream.metered(m),
+            None => stream,
         }
-        let plan = entry.plan.as_ref().expect("producer entry has a plan").clone();
-        self.run_plan_enum(&plan, size, top_size, inputs)
     }
 
     /// Randomly generates one output tuple for `(rel, mode)`, or `None`
@@ -148,20 +196,212 @@ impl Library {
         rng: &mut dyn rand::RngCore,
     ) -> Option<Vec<Value>> {
         let entry = self
-            .inner
-            .producers
-            .get(&(rel, mode.clone()))
-            .unwrap_or_else(|| {
-                panic!(
-                    "no generator instance for `{}` at {mode}",
-                    self.inner.env.relation(rel).name()
-                )
-            });
+            .require_producer(rel, mode, InstanceKind::Generator)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.run_gen_impl(&entry, size, top_size, inputs, rng)
+    }
+
+    fn run_gen_impl(
+        &self,
+        entry: &ProducerImpl,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Vec<Value>> {
         if let Some(f) = &entry.hand_gen {
+            if !self.charge_step() {
+                return None;
+            }
             return f(size, top_size, inputs, rng);
         }
-        let plan = entry.plan.as_ref().expect("producer entry has a plan").clone();
+        let plan = entry
+            .plan
+            .as_ref()
+            .expect("require_producer checked")
+            .clone();
         self.run_plan_gen(&plan, size, top_size, inputs, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Budgeted, panic-free entry points
+    //
+    // Arming discipline: only these entry points install a meter on the
+    // library (saving and restoring any previous one, so nesting and
+    // unwinding are safe). Internal executors never arm; they charge
+    // whatever is armed via charge_step / charge_backtrack, which cost
+    // one RefCell borrow when nothing is armed.
+    // ------------------------------------------------------------------
+
+    /// Charges one step on the armed meter, if any.
+    #[inline]
+    pub(crate) fn charge_step(&self) -> bool {
+        match self.inner.meter.borrow().as_ref() {
+            Some(m) => m.charge_step(),
+            None => true,
+        }
+    }
+
+    /// Charges one abandoned alternative on the armed meter, if any.
+    #[inline]
+    pub(crate) fn charge_backtrack(&self) -> bool {
+        match self.inner.meter.borrow().as_ref() {
+            Some(m) => m.charge_backtrack(),
+            None => true,
+        }
+    }
+
+    /// The armed meter, if any (a cheap `Rc` clone).
+    pub(crate) fn active_meter(&self) -> Option<Meter> {
+        self.inner.meter.borrow().clone()
+    }
+
+    /// Arms `meter` until the returned guard drops.
+    fn arm_meter(&self, meter: Meter) -> MeterGuard<'_> {
+        let prev = self.inner.meter.borrow_mut().replace(meter);
+        MeterGuard { lib: self, prev }
+    }
+
+    /// [`Library::check`] without panics or hangs: validates the
+    /// instance and arity up front, runs the checker under `budget`,
+    /// and reports a budget cut-off as a structured [`ExecError`]
+    /// instead of a fabricated verdict.
+    ///
+    /// `Ok(None)` still means "out of fuel" in the paper's sense — a
+    /// semantic answer, distinct from the operational
+    /// [`ExecError::BudgetExhausted`] / [`ExecError::Deadline`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NoInstance`], [`ExecError::ArityMismatch`],
+    /// [`ExecError::BudgetExhausted`], or [`ExecError::Deadline`].
+    pub fn try_check(
+        &self,
+        rel: RelId,
+        size: u64,
+        top_size: u64,
+        args: &[Value],
+        budget: Budget,
+    ) -> Result<Option<bool>, ExecError> {
+        let imp = self.require_checker(rel)?;
+        self.require_count(rel, self.inner.env.relation(rel).arity(), args.len())?;
+        if budget.is_unlimited() {
+            return Ok(self.run_checker_impl(&imp, size, top_size, args));
+        }
+        let meter = Meter::new(budget);
+        admit_terms(&meter, args)?;
+        let result = {
+            let _armed = self.arm_meter(meter.clone());
+            self.run_checker_impl(&imp, size, top_size, args)
+        };
+        match meter.exhaustion() {
+            Some(e) => Err(e.into()),
+            None => Ok(result),
+        }
+    }
+
+    /// [`Library::decide`] under a budget: iterative deepening that
+    /// stops with a structured error when the budget runs out, covering
+    /// the whole fuel ladder with one deadline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Library::try_check`].
+    pub fn try_decide(
+        &self,
+        rel: RelId,
+        args: &[Value],
+        max_fuel: u64,
+        budget: Budget,
+    ) -> Result<Option<bool>, ExecError> {
+        let imp = self.require_checker(rel)?;
+        self.require_count(rel, self.inner.env.relation(rel).arity(), args.len())?;
+        let meter = Meter::new(budget);
+        admit_terms(&meter, args)?;
+        let _armed = (!budget.is_unlimited()).then(|| self.arm_meter(meter.clone()));
+        let mut fuel = 1u64;
+        loop {
+            let r = self.run_checker_impl(&imp, fuel, fuel, args);
+            if let Some(e) = meter.exhaustion() {
+                return Err(e.into());
+            }
+            if let Some(b) = r {
+                return Ok(Some(b));
+            }
+            if fuel >= max_fuel {
+                return Ok(None);
+            }
+            fuel = (fuel.saturating_mul(2)).min(max_fuel);
+        }
+    }
+
+    /// [`Library::enumerate`] without panics: validates up front, then
+    /// returns a [`BudgetedStream`] that re-arms its meter around every
+    /// element pulled, so one budget covers the whole (lazy)
+    /// enumeration. The stream ends early when the budget runs out;
+    /// [`BudgetedStream::values`] (or
+    /// [`BudgetedStream::exhaustion_error`] after manual iteration)
+    /// turns that cut-off into the structured error.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NoInstance`], [`ExecError::ArityMismatch`], or a
+    /// budget error for over-sized input terms.
+    pub fn try_enumerate(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+        budget: Budget,
+    ) -> Result<BudgetedStream, ExecError> {
+        let entry = self.require_producer(rel, mode, InstanceKind::Enumerator)?;
+        self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
+        let meter = Meter::new(budget);
+        admit_terms(&meter, inputs)?;
+        let stream = self.run_enum_impl(&entry, size, top_size, inputs);
+        Ok(BudgetedStream {
+            lib: self.clone(),
+            meter,
+            stream,
+        })
+    }
+
+    /// [`Library::generate`] without panics or hangs, under `budget`.
+    ///
+    /// `Ok(None)` still means ordinary generation failure (backtracking
+    /// exhausted or out of fuel); budget cut-offs come back as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Library::try_check`].
+    #[allow(clippy::too_many_arguments)] // mirrors `generate` + budget
+    pub fn try_generate(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        size: u64,
+        top_size: u64,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+        budget: Budget,
+    ) -> Result<Option<Vec<Value>>, ExecError> {
+        let entry = self.require_producer(rel, mode, InstanceKind::Generator)?;
+        self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
+        if budget.is_unlimited() {
+            return Ok(self.run_gen_impl(&entry, size, top_size, inputs, rng));
+        }
+        let meter = Meter::new(budget);
+        admit_terms(&meter, inputs)?;
+        let result = {
+            let _armed = self.arm_meter(meter.clone());
+            self.run_gen_impl(&entry, size, top_size, inputs, rng)
+        };
+        match meter.exhaustion() {
+            Some(e) => Err(e.into()),
+            None => Ok(result),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -213,13 +453,7 @@ impl Library {
 
     /// Memoized bounded-exhaustive enumeration of a type's values.
     pub(crate) fn raw_values(&self, ty: &indrel_term::TypeExpr, size: u64) -> Rc<Vec<Value>> {
-        if let Some(hit) = self
-            .inner
-            .pool
-            .borrow()
-            .raw_values
-            .get(&(ty.clone(), size))
-        {
+        if let Some(hit) = self.inner.pool.borrow().raw_values.get(&(ty.clone(), size)) {
             return hit.clone();
         }
         let vals = Rc::new(values_up_to(&self.inner.universe, ty, size));
@@ -242,6 +476,9 @@ impl Library {
         top: u64,
         args: &[Value],
     ) -> Option<bool> {
+        if !self.charge_step() {
+            return None;
+        }
         if size == 0 {
             let base = plan
                 .handlers
@@ -249,7 +486,7 @@ impl Library {
                 .enumerate()
                 .filter(|(_, h)| !h.recursive)
                 .map(|(i, _)| i);
-            let mut r = backtracking(
+            let mut r = self.backtrack_handlers(
                 base.map(|i| move || self.handler_check(plan, i, 0, top, args)),
             );
             if r == Some(false) && plan.has_recursive_handlers() {
@@ -259,9 +496,22 @@ impl Library {
             r
         } else {
             let size1 = size - 1;
-            backtracking(
-                (0..plan.handlers.len()).map(|i| move || self.handler_check(plan, i, size1, top, args)),
+            self.backtrack_handlers(
+                (0..plan.handlers.len())
+                    .map(|i| move || self.handler_check(plan, i, size1, top, args)),
             )
+        }
+    }
+
+    /// `backtracking`, charging the armed meter (if any) per abandoned
+    /// handler.
+    fn backtrack_handlers<F>(&self, options: impl IntoIterator<Item = F>) -> Option<bool>
+    where
+        F: FnOnce() -> Option<bool>,
+    {
+        match self.active_meter() {
+            Some(m) => backtracking_metered(&m, options),
+            None => backtracking(options),
         }
     }
 
@@ -305,97 +555,97 @@ impl Library {
                 return Some(true);
             };
             match step {
-            Step::EqCheck { lhs, rhs, negated } => {
-                let l = eval(lhs, env, self);
-                let r = eval(rhs, env, self);
-                if (l == r) == *negated {
-                    return Some(false);
-                }
-                idx += 1;
-            }
-            Step::EqBind { var, expr } => {
-                let v = eval(expr, env, self);
-                env.bind(*var, v);
-                idx += 1;
-            }
-            Step::MatchExpr { scrutinee, pattern } => {
-                let v = eval(scrutinee, env, self);
-                if pattern.matches(&v, env) {
+                Step::EqCheck { lhs, rhs, negated } => {
+                    let l = eval(lhs, env, self);
+                    let r = eval(rhs, env, self);
+                    if (l == r) == *negated {
+                        return Some(false);
+                    }
                     idx += 1;
-                } else {
-                    return Some(false);
                 }
-            }
-            Step::CheckRel { rel, args, negated } => {
-                let vals = self.eval_into(args, env);
-                let mut r = self.check(*rel, top, top, &vals);
-                self.put_args(vals);
-                if *negated {
-                    r = cnot(r);
+                Step::EqBind { var, expr } => {
+                    let v = eval(expr, env, self);
+                    env.bind(*var, v);
+                    idx += 1;
                 }
-                match r {
-                    Some(true) => idx += 1,
-                    other => return other,
-                }
-            }
-            Step::RecCheck { args } => {
-                let vals = self.eval_into(args, env);
-                let r = self.run_plan_check(plan, size_rem, top, &vals);
-                self.put_args(vals);
-                match r {
-                    Some(true) => idx += 1,
-                    other => return other,
-                }
-            }
-            Step::ProduceExt {
-                rel,
-                mode,
-                in_args,
-                out_slots,
-            } => {
-                let in_vals = self.eval_into(in_args, env);
-                let stream = self.enumerate(*rel, mode, top, top, &in_vals);
-                self.put_args(in_vals);
-                let slots = out_slots.clone();
-                return bind_ec(stream, |outs| {
-                    let mut env2 = env.clone();
-                    for (slot, v) in slots.iter().zip(outs) {
-                        env2.bind(*slot, v);
-                    }
-                    self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
-                });
-            }
-            Step::ProduceRec { in_args, out_slots } => {
-                let in_vals = self.eval_into(in_args, env);
-                let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
-                self.put_args(in_vals);
-                let slots = out_slots.clone();
-                return bind_ec(stream, |outs| {
-                    let mut env2 = env.clone();
-                    for (slot, v) in slots.iter().zip(outs) {
-                        env2.bind(*slot, v);
-                    }
-                    self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
-                });
-            }
-            Step::Unconstrained { var, ty } => {
-                let candidates = self.raw_values(ty, top);
-                let var = *var;
-                // A truncated domain means exhausting the candidates is
-                // not conclusive (the paper's enumerators surface this
-                // as a fuelE outcome; §5.1 monotonicity depends on it).
-                let mut needs_fuel = self.raw_truncated(ty, top);
-                for v in candidates.iter() {
-                    let mut env2 = env.clone();
-                    env2.bind(var, v.clone());
-                    match self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top) {
-                        Some(true) => return Some(true),
-                        Some(false) => {}
-                        None => needs_fuel = true,
+                Step::MatchExpr { scrutinee, pattern } => {
+                    let v = eval(scrutinee, env, self);
+                    if pattern.matches(&v, env) {
+                        idx += 1;
+                    } else {
+                        return Some(false);
                     }
                 }
-                return if needs_fuel { None } else { Some(false) };
-            }
+                Step::CheckRel { rel, args, negated } => {
+                    let vals = self.eval_into(args, env);
+                    let mut r = self.check(*rel, top, top, &vals);
+                    self.put_args(vals);
+                    if *negated {
+                        r = cnot(r);
+                    }
+                    match r {
+                        Some(true) => idx += 1,
+                        other => return other,
+                    }
+                }
+                Step::RecCheck { args } => {
+                    let vals = self.eval_into(args, env);
+                    let r = self.run_plan_check(plan, size_rem, top, &vals);
+                    self.put_args(vals);
+                    match r {
+                        Some(true) => idx += 1,
+                        other => return other,
+                    }
+                }
+                Step::ProduceExt {
+                    rel,
+                    mode,
+                    in_args,
+                    out_slots,
+                } => {
+                    let in_vals = self.eval_into(in_args, env);
+                    let stream = self.enumerate(*rel, mode, top, top, &in_vals);
+                    self.put_args(in_vals);
+                    let slots = out_slots.clone();
+                    return bind_ec(stream, |outs| {
+                        let mut env2 = env.clone();
+                        for (slot, v) in slots.iter().zip(outs) {
+                            env2.bind(*slot, v);
+                        }
+                        self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
+                    });
+                }
+                Step::ProduceRec { in_args, out_slots } => {
+                    let in_vals = self.eval_into(in_args, env);
+                    let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
+                    self.put_args(in_vals);
+                    let slots = out_slots.clone();
+                    return bind_ec(stream, |outs| {
+                        let mut env2 = env.clone();
+                        for (slot, v) in slots.iter().zip(outs) {
+                            env2.bind(*slot, v);
+                        }
+                        self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
+                    });
+                }
+                Step::Unconstrained { var, ty } => {
+                    let candidates = self.raw_values(ty, top);
+                    let var = *var;
+                    // A truncated domain means exhausting the candidates is
+                    // not conclusive (the paper's enumerators surface this
+                    // as a fuelE outcome; §5.1 monotonicity depends on it).
+                    let mut needs_fuel = self.raw_truncated(ty, top);
+                    for v in candidates.iter() {
+                        let mut env2 = env.clone();
+                        env2.bind(var, v.clone());
+                        match self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top) {
+                            Some(true) => return Some(true),
+                            Some(false) => {}
+                            None => needs_fuel = true,
+                        }
+                    }
+                    return if needs_fuel { None } else { Some(false) };
+                }
             }
         }
     }
@@ -510,7 +760,9 @@ impl Library {
                 }
                 let lib = self.clone();
                 let plan = plan.clone();
-                bind_ce(r, move || lib.steps_enum(&plan, h_idx, idx + 1, env, size_rem, top))
+                bind_ce(r, move || {
+                    lib.steps_enum(&plan, h_idx, idx + 1, env, size_rem, top)
+                })
             }
             Step::RecCheck { .. } => {
                 unreachable!("RecCheck only appears in checker plans")
@@ -523,12 +775,30 @@ impl Library {
             } => {
                 let in_vals = eval_args(in_args, &env, self);
                 let stream = self.enumerate(*rel, mode, top, top, &in_vals);
-                self.bind_outs(stream, plan, h_idx, idx, env, out_slots.clone(), size_rem, top)
+                self.bind_outs(
+                    stream,
+                    plan,
+                    h_idx,
+                    idx,
+                    env,
+                    out_slots.clone(),
+                    size_rem,
+                    top,
+                )
             }
             Step::ProduceRec { in_args, out_slots } => {
                 let in_vals = eval_args(in_args, &env, self);
                 let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
-                self.bind_outs(stream, plan, h_idx, idx, env, out_slots.clone(), size_rem, top)
+                self.bind_outs(
+                    stream,
+                    plan,
+                    h_idx,
+                    idx,
+                    env,
+                    out_slots.clone(),
+                    size_rem,
+                    top,
+                )
             }
             Step::Unconstrained { var, ty } => {
                 let candidates = self.raw_values(ty, top);
@@ -577,6 +847,9 @@ impl Library {
         inputs: &[Value],
         rng: &mut dyn rand::RngCore,
     ) -> Option<Vec<Value>> {
+        if !self.charge_step() {
+            return None;
+        }
         let size_rem = size.saturating_sub(1);
         // QuickChick's `backtrack`, inlined without boxing: pick a
         // handler proportionally to its weight (base constructors 1,
@@ -603,6 +876,11 @@ impl Library {
             let (w, h_idx) = options[chosen];
             if let Some(out) = self.handler_gen(plan, h_idx, size_rem, top, inputs, rng) {
                 return Some(out);
+            }
+            // Each discarded handler is one backtrack; a failed charge
+            // abandons the whole search.
+            if !self.charge_backtrack() {
+                return None;
             }
             total -= w;
             let _ = options.swap_remove(chosen);
@@ -699,12 +977,93 @@ impl Library {
                 }
             }
         }
-        Some(
-            h.outputs
-                .iter()
-                .map(|e| eval(e, env, self))
-                .collect(),
-        )
+        Some(h.outputs.iter().map(|e| eval(e, env, self)).collect())
+    }
+}
+
+/// Restores the previously armed meter (if any) on drop, so arming is
+/// panic-safe and nests.
+struct MeterGuard<'a> {
+    lib: &'a Library,
+    prev: Option<Meter>,
+}
+
+impl Drop for MeterGuard<'_> {
+    fn drop(&mut self) {
+        *self.lib.inner.meter.borrow_mut() = self.prev.take();
+    }
+}
+
+/// Rejects argument terms over the budget's `max_term_size`, reporting
+/// the poisoned meter's exhaustion as the error.
+fn admit_terms(meter: &Meter, args: &[Value]) -> Result<(), ExecError> {
+    for a in args {
+        if !meter.admit_term_size(a.size()) {
+            return Err(meter
+                .exhaustion()
+                .expect("failed admit poisons the meter")
+                .into());
+        }
+    }
+    Ok(())
+}
+
+/// A budgeted enumeration, from [`Library::try_enumerate`].
+///
+/// Iterating yields the underlying [`Outcome`]s; each element pulled
+/// charges one step on the stream's meter and runs with that meter
+/// armed on the library, so nested checker and producer calls spend
+/// from the same budget. When the budget runs out the stream simply
+/// ends; use [`BudgetedStream::values`] to collect with the cut-off
+/// reported as an error, or [`BudgetedStream::exhaustion_error`] after
+/// manual iteration.
+#[derive(Debug)]
+pub struct BudgetedStream {
+    lib: Library,
+    meter: Meter,
+    stream: EStream<Vec<Value>>,
+}
+
+impl BudgetedStream {
+    /// The meter accounting for this enumeration.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The budget cut-off as a structured error, if one happened.
+    pub fn exhaustion_error(&self) -> Option<ExecError> {
+        self.meter.exhaustion().map(Into::into)
+    }
+
+    /// Collects all produced values, discarding out-of-fuel markers.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BudgetExhausted`] or [`ExecError::Deadline`] when
+    /// the enumeration was cut off before completing.
+    pub fn values(mut self) -> Result<Vec<Vec<Value>>, ExecError> {
+        let mut out = Vec::new();
+        for outcome in &mut self {
+            if let Outcome::Val(v) = outcome {
+                out.push(v);
+            }
+        }
+        match self.exhaustion_error() {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+impl Iterator for BudgetedStream {
+    type Item = Outcome<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Outcome<Vec<Value>>> {
+        if !self.meter.charge_step() {
+            return None;
+        }
+        let _armed = self.lib.arm_meter(self.meter.clone());
+        self.stream.next()
     }
 }
 
@@ -823,9 +1182,18 @@ mod tests {
             &[("le", None)],
         );
         let le = ids[0];
-        assert_eq!(lib.check(le, 20, 20, &[Value::nat(3), Value::nat(3)]), Some(true));
-        assert_eq!(lib.check(le, 20, 20, &[Value::nat(3), Value::nat(9)]), Some(true));
-        assert_eq!(lib.check(le, 20, 20, &[Value::nat(9), Value::nat(3)]), Some(false));
+        assert_eq!(
+            lib.check(le, 20, 20, &[Value::nat(3), Value::nat(3)]),
+            Some(true)
+        );
+        assert_eq!(
+            lib.check(le, 20, 20, &[Value::nat(3), Value::nat(9)]),
+            Some(true)
+        );
+        assert_eq!(
+            lib.check(le, 20, 20, &[Value::nat(9), Value::nat(3)]),
+            Some(false)
+        );
     }
 
     #[test]
@@ -957,6 +1325,213 @@ mod tests {
         let odd = ids[0];
         assert_eq!(lib.check(odd, 10, 10, &[Value::nat(3)]), Some(true));
         assert_eq!(lib.check(odd, 10, 10, &[Value::nat(4)]), Some(false));
+    }
+
+    #[test]
+    fn try_check_agrees_with_check_under_unlimited_budget() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", None)],
+        );
+        let even = ids[0];
+        for n in 0..12u64 {
+            for fuel in 0..8u64 {
+                assert_eq!(
+                    lib.try_check(even, fuel, fuel, &[Value::nat(n)], Budget::unlimited()),
+                    Ok(lib.check(even, fuel, fuel, &[Value::nat(n)])),
+                    "n={n} fuel={fuel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_check_reports_missing_instance_and_arity() {
+        // Only a producer is derived: no checker instance exists.
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", Some(vec![0]))],
+        );
+        let even = ids[0];
+        assert_eq!(
+            lib.try_check(even, 5, 5, &[Value::nat(2)], Budget::unlimited()),
+            Err(crate::ExecError::NoInstance {
+                kind: crate::InstanceKind::Checker,
+                rel: "even'".into(),
+                mode: None,
+            })
+        );
+        // A producer at an underived mode is also a structured error.
+        let missing = Mode::producer(1, &[]);
+        assert!(matches!(
+            lib.try_enumerate(even, &missing, 5, 5, &[Value::nat(0)], Budget::unlimited()),
+            Err(crate::ExecError::NoInstance { .. })
+        ));
+        let err = lib
+            .try_enumerate(
+                even,
+                &Mode::producer(1, &[0]),
+                5,
+                5,
+                &[Value::nat(0)],
+                Budget::unlimited(),
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ExecError::ArityMismatch {
+                got: 1,
+                expected: 0,
+                ..
+            }
+        ));
+    }
+
+    /// The exponential workload: `twin n` proofs have 2^n leaves but
+    /// only depth n, so step budgets and deadlines trip quickly while
+    /// the stack stays shallow.
+    fn twin_lib() -> (Library, RelId) {
+        let (lib, ids) = lib_for(
+            r"rel twin : nat :=
+              | t0 : twin 0
+              | tS : forall n, twin n -> twin n -> twin (S n)
+              .",
+            &[("twin", None)],
+        );
+        (lib, ids[0])
+    }
+
+    #[test]
+    fn try_check_step_budget_exhausts_deterministically() {
+        let (lib, twin) = twin_lib();
+        let budget = Budget::unlimited().with_steps(10_000);
+        let first = lib.try_check(twin, 40, 40, &[Value::nat(30)], budget);
+        assert_eq!(
+            first,
+            Err(crate::ExecError::BudgetExhausted {
+                resource: indrel_producers::Resource::Steps
+            })
+        );
+        // Same budget, same work, same cut-off.
+        assert_eq!(
+            lib.try_check(twin, 40, 40, &[Value::nat(30)], budget),
+            first
+        );
+        // ...and the poisoned run leaves no meter armed: a plain check
+        // afterwards is unbudgeted and completes.
+        assert_eq!(lib.check(twin, 40, 40, &[Value::nat(12)]), Some(true));
+    }
+
+    #[test]
+    fn try_check_deadline_cuts_off_exponential_work() {
+        let (lib, twin) = twin_lib();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        let r = lib.try_check(twin, 70, 70, &[Value::nat(64)], budget);
+        assert_eq!(r, Err(crate::ExecError::Deadline));
+        // 2^64 steps of work was abandoned promptly after the deadline.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn try_check_max_term_size_rejects_oversized_arguments() {
+        let (lib, twin) = twin_lib();
+        let budget = Budget::unlimited().with_max_term_size(8);
+        assert_eq!(
+            lib.try_check(twin, 5, 5, &[Value::nat(9)], budget),
+            Err(crate::ExecError::BudgetExhausted {
+                resource: indrel_producers::Resource::TermSize
+            })
+        );
+        assert_eq!(
+            lib.try_check(twin, 9, 9, &[Value::nat(8)], budget),
+            Ok(Some(true))
+        );
+    }
+
+    #[test]
+    fn try_decide_budget_covers_the_fuel_ladder() {
+        let (lib, twin) = twin_lib();
+        assert_eq!(
+            lib.try_decide(twin, &[Value::nat(5)], 64, Budget::unlimited()),
+            Ok(Some(true))
+        );
+        assert!(matches!(
+            lib.try_decide(
+                twin,
+                &[Value::nat(40)],
+                1 << 50,
+                Budget::unlimited().with_steps(50_000)
+            ),
+            Err(crate::ExecError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn try_enumerate_collects_or_reports_cutoff() {
+        let (lib, ids) = lib_for(
+            r"rel even' : nat :=
+              | even_0 : even' 0
+              | even_SS : forall n, even' n -> even' (S (S n))
+              .",
+            &[("even'", Some(vec![0]))],
+        );
+        let mode = Mode::producer(1, &[0]);
+        let outs = lib
+            .try_enumerate(ids[0], &mode, 3, 3, &[], Budget::unlimited())
+            .unwrap()
+            .values()
+            .unwrap();
+        assert_eq!(outs.len(), 4);
+        // A two-step budget cannot finish the same enumeration.
+        let r = lib
+            .try_enumerate(ids[0], &mode, 3, 3, &[], Budget::unlimited().with_steps(2))
+            .unwrap()
+            .values();
+        assert!(matches!(r, Err(crate::ExecError::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn try_generate_backtrack_budget() {
+        let (lib, ids) = lib_for(
+            r"rel le : nat nat :=
+              | le_n : forall n, le n n
+              | le_S : forall n m, le n m -> le n (S m)
+              .",
+            &[("le", Some(vec![0]))],
+        );
+        let mode = Mode::producer(2, &[0]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let budget = Budget::unlimited().with_backtracks(0);
+        let mut saw_err = false;
+        let mut saw_ok = false;
+        for _ in 0..50 {
+            match lib.try_generate(ids[0], &mode, 8, 8, &[Value::nat(5)], &mut rng, budget) {
+                Ok(Some(out)) => {
+                    assert!(out[0].as_nat().unwrap() <= 5);
+                    saw_ok = true;
+                }
+                Ok(None) => {}
+                Err(crate::ExecError::BudgetExhausted {
+                    resource: indrel_producers::Resource::Backtracks,
+                }) => saw_err = true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        // With zero backtracks allowed, first-try successes succeed and
+        // any backtracking run is cut off.
+        assert!(saw_ok && saw_err, "saw_ok={saw_ok} saw_err={saw_err}");
     }
 
     #[test]

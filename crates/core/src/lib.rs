@@ -72,10 +72,14 @@ pub(crate) mod lower;
 pub mod mode;
 pub mod plan;
 
-pub use error::DeriveError;
+pub use error::{DeriveError, ExecError, InstanceKind};
+pub use exec::BudgetedStream;
 pub use library::{Library, LibraryBuilder};
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};
+// Budgets live with the producer combinators; re-exported here because
+// the `try_*` entry points take them.
+pub use indrel_producers::{Budget, Exhaustion, Meter, Resource};
 
 /// Derivation options.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -9,11 +9,11 @@
 //! executors of [`crate::exec`] run.
 
 use crate::compile::{compile_plan, DepResolver};
-use crate::error::DeriveError;
+use crate::error::{DeriveError, ExecError, InstanceKind};
 use crate::mode::Mode;
 use crate::plan::Plan;
 use crate::DeriveOptions;
-use indrel_producers::EStream;
+use indrel_producers::{EStream, Meter};
 use indrel_rel::RelEnv;
 use indrel_term::{RelId, Universe, Value};
 use std::collections::HashMap;
@@ -56,6 +56,11 @@ pub(crate) struct Inner {
     pub(crate) producers: HashMap<(RelId, Mode), ProducerImpl>,
     /// Scratch buffers reused across plan executions (single-threaded).
     pub(crate) pool: std::cell::RefCell<Pool>,
+    /// The armed budget meter, if any. Only the `try_*` entry points of
+    /// [`crate::exec`] arm it (restoring the previous value on exit, so
+    /// nesting and panics are safe); the internal executors merely
+    /// charge whatever is armed, and charge nothing when this is `None`.
+    pub(crate) meter: std::cell::RefCell<Option<Meter>>,
 }
 
 #[derive(Default)]
@@ -177,10 +182,11 @@ impl LibraryBuilder {
     fn ensure(&mut self, key: Key) -> Result<(), DeriveError> {
         let exists = match &key {
             Key::Checker(rel) => self.checkers.contains_key(rel),
-            Key::Producer(rel, mode) => self
-                .producers
-                .get(&(*rel, mode.clone()))
-                .is_some_and(|p| p.plan.is_some() || (p.hand_enum.is_some() && p.hand_gen.is_some())),
+            Key::Producer(rel, mode) => {
+                self.producers.get(&(*rel, mode.clone())).is_some_and(|p| {
+                    p.plan.is_some() || (p.hand_enum.is_some() && p.hand_gen.is_some())
+                })
+            }
         };
         if exists {
             return Ok(());
@@ -220,10 +226,7 @@ impl LibraryBuilder {
                 self,
             )
             .map(|plan| {
-                self.producers
-                    .entry((*rel, mode.clone()))
-                    .or_default()
-                    .plan = Some(Rc::new(plan));
+                self.producers.entry((*rel, mode.clone())).or_default().plan = Some(Rc::new(plan));
             }),
         };
         self.in_progress.pop();
@@ -243,6 +246,7 @@ impl LibraryBuilder {
                 checkers,
                 producers: self.producers,
                 pool: std::cell::RefCell::new(Pool::default()),
+                meter: std::cell::RefCell::new(None),
             }),
         }
     }
@@ -298,5 +302,88 @@ impl Library {
     /// `true` when a producer instance exists for `(rel, mode)`.
     pub fn has_producer(&self, rel: RelId, mode: &Mode) -> bool {
         self.inner.producers.contains_key(&(rel, mode.clone()))
+    }
+
+    /// `true` when `(rel, mode)` can be enumerated — a derived plan or
+    /// a handwritten enumerator is registered.
+    pub fn has_enumerator(&self, rel: RelId, mode: &Mode) -> bool {
+        self.inner
+            .producers
+            .get(&(rel, mode.clone()))
+            .is_some_and(|p| p.hand_enum.is_some() || p.plan.is_some())
+    }
+
+    /// `true` when `(rel, mode)` can be randomly generated from — a
+    /// derived plan or a handwritten generator is registered.
+    pub fn has_generator(&self, rel: RelId, mode: &Mode) -> bool {
+        self.inner
+            .producers
+            .get(&(rel, mode.clone()))
+            .is_some_and(|p| p.hand_gen.is_some() || p.plan.is_some())
+    }
+
+    /// Looks up the checker for `rel`, as a value (`Rc`-backed clones
+    /// are cheap).
+    pub(crate) fn require_checker(&self, rel: RelId) -> Result<CheckerImpl, ExecError> {
+        self.inner
+            .checkers
+            .get(rel.index())
+            .and_then(Option::as_ref)
+            .cloned()
+            .ok_or_else(|| ExecError::NoInstance {
+                kind: InstanceKind::Checker,
+                rel: self.inner.env.relation(rel).name().to_string(),
+                mode: None,
+            })
+    }
+
+    /// Looks up the producer for `(rel, mode)`, requiring the half
+    /// (enumerator or generator) that `kind` asks for.
+    pub(crate) fn require_producer(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        kind: InstanceKind,
+    ) -> Result<ProducerImpl, ExecError> {
+        let no_instance = || ExecError::NoInstance {
+            kind,
+            rel: self.inner.env.relation(rel).name().to_string(),
+            mode: Some(mode.to_string()),
+        };
+        let entry = self
+            .inner
+            .producers
+            .get(&(rel, mode.clone()))
+            .ok_or_else(no_instance)?;
+        let usable = match kind {
+            InstanceKind::Enumerator => entry.hand_enum.is_some() || entry.plan.is_some(),
+            InstanceKind::Generator => entry.hand_gen.is_some() || entry.plan.is_some(),
+            InstanceKind::Checker => false,
+        };
+        if usable {
+            Ok(entry.clone())
+        } else {
+            Err(no_instance())
+        }
+    }
+
+    /// Errors unless exactly `expected` values were supplied — the
+    /// relation's arity for checkers, the mode's input count for
+    /// producers.
+    pub(crate) fn require_count(
+        &self,
+        rel: RelId,
+        expected: usize,
+        got: usize,
+    ) -> Result<(), ExecError> {
+        if got == expected {
+            Ok(())
+        } else {
+            Err(ExecError::ArityMismatch {
+                rel: self.inner.env.relation(rel).name().to_string(),
+                expected,
+                got,
+            })
+        }
     }
 }

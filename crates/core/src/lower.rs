@@ -90,35 +90,31 @@ fn lower_steps(steps: &[Step], idx: usize) -> Cont {
             env.bind(var, v);
             rest(lib, low, env, size_rem, top)
         }),
-        Step::MatchExpr { scrutinee, pattern } => {
-            Rc::new(move |lib, low, env, size_rem, top| {
-                let v = scrutinee
-                    .eval(env, lib.universe())
-                    .expect("plan invariant: scrutinee instantiated");
-                if pattern.matches(&v, env) {
-                    rest(lib, low, env, size_rem, top)
-                } else {
-                    Some(false)
-                }
-            })
-        }
-        Step::CheckRel { rel, args, negated } => {
-            Rc::new(move |lib, low, env, size_rem, top| {
-                let u = lib.universe();
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
-                    .collect();
-                let mut r = lib.check(rel, top, top, &vals);
-                if negated {
-                    r = cnot(r);
-                }
-                match r {
-                    Some(true) => rest(lib, low, env, size_rem, top),
-                    other => other,
-                }
-            })
-        }
+        Step::MatchExpr { scrutinee, pattern } => Rc::new(move |lib, low, env, size_rem, top| {
+            let v = scrutinee
+                .eval(env, lib.universe())
+                .expect("plan invariant: scrutinee instantiated");
+            if pattern.matches(&v, env) {
+                rest(lib, low, env, size_rem, top)
+            } else {
+                Some(false)
+            }
+        }),
+        Step::CheckRel { rel, args, negated } => Rc::new(move |lib, low, env, size_rem, top| {
+            let u = lib.universe();
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
+                .collect();
+            let mut r = lib.check(rel, top, top, &vals);
+            if negated {
+                r = cnot(r);
+            }
+            match r {
+                Some(true) => rest(lib, low, env, size_rem, top),
+                other => other,
+            }
+        }),
         Step::RecCheck { args } => Rc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let vals: Vec<Value> = args
@@ -178,6 +174,11 @@ impl Library {
         top: u64,
         args: &[Value],
     ) -> Option<bool> {
+        // Budget charge: one step per checker recursion, one backtrack
+        // per abandoned handler (no-ops when no meter is armed).
+        if !self.charge_step() {
+            return None;
+        }
         let mut needs_fuel = false;
         let size_rem = size.saturating_sub(1);
         for h in &low.handlers {
@@ -188,6 +189,9 @@ impl Library {
                 Some(true) => return Some(true),
                 Some(false) => {}
                 None => needs_fuel = true,
+            }
+            if !self.charge_backtrack() {
+                return None;
             }
         }
         if needs_fuel || (size == 0 && low.has_recursive) {
@@ -300,7 +304,12 @@ mod tests {
         b.derive_checker(between).unwrap();
         let lib = b.build();
         assert_eq!(
-            lib.check(between, 8, 8, &[indrel_term::Value::nat(1), indrel_term::Value::nat(3)]),
+            lib.check(
+                between,
+                8,
+                8,
+                &[indrel_term::Value::nat(1), indrel_term::Value::nat(3)]
+            ),
             Some(true)
         );
         let _ = Mode::checker(2);

@@ -40,7 +40,10 @@ impl Mode {
     pub fn producer(arity: usize, outs: &[usize]) -> Mode {
         let mut v = vec![false; arity];
         for &i in outs {
-            assert!(i < arity, "output position {i} out of range for arity {arity}");
+            assert!(
+                i < arity,
+                "output position {i} out of range for arity {arity}"
+            );
             v[i] = true;
         }
         Mode { outs: v }

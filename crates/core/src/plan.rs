@@ -222,7 +222,12 @@ impl fmt::Display for DisplayPlan<'_> {
         let rel_name = self.env.relation(self.plan.rel).name();
         writeln!(f, "derived {} {} :=", rel_name, self.plan.mode)?;
         for h in &self.plan.handlers {
-            writeln!(f, "  handler {} {}:", h.name, if h.recursive { "(rec)" } else { "(base)" })?;
+            writeln!(
+                f,
+                "  handler {} {}:",
+                h.name,
+                if h.recursive { "(rec)" } else { "(base)" }
+            )?;
             let pats: Vec<String> = h
                 .input_pats
                 .iter()
@@ -230,12 +235,16 @@ impl fmt::Display for DisplayPlan<'_> {
                 .collect();
             writeln!(f, "    match inputs with {}", pats.join(", "))?;
             for s in &h.steps {
-                writeln!(f, "    {}", DisplayStep {
-                    step: s,
-                    universe: self.universe,
-                    env: self.env,
-                    names: &h.slot_names,
-                })?;
+                writeln!(
+                    f,
+                    "    {}",
+                    DisplayStep {
+                        step: s,
+                        universe: self.universe,
+                        env: self.env,
+                        names: &h.slot_names,
+                    }
+                )?;
             }
             if h.outputs.is_empty() {
                 writeln!(f, "    ret true")?;

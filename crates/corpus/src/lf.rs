@@ -9,7 +9,12 @@
 
 use crate::{Entry, Scope, Volume};
 
-fn fo(name: &'static str, relations: &'static [&'static str], source: &'static str, note: &'static str) -> Entry {
+fn fo(
+    name: &'static str,
+    relations: &'static [&'static str],
+    source: &'static str,
+    note: &'static str,
+) -> Entry {
     Entry {
         name,
         volume: Volume::Lf,
@@ -252,12 +257,27 @@ pub fn entries() -> Vec<Entry> {
         // ---- higher-order entries (no source), as excluded in §6.1 ----
         ho("and", "ProofObjects: conjunction — Prop-indexed"),
         ho("or", "ProofObjects: disjunction — Prop-indexed"),
-        ho("ex", "ProofObjects: existential — quantifies over a predicate"),
-        ho("True", "ProofObjects: trivial proposition — Prop-valued constructor"),
+        ho(
+            "ex",
+            "ProofObjects: existential — quantifies over a predicate",
+        ),
+        ho(
+            "True",
+            "ProofObjects: trivial proposition — Prop-valued constructor",
+        ),
         ho("False", "ProofObjects: absurd proposition — Prop-valued"),
-        ho("eq_poly", "ProofObjects: polymorphic equality at arbitrary Type"),
-        ho("reflect", "IndProp: reflection predicate — indexed by a Prop"),
-        ho("all", "Logic exercise `All`: quantifies over a predicate on elements"),
+        ho(
+            "eq_poly",
+            "ProofObjects: polymorphic equality at arbitrary Type",
+        ),
+        ho(
+            "reflect",
+            "IndProp: reflection predicate — indexed by a Prop",
+        ),
+        ho(
+            "all",
+            "Logic exercise `All`: quantifies over a predicate on elements",
+        ),
     ]
 }
 

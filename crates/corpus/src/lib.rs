@@ -106,12 +106,17 @@ pub fn register_corpus_funs(u: &mut Universe) {
     let b = TypeExpr::Bool;
     let nat2bool = |u: &mut Universe, name: &str, f: fn(u64, u64) -> bool| {
         if u.fun_id(name).is_none() {
-            u.declare_fun(name, vec![TypeExpr::Nat, TypeExpr::Nat], TypeExpr::Bool, move |args| {
-                Value::bool(f(
-                    args[0].as_nat().expect("nat"),
-                    args[1].as_nat().expect("nat"),
-                ))
-            })
+            u.declare_fun(
+                name,
+                vec![TypeExpr::Nat, TypeExpr::Nat],
+                TypeExpr::Bool,
+                move |args| {
+                    Value::bool(f(
+                        args[0].as_nat().expect("nat"),
+                        args[1].as_nat().expect("nat"),
+                    ))
+                },
+            )
             .expect("fresh function name");
         }
     };
@@ -180,7 +185,11 @@ mod tests {
         for e in entries() {
             if e.source.is_some() {
                 for r in e.relations {
-                    assert!(env.rel_id(r).is_some(), "relation `{r}` of `{}` missing", e.name);
+                    assert!(
+                        env.rel_id(r).is_some(),
+                        "relation `{r}` of `{}` missing",
+                        e.name
+                    );
                 }
             }
         }
@@ -196,7 +205,9 @@ mod tests {
         for e in &es {
             match e.scope {
                 Scope::FirstOrder => assert!(e.source.is_some(), "{} has no source", e.name),
-                Scope::HigherOrder => assert!(e.source.is_none(), "{} should have no source", e.name),
+                Scope::HigherOrder => {
+                    assert!(e.source.is_none(), "{} should have no source", e.name)
+                }
             }
         }
     }
@@ -254,8 +265,14 @@ mod tests {
         let prog = Value::ctor(
             cseq,
             vec![
-                Value::ctor(casgn, vec![Value::nat(0), Value::ctor(anum, vec![Value::nat(2)])]),
-                Value::ctor(casgn, vec![Value::nat(1), Value::ctor(anum, vec![Value::nat(3)])]),
+                Value::ctor(
+                    casgn,
+                    vec![Value::nat(0), Value::ctor(anum, vec![Value::nat(2)])],
+                ),
+                Value::ctor(
+                    casgn,
+                    vec![Value::nat(1), Value::ctor(anum, vec![Value::nat(3)])],
+                ),
             ],
         );
         let st0 = u.list_value([]);
@@ -263,10 +280,7 @@ mod tests {
             Value::ctor(pair, vec![Value::nat(1), Value::nat(3)]),
             Value::ctor(pair, vec![Value::nat(0), Value::nat(2)]),
         ]);
-        assert_eq!(
-            lib.check(ceval, 8, 8, &[prog, st0, st2]),
-            Some(true)
-        );
+        assert_eq!(lib.check(ceval, 8, 8, &[prog, st0, st2]), Some(true));
     }
 
     #[test]

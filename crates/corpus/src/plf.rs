@@ -9,7 +9,12 @@
 use crate::{Entry, Scope, Volume};
 use indrel_term::{TypeExpr, Universe, Value};
 
-fn fo(name: &'static str, relations: &'static [&'static str], source: &'static str, note: &'static str) -> Entry {
+fn fo(
+    name: &'static str,
+    relations: &'static [&'static str],
+    source: &'static str,
+    note: &'static str,
+) -> Entry {
     Entry {
         name,
         volume: Volume::Plf,
@@ -57,10 +62,19 @@ pub fn register_stlc(u: &mut Universe) {
             0,
             &[
                 ("TmConst", vec![TypeExpr::Nat]),
-                ("TmAdd", vec![TypeExpr::named("tml"), TypeExpr::named("tml")]),
+                (
+                    "TmAdd",
+                    vec![TypeExpr::named("tml"), TypeExpr::named("tml")],
+                ),
                 ("TmVar", vec![TypeExpr::Nat]),
-                ("TmApp", vec![TypeExpr::named("tml"), TypeExpr::named("tml")]),
-                ("TmAbs", vec![TypeExpr::datatype(ty), TypeExpr::named("tml")]),
+                (
+                    "TmApp",
+                    vec![TypeExpr::named("tml"), TypeExpr::named("tml")],
+                ),
+                (
+                    "TmAbs",
+                    vec![TypeExpr::datatype(ty), TypeExpr::named("tml")],
+                ),
             ],
         )
         .expect("fresh datatype");
@@ -73,7 +87,13 @@ pub fn register_stlc(u: &mut Universe) {
 
     // lift c t: increment de Bruijn indices >= c.
     fn lift(
-        ids: (indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId),
+        ids: (
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+        ),
         c: u64,
         t: &Value,
     ) -> Value {
@@ -85,10 +105,7 @@ pub fn register_stlc(u: &mut Universe) {
         } else if ctor == c_const {
             t.clone()
         } else if ctor == c_add || ctor == c_app {
-            Value::ctor(
-                ctor,
-                vec![lift(ids, c, &args[0]), lift(ids, c, &args[1])],
-            )
+            Value::ctor(ctor, vec![lift(ids, c, &args[0]), lift(ids, c, &args[1])])
         } else if ctor == c_abs {
             Value::ctor(ctor, vec![args[0].clone(), lift(ids, c + 1, &args[1])])
         } else {
@@ -98,7 +115,13 @@ pub fn register_stlc(u: &mut Universe) {
 
     // subst j s t: capture-avoiding substitution of s for index j in t.
     fn subst(
-        ids: (indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId, indrel_term::CtorId),
+        ids: (
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+            indrel_term::CtorId,
+        ),
         j: u64,
         s: &Value,
         t: &Value,
@@ -124,7 +147,10 @@ pub fn register_stlc(u: &mut Universe) {
         } else if ctor == c_abs {
             Value::ctor(
                 ctor,
-                vec![args[0].clone(), subst(ids, j + 1, &lift(ids, 0, s), &args[1])],
+                vec![
+                    args[0].clone(),
+                    subst(ids, j + 1, &lift(ids, 0, s), &args[1]),
+                ],
             )
         } else {
             t.clone()
@@ -459,9 +485,7 @@ mod tests {
             ],
         );
         let five = Value::ctor(constc, vec![Value::nat(5)]);
-        let out = u
-            .fun(subst)
-            .apply(&[Value::nat(0), five.clone(), body]);
+        let out = u.fun(subst).apply(&[Value::nat(0), five.clone(), body]);
         assert_eq!(out, Value::ctor(add, vec![five.clone(), five]));
     }
 
@@ -478,13 +502,19 @@ mod tests {
         // the substituted term's free variable is lifted under the binder.
         let body = Value::ctor(
             abs,
-            vec![Value::ctor(tn, vec![]), Value::ctor(var, vec![Value::nat(1)])],
+            vec![
+                Value::ctor(tn, vec![]),
+                Value::ctor(var, vec![Value::nat(1)]),
+            ],
         );
         let s = Value::ctor(var, vec![Value::nat(3)]);
         let out = u.fun(subst).apply(&[Value::nat(0), s, body]);
         let expected = Value::ctor(
             abs,
-            vec![Value::ctor(tn, vec![]), Value::ctor(var, vec![Value::nat(4)])],
+            vec![
+                Value::ctor(tn, vec![]),
+                Value::ctor(var, vec![Value::nat(4)]),
+            ],
         );
         assert_eq!(out, expected);
     }

@@ -243,10 +243,7 @@ impl Ifc {
                 .universe()
                 .list_value(atoms.iter().map(|a| self.atom_value(*a)))
         };
-        Value::ctor(
-            self.c_m,
-            vec![Value::nat(m.pc), enc(&m.stack), enc(&m.mem)],
-        )
+        Value::ctor(self.c_m, vec![Value::nat(m.pc), enc(&m.stack), enc(&m.mem)])
     }
 
     /// Decodes a machine state from a term (inverse of
@@ -346,7 +343,12 @@ impl Ifc {
 
     /// The derived variation generator: an indistinguishable machine,
     /// given one machine.
-    pub fn derived_vary(&self, m: &Machine, size: u64, rng: &mut dyn rand::RngCore) -> Option<Machine> {
+    pub fn derived_vary(
+        &self,
+        m: &Machine,
+        size: u64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Machine> {
         let v = self.machine_value(m);
         let out = self
             .lib
@@ -474,7 +476,11 @@ impl Ifc {
             .map(|_| match rng.gen_range(0..8) {
                 0 | 1 => Instr::Push(
                     rng.gen_range(0..8),
-                    if rng.gen_range(0..2) == 0 { Lab::L } else { Lab::H },
+                    if rng.gen_range(0..2) == 0 {
+                        Lab::L
+                    } else {
+                        Lab::H
+                    },
                 ),
                 2 => Instr::Pop,
                 3 | 4 => Instr::Add,
@@ -488,7 +494,11 @@ impl Ifc {
                 .map(|_| {
                     (
                         rng.gen_range(0..8),
-                        if rng.gen_range(0..2) == 0 { Lab::L } else { Lab::H },
+                        if rng.gen_range(0..2) == 0 {
+                            Lab::L
+                        } else {
+                            Lab::H
+                        },
                     )
                 })
                 .collect()
@@ -609,12 +619,13 @@ mod tests {
         let mut decided = 0;
         for _ in 0..500 {
             let (prog, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
-            match ifc.noninterference_holds(&prog, &m1, &m2, Mutation::None) {
-                Some(ok) => {
-                    decided += 1;
-                    assert!(ok, "NI violated by the correct machine on {prog:?} {m1:?} {m2:?}");
-                }
-                None => {} // discarded: a run got stuck
+            // None = discarded: a run got stuck.
+            if let Some(ok) = ifc.noninterference_holds(&prog, &m1, &m2, Mutation::None) {
+                decided += 1;
+                assert!(
+                    ok,
+                    "NI violated by the correct machine on {prog:?} {m1:?} {m2:?}"
+                );
             }
         }
         assert!(decided > 100, "most runs should halt cleanly: {decided}");

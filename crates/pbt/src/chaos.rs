@@ -1,0 +1,290 @@
+//! Seed-controlled fault injection for the PBT pipeline.
+//!
+//! Robustness of the [`Runner`](crate::Runner) — crash isolation,
+//! budget cut-offs, deadline enforcement — is itself testable: wrap a
+//! generator and a property in a [`Chaos`] configuration and the
+//! wrappers inject faults at controlled rates:
+//!
+//! * generator `None`s (spurious discards),
+//! * panics in the generator or the property (simulating a buggy
+//!   handwritten checker),
+//! * busy-loop *budget burns* (simulating pathologically slow
+//!   checkers, to exercise deadlines).
+//!
+//! Fault schedules are driven by dedicated RNG streams derived from the
+//! chaos seed, independent of the runner's own RNG, so a given
+//! `(seed, rates)` pair injects the same faults at the same test
+//! indices on every run — failures found under chaos reproduce
+//! exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use indrel_pbt::{chaos::{silence_panics, Chaos}, Runner, TestOutcome};
+//! use indrel_term::Value;
+//!
+//! let chaos = Chaos::new(7).with_panic_rate(0.01);
+//! let _quiet = silence_panics();
+//! let report = Runner::new(1).run(
+//!     1000,
+//!     chaos.wrap_gen(|_, _| Some(vec![Value::nat(4)])),
+//!     chaos.wrap_property(|_| TestOutcome::Pass),
+//! );
+//! // Every requested test executed; the injected panics were caught.
+//! assert_eq!(report.passed + report.crashed, 1000);
+//! ```
+
+use crate::TestOutcome;
+use indrel_term::Value;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::panic;
+
+/// Stream separators so the generator and property wrappers see
+/// independent fault schedules from one seed.
+const GEN_STREAM: u64 = 0x67656e5f73747265; // "gen_stre"
+const PROP_STREAM: u64 = 0x70726f705f737472; // "prop_str"
+
+/// A seed-controlled fault-injection configuration. All rates default
+/// to zero (no faults); the builders below switch individual faults
+/// on. `Chaos` is a plain config — each call to [`Chaos::wrap_gen`] /
+/// [`Chaos::wrap_property`] starts a fresh deterministic fault
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct Chaos {
+    seed: u64,
+    none_rate: f64,
+    gen_panic_rate: f64,
+    prop_panic_rate: f64,
+    burn_rate: f64,
+    burn_iters: u64,
+}
+
+impl Chaos {
+    /// A fault-free configuration with the given schedule seed.
+    pub fn new(seed: u64) -> Chaos {
+        Chaos {
+            seed,
+            none_rate: 0.0,
+            gen_panic_rate: 0.0,
+            prop_panic_rate: 0.0,
+            burn_rate: 0.0,
+            burn_iters: 0,
+        }
+    }
+
+    /// Probability that a wrapped generator returns `None` (a discard).
+    pub fn with_none_rate(mut self, p: f64) -> Chaos {
+        self.none_rate = p;
+        self
+    }
+
+    /// Probability that a wrapped generator panics.
+    pub fn with_gen_panic_rate(mut self, p: f64) -> Chaos {
+        self.gen_panic_rate = p;
+        self
+    }
+
+    /// Probability that a wrapped property panics (an injected checker
+    /// crash).
+    pub fn with_panic_rate(mut self, p: f64) -> Chaos {
+        self.prop_panic_rate = p;
+        self
+    }
+
+    /// Probability that a wrapped property first spins a busy loop of
+    /// `iters` iterations — a budget burn, for exercising deadlines.
+    pub fn with_burn(mut self, p: f64, iters: u64) -> Chaos {
+        self.burn_rate = p;
+        self.burn_iters = iters;
+        self
+    }
+
+    /// Wraps a generator with the configured generator faults. Faults
+    /// are decided *before* delegating, so an injected fault consumes
+    /// no randomness from the runner's RNG.
+    pub fn wrap_gen<F>(&self, mut f: F) -> impl FnMut(u64, &mut dyn RngCore) -> Option<Vec<Value>>
+    where
+        F: FnMut(u64, &mut dyn RngCore) -> Option<Vec<Value>>,
+    {
+        let mut faults = SmallRng::seed_from_u64(self.seed ^ GEN_STREAM);
+        let panic_rate = self.gen_panic_rate;
+        let none_rate = self.none_rate;
+        move |size, rng| {
+            if roll(&mut faults, panic_rate) {
+                panic!("chaos: injected generator panic");
+            }
+            if roll(&mut faults, none_rate) {
+                return None;
+            }
+            f(size, rng)
+        }
+    }
+
+    /// Wraps a property with the configured property faults.
+    pub fn wrap_property<F>(&self, mut f: F) -> impl FnMut(&[Value]) -> TestOutcome
+    where
+        F: FnMut(&[Value]) -> TestOutcome,
+    {
+        let mut faults = SmallRng::seed_from_u64(self.seed ^ PROP_STREAM);
+        let panic_rate = self.prop_panic_rate;
+        let burn_rate = self.burn_rate;
+        let burn_iters = self.burn_iters;
+        move |args| {
+            if roll(&mut faults, burn_rate) {
+                burn(burn_iters);
+            }
+            if roll(&mut faults, panic_rate) {
+                panic!("chaos: injected checker panic on {args:?}");
+            }
+            f(args)
+        }
+    }
+}
+
+/// True with probability `p`; draws nothing when `p` is zero, so a
+/// disabled fault does not perturb the schedules of enabled ones.
+fn roll(rng: &mut SmallRng, p: f64) -> bool {
+    p > 0.0 && ((rng.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+}
+
+/// Spins `iters` iterations of opaque arithmetic: wall-clock waste the
+/// optimizer cannot remove.
+fn burn(iters: u64) {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        acc = std::hint::black_box(acc.wrapping_add(i | 1));
+    }
+    std::hint::black_box(acc);
+}
+
+/// Replaces the global panic hook with a no-op until the returned guard
+/// drops, then restores the previous hook.
+///
+/// The [`Runner`](crate::Runner) catches panics, but the default hook
+/// still prints a message per caught panic to stderr; a chaos run with
+/// hundreds of injected crashes would bury real output. The hook is
+/// process-global, so the guard silences panics on *all* threads while
+/// alive — keep it scoped tightly.
+pub fn silence_panics() -> PanicSilence {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    PanicSilence { prev: Some(prev) }
+}
+
+/// Guard returned by [`silence_panics`]; restores the previous panic
+/// hook on drop.
+pub struct PanicSilence {
+    prev: Option<PanicHook>,
+}
+
+/// The type [`std::panic::set_hook`] accepts.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>;
+
+impl Drop for PanicSilence {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            let _ = panic::take_hook();
+            panic::set_hook(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runner, TestOutcome};
+    use indrel_producers::{Budget, Exhaustion};
+    use rand::Rng as _;
+    use std::time::Duration;
+
+    fn gen_nat(size: u64, rng: &mut dyn RngCore) -> Option<Vec<Value>> {
+        Some(vec![Value::nat(rng.gen_range(0..=size))])
+    }
+
+    #[test]
+    fn one_percent_panics_complete_the_run() {
+        // The ISSUE acceptance scenario: 1% injected checker panics,
+        // the run still completes every requested test and reports the
+        // crashes.
+        let chaos = Chaos::new(42).with_panic_rate(0.01);
+        let _quiet = silence_panics();
+        let r = Runner::new(1).run(
+            2000,
+            chaos.wrap_gen(gen_nat),
+            chaos.wrap_property(|_| TestOutcome::Pass),
+        );
+        assert_eq!(r.passed + r.crashed, 2000, "all requested tests executed");
+        assert!(r.crashed > 0, "~20 crashes expected at 1%");
+        assert!(r.crashed < 100, "rate should stay near 1%: {}", r.crashed);
+        assert!(r.failed.is_none());
+        assert!(r.stopped.is_none());
+        let crash = r.first_crash.expect("first crashing input recorded");
+        assert!(crash.input.is_some());
+        assert!(crash.message.contains("injected checker panic"));
+    }
+
+    #[test]
+    fn chaos_schedules_are_deterministic() {
+        let run = || {
+            let chaos = Chaos::new(42)
+                .with_panic_rate(0.02)
+                .with_none_rate(0.05)
+                .with_gen_panic_rate(0.01);
+            let _quiet = silence_panics();
+            Runner::new(1).run(
+                500,
+                chaos.wrap_gen(gen_nat),
+                chaos.wrap_property(|_| TestOutcome::Pass),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(a.discarded, b.discarded);
+        assert_eq!(a.first_crash.map(|c| c.test), b.first_crash.map(|c| c.test));
+    }
+
+    #[test]
+    fn none_rate_discards() {
+        let chaos = Chaos::new(7).with_none_rate(0.5);
+        let r = Runner::new(1).run(
+            200,
+            chaos.wrap_gen(gen_nat),
+            chaos.wrap_property(|_| TestOutcome::Pass),
+        );
+        assert_eq!(r.passed, 200);
+        assert!(r.discarded > 50, "~200 discards expected: {}", r.discarded);
+        assert_eq!(r.crashed, 0);
+    }
+
+    #[test]
+    fn burns_trip_the_deadline() {
+        let chaos = Chaos::new(9).with_burn(1.0, 2_000_000);
+        let r = Runner::new(1)
+            .with_budget(Budget::unlimited().with_deadline(Duration::from_millis(5)))
+            .run(
+                1_000_000,
+                chaos.wrap_gen(gen_nat),
+                chaos.wrap_property(|_| TestOutcome::Pass),
+            );
+        assert_eq!(r.stopped, Some(Exhaustion::Deadline));
+        assert!(r.passed < 1_000_000);
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let chaos = Chaos::new(3);
+        let plain = Runner::new(5).run(300, gen_nat, |args| {
+            TestOutcome::from_bool(args[0].as_nat().unwrap() != 9)
+        });
+        let wrapped = Runner::new(5).run(
+            300,
+            chaos.wrap_gen(gen_nat),
+            chaos.wrap_property(|args| TestOutcome::from_bool(args[0].as_nat().unwrap() != 9)),
+        );
+        assert_eq!(plain.passed, wrapped.passed);
+        assert_eq!(plain.failed.is_some(), wrapped.failed.is_some());
+        assert_eq!(wrapped.crashed, 0);
+    }
+}

@@ -10,6 +10,14 @@
 //! (backtracking exhausted), which counts as a *discard*, exactly like
 //! QuickChick's `None` results.
 //!
+//! The runner is fault-isolated: a generator or property that panics
+//! does not abort the run. The panic is caught, counted as a *crash* in
+//! the [`RunReport`] (with the first crashing input preserved), and the
+//! run continues. Runs can also carry a [`Budget`] — steps, backtracks,
+//! a wall-clock deadline — whose exhaustion stops the run early with a
+//! structured [`Exhaustion`] reason instead of hanging. The [`chaos`]
+//! module injects faults on purpose to test exactly these paths.
+//!
 //! # Example
 //!
 //! ```
@@ -26,10 +34,15 @@
 //! assert_eq!(report.passed, 1000);
 //! ```
 
+pub mod chaos;
+
+use indrel_producers::{Budget, Exhaustion, Meter};
 use indrel_term::Value;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::any::Any;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// The verdict of one test.
@@ -64,6 +77,29 @@ impl TestOutcome {
     }
 }
 
+/// A test whose generator or property panicked.
+#[derive(Clone, Debug)]
+pub struct Crash {
+    /// The generated input. `None` when the *generator* panicked, so
+    /// there was no input yet.
+    pub input: Option<Vec<Value>>,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+    /// 1-based index of the crashing test among executed tests.
+    pub test: usize,
+}
+
+/// Budget resources consumed by one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Spent {
+    /// Steps charged (one per attempted test).
+    pub steps: u64,
+    /// Backtracks charged (one per discard).
+    pub backtracks: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+}
+
 /// The result of a bounded test run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -71,17 +107,50 @@ pub struct RunReport {
     pub passed: usize,
     /// Inputs discarded (generator failures or property preconditions).
     pub discarded: usize,
+    /// Tests whose generator or property panicked. Each panic is
+    /// caught and counted; the run continues.
+    pub crashed: usize,
+    /// The first crash observed, if any.
+    pub first_crash: Option<Crash>,
     /// The first counterexample, with the number of tests executed
     /// before it (inclusive).
     pub failed: Option<(Vec<Value>, usize)>,
+    /// Set when the runner's [`Budget`] stopped the run before the
+    /// requested number of tests.
+    pub stopped: Option<Exhaustion>,
+    /// Budget accounting for the whole run.
+    pub spent: Spent,
 }
 
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.failed {
-            None => write!(f, "+++ Passed {} tests ({} discards)", self.passed, self.discarded),
-            Some((_, n)) => write!(f, "*** Failed after {n} tests ({} discards)", self.discarded),
+            Some((_, n)) => {
+                write!(
+                    f,
+                    "*** Failed after {n} tests ({} discards)",
+                    self.discarded
+                )?;
+            }
+            None => match self.stopped {
+                Some(e) => write!(
+                    f,
+                    "!!! Gave up after {} tests ({} discards): {e}",
+                    self.passed, self.discarded
+                )?,
+                None => {
+                    write!(
+                        f,
+                        "+++ Passed {} tests ({} discards)",
+                        self.passed, self.discarded
+                    )?;
+                }
+            },
         }
+        if self.crashed > 0 {
+            write!(f, " [{} crashed]", self.crashed)?;
+        }
+        Ok(())
     }
 }
 
@@ -122,16 +191,18 @@ pub struct Runner {
     seed: u64,
     size: u64,
     max_discards: usize,
+    budget: Budget,
 }
 
 impl Runner {
-    /// A runner with the given seed, default size 10, and a discard
-    /// budget of 10× the test budget.
+    /// A runner with the given seed, default size 10, a discard budget
+    /// of 10× the test budget, and no resource budget.
     pub fn new(seed: u64) -> Runner {
         Runner {
             seed,
             size: 10,
             max_discards: 0,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -141,7 +212,22 @@ impl Runner {
         self
     }
 
+    /// Sets a resource budget for each [`run`](Runner::run): one step
+    /// is charged per attempted test, one backtrack per discard, and
+    /// the deadline is polled before every test. Exhaustion ends the
+    /// run early with [`RunReport::stopped`] set.
+    pub fn with_budget(mut self, budget: Budget) -> Runner {
+        self.budget = budget;
+        self
+    }
+
     /// Runs up to `n` tests.
+    ///
+    /// Panics in the generator or the property are caught
+    /// ([`catch_unwind`]) and recorded as crashes; a crashed test
+    /// counts toward `n` but neither passes nor discards. The default
+    /// panic hook still prints each caught panic to stderr — wrap noisy
+    /// runs in [`chaos::silence_panics`].
     pub fn run(
         &self,
         n: usize,
@@ -149,34 +235,82 @@ impl Runner {
         mut property: impl FnMut(&[Value]) -> TestOutcome,
     ) -> RunReport {
         let mut rng = SmallRng::seed_from_u64(self.seed);
+        let meter = Meter::new(self.budget);
+        let start = Instant::now();
         let mut passed = 0;
         let mut discarded = 0;
+        let mut crashed = 0;
+        let mut first_crash: Option<Crash> = None;
+        let mut failed: Option<(Vec<Value>, usize)> = None;
         let max_discards = if self.max_discards == 0 {
             10 * n
         } else {
             self.max_discards
         };
-        while passed < n && discarded < max_discards {
-            let Some(input) = generate(self.size, &mut rng) else {
-                discarded += 1;
-                continue;
+        while passed + crashed < n && discarded < max_discards {
+            // One step per attempted test. The deadline is polled every
+            // test (not every DEADLINE_POLL_PERIOD charges) because a
+            // single test can be arbitrarily slow.
+            if !meter.charge_step() || !meter.check_deadline() {
+                break;
+            }
+            let input = match catch_unwind(AssertUnwindSafe(|| generate(self.size, &mut rng))) {
+                Ok(Some(input)) => input,
+                Ok(None) => {
+                    discarded += 1;
+                    if !meter.charge_backtrack() {
+                        break;
+                    }
+                    continue;
+                }
+                Err(payload) => {
+                    crashed += 1;
+                    if first_crash.is_none() {
+                        first_crash = Some(Crash {
+                            input: None,
+                            message: panic_message(&*payload),
+                            test: passed + crashed,
+                        });
+                    }
+                    continue;
+                }
             };
-            match property(&input) {
-                TestOutcome::Pass => passed += 1,
-                TestOutcome::Discard => discarded += 1,
-                TestOutcome::Fail => {
-                    return RunReport {
-                        passed,
-                        discarded,
-                        failed: Some((input, passed + 1)),
-                    };
+            match catch_unwind(AssertUnwindSafe(|| property(&input))) {
+                Ok(TestOutcome::Pass) => passed += 1,
+                Ok(TestOutcome::Discard) => {
+                    discarded += 1;
+                    if !meter.charge_backtrack() {
+                        break;
+                    }
+                }
+                Ok(TestOutcome::Fail) => {
+                    failed = Some((input, passed + 1));
+                    break;
+                }
+                Err(payload) => {
+                    crashed += 1;
+                    if first_crash.is_none() {
+                        first_crash = Some(Crash {
+                            input: Some(input),
+                            message: panic_message(&*payload),
+                            test: passed + crashed,
+                        });
+                    }
                 }
             }
         }
         RunReport {
             passed,
             discarded,
-            failed: None,
+            crashed,
+            first_crash,
+            failed,
+            stopped: meter.exhaustion(),
+            spent: Spent {
+                steps: meter.steps_used(),
+                backtracks: meter.backtracks_used(),
+                elapsed: start.elapsed(),
+            },
         }
     }
 
@@ -226,9 +360,13 @@ impl Runner {
         let mut total_tests = 0usize;
         for trial in 0..trials {
             let runner = Runner {
-                seed: self.seed.wrapping_add(trial as u64).wrapping_mul(0x9E3779B9),
+                seed: self
+                    .seed
+                    .wrapping_add(trial as u64)
+                    .wrapping_mul(0x9E3779B9),
                 size: self.size,
                 max_discards: self.max_discards,
+                budget: self.budget,
             };
             let report = runner.run(budget, &mut generate, &mut property);
             match report.failed {
@@ -251,6 +389,18 @@ impl Runner {
     }
 }
 
+/// Renders a caught panic payload; panics carry `&str` or `String`
+/// payloads in practice.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +415,9 @@ mod tests {
         let r = Runner::new(1).run(500, gen_nat, |_| TestOutcome::Pass);
         assert_eq!(r.passed, 500);
         assert!(r.failed.is_none());
+        assert_eq!(r.crashed, 0);
+        assert!(r.stopped.is_none());
+        assert_eq!(r.spent.steps, 500);
         assert!(r.to_string().contains("Passed"));
     }
 
@@ -284,6 +437,7 @@ mod tests {
         let r = Runner::new(1).run(100, |_, _| None, |_| TestOutcome::Pass);
         assert_eq!(r.passed, 0);
         assert_eq!(r.discarded, 1000);
+        assert_eq!(r.spent.backtracks, 1000);
     }
 
     #[test]
@@ -306,24 +460,22 @@ mod tests {
 
     #[test]
     fn throughput_counts_tests() {
-        let t = Runner::new(1).throughput(
-            Duration::from_millis(20),
-            64,
-            gen_nat,
-            |_| TestOutcome::Pass,
-        );
+        let t = Runner::new(1).throughput(Duration::from_millis(20), 64, gen_nat, |_| {
+            TestOutcome::Pass
+        });
         assert!(t.tests >= 64);
         assert!(t.tests_per_second() > 0.0);
     }
 
     #[test]
     fn mtf_finds_seeded_bug() {
-        let m = Runner::new(5).with_size(50).mean_tests_to_failure(
-            20,
-            10_000,
-            gen_nat,
-            |args| TestOutcome::from_bool(args[0].as_nat().unwrap() % 37 != 0 || args[0].as_nat().unwrap() == 0),
-        );
+        let m = Runner::new(5)
+            .with_size(50)
+            .mean_tests_to_failure(20, 10_000, gen_nat, |args| {
+                TestOutcome::from_bool(
+                    args[0].as_nat().unwrap() % 37 != 0 || args[0].as_nat().unwrap() == 0,
+                )
+            });
         assert!(m.failures > 0);
         assert!(m.mean >= 1.0);
     }
@@ -334,5 +486,99 @@ mod tests {
         assert_eq!(m.failures, 0);
         assert_eq!(m.exhausted, 3);
         assert!(m.mean.is_nan());
+    }
+
+    #[test]
+    fn panicking_property_is_isolated() {
+        let _quiet = crate::chaos::silence_panics();
+        let r = Runner::new(3).run(100, gen_nat, |args| {
+            if args[0].as_nat().unwrap() == 0 {
+                panic!("boom on zero");
+            }
+            TestOutcome::Pass
+        });
+        assert_eq!(r.passed + r.crashed, 100);
+        assert!(r.crashed > 0, "size-10 nats must hit zero in 100 tests");
+        assert!(r.failed.is_none());
+        let crash = r.first_crash.clone().expect("crash recorded");
+        assert_eq!(crash.input.unwrap()[0].as_nat(), Some(0));
+        assert_eq!(crash.message, "boom on zero");
+        assert!(crash.test >= 1 && crash.test <= 100);
+        assert!(r.to_string().contains("crashed"));
+    }
+
+    #[test]
+    fn panicking_generator_is_isolated() {
+        let _quiet = crate::chaos::silence_panics();
+        let mut calls = 0u64;
+        let r = Runner::new(3).run(
+            50,
+            move |size, rng| {
+                calls += 1;
+                if calls.is_multiple_of(10) {
+                    panic!("generator exploded");
+                }
+                gen_nat(size, rng)
+            },
+            |_| TestOutcome::Pass,
+        );
+        assert_eq!(r.passed + r.crashed, 50);
+        assert_eq!(r.crashed, 5);
+        let crash = r.first_crash.expect("crash recorded");
+        assert!(crash.input.is_none(), "generator crash has no input");
+        assert_eq!(crash.message, "generator exploded");
+    }
+
+    #[test]
+    fn step_budget_stops_the_run() {
+        let r = Runner::new(1)
+            .with_budget(Budget::unlimited().with_steps(25))
+            .run(100, gen_nat, |_| TestOutcome::Pass);
+        assert_eq!(r.passed, 25);
+        assert_eq!(
+            r.stopped,
+            Some(Exhaustion::Budget(indrel_producers::Resource::Steps))
+        );
+        assert_eq!(r.spent.steps, 25);
+        assert!(r.to_string().contains("Gave up"));
+    }
+
+    #[test]
+    fn backtrack_budget_bounds_discards() {
+        let r = Runner::new(1)
+            .with_budget(Budget::unlimited().with_backtracks(7))
+            .run(100, |_, _| None, |_| TestOutcome::Pass);
+        assert_eq!(r.discarded, 8);
+        assert_eq!(
+            r.stopped,
+            Some(Exhaustion::Budget(indrel_producers::Resource::Backtracks))
+        );
+    }
+
+    #[test]
+    fn deadline_stops_a_slow_run() {
+        let r = Runner::new(1)
+            .with_budget(Budget::unlimited().with_deadline(Duration::from_millis(10)))
+            .run(1_000_000, gen_nat, |_| {
+                std::thread::sleep(Duration::from_millis(1));
+                TestOutcome::Pass
+            });
+        assert!(r.passed < 1_000_000);
+        assert_eq!(r.stopped, Some(Exhaustion::Deadline));
+        assert!(r.spent.elapsed >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn budget_runs_are_deterministic() {
+        let budget = Budget::unlimited().with_steps(40);
+        let run = || {
+            Runner::new(11)
+                .with_budget(budget)
+                .run(1000, gen_nat, |_| TestOutcome::Pass)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.stopped, b.stopped);
+        assert_eq!(a.spent.steps, b.spent.steps);
     }
 }

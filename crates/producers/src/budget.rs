@@ -1,0 +1,362 @@
+//! Cross-cutting execution budgets for producers and checkers.
+//!
+//! Fuel (the `size` / `top_size` parameters threaded through every
+//! producer) is a *semantic* bound: it is part of the paper's
+//! definitions and determines **which** answer a checker or enumerator
+//! computes. A [`Budget`] is an *operational* bound: it limits how much
+//! work the execution layer may spend computing that answer — steps
+//! taken, alternatives backtracked over, wall-clock time, and the size
+//! of terms passed in — without changing the meaning of any answer that
+//! is produced within the budget.
+//!
+//! Budgets are enforced through a [`Meter`]: a cheap, clonable handle
+//! holding interior-mutable counters. Executors call
+//! [`Meter::charge_step`] / [`Meter::charge_backtrack`] at their
+//! work sites; the first failed charge *poisons* the meter, after which
+//! every further charge fails immediately and executors unwind by
+//! returning their ordinary "no answer" value (`None` for checkers,
+//! stream end for enumerators). The entry point that armed the meter
+//! then inspects [`Meter::exhaustion`] to distinguish a genuine answer
+//! from a budget cut-off.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A budgeted resource (everything except wall-clock time, which is
+/// reported separately as a deadline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Interpreter / lowered-closure steps.
+    Steps,
+    /// Abandoned alternatives in backtracking search.
+    Backtracks,
+    /// Constructor nodes in an argument term.
+    TermSize,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Resource::Steps => "steps",
+            Resource::Backtracks => "backtracks",
+            Resource::TermSize => "term size",
+        })
+    }
+}
+
+/// Why a meter stopped admitting work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// A countable resource ran out.
+    Budget(Resource),
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Budget(r) => write!(f, "{r} budget exhausted"),
+            Exhaustion::Deadline => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+/// Resource limits for one execution. `None` in any field means that
+/// resource is unlimited; [`Budget::unlimited`] (also [`Default`])
+/// limits nothing.
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::budget::Budget;
+/// use std::time::Duration;
+/// let b = Budget::unlimited()
+///     .with_steps(10_000)
+///     .with_deadline(Duration::from_millis(50));
+/// assert!(!b.is_unlimited());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of executor steps.
+    pub steps: Option<u64>,
+    /// Maximum number of abandoned backtracking alternatives.
+    pub backtracks: Option<u64>,
+    /// Wall-clock limit, measured from when the meter is created.
+    pub deadline: Option<Duration>,
+    /// Maximum size ([`constructor nodes`](Resource::TermSize)) of any
+    /// single argument term.
+    pub max_term_size: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps executor steps.
+    pub fn with_steps(mut self, steps: u64) -> Budget {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Caps abandoned backtracking alternatives.
+    pub fn with_backtracks(mut self, backtracks: u64) -> Budget {
+        self.backtracks = Some(backtracks);
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the size of each argument term.
+    pub fn with_max_term_size(mut self, size: u64) -> Budget {
+        self.max_term_size = Some(size);
+        self
+    }
+
+    /// True when no field imposes a limit.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+}
+
+/// How often [`Meter::charge_step`] polls the wall clock: checking
+/// `Instant::now()` on every charge would dominate the cost of the
+/// cheap charges, so the deadline is polled once per this many charges.
+const DEADLINE_POLL_PERIOD: u32 = 16;
+
+#[derive(Debug)]
+struct MeterState {
+    steps_left: Cell<u64>,
+    backtracks_left: Cell<u64>,
+    max_term_size: u64,
+    deadline: Option<Instant>,
+    charges: Cell<u32>,
+    steps_used: Cell<u64>,
+    backtracks_used: Cell<u64>,
+    exhaustion: Cell<Option<Exhaustion>>,
+}
+
+/// A running account of a [`Budget`]. Clones share state (`Rc`), so one
+/// meter can be threaded through nested executors and inspected at the
+/// entry point afterwards.
+///
+/// A meter is *poisoned* by its first failed charge: every later charge
+/// fails too, and [`Meter::exhaustion`] reports what ran out first.
+#[derive(Clone, Debug)]
+pub struct Meter {
+    state: Rc<MeterState>,
+}
+
+impl Meter {
+    /// Starts metering `budget`; the deadline clock starts now.
+    pub fn new(budget: Budget) -> Meter {
+        Meter {
+            state: Rc::new(MeterState {
+                steps_left: Cell::new(budget.steps.unwrap_or(u64::MAX)),
+                backtracks_left: Cell::new(budget.backtracks.unwrap_or(u64::MAX)),
+                max_term_size: budget.max_term_size.unwrap_or(u64::MAX),
+                deadline: budget.deadline.map(|d| Instant::now() + d),
+                charges: Cell::new(0),
+                steps_used: Cell::new(0),
+                backtracks_used: Cell::new(0),
+                exhaustion: Cell::new(None),
+            }),
+        }
+    }
+
+    /// A meter that admits everything (still counts usage).
+    pub fn unlimited() -> Meter {
+        Meter::new(Budget::unlimited())
+    }
+
+    fn poison(&self, why: Exhaustion) -> bool {
+        if self.state.exhaustion.get().is_none() {
+            self.state.exhaustion.set(Some(why));
+        }
+        false
+    }
+
+    /// Polls the wall clock if a deadline is set; returns `false` (and
+    /// poisons the meter) when the deadline has passed.
+    pub fn check_deadline(&self) -> bool {
+        if self.state.exhaustion.get().is_some() {
+            return false;
+        }
+        match self.state.deadline {
+            Some(deadline) if Instant::now() >= deadline => self.poison(Exhaustion::Deadline),
+            _ => true,
+        }
+    }
+
+    /// Charges one executor step. Returns `false` once the step budget
+    /// or the deadline is exhausted (the deadline is polled every
+    /// [`DEADLINE_POLL_PERIOD`] charges).
+    #[inline]
+    pub fn charge_step(&self) -> bool {
+        let s = &*self.state;
+        if s.exhaustion.get().is_some() {
+            return false;
+        }
+        let left = s.steps_left.get();
+        if left == 0 {
+            return self.poison(Exhaustion::Budget(Resource::Steps));
+        }
+        s.steps_left.set(left - 1);
+        s.steps_used.set(s.steps_used.get() + 1);
+        if s.deadline.is_some() {
+            let c = s.charges.get().wrapping_add(1);
+            s.charges.set(c);
+            if c.is_multiple_of(DEADLINE_POLL_PERIOD) {
+                return self.check_deadline();
+            }
+        }
+        true
+    }
+
+    /// Charges one abandoned backtracking alternative.
+    #[inline]
+    pub fn charge_backtrack(&self) -> bool {
+        let s = &*self.state;
+        if s.exhaustion.get().is_some() {
+            return false;
+        }
+        let left = s.backtracks_left.get();
+        if left == 0 {
+            return self.poison(Exhaustion::Budget(Resource::Backtracks));
+        }
+        s.backtracks_left.set(left - 1);
+        s.backtracks_used.set(s.backtracks_used.get() + 1);
+        true
+    }
+
+    /// Admits or rejects an argument term of `size` constructor nodes.
+    pub fn admit_term_size(&self, size: u64) -> bool {
+        if self.state.exhaustion.get().is_some() {
+            return false;
+        }
+        if size > self.state.max_term_size {
+            return self.poison(Exhaustion::Budget(Resource::TermSize));
+        }
+        true
+    }
+
+    /// What poisoned the meter, if anything has.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.state.exhaustion.get()
+    }
+
+    /// True once any charge has failed.
+    pub fn is_exhausted(&self) -> bool {
+        self.state.exhaustion.get().is_some()
+    }
+
+    /// Steps successfully charged so far.
+    pub fn steps_used(&self) -> u64 {
+        self.state.steps_used.get()
+    }
+
+    /// Backtracks successfully charged so far.
+    pub fn backtracks_used(&self) -> u64 {
+        self.state.backtracks_used.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let m = Meter::unlimited();
+        for _ in 0..10_000 {
+            assert!(m.charge_step());
+        }
+        assert!(m.charge_backtrack());
+        assert!(m.admit_term_size(u64::MAX));
+        assert_eq!(m.exhaustion(), None);
+        assert_eq!(m.steps_used(), 10_000);
+        assert_eq!(m.backtracks_used(), 1);
+    }
+
+    #[test]
+    fn step_budget_poisons_at_limit() {
+        let m = Meter::new(Budget::unlimited().with_steps(3));
+        assert!(m.charge_step());
+        assert!(m.charge_step());
+        assert!(m.charge_step());
+        assert!(!m.charge_step());
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Budget(Resource::Steps)));
+        // Poisoned: every resource now refuses, but the cause is stable.
+        assert!(!m.charge_backtrack());
+        assert!(!m.admit_term_size(0));
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Budget(Resource::Steps)));
+        assert_eq!(m.steps_used(), 3);
+    }
+
+    #[test]
+    fn backtrack_budget_is_independent_of_steps() {
+        let m = Meter::new(Budget::unlimited().with_backtracks(1));
+        assert!(m.charge_step());
+        assert!(m.charge_backtrack());
+        assert!(!m.charge_backtrack());
+        assert_eq!(
+            m.exhaustion(),
+            Some(Exhaustion::Budget(Resource::Backtracks))
+        );
+    }
+
+    #[test]
+    fn term_size_gate() {
+        let m = Meter::new(Budget::unlimited().with_max_term_size(5));
+        assert!(m.admit_term_size(5));
+        assert!(!m.admit_term_size(6));
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Budget(Resource::TermSize)));
+    }
+
+    #[test]
+    fn deadline_poisons_via_polling() {
+        let m = Meter::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        // Deadline already passed; within DEADLINE_POLL_PERIOD charges
+        // the poll must notice.
+        let mut admitted = 0;
+        while m.charge_step() {
+            admitted += 1;
+            assert!(admitted <= DEADLINE_POLL_PERIOD);
+        }
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Deadline));
+        assert!(!m.check_deadline());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Meter::new(Budget::unlimited().with_steps(1));
+        let n = m.clone();
+        assert!(n.charge_step());
+        assert!(!m.charge_step());
+        assert_eq!(n.exhaustion(), Some(Exhaustion::Budget(Resource::Steps)));
+    }
+
+    #[test]
+    fn budget_builder_and_display() {
+        let b = Budget::unlimited()
+            .with_steps(1)
+            .with_backtracks(2)
+            .with_deadline(Duration::from_millis(3))
+            .with_max_term_size(4);
+        assert!(!b.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+        assert_eq!(
+            Exhaustion::Budget(Resource::Steps).to_string(),
+            "steps budget exhausted"
+        );
+        assert_eq!(Exhaustion::Deadline.to_string(), "deadline exceeded");
+        assert_eq!(Resource::TermSize.to_string(), "term size");
+    }
+}

@@ -75,6 +75,43 @@ where
     }
 }
 
+/// [`backtracking`] with a backtrack budget: each option abandoned
+/// (conclusively false or out of fuel) charges one backtrack on
+/// `meter`. When a charge fails the search stops and returns `None` —
+/// the caller that armed the meter tells this apart from a genuine
+/// out-of-fuel by inspecting
+/// [`Meter::exhaustion`](crate::budget::Meter::exhaustion).
+pub fn backtracking_metered<F>(
+    meter: &crate::budget::Meter,
+    options: impl IntoIterator<Item = F>,
+) -> CheckResult
+where
+    F: FnOnce() -> CheckResult,
+{
+    let mut needs_fuel = false;
+    for opt in options {
+        match opt() {
+            Some(true) => return Some(true),
+            Some(false) => {
+                if !meter.charge_backtrack() {
+                    return None;
+                }
+            }
+            None => {
+                needs_fuel = true;
+                if !meter.charge_backtrack() {
+                    return None;
+                }
+            }
+        }
+    }
+    if needs_fuel {
+        None
+    } else {
+        Some(false)
+    }
+}
+
 /// Three-valued disjunction, used by derived checkers for decidable
 /// disjunctive premises. Dual to [`cand`].
 pub fn cor(a: CheckResult, b: impl FnOnce() -> CheckResult) -> CheckResult {

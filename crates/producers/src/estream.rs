@@ -181,6 +181,24 @@ impl<T: 'static> EStream<T> {
             inner: Box::new(self.inner.take(n)),
         }
     }
+
+    /// Charges one step on `meter` per element demanded. Once the meter
+    /// is exhausted the stream ends immediately — deliberately *not* an
+    /// [`Outcome::OutOfFuel`], which would read as "retry with more
+    /// fuel"; the entry point that armed the meter distinguishes a
+    /// genuinely empty enumeration from a budget cut-off by inspecting
+    /// [`Meter::exhaustion`](crate::budget::Meter::exhaustion).
+    pub fn metered(self, meter: crate::budget::Meter) -> EStream<T> {
+        let mut inner = self.inner;
+        EStream {
+            inner: Box::new(std::iter::from_fn(move || {
+                if !meter.charge_step() {
+                    return None;
+                }
+                inner.next()
+            })),
+        }
+    }
 }
 
 impl<T> Iterator for EStream<T> {
@@ -227,10 +245,7 @@ where
 /// let r = bind_ec(EStream::from_values(0..3), |n| Some(n == 2));
 /// assert_eq!(r, Some(true));
 /// ```
-pub fn bind_ec<T: 'static>(
-    stream: EStream<T>,
-    mut k: impl FnMut(T) -> CheckResult,
-) -> CheckResult {
+pub fn bind_ec<T: 'static>(stream: EStream<T>, mut k: impl FnMut(T) -> CheckResult) -> CheckResult {
     let mut needs_fuel = false;
     for outcome in stream.inner {
         match outcome {
@@ -347,7 +362,9 @@ mod tests {
 
     #[test]
     fn map_filter_take_first() {
-        let s = EStream::from_values(0..10).map(|n| n * 2).filter(|n| n % 3 == 0);
+        let s = EStream::from_values(0..10)
+            .map(|n| n * 2)
+            .filter(|n| n % 3 == 0);
         assert_eq!(s.take(3).values(), vec![0, 6, 12]);
         assert_eq!(EStream::from_values(5..9).first(), Some(5));
         assert_eq!(EStream::<i32>::empty().first(), None);

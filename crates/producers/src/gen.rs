@@ -27,8 +27,15 @@ use std::rc::Rc;
 /// ```
 #[derive(Clone)]
 pub struct Gen<A> {
-    run: Rc<dyn Fn(u64, &mut dyn rand::RngCore) -> A>,
+    run: GenFn<A>,
 }
+
+/// The sampling function inside a [`Gen`]: `(size, rng) -> A`.
+pub type GenFn<A> = Rc<dyn Fn(u64, &mut dyn rand::RngCore) -> A>;
+
+/// One weighted alternative for [`backtrack`]: a weight and a thunk
+/// that may fail.
+pub type WeightedOption<'a, A> = (u64, Box<dyn Fn(&mut dyn rand::RngCore) -> Option<A> + 'a>);
 
 impl<A> std::fmt::Debug for Gen<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -127,7 +134,7 @@ pub fn frequency<A: 'static>(choices: Vec<(u64, Gen<A>)>) -> Gen<A> {
 /// assert_eq!(r, Some(7));
 /// ```
 pub fn backtrack<A>(
-    mut options: Vec<(u64, Box<dyn Fn(&mut dyn rand::RngCore) -> Option<A> + '_>)>,
+    mut options: Vec<WeightedOption<'_, A>>,
     rng: &mut dyn rand::RngCore,
 ) -> Option<A> {
     options.retain(|(w, _)| *w > 0);
@@ -165,8 +172,8 @@ mod tests {
 
     #[test]
     fn bind_threads_size_and_seed() {
-        let g = Gen::new(|size, rng| rng.gen_range(0..=size))
-            .bind(|n| Gen::new(move |_, _| n + 100));
+        let g =
+            Gen::new(|size, rng| rng.gen_range(0..=size)).bind(|n| Gen::new(move |_, _| n + 100));
         let mut rng = SmallRng::seed_from_u64(0);
         let v = g.generate(5, &mut rng);
         assert!((100..=105).contains(&v));

@@ -23,13 +23,18 @@
 //! * [`gen`] — first-class random generators and QuickChick's
 //!   `backtrack` combinator,
 //! * the converse mixed binds `bind_ce` / `bind_cg` that run a checker
-//!   before continuing to produce.
+//!   before continuing to produce,
+//! * [`budget`] — cross-cutting execution budgets ([`budget::Budget`])
+//!   and their running accounts ([`budget::Meter`]), orthogonal to the
+//!   fuel discipline above; see that module's docs for the distinction.
 
+pub mod budget;
 pub mod checker;
 pub mod estream;
 pub mod gen;
 
-pub use checker::{backtracking, cand, cnot, cor, CheckResult};
+pub use budget::{Budget, Exhaustion, Meter, Resource};
+pub use checker::{backtracking, backtracking_metered, cand, cnot, cor, CheckResult};
 pub use estream::{bind_ec, enumerating, EStream, Outcome};
 pub use gen::{backtrack, Gen};
 
@@ -49,10 +54,7 @@ pub use gen::{backtrack, Gen};
 /// let s = bind_ce(None, || EStream::ret(7));
 /// assert_eq!(s.outcomes(), vec![Outcome::OutOfFuel]);
 /// ```
-pub fn bind_ce<T: 'static>(
-    check: CheckResult,
-    k: impl FnOnce() -> EStream<T>,
-) -> EStream<T> {
+pub fn bind_ce<T: 'static>(check: CheckResult, k: impl FnOnce() -> EStream<T>) -> EStream<T> {
     match check {
         Some(true) => k(),
         Some(false) => EStream::empty(),

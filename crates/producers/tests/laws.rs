@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 fn outcomes_strategy() -> impl Strategy<Value = Vec<Outcome<i32>>> {
     proptest::collection::vec(
-        prop_oneof![
-            (0..20i32).prop_map(Outcome::Val),
-            Just(Outcome::OutOfFuel),
-        ],
+        prop_oneof![(0..20i32).prop_map(Outcome::Val), Just(Outcome::OutOfFuel),],
         0..8,
     )
 }

@@ -134,7 +134,8 @@ impl Reflection {
     /// `eapply sound; compute; reflexivity`).
     pub fn reflective_check(&self, l: &Value) -> Option<bool> {
         let fuel = l.size() + 2;
-        self.lib.check(self.sorted, fuel, fuel, std::slice::from_ref(l))
+        self.lib
+            .check(self.sorted, fuel, fuel, std::slice::from_ref(l))
     }
 
     /// Runs both routes on `sorted (repeat 1 n)` and reports timings.

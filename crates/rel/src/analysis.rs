@@ -155,7 +155,8 @@ mod tests {
         let x = b.var("x", TypeExpr::Nat);
         b.premise_rel(q, vec![TermExpr::Var(x)]);
         let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(m)]);
-        let rel2 = crate::relation::Relation::new("r2", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
+        let rel2 =
+            crate::relation::Relation::new("r2", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
         let f = features(&rel2);
         assert!(f.existentials);
         assert!(!f.algorithm1_ok());
@@ -167,7 +168,8 @@ mod tests {
         b.premise_not_rel(q, vec![TermExpr::Var(n)]);
         b.premise_eq(TermExpr::Var(n), TermExpr::NatLit(0));
         let rule = b.conclusion(vec![TermExpr::Var(n), TermExpr::Var(n)]);
-        let rel3 = crate::relation::Relation::new("r3", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
+        let rel3 =
+            crate::relation::Relation::new("r3", vec![TypeExpr::Nat, TypeExpr::Nat], vec![rule]);
         let f = features(&rel3);
         assert!(f.negated_premises);
         assert!(f.eq_premises);

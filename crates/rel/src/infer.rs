@@ -278,12 +278,7 @@ impl Cx<'_> {
         }
     }
 
-    fn expect(
-        &self,
-        expected: &TypeExpr,
-        actual: &TypeExpr,
-        what: &str,
-    ) -> Result<(), InferError> {
+    fn expect(&self, expected: &TypeExpr, actual: &TypeExpr, what: &str) -> Result<(), InferError> {
         if expected == actual {
             Ok(())
         } else {
@@ -320,10 +315,7 @@ impl Cx<'_> {
                     }
                 }
                 if subst.iter().take(nparams).all(Option::is_some) {
-                    Some(TypeExpr::App(
-                        dt,
-                        subst.into_iter().flatten().collect(),
-                    ))
+                    Some(TypeExpr::App(dt, subst.into_iter().flatten().collect()))
                 } else {
                     None
                 }
@@ -338,7 +330,6 @@ impl Cx<'_> {
             }
         }
     }
-
 }
 
 /// Matches a (possibly parameterized) declared type against a ground
@@ -485,10 +476,7 @@ mod tests {
         let l = b.var_untyped("l");
         b.premise_eq(
             TermExpr::Var(l),
-            TermExpr::ctor(
-                cons,
-                vec![TermExpr::NatLit(1), TermExpr::ctor(nil, vec![])],
-            ),
+            TermExpr::ctor(cons, vec![TermExpr::NatLit(1), TermExpr::ctor(nil, vec![])]),
         );
         let rule = b.conclusion(vec![TermExpr::Var(n)]);
         env.relation_mut(r).rules_mut().push(rule);

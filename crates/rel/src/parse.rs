@@ -110,10 +110,10 @@ enum Tok {
     Bar,
     LParen,
     RParen,
-    Arrow,  // ->
-    Eq,     // =
-    Neq,    // <>
-    Tilde,  // ~
+    Arrow, // ->
+    Eq,    // =
+    Neq,   // <>
+    Tilde, // ~
     Eof,
 }
 
@@ -191,7 +191,9 @@ fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
         }
         if c.is_alphabetic() || c == '_' {
             let mut s = String::new();
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'') {
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'')
+            {
                 s.push(chars[i]);
                 advance(&mut i, &mut line, &mut col);
             }
@@ -210,7 +212,11 @@ fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                 advance(&mut i, &mut line, &mut col);
             }
             if s.is_empty() {
-                return Err(err(tline, tcol, "expected type parameter name after `'`".into()));
+                return Err(err(
+                    tline,
+                    tcol,
+                    "expected type parameter name after `'`".into(),
+                ));
             }
             out.push(Token {
                 tok: Tok::Prime(s),
@@ -463,18 +469,14 @@ impl Parser<'_> {
         let mut relation = self.env.relation(rel).clone();
         let untyped = infer_relation(self.universe, self.env, &mut relation)
             .map_err(|e| self.error(e.to_string()))?;
-        for (rule, var) in relation
-            .rules()
-            .iter()
-            .flat_map(|r| {
-                let name = r.name().to_string();
-                r.var_names()
-                    .iter()
-                    .zip(r.var_types())
-                    .filter(|(_, t)| t.is_none())
-                    .map(move |(v, _)| (name.clone(), v.clone()))
-            })
-        {
+        for (rule, var) in relation.rules().iter().flat_map(|r| {
+            let name = r.name().to_string();
+            r.var_names()
+                .iter()
+                .zip(r.var_types())
+                .filter(|(_, t)| t.is_none())
+                .map(move |(v, _)| (name.clone(), v.clone()))
+        }) {
             self.output.untyped_vars.push((name.clone(), rule, var));
         }
         let _ = untyped;
@@ -587,11 +589,7 @@ impl Parser<'_> {
             Tok::Eq => {
                 self.bump();
                 let rhs = self.app_term()?;
-                Ok(Segment::Equality {
-                    negated,
-                    lhs,
-                    rhs,
-                })
+                Ok(Segment::Equality { negated, lhs, rhs })
             }
             Tok::Neq => {
                 self.bump();
@@ -669,11 +667,7 @@ impl Parser<'_> {
                     .into_iter()
                     .map(|r| self.resolve_term(r, scope))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Premise::Rel {
-                    rel,
-                    args,
-                    negated,
-                })
+                Ok(Premise::Rel { rel, args, negated })
             }
         }
     }
@@ -948,8 +942,7 @@ mod tests {
     fn error_positions_reported() {
         let mut u = Universe::new();
         let mut env = RelEnv::new();
-        let err =
-            parse_program(&mut u, &mut env, "rel r : nat := | a : q 1 -> r 0 .").unwrap_err();
+        let err = parse_program(&mut u, &mut env, "rel r : nat := | a : q 1 -> r 0 .").unwrap_err();
         assert!(err.message.contains("unknown relation `q`"));
         assert_eq!(err.line, 1);
     }
@@ -959,8 +952,7 @@ mod tests {
         let mut u = Universe::new();
         let mut env = RelEnv::new();
         parse_program(&mut u, &mut env, "rel a : nat := | a0 : a 0 .").unwrap();
-        let err =
-            parse_program(&mut u, &mut env, "rel b : nat := | b0 : a 0 .").unwrap_err();
+        let err = parse_program(&mut u, &mut env, "rel b : nat := | b0 : a 0 .").unwrap_err();
         assert!(err.message.contains("expected `b`"));
     }
 
@@ -976,14 +968,15 @@ mod tests {
     fn numerals_and_o_are_nat_literals() {
         let mut u = Universe::new();
         let mut env = RelEnv::new();
-        parse_program(
-            &mut u,
-            &mut env,
-            "rel t : nat := | t1 : t 5 | t2 : t O .",
-        )
-        .unwrap();
+        parse_program(&mut u, &mut env, "rel t : nat := | t1 : t 5 | t2 : t O .").unwrap();
         let t = env.rel_id("t").unwrap();
-        assert_eq!(env.relation(t).rules()[0].conclusion()[0], TermExpr::NatLit(5));
-        assert_eq!(env.relation(t).rules()[1].conclusion()[0], TermExpr::NatLit(0));
+        assert_eq!(
+            env.relation(t).rules()[0].conclusion()[0],
+            TermExpr::NatLit(5)
+        );
+        assert_eq!(
+            env.relation(t).rules()[1].conclusion()[0],
+            TermExpr::NatLit(0)
+        );
     }
 }

@@ -193,7 +193,10 @@ mod tests {
         assert_eq!(rule.var_types()[1], Some(TypeExpr::Nat));
         assert_eq!(rule.conclusion()[0], TermExpr::var(0));
         assert_eq!(rule.conclusion()[1], TermExpr::var(1));
-        assert!(matches!(rule.premises()[0], Premise::Eq { negated: false, .. }));
+        assert!(matches!(
+            rule.premises()[0],
+            Premise::Eq { negated: false, .. }
+        ));
     }
 
     #[test]

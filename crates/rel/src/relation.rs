@@ -253,7 +253,11 @@ impl RelEnv {
 
     /// Reserves an id for a relation being parsed, so rules can refer to
     /// the relation itself.
-    pub(crate) fn reserve(&mut self, name: &str, arg_types: Vec<TypeExpr>) -> Result<RelId, RelEnvError> {
+    pub(crate) fn reserve(
+        &mut self,
+        name: &str,
+        arg_types: Vec<TypeExpr>,
+    ) -> Result<RelId, RelEnvError> {
         self.declare(Relation::new(name, arg_types, Vec::new()))
     }
 
@@ -294,7 +298,12 @@ impl RelEnv {
     }
 
     /// Renders a rule in roughly the surface syntax, for diagnostics.
-    pub fn display_rule<'a>(&'a self, universe: &'a Universe, rel: RelId, rule: &'a Rule) -> DisplayRule<'a> {
+    pub fn display_rule<'a>(
+        &'a self,
+        universe: &'a Universe,
+        rel: RelId,
+        rule: &'a Rule,
+    ) -> DisplayRule<'a> {
         DisplayRule {
             env: self,
             universe,

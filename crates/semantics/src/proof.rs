@@ -39,12 +39,7 @@ impl Proof {
 
     /// Height of the tree.
     pub fn height(&self) -> u64 {
-        1 + self
-            .subproofs
-            .iter()
-            .map(Proof::height)
-            .max()
-            .unwrap_or(0)
+        1 + self.subproofs.iter().map(Proof::height).max().unwrap_or(0)
     }
 }
 
@@ -118,7 +113,10 @@ impl fmt::Display for ProofError {
                 write!(f, "`{rel}.{rule}`: variable `{var}` has no witness")
             }
             ProofError::PremiseMismatch { rel, rule, premise } => {
-                write!(f, "`{rel}.{rule}`: premise #{premise} does not match its sub-proof")
+                write!(
+                    f,
+                    "`{rel}.{rule}`: premise #{premise} does not match its sub-proof"
+                )
             }
             ProofError::EqualityViolated { rel, rule, premise } => {
                 write!(f, "`{rel}.{rule}`: equality premise #{premise} violated")

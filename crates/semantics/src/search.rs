@@ -86,13 +86,7 @@ impl ProofSystem {
         acc
     }
 
-    fn premises_hold(
-        &self,
-        rule: &indrel_rel::Rule,
-        idx: usize,
-        env: &mut Env,
-        depth: u64,
-    ) -> Tv {
+    fn premises_hold(&self, rule: &indrel_rel::Rule, idx: usize, env: &mut Env, depth: u64) -> Tv {
         let Some(premise) = rule.premises().get(idx) else {
             return Tv::True;
         };
@@ -181,7 +175,7 @@ impl ProofSystem {
             if !match_conclusion(rule.conclusion(), args, &mut env) {
                 continue;
             }
-            if let Some(subproofs) = self.prove_premises(rel, rule, 0, &mut env, depth) {
+            if let Some(subproofs) = self.prove_premises(rule, 0, &mut env, depth) {
                 let bindings = (0..rule.num_vars())
                     .map(|i| env.get(VarId::new(i)).cloned())
                     .collect();
@@ -198,7 +192,6 @@ impl ProofSystem {
 
     fn prove_premises(
         &self,
-        rel: RelId,
         rule: &indrel_rel::Rule,
         idx: usize,
         env: &mut Env,
@@ -215,7 +208,7 @@ impl ProofSystem {
         {
             if let Some((var, val)) = solve_binding(lhs, rhs, env, &self.universe) {
                 env.bind(var, val);
-                match self.prove_premises(rel, rule, idx + 1, env, depth) {
+                match self.prove_premises(rule, idx + 1, env, depth) {
                     Some(rest) => return Some(rest),
                     None => {
                         env.unbind(var);
@@ -233,7 +226,7 @@ impl ProofSystem {
             let ty = rule.var_types()[var.index()].clone()?;
             for candidate in self.candidates(&ty) {
                 env.bind(var, candidate);
-                if let Some(proofs) = self.prove_premises(rel, rule, idx, env, depth) {
+                if let Some(proofs) = self.prove_premises(rule, idx, env, depth) {
                     return Some(proofs);
                 }
             }
@@ -257,10 +250,10 @@ impl ProofSystem {
                     if self.holds(*q, &vals, depth - 1) != Tv::False {
                         return None;
                     }
-                    self.prove_premises(rel, rule, idx + 1, env, depth)
+                    self.prove_premises(rule, idx + 1, env, depth)
                 } else {
                     let sub = self.prove(*q, &vals, depth - 1)?;
-                    let mut rest = self.prove_premises(rel, rule, idx + 1, env, depth)?;
+                    let mut rest = self.prove_premises(rule, idx + 1, env, depth)?;
                     rest.insert(0, sub);
                     Some(rest)
                 }
@@ -271,7 +264,7 @@ impl ProofSystem {
                 if (l == r) == *negated {
                     return None;
                 }
-                self.prove_premises(rel, rule, idx + 1, env, depth)
+                self.prove_premises(rule, idx + 1, env, depth)
             }
         }
     }
@@ -345,8 +338,14 @@ mod tests {
         );
         let le = ids[0];
         assert_eq!(sys.holds(le, &[Value::nat(2), Value::nat(5)], 10), Tv::True);
-        assert_eq!(sys.holds(le, &[Value::nat(5), Value::nat(2)], 10), Tv::False);
-        assert_eq!(sys.holds(le, &[Value::nat(0), Value::nat(9)], 3), Tv::Unknown);
+        assert_eq!(
+            sys.holds(le, &[Value::nat(5), Value::nat(2)], 10),
+            Tv::False
+        );
+        assert_eq!(
+            sys.holds(le, &[Value::nat(0), Value::nat(9)], 3),
+            Tv::Unknown
+        );
     }
 
     #[test]

@@ -356,15 +356,25 @@ impl Stlc {
 
     /// The derived checker for `stlc_typing`.
     pub fn derived_check(&self, ctx: &[Value], e: &Value, t: &Value, fuel: u64) -> Option<bool> {
-        self.lib
-            .check(self.typing, fuel, fuel, &[self.ctx(ctx), e.clone(), t.clone()])
+        self.lib.check(
+            self.typing,
+            fuel,
+            fuel,
+            &[self.ctx(ctx), e.clone(), t.clone()],
+        )
     }
 
     /// The derived type-inference enumerator (Figure 2), returning the
     /// first inferred type.
     pub fn derived_infer(&self, ctx: &[Value], e: &Value, fuel: u64) -> Option<Value> {
         self.lib
-            .enumerate(self.typing, &self.type_mode(), fuel, fuel, &[self.ctx(ctx), e.clone()])
+            .enumerate(
+                self.typing,
+                &self.type_mode(),
+                fuel,
+                fuel,
+                &[self.ctx(ctx), e.clone()],
+            )
             .first()
             .map(|mut outs| outs.pop().expect("one output"))
     }
@@ -467,7 +477,10 @@ impl Stlc {
             let lifted = self.lift(mutation, 0, s);
             Value::ctor(
                 c,
-                vec![args[0].clone(), self.subst(mutation, j + 1, &lifted, &args[1])],
+                vec![
+                    args[0].clone(),
+                    self.subst(mutation, j + 1, &lifted, &args[1]),
+                ],
             )
         }
     }

@@ -214,7 +214,11 @@ mod tests {
                     ("Leaf", vec![]),
                     (
                         "Node",
-                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                        vec![
+                            TypeExpr::Nat,
+                            TypeExpr::named("tree"),
+                            TypeExpr::named("tree"),
+                        ],
                     ),
                 ],
             )

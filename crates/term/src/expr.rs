@@ -304,14 +304,14 @@ mod tests {
 
     #[test]
     fn subst_var_replaces_all() {
-        let e = TermExpr::Ctor(
-            CtorId::new(0),
-            vec![TermExpr::var(0), TermExpr::var(0)],
-        );
+        let e = TermExpr::Ctor(CtorId::new(0), vec![TermExpr::var(0), TermExpr::var(0)]);
         let s = e.subst_var(VarId::new(0), &TermExpr::NatLit(3));
         assert_eq!(
             s,
-            TermExpr::Ctor(CtorId::new(0), vec![TermExpr::NatLit(3), TermExpr::NatLit(3)])
+            TermExpr::Ctor(
+                CtorId::new(0),
+                vec![TermExpr::NatLit(3), TermExpr::NatLit(3)]
+            )
         );
     }
 
@@ -321,7 +321,10 @@ mod tests {
         u.std_funs();
         let plus = u.fun_id("plus").unwrap();
         let names = vec!["n".to_string()];
-        let e = TermExpr::Fun(plus, vec![TermExpr::var(0), TermExpr::succ(TermExpr::var(0))]);
+        let e = TermExpr::Fun(
+            plus,
+            vec![TermExpr::var(0), TermExpr::succ(TermExpr::var(0))],
+        );
         assert_eq!(e.display(&u, &names).to_string(), "plus n (S n)");
     }
 }

@@ -81,10 +81,9 @@ impl Pattern {
             },
             Pattern::BoolLit(b) => value.as_bool() == Some(*b),
             Pattern::Ctor(c, pats) => match value.as_ctor() {
-                Some((vc, args)) if vc == *c && args.len() == pats.len() => pats
-                    .iter()
-                    .zip(args.iter())
-                    .all(|(p, v)| p.matches(v, env)),
+                Some((vc, args)) if vc == *c && args.len() == pats.len() => {
+                    pats.iter().zip(args.iter()).all(|(p, v)| p.matches(v, env))
+                }
                 _ => false,
             },
         }
@@ -122,7 +121,11 @@ impl Pattern {
 
     /// Renders the pattern with constructor names from the universe and
     /// variable names from the provided table.
-    pub fn display<'a>(&'a self, universe: &'a Universe, var_names: &'a [String]) -> DisplayPattern<'a> {
+    pub fn display<'a>(
+        &'a self,
+        universe: &'a Universe,
+        var_names: &'a [String],
+    ) -> DisplayPattern<'a> {
         DisplayPattern {
             pattern: self,
             universe,
@@ -249,9 +252,15 @@ mod tests {
         let p = Pattern::ctor(pair, vec![Pattern::var(0), Pattern::var(0)]);
         assert!(!p.is_linear());
         let mut env = Env::with_slots(1);
-        assert!(p.matches(&Value::ctor(pair, vec![Value::nat(1), Value::nat(1)]), &mut env));
+        assert!(p.matches(
+            &Value::ctor(pair, vec![Value::nat(1), Value::nat(1)]),
+            &mut env
+        ));
         let mut env2 = Env::with_slots(1);
-        assert!(!p.matches(&Value::ctor(pair, vec![Value::nat(1), Value::nat(2)]), &mut env2));
+        assert!(!p.matches(
+            &Value::ctor(pair, vec![Value::nat(1), Value::nat(2)]),
+            &mut env2
+        ));
     }
 
     #[test]
@@ -259,7 +268,10 @@ mod tests {
         let mut u = Universe::new();
         u.std_pair();
         let pair = u.ctor_id("Pair").unwrap();
-        let p = Pattern::ctor(pair, vec![Pattern::var(2), Pattern::Succ(Box::new(Pattern::var(1)))]);
+        let p = Pattern::ctor(
+            pair,
+            vec![Pattern::var(2), Pattern::Succ(Box::new(Pattern::var(1)))],
+        );
         assert_eq!(p.variables(), vec![VarId::new(2), VarId::new(1)]);
         assert!(p.is_linear());
     }

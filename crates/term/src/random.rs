@@ -17,7 +17,12 @@ use rand::Rng;
 ///
 /// Panics if `ty` is not ground, or if a datatype has no base
 /// constructor (such a type has no finite inhabitants).
-pub fn random_value(universe: &Universe, ty: &TypeExpr, size: u64, rng: &mut dyn rand::RngCore) -> Value {
+pub fn random_value(
+    universe: &Universe,
+    ty: &TypeExpr,
+    size: u64,
+    rng: &mut dyn rand::RngCore,
+) -> Value {
     match ty {
         TypeExpr::Nat => Value::nat(rng.gen_range(0..=size)),
         TypeExpr::Bool => Value::bool(rng.gen_range(0..2) == 1),
@@ -112,7 +117,11 @@ mod tests {
                     ("Leaf", vec![]),
                     (
                         "Node",
-                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                        vec![
+                            TypeExpr::Nat,
+                            TypeExpr::named("tree"),
+                            TypeExpr::named("tree"),
+                        ],
                     ),
                 ],
             )

@@ -76,10 +76,9 @@ impl TypeExpr {
                 .get(*i as usize)
                 .cloned()
                 .unwrap_or(TypeExpr::Param(*i)),
-            TypeExpr::App(dt, inner) => TypeExpr::App(
-                *dt,
-                inner.iter().map(|t| t.instantiate(args)).collect(),
-            ),
+            TypeExpr::App(dt, inner) => {
+                TypeExpr::App(*dt, inner.iter().map(|t| t.instantiate(args)).collect())
+            }
         }
     }
 

@@ -89,8 +89,12 @@ pub struct FunDecl {
     name: String,
     arg_types: Vec<TypeExpr>,
     ret_type: TypeExpr,
-    imp: Rc<dyn Fn(&[Value]) -> Value>,
+    imp: FunImpl,
 }
+
+/// The implementation of a registered function: total over well-typed
+/// argument tuples.
+pub type FunImpl = Rc<dyn Fn(&[Value]) -> Value>;
 
 impl FunDecl {
     /// Function name.
@@ -206,10 +210,7 @@ impl Universe {
         if self.ctor_by_name.contains_key(name) {
             return Err(DeclareError::DuplicateCtor(name.to_string()));
         }
-        let arg_types = arg_types
-            .into_iter()
-            .map(|t| resolve_self(t, dt))
-            .collect();
+        let arg_types = arg_types.into_iter().map(|t| resolve_self(t, dt)).collect();
         let id = CtorId::new(self.ctors.len());
         self.ctors.push(CtorDecl {
             name: name.to_string(),
@@ -352,7 +353,10 @@ impl Universe {
         self.define_ctor(
             dt,
             "cons",
-            vec![TypeExpr::Param(0), TypeExpr::App(dt, vec![TypeExpr::Param(0)])],
+            vec![
+                TypeExpr::Param(0),
+                TypeExpr::App(dt, vec![TypeExpr::Param(0)]),
+            ],
         )
         .expect("fresh ctor");
         dt
@@ -424,11 +428,7 @@ impl Universe {
         let list = self.std_list();
         let list_p = TypeExpr::App(list, vec![TypeExpr::Param(0)]);
         let nat = TypeExpr::Nat;
-        let reg = |u: &mut Universe,
-                       name: &str,
-                       args: Vec<TypeExpr>,
-                       ret: TypeExpr,
-                       f: Rc<dyn Fn(&[Value]) -> Value>| {
+        let reg = |u: &mut Universe, name: &str, args: Vec<TypeExpr>, ret: TypeExpr, f: FunImpl| {
             if u.fun_id(name).is_none() {
                 let id = FunId::new(u.funs.len());
                 u.funs.push(FunDecl {
@@ -440,43 +440,81 @@ impl Universe {
                 u.fun_by_name.insert(name.to_string(), id);
             }
         };
-        fn nat2(f: impl Fn(u64, u64) -> u64 + 'static) -> Rc<dyn Fn(&[Value]) -> Value> {
+        fn nat2(f: impl Fn(u64, u64) -> u64 + 'static) -> FunImpl {
             Rc::new(move |args: &[Value]| {
                 let a = args[0].as_nat().expect("nat argument");
                 let b = args[1].as_nat().expect("nat argument");
                 Value::nat(f(a, b))
             })
         }
-        reg(self, "plus", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_add(b)));
-        reg(self, "mult", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_mul(b)));
-        reg(self, "minus", vec![nat.clone(), nat.clone()], nat.clone(), nat2(|a, b| a.saturating_sub(b)));
-        reg(self, "max'", vec![nat.clone(), nat.clone()], nat.clone(), nat2(u64::max));
-        reg(self, "min'", vec![nat.clone(), nat.clone()], nat.clone(), nat2(u64::min));
+        reg(
+            self,
+            "plus",
+            vec![nat.clone(), nat.clone()],
+            nat.clone(),
+            nat2(|a, b| a.saturating_add(b)),
+        );
+        reg(
+            self,
+            "mult",
+            vec![nat.clone(), nat.clone()],
+            nat.clone(),
+            nat2(|a, b| a.saturating_mul(b)),
+        );
+        reg(
+            self,
+            "minus",
+            vec![nat.clone(), nat.clone()],
+            nat.clone(),
+            nat2(|a, b| a.saturating_sub(b)),
+        );
+        reg(
+            self,
+            "max'",
+            vec![nat.clone(), nat.clone()],
+            nat.clone(),
+            nat2(u64::max),
+        );
+        reg(
+            self,
+            "min'",
+            vec![nat.clone(), nat.clone()],
+            nat.clone(),
+            nat2(u64::min),
+        );
         reg(
             self,
             "succ",
             vec![nat.clone()],
             nat.clone(),
-            Rc::new(|args: &[Value]| Value::nat(args[0].as_nat().expect("nat argument").saturating_add(1))),
+            Rc::new(|args: &[Value]| {
+                Value::nat(args[0].as_nat().expect("nat argument").saturating_add(1))
+            }),
         );
 
         let nil = self.ctor_id("nil").expect("std_list");
         let cons = self.ctor_id("cons").expect("std_list");
-        let app_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
-            fn go(nil: CtorId, cons: CtorId, a: &Value, b: &Value) -> Value {
+        let app_imp: FunImpl = Rc::new(move |args: &[Value]| {
+            fn go(cons: CtorId, a: &Value, b: &Value) -> Value {
                 match a.as_ctor() {
                     Some((c, elems)) if c == cons => {
-                        let rest = go(nil, cons, &elems[1], b);
+                        let rest = go(cons, &elems[1], b);
                         Value::ctor(cons, vec![elems[0].clone(), rest])
                     }
                     _ => b.clone(),
                 }
             }
-            go(nil, cons, &args[0], &args[1])
+            go(cons, &args[0], &args[1])
         });
-        reg(self, "app", vec![list_p.clone(), list_p.clone()], list_p.clone(), app_imp);
+        reg(
+            self,
+            "app",
+            vec![list_p.clone(), list_p.clone()],
+            list_p.clone(),
+            app_imp,
+        );
 
-        let len_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
+        let len_imp: FunImpl = Rc::new(move |args: &[Value]| {
             let mut n = 0u64;
             let mut v = &args[0];
             while let Some((c, elems)) = v.as_ctor() {
@@ -490,7 +528,7 @@ impl Universe {
         });
         reg(self, "len", vec![list_p.clone()], nat, len_imp);
 
-        let rev_imp: Rc<dyn Fn(&[Value]) -> Value> = Rc::new(move |args: &[Value]| {
+        let rev_imp: FunImpl = Rc::new(move |args: &[Value]| {
             let mut acc = Value::ctor(nil, vec![]);
             let mut v = &args[0];
             while let Some((c, elems)) = v.as_ctor() {
@@ -592,7 +630,11 @@ mod tests {
                     ("Leaf", vec![]),
                     (
                         "Node",
-                        vec![TypeExpr::Nat, TypeExpr::named("tree"), TypeExpr::named("tree")],
+                        vec![
+                            TypeExpr::Nat,
+                            TypeExpr::named("tree"),
+                            TypeExpr::named("tree"),
+                        ],
                     ),
                 ],
             )
@@ -611,7 +653,10 @@ mod tests {
             u.list_elems(&l),
             Some(vec![Value::nat(1), Value::nat(2), Value::nat(3)])
         );
-        assert_eq!(u.display_value(&l).to_string(), "cons 1 (cons 2 (cons 3 nil))");
+        assert_eq!(
+            u.display_value(&l).to_string(),
+            "cons 1 (cons 2 (cons 3 nil))"
+        );
     }
 
     #[test]
@@ -619,7 +664,10 @@ mod tests {
         let mut u = Universe::new();
         u.std_funs();
         let plus = u.fun_id("plus").unwrap();
-        assert_eq!(u.fun(plus).apply(&[Value::nat(2), Value::nat(3)]), Value::nat(5));
+        assert_eq!(
+            u.fun(plus).apply(&[Value::nat(2), Value::nat(3)]),
+            Value::nat(5)
+        );
         let app = u.fun_id("app").unwrap();
         let l1 = u.list_value([Value::nat(1)]);
         let l2 = u.list_value([Value::nat(2)]);
@@ -628,10 +676,7 @@ mod tests {
         let rev = u.fun_id("rev").unwrap();
         let l = u.list_value([Value::nat(1), Value::nat(2)]);
         let r = u.fun(rev).apply(&[l]);
-        assert_eq!(
-            u.list_elems(&r),
-            Some(vec![Value::nat(2), Value::nat(1)])
-        );
+        assert_eq!(u.list_elems(&r), Some(vec![Value::nat(2), Value::nat(1)]));
         let len = u.fun_id("len").unwrap();
         let l = u.list_value([Value::nat(5), Value::nat(6), Value::nat(7)]);
         assert_eq!(u.fun(len).apply(&[l]), Value::nat(3));
@@ -661,6 +706,9 @@ mod tests {
         u.define_ctor(a, "ES", vec![TypeExpr::datatype(b)]).unwrap();
         u.define_ctor(b, "OS", vec![TypeExpr::datatype(a)]).unwrap();
         assert!(u.ctor(u.ctor_id("ES").unwrap()).is_base()); // base w.r.t. its own datatype
-        assert_eq!(u.ctor(u.ctor_id("OS").unwrap()).arg_types()[0], TypeExpr::datatype(a));
+        assert_eq!(
+            u.ctor(u.ctor_id("OS").unwrap()).arg_types()[0],
+            TypeExpr::datatype(a)
+        );
     }
 }

@@ -93,7 +93,10 @@ impl Value {
             (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => {
                 c1 == c2
                     && a1.len() == a2.len()
-                    && a1.iter().zip(a2.iter()).all(|(x, y)| x.structurally_equal(y))
+                    && a1
+                        .iter()
+                        .zip(a2.iter())
+                        .all(|(x, y)| x.structurally_equal(y))
             }
             _ => false,
         }

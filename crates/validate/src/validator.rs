@@ -193,10 +193,7 @@ impl Validator {
             let mut prev: BTreeSet<Vec<Value>> = BTreeSet::new();
             let mut seen_at_max: BTreeSet<Vec<Value>> = BTreeSet::new();
             for size in 0..=self.params.max_fuel {
-                let outcomes = self
-                    .lib
-                    .enumerate(rel, mode, size, size, inputs)
-                    .outcomes();
+                let outcomes = self.lib.enumerate(rel, mode, size, size, inputs).outcomes();
                 let mut cur: BTreeSet<Vec<Value>> = BTreeSet::new();
                 for o in outcomes {
                     if let Outcome::Val(v) = o {
@@ -266,10 +263,14 @@ impl Validator {
         let mut rng = SmallRng::seed_from_u64(self.params.seed);
         for inputs in &input_tuples {
             for _ in 0..self.params.gen_samples {
-                let Some(outs) =
-                    self.lib
-                        .generate(rel, mode, self.params.max_fuel, self.params.max_fuel, inputs, &mut rng)
-                else {
+                let Some(outs) = self.lib.generate(
+                    rel,
+                    mode,
+                    self.params.max_fuel,
+                    self.params.max_fuel,
+                    inputs,
+                    &mut rng,
+                ) else {
                     continue;
                 };
                 let args = assemble(mode, inputs, &outs);

@@ -39,10 +39,12 @@ fn main() {
         Some(vec![Value::nat(x), t])
     };
     let b3 = bst.clone();
-    let ok = Runner::new(5).with_size(6).run(20_000, gen.clone(), move |args| {
-        let t2 = b3.insert(args[0].as_nat().unwrap(), &args[1]);
-        TestOutcome::from_check(b3.derived_check(0, 24, &t2, 64))
-    });
+    let ok = Runner::new(5)
+        .with_size(6)
+        .run(20_000, gen.clone(), move |args| {
+            let t2 = b3.insert(args[0].as_nat().unwrap(), &args[1]);
+            TestOutcome::from_check(b3.derived_check(0, 24, &t2, 64))
+        });
     println!("\ninsert preserves the invariant: {ok}");
 
     // ...and the mutated insertion does not.

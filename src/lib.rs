@@ -72,8 +72,11 @@ pub use indrel_validate as validate;
 
 /// The common imports for working with the framework.
 pub mod prelude {
-    pub use indrel_core::{DeriveError, DeriveOptions, Library, LibraryBuilder, Mode, Plan};
-    pub use indrel_pbt::{Runner, TestOutcome};
+    pub use indrel_core::{
+        Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, Exhaustion, InstanceKind,
+        Library, LibraryBuilder, Mode, Plan, Resource,
+    };
+    pub use indrel_pbt::{RunReport, Runner, TestOutcome};
     pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
     pub use indrel_rel::parse::{parse_program, parse_relation};
     pub use indrel_rel::{Premise, RelEnv, Relation, Rule, RuleBuilder};

@@ -21,8 +21,18 @@ fn small_params() -> ValidationParams {
 fn lf_nat_checkers_validate() {
     let (u, env) = indrel::corpus::corpus_env();
     let names = [
-        "ev", "ev'", "le", "lt", "ge", "eq_nat", "square_of", "next_nat", "next_ev",
-        "total_relation", "empty_relation", "collatz_holds_for",
+        "ev",
+        "ev'",
+        "le",
+        "lt",
+        "ge",
+        "eq_nat",
+        "square_of",
+        "next_nat",
+        "next_ev",
+        "total_relation",
+        "empty_relation",
+        "collatz_holds_for",
     ];
     let mut b = LibraryBuilder::new(u, env);
     let ids: Vec<_> = names
@@ -44,7 +54,15 @@ fn lf_nat_checkers_validate() {
 #[test]
 fn lf_list_checkers_validate() {
     let (u, env) = indrel::corpus::corpus_env();
-    let names = ["in_list", "subseq", "pal", "nostutter", "merge", "repeats", "nodup"];
+    let names = [
+        "in_list",
+        "subseq",
+        "pal",
+        "nostutter",
+        "merge",
+        "repeats",
+        "nodup",
+    ];
     let mut b = LibraryBuilder::new(u, env);
     let ids: Vec<_> = names
         .iter()

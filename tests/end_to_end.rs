@@ -68,7 +68,14 @@ fn parse_derive_check_enumerate_generate_validate() {
     // generate
     let mut rng = SmallRng::seed_from_u64(0);
     for _ in 0..50 {
-        if let Some(out) = lib.generate(add3, &back, 10, 10, &[Value::nat(4), Value::nat(9)], &mut rng) {
+        if let Some(out) = lib.generate(
+            add3,
+            &back,
+            10,
+            10,
+            &[Value::nat(4), Value::nat(9)],
+            &mut rng,
+        ) {
             assert_eq!(out[0], Value::nat(5));
         }
     }
@@ -148,9 +155,7 @@ fn reference_semantics_agrees_with_derived_checkers_on_corpus_samples() {
 
 #[test]
 fn handwritten_instances_shadow_derived_ones() {
-    let (u, env) = pipeline(
-        r"rel always : nat := | a : forall n, always n .",
-    );
+    let (u, env) = pipeline(r"rel always : nat := | a : forall n, always n .");
     let always = env.rel_id("always").unwrap();
     let mut b = LibraryBuilder::new(u, env);
     // Register a deliberately wrong handwritten checker and confirm the

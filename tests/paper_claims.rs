@@ -8,7 +8,10 @@ use indrel::prelude::*;
 fn section2_stlc_typing() {
     let stlc = indrel::stlc::Stlc::new();
     // Con n : N
-    assert_eq!(stlc.derived_check(&[], &stlc.con(3), &stlc.ty_n(), 20), Some(true));
+    assert_eq!(
+        stlc.derived_check(&[], &stlc.con(3), &stlc.ty_n(), 20),
+        Some(true)
+    );
     // Abs N (Var 0) : N -> N
     let id = stlc.abs(stlc.ty_n(), stlc.var(0));
     let nn = stlc.ty_arrow(stlc.ty_n(), stlc.ty_n());
@@ -194,14 +197,23 @@ fn aeval_with_division_is_relational() {
     // (6 / 2) evaluates to 3 …
     let e = c(
         "DDiv",
-        vec![c("DNum", vec![Value::nat(6)]), c("DNum", vec![Value::nat(2)])],
+        vec![
+            c("DNum", vec![Value::nat(6)]),
+            c("DNum", vec![Value::nat(2)]),
+        ],
     );
-    assert_eq!(lib.check(aevald, 8, 8, &[e.clone(), Value::nat(3)]), Some(true));
+    assert_eq!(
+        lib.check(aevald, 8, 8, &[e.clone(), Value::nat(3)]),
+        Some(true)
+    );
     assert_eq!(lib.check(aevald, 8, 8, &[e, Value::nat(2)]), Some(false));
     // … but (1 / 0) evaluates to nothing at all.
     let bad = c(
         "DDiv",
-        vec![c("DNum", vec![Value::nat(1)]), c("DNum", vec![Value::nat(0)])],
+        vec![
+            c("DNum", vec![Value::nat(1)]),
+            c("DNum", vec![Value::nat(0)]),
+        ],
     );
     for n in 0..4u64 {
         assert_ne!(
@@ -212,7 +224,10 @@ fn aeval_with_division_is_relational() {
     // (7 / 2) doesn't evaluate either: division is exact.
     let inexact = c(
         "DDiv",
-        vec![c("DNum", vec![Value::nat(7)]), c("DNum", vec![Value::nat(2)])],
+        vec![
+            c("DNum", vec![Value::nat(7)]),
+            c("DNum", vec![Value::nat(2)]),
+        ],
     );
     assert_ne!(
         lib.check(aevald, 12, 12, &[inexact, Value::nat(3)]),

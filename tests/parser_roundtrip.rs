@@ -28,10 +28,7 @@ fn corpus_rules_round_trip_through_display() {
                     }
                 })
                 .collect();
-            let body = rendered.replace(
-                &format!(" {} ", relation.name()),
-                &format!(" {fresh} "),
-            );
+            let body = rendered.replace(&format!(" {} ", relation.name()), &format!(" {fresh} "));
             // Only rules whose premises all refer to already-declared
             // relations (or itself) can re-parse standalone; rules
             // referring to *other* relations parse fine because the
@@ -66,8 +63,14 @@ fn parse_errors_are_informative() {
         ("data", "expected datatype name"),
         ("data d := C unknown_ty .", "unknown type"),
         ("rel r : nat := | a : r x y .", "expects"),
-        ("rel r : nat := | a : S = 1 -> r 0 .", "exactly one argument"),
-        ("rel r : nat := | a : plus 1 = 1 -> r 0 .", "expects 2 arguments"),
+        (
+            "rel r : nat := | a : S = 1 -> r 0 .",
+            "exactly one argument",
+        ),
+        (
+            "rel r : nat := | a : plus 1 = 1 -> r 0 .",
+            "expects 2 arguments",
+        ),
         ("rel r : nat := | a ", "expected"),
         ("data d := C . data d := D .", "duplicate datatype"),
         ("rel r : nat := . rel r : nat := .", "duplicate relation"),
@@ -78,8 +81,7 @@ fn parse_errors_are_informative() {
         let mut u = Universe::new();
         u.std_funs();
         let mut env = RelEnv::new();
-        let err = parse_program(&mut u, &mut env, src)
-            .expect_err(&format!("`{src}` should fail"));
+        let err = parse_program(&mut u, &mut env, src).expect_err(&format!("`{src}` should fail"));
         assert!(
             err.to_string().contains(needle),
             "`{src}` produced `{err}` (wanted `{needle}`)"

@@ -1,0 +1,321 @@
+//! Offline shim for [`rand` 0.8](https://docs.rs/rand/0.8).
+//!
+//! The build environment for this repository has no network access, so
+//! the real crate cannot be fetched. This shim reimplements exactly the
+//! subset of the 0.8 API surface the workspace uses — [`RngCore`],
+//! [`SeedableRng`], [`Rng::gen_range`] / [`Rng::gen_bool`], and
+//! [`rngs::SmallRng`] — with compatible signatures, so the workspace
+//! switches to the real crate by deleting one `[patch.crates-io]`
+//! entry. Streams are deterministic per seed (xoshiro256++ seeded via
+//! SplitMix64, the same construction the real `SmallRng` uses on
+//! 64-bit targets), though the exact streams differ from upstream.
+
+/// The core of a random number generator, object-safe.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// Convenience methods on every [`RngCore`] (blanket-implemented, like
+/// the real crate's `Rng`).
+pub trait Rng: RngCore {
+    /// Uniformly samples from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // 53 bits of mantissa, the standard float-in-unit-interval trick.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64 —
+    /// the same convention as the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let x = self.step();
+                for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                    *b = s;
+                }
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; perturb it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! The sliver of the distributions module [`super::Rng::gen_range`]
+    //! needs.
+
+    pub mod uniform {
+        //! Uniform range sampling.
+
+        use crate::RngCore;
+
+        /// A range that can be sampled from uniformly.
+        pub trait SampleRange<T> {
+            /// Samples one value; panics on an empty range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        // Unbiased sampling of `[0, n)` by rejecting the final partial
+        // slice of the u64 space (Lemire-style threshold).
+        pub(crate) fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            if n.is_power_of_two() {
+                return rng.next_u64() & (n - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % n) - 1;
+            loop {
+                let x = rng.next_u64();
+                if x <= zone {
+                    return x % n;
+                }
+            }
+        }
+
+        macro_rules! impl_unsigned_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for ::core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as u64) - (self.start as u64);
+                        self.start + below(rng, span) as $t
+                    }
+                }
+
+                impl SampleRange<$t> for ::core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as u64) - (lo as u64);
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo + below(rng, span + 1) as $t
+                    }
+                }
+            )*};
+        }
+
+        macro_rules! impl_signed_range {
+            ($($t:ty as $u:ty),*) => {$(
+                impl SampleRange<$t> for ::core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                        self.start.wrapping_add(below(rng, span) as $t)
+                    }
+                }
+
+                impl SampleRange<$t> for ::core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(below(rng, span + 1) as $t)
+                    }
+                }
+            )*};
+        }
+
+        impl_unsigned_range!(u8, u16, u32, u64, usize);
+        impl_signed_range!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z: usize = rng.gen_range(0..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..6 sampled: {seen:?}");
+    }
+
+    #[test]
+    fn works_through_dyn_and_borrowed_receivers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let x = Rng::gen_range(&mut *dynrng, 0u64..10);
+        assert!(x < 10);
+        let mut bytes = [0u8; 13];
+        dynrng.fill_bytes(&mut bytes);
+        assert_ne!(bytes, [0u8; 13]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
