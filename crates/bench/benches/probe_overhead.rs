@@ -1,0 +1,95 @@
+//! Ablation: cost of the ExecProbe layer on the Figure 3 checker
+//! workloads.
+//!
+//! Two execution paths over identical inputs:
+//!
+//! * `check`             — no probe armed. Executors pay one `Cell`
+//!   load + branch per emission site.
+//! * `check_armed_stats` — a `SearchStats` probe armed: every site
+//!   builds its event and the accumulator pays the real accounting.
+//!
+//! The acceptance bar for the observability layer: `check` here vs
+//! `check` in the same bench compiled with `--features no-probe`
+//! (which removes the emission sites entirely) stays within ~5%;
+//! `check_armed_stats` shows the full price of telemetry.
+//!
+//! ```text
+//! cargo bench -p indrel-bench --bench probe_overhead                        # sites present
+//! cargo bench -p indrel-bench --bench probe_overhead --features no-probe    # compiled out
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indrel_bst::Bst;
+use indrel_core::{ExecProbe, SearchStats};
+use indrel_ifc::Ifc;
+use indrel_term::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_bst(c: &mut Criterion) {
+    let bst = Bst::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let trees: Vec<Value> = (0..128)
+        .map(|_| bst.handwritten_gen(0, 24, 6, &mut rng))
+        .collect();
+    let lib = bst.library();
+    let rel = bst.relation();
+    let args: Vec<Vec<Value>> = trees
+        .iter()
+        .map(|t| vec![Value::nat(0), Value::nat(24), t.clone()])
+        .collect();
+    let mut group = c.benchmark_group("probe_overhead/bst");
+    group.bench_function("check", |b| {
+        b.iter(|| {
+            for a in &args {
+                std::hint::black_box(lib.check(rel, 64, 64, a));
+            }
+        })
+    });
+    group.bench_function("check_armed_stats", |b| {
+        let stats = SearchStats::new();
+        let _probe = lib.arm_probe(ExecProbe::stats(&stats));
+        b.iter(|| {
+            for a in &args {
+                std::hint::black_box(lib.check(rel, 64, 64, a));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_ifc(c: &mut Criterion) {
+    let ifc = Ifc::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let pairs: Vec<(Value, Value)> = (0..128)
+        .map(|_| {
+            let (_, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+            (ifc.machine_value(&m1), ifc.machine_value(&m2))
+        })
+        .collect();
+    let mut group = c.benchmark_group("probe_overhead/ifc");
+    group.bench_function("check", |b| {
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.derived_indist(v1, v2, 64));
+            }
+        })
+    });
+    group.bench_function("check_armed_stats", |b| {
+        let stats = SearchStats::new();
+        let _probe = ifc.library().arm_probe(ExecProbe::stats(&stats));
+        b.iter(|| {
+            for (v1, v2) in &pairs {
+                std::hint::black_box(ifc.derived_indist(v1, v2, 64));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bst, bench_ifc
+}
+criterion_main!(benches);

@@ -5,20 +5,52 @@
 //! cargo run -p indrel-bench --release --bin fig3              # both sides
 //! cargo run -p indrel-bench --release --bin fig3 -- checkers
 //! cargo run -p indrel-bench --release --bin fig3 -- generators
+//! cargo run -p indrel-bench --release --bin fig3 -- both --json [PATH]
 //! ```
+//!
+//! `--json` additionally writes the whole figure — throughput, deltas,
+//! and a fixed-count `SearchStats` telemetry pass per case — as one
+//! machine-readable document (default path `BENCH_fig3.json`).
+//!
+//! Environment: `FIG3_BUDGET_MS` (wall-clock budget per throughput run,
+//! default 1500), `FIG3_STATS_TESTS` (tests in the armed telemetry
+//! pass, default 2000).
 
 use std::time::Duration;
 
 fn main() {
-    let which = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "both".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "both".to_string();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with('-') => it.next().unwrap().clone(),
+                    _ => "BENCH_fig3.json".to_string(),
+                };
+                json_path = Some(path);
+            }
+            other => which = other.to_string(),
+        }
+    }
     let budget = Duration::from_millis(
         std::env::var("FIG3_BUDGET_MS")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1500),
     );
+    let stats_tests = std::env::var("FIG3_STATS_TESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    if let Some(path) = json_path {
+        let doc = indrel_bench::fig3::fig3_json(budget, stats_tests);
+        std::fs::write(&path, format!("{doc}\n")).expect("write JSON output");
+        println!("wrote {path}");
+        return;
+    }
     if which == "checkers" || which == "both" {
         println!("Figure 3 (left): tests/second, handwritten vs derived checkers");
         println!("(paper deltas: BST -0.82%, IFC -0.51%, STLC -1.18%)");

@@ -35,6 +35,7 @@ use crate::error::{ExecError, InstanceKind};
 use crate::library::{CheckerImpl, Library, ProducerImpl};
 use crate::mode::Mode;
 use crate::plan::{Plan, Step};
+use indrel_producers::probe::{Event, ExecKind, FailSite};
 use indrel_producers::{
     backtracking, backtracking_metered, bind_ce, bind_ec, cnot, enumerating, Budget, EStream,
     Meter, Outcome,
@@ -60,11 +61,12 @@ impl Library {
     /// register one first).
     pub fn check(&self, rel: RelId, size: u64, top_size: u64, args: &[Value]) -> Option<bool> {
         let imp = self.require_checker(rel).unwrap_or_else(|e| panic!("{e}"));
-        self.run_checker_impl(&imp, size, top_size, args)
+        self.run_checker_impl(rel, &imp, size, top_size, args)
     }
 
     fn run_checker_impl(
         &self,
+        rel: RelId,
         imp: &CheckerImpl,
         size: u64,
         top_size: u64,
@@ -75,8 +77,11 @@ impl Library {
                 if !self.charge_step() {
                     return None;
                 }
+                let _depth = self.probe_enter(rel, ExecKind::Checker);
                 f(size, top_size, args)
             }
+            // The lowered executor emits its own Enter (it knows its
+            // relation), so no event here.
             CheckerImpl::Plan(_, lowered) => self.run_lowered_check(lowered, size, top_size, args),
         }
     }
@@ -101,6 +106,7 @@ impl Library {
                 if !self.charge_step() {
                     return None;
                 }
+                let _depth = self.probe_enter(rel, ExecKind::Checker);
                 f(size, top_size, args)
             }
             CheckerImpl::Plan(plan, _) => self.run_plan_check(&plan, size, top_size, args),
@@ -152,17 +158,25 @@ impl Library {
         let entry = self
             .require_producer(rel, mode, InstanceKind::Enumerator)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.run_enum_impl(&entry, size, top_size, inputs)
+        self.run_enum_impl(rel, &entry, size, top_size, inputs)
     }
 
     fn run_enum_impl(
         &self,
+        rel: RelId,
         entry: &ProducerImpl,
         size: u64,
         top_size: u64,
         inputs: &[Value],
     ) -> EStream<Vec<Value>> {
         let stream = if let Some(f) = &entry.hand_enum {
+            // Derived enumerators announce themselves in run_plan_enum;
+            // handwritten ones are opaque, so announce them here.
+            self.probe(|| Event::Enter {
+                rel,
+                kind: ExecKind::Enumerator,
+                depth: self.probe_depth(),
+            });
             f(size, top_size, inputs)
         } else {
             let plan = entry
@@ -171,6 +185,19 @@ impl Library {
                 .expect("require_producer checked")
                 .clone();
             self.run_plan_enum(&plan, size, top_size, inputs)
+        };
+        // Report every tuple this instance delivers (probe snapshot at
+        // stream-creation time, like the meter below).
+        let stream = if self.probe_armed() {
+            let lib = self.clone();
+            stream.inspect(move |outs| {
+                lib.probe(|| Event::TermProduced {
+                    rel,
+                    size: outs.iter().map(Value::size).sum(),
+                });
+            })
+        } else {
+            stream
         };
         // When a budget is armed, every element demanded from this
         // stream (handwritten or derived) charges a step.
@@ -198,29 +225,39 @@ impl Library {
         let entry = self
             .require_producer(rel, mode, InstanceKind::Generator)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.run_gen_impl(&entry, size, top_size, inputs, rng)
+        self.run_gen_impl(rel, &entry, size, top_size, inputs, rng)
     }
 
     fn run_gen_impl(
         &self,
+        rel: RelId,
         entry: &ProducerImpl,
         size: u64,
         top_size: u64,
         inputs: &[Value],
         rng: &mut dyn rand::RngCore,
     ) -> Option<Vec<Value>> {
-        if let Some(f) = &entry.hand_gen {
+        let out = if let Some(f) = &entry.hand_gen {
             if !self.charge_step() {
                 return None;
             }
-            return f(size, top_size, inputs, rng);
+            let _depth = self.probe_enter(rel, ExecKind::Generator);
+            f(size, top_size, inputs, rng)
+        } else {
+            let plan = entry
+                .plan
+                .as_ref()
+                .expect("require_producer checked")
+                .clone();
+            self.run_plan_gen(&plan, size, top_size, inputs, rng)
+        };
+        if let Some(outs) = &out {
+            self.probe(|| Event::TermProduced {
+                rel,
+                size: outs.iter().map(Value::size).sum(),
+            });
         }
-        let plan = entry
-            .plan
-            .as_ref()
-            .expect("require_producer checked")
-            .clone();
-        self.run_plan_gen(&plan, size, top_size, inputs, rng)
+        out
     }
 
     // ------------------------------------------------------------------
@@ -256,6 +293,70 @@ impl Library {
         self.inner.meter.borrow().clone()
     }
 
+    // ------------------------------------------------------------------
+    // Probe emission (see `Library::arm_probe`)
+    //
+    // Mirrors the meter's arming discipline, but tuned for the emission
+    // sites being pervasive: the armed check is one `Cell` load (no
+    // `RefCell` borrow), events are built lazily inside closures that
+    // never run unarmed, and the `no-probe` cargo feature compiles the
+    // sites out entirely (the baseline for the probe_overhead bench).
+    // ------------------------------------------------------------------
+
+    /// `true` when a probe is armed (always `false` under `no-probe`).
+    #[inline]
+    pub(crate) fn probe_armed(&self) -> bool {
+        #[cfg(not(feature = "no-probe"))]
+        {
+            self.inner.probe_armed.get()
+        }
+        #[cfg(feature = "no-probe")]
+        {
+            false
+        }
+    }
+
+    /// Emits `f()` to the armed probe, if any.
+    #[inline]
+    pub(crate) fn probe(&self, f: impl FnOnce() -> Event) {
+        #[cfg(not(feature = "no-probe"))]
+        if self.inner.probe_armed.get() {
+            self.inner.probe.borrow().record(f());
+        }
+        #[cfg(feature = "no-probe")]
+        {
+            let _ = f;
+        }
+    }
+
+    /// Emits an [`Event::Enter`] at the current nesting depth and
+    /// increments it until the returned guard drops. Returns `None`
+    /// (emitting nothing) when no probe is armed. Bind the guard to a
+    /// named variable (`let _depth = ...`); `let _ = ...` drops it
+    /// immediately.
+    #[inline]
+    pub(crate) fn probe_enter(&self, rel: RelId, kind: ExecKind) -> Option<DepthGuard<'_>> {
+        #[cfg(not(feature = "no-probe"))]
+        if self.inner.probe_armed.get() {
+            let depth = self.inner.depth.get();
+            self.inner
+                .probe
+                .borrow()
+                .record(Event::Enter { rel, kind, depth });
+            self.inner.depth.set(depth + 1);
+            return Some(DepthGuard { lib: self, depth });
+        }
+        let _ = (rel, kind);
+        None
+    }
+
+    /// The current executor nesting depth (only advanced while a probe
+    /// is armed).
+    #[inline]
+    pub(crate) fn probe_depth(&self) -> u32 {
+        self.inner.depth.get()
+    }
+
     /// Arms `meter` until the returned guard drops.
     fn arm_meter(&self, meter: Meter) -> MeterGuard<'_> {
         let prev = self.inner.meter.borrow_mut().replace(meter);
@@ -286,13 +387,13 @@ impl Library {
         let imp = self.require_checker(rel)?;
         self.require_count(rel, self.inner.env.relation(rel).arity(), args.len())?;
         if budget.is_unlimited() {
-            return Ok(self.run_checker_impl(&imp, size, top_size, args));
+            return Ok(self.run_checker_impl(rel, &imp, size, top_size, args));
         }
         let meter = Meter::new(budget);
         admit_terms(&meter, args)?;
         let result = {
             let _armed = self.arm_meter(meter.clone());
-            self.run_checker_impl(&imp, size, top_size, args)
+            self.run_checker_impl(rel, &imp, size, top_size, args)
         };
         match meter.exhaustion() {
             Some(e) => Err(e.into()),
@@ -321,7 +422,7 @@ impl Library {
         let _armed = (!budget.is_unlimited()).then(|| self.arm_meter(meter.clone()));
         let mut fuel = 1u64;
         loop {
-            let r = self.run_checker_impl(&imp, fuel, fuel, args);
+            let r = self.run_checker_impl(rel, &imp, fuel, fuel, args);
             if let Some(e) = meter.exhaustion() {
                 return Err(e.into());
             }
@@ -360,7 +461,7 @@ impl Library {
         self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
         let meter = Meter::new(budget);
         admit_terms(&meter, inputs)?;
-        let stream = self.run_enum_impl(&entry, size, top_size, inputs);
+        let stream = self.run_enum_impl(rel, &entry, size, top_size, inputs);
         Ok(BudgetedStream {
             lib: self.clone(),
             meter,
@@ -390,13 +491,13 @@ impl Library {
         let entry = self.require_producer(rel, mode, InstanceKind::Generator)?;
         self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
         if budget.is_unlimited() {
-            return Ok(self.run_gen_impl(&entry, size, top_size, inputs, rng));
+            return Ok(self.run_gen_impl(rel, &entry, size, top_size, inputs, rng));
         }
         let meter = Meter::new(budget);
         admit_terms(&meter, inputs)?;
         let result = {
             let _armed = self.arm_meter(meter.clone());
-            self.run_gen_impl(&entry, size, top_size, inputs, rng)
+            self.run_gen_impl(rel, &entry, size, top_size, inputs, rng)
         };
         match meter.exhaustion() {
             Some(e) => Err(e.into()),
@@ -479,6 +580,7 @@ impl Library {
         if !self.charge_step() {
             return None;
         }
+        let _depth = self.probe_enter(plan.rel, ExecKind::Checker);
         if size == 0 {
             let base = plan
                 .handlers
@@ -487,7 +589,7 @@ impl Library {
                 .filter(|(_, h)| !h.recursive)
                 .map(|(i, _)| i);
             let mut r = self.backtrack_handlers(
-                base.map(|i| move || self.handler_check(plan, i, 0, top, args)),
+                base.map(|i| move || self.probed_handler_check(plan, i, 0, top, args)),
             );
             if r == Some(false) && plan.has_recursive_handlers() {
                 // Algorithm 1 line 11: quote an extra `None` option.
@@ -498,9 +600,38 @@ impl Library {
             let size1 = size - 1;
             self.backtrack_handlers(
                 (0..plan.handlers.len())
-                    .map(|i| move || self.handler_check(plan, i, size1, top, args)),
+                    .map(|i| move || self.probed_handler_check(plan, i, size1, top, args)),
             )
         }
+    }
+
+    /// [`Library::handler_check`] bracketed with rule attempt /
+    /// success / backtrack events (mirroring the lowered executor's
+    /// emission points, so both strategies report the same search).
+    fn probed_handler_check(
+        &self,
+        plan: &Rc<Plan>,
+        h_idx: usize,
+        size_rem: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        self.probe(|| Event::RuleAttempt {
+            rel: plan.rel,
+            rule: h_idx as u32,
+        });
+        let r = self.handler_check(plan, h_idx, size_rem, top, args);
+        match r {
+            Some(true) => self.probe(|| Event::RuleSuccess {
+                rel: plan.rel,
+                rule: h_idx as u32,
+            }),
+            _ => self.probe(|| Event::Backtrack {
+                rel: plan.rel,
+                rule: h_idx as u32,
+            }),
+        }
+        r
     }
 
     /// `backtracking`, charging the armed meter (if any) per abandoned
@@ -529,6 +660,11 @@ impl Library {
         for (pat, val) in h.input_pats.iter().zip(args) {
             if !pat.matches(val, &mut env) {
                 self.put_env(env);
+                self.probe(|| Event::UnifyFail {
+                    rel: plan.rel,
+                    rule: h_idx as u32,
+                    site: FailSite::Inputs,
+                });
                 return Some(false);
             }
         }
@@ -559,6 +695,11 @@ impl Library {
                     let l = eval(lhs, env, self);
                     let r = eval(rhs, env, self);
                     if (l == r) == *negated {
+                        self.probe(|| Event::UnifyFail {
+                            rel: plan.rel,
+                            rule: h_idx as u32,
+                            site: FailSite::Step(idx as u32),
+                        });
                         return Some(false);
                     }
                     idx += 1;
@@ -573,6 +714,11 @@ impl Library {
                     if pattern.matches(&v, env) {
                         idx += 1;
                     } else {
+                        self.probe(|| Event::UnifyFail {
+                            rel: plan.rel,
+                            rule: h_idx as u32,
+                            site: FailSite::Step(idx as u32),
+                        });
                         return Some(false);
                     }
                 }
@@ -661,6 +807,13 @@ impl Library {
         top: u64,
         inputs: &[Value],
     ) -> EStream<Vec<Value>> {
+        // Enter without a depth guard: the streams built here are lazy
+        // and outlive this call, so scoped depth tracking would misnest.
+        self.probe(|| Event::Enter {
+            rel: plan.rel,
+            kind: ExecKind::Enumerator,
+            depth: self.probe_depth(),
+        });
         let indices: Vec<usize> = if size == 0 {
             plan.handlers
                 .iter()
@@ -680,6 +833,10 @@ impl Library {
             let plan = plan.clone();
             let inputs = inputs.clone();
             thunks.push(Box::new(move || {
+                lib.probe(|| Event::RuleAttempt {
+                    rel: plan.rel,
+                    rule: i as u32,
+                });
                 lib.handler_enum(&plan, i, size_rem, top, &inputs)
             }));
         }
@@ -702,6 +859,11 @@ impl Library {
         debug_assert_eq!(h.input_pats.len(), inputs.len());
         for (pat, val) in h.input_pats.iter().zip(inputs) {
             if !pat.matches(val, &mut env) {
+                self.probe(|| Event::UnifyFail {
+                    rel: plan.rel,
+                    rule: h_idx as u32,
+                    site: FailSite::Inputs,
+                });
                 return EStream::empty();
             }
         }
@@ -709,6 +871,10 @@ impl Library {
         let plan2 = plan.clone();
         self.steps_enum(plan, h_idx, 0, env, size_rem, top)
             .map(move |env| {
+                lib.probe(|| Event::RuleSuccess {
+                    rel: plan2.rel,
+                    rule: h_idx as u32,
+                });
                 plan2.handlers[h_idx]
                     .outputs
                     .iter()
@@ -736,6 +902,11 @@ impl Library {
                 if holds != *negated {
                     self.steps_enum(plan, h_idx, idx + 1, env, size_rem, top)
                 } else {
+                    self.probe(|| Event::UnifyFail {
+                        rel: plan.rel,
+                        rule: h_idx as u32,
+                        site: FailSite::Step(idx as u32),
+                    });
                     EStream::empty()
                 }
             }
@@ -749,6 +920,11 @@ impl Library {
                 if pattern.matches(&v, &mut env) {
                     self.steps_enum(plan, h_idx, idx + 1, env, size_rem, top)
                 } else {
+                    self.probe(|| Event::UnifyFail {
+                        rel: plan.rel,
+                        rule: h_idx as u32,
+                        site: FailSite::Step(idx as u32),
+                    });
                     EStream::empty()
                 }
             }
@@ -850,6 +1026,7 @@ impl Library {
         if !self.charge_step() {
             return None;
         }
+        let _depth = self.probe_enter(plan.rel, ExecKind::Generator);
         let size_rem = size.saturating_sub(1);
         // QuickChick's `backtrack`, inlined without boxing: pick a
         // handler proportionally to its weight (base constructors 1,
@@ -874,11 +1051,23 @@ impl Library {
                 pick -= *w;
             }
             let (w, h_idx) = options[chosen];
+            self.probe(|| Event::RuleAttempt {
+                rel: plan.rel,
+                rule: h_idx as u32,
+            });
             if let Some(out) = self.handler_gen(plan, h_idx, size_rem, top, inputs, rng) {
+                self.probe(|| Event::RuleSuccess {
+                    rel: plan.rel,
+                    rule: h_idx as u32,
+                });
                 return Some(out);
             }
             // Each discarded handler is one backtrack; a failed charge
             // abandons the whole search.
+            self.probe(|| Event::Backtrack {
+                rel: plan.rel,
+                rule: h_idx as u32,
+            });
             if !self.charge_backtrack() {
                 return None;
             }
@@ -902,6 +1091,11 @@ impl Library {
         for (pat, val) in h.input_pats.iter().zip(inputs) {
             if !pat.matches(val, &mut env) {
                 self.put_env(env);
+                self.probe(|| Event::UnifyFail {
+                    rel: plan.rel,
+                    rule: h_idx as u32,
+                    site: FailSite::Inputs,
+                });
                 return None;
             }
         }
@@ -920,11 +1114,16 @@ impl Library {
         rng: &mut dyn rand::RngCore,
     ) -> Option<Vec<Value>> {
         let h = &plan.handlers[h_idx];
-        for step in &h.steps {
+        for (idx, step) in h.steps.iter().enumerate() {
             match step {
                 Step::EqCheck { lhs, rhs, negated } => {
                     let holds = eval(lhs, env, self) == eval(rhs, env, self);
                     if holds == *negated {
+                        self.probe(|| Event::UnifyFail {
+                            rel: plan.rel,
+                            rule: h_idx as u32,
+                            site: FailSite::Step(idx as u32),
+                        });
                         return None;
                     }
                 }
@@ -935,6 +1134,11 @@ impl Library {
                 Step::MatchExpr { scrutinee, pattern } => {
                     let v = eval(scrutinee, env, self);
                     if !pattern.matches(&v, env) {
+                        self.probe(|| Event::UnifyFail {
+                            rel: plan.rel,
+                            rule: h_idx as u32,
+                            site: FailSite::Step(idx as u32),
+                        });
                         return None;
                     }
                 }
@@ -978,6 +1182,19 @@ impl Library {
             }
         }
         Some(h.outputs.iter().map(|e| eval(e, env, self)).collect())
+    }
+}
+
+/// Restores the probe nesting depth on drop; returned by
+/// [`Library::probe_enter`].
+pub(crate) struct DepthGuard<'a> {
+    lib: &'a Library,
+    depth: u32,
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.lib.inner.depth.set(self.depth);
     }
 }
 

@@ -74,12 +74,15 @@ pub mod plan;
 
 pub use error::{DeriveError, ExecError, InstanceKind};
 pub use exec::BudgetedStream;
-pub use library::{Library, LibraryBuilder};
+pub use library::{Library, LibraryBuilder, ProbeGuard};
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};
 // Budgets live with the producer combinators; re-exported here because
-// the `try_*` entry points take them.
-pub use indrel_producers::{Budget, Exhaustion, Meter, Resource};
+// the `try_*` entry points take them. Probes likewise, for `arm_probe`.
+pub use indrel_producers::{
+    Budget, Event, ExecKind, ExecProbe, Exhaustion, FailSite, Meter, NameTable, Resource,
+    SearchStats, TraceProbe,
+};
 
 /// Derivation options.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

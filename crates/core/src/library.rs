@@ -13,10 +13,11 @@ use crate::error::{DeriveError, ExecError, InstanceKind};
 use crate::mode::Mode;
 use crate::plan::Plan;
 use crate::DeriveOptions;
-use indrel_producers::{EStream, Meter};
+use indrel_producers::{EStream, ExecProbe, Meter, NameTable};
 use indrel_rel::RelEnv;
 use indrel_term::{RelId, Universe, Value};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// A handwritten checker: `(size, top_size, args) → option bool`.
@@ -61,6 +62,16 @@ pub(crate) struct Inner {
     /// nesting and panics are safe); the internal executors merely
     /// charge whatever is armed, and charge nothing when this is `None`.
     pub(crate) meter: std::cell::RefCell<Option<Meter>>,
+    /// The armed telemetry probe; [`Library::arm_probe`] swaps it in
+    /// (guard-restored, like the meter). [`ExecProbe::NoProbe`] by
+    /// default.
+    pub(crate) probe: std::cell::RefCell<ExecProbe>,
+    /// Mirror of `probe.is_armed()`, readable without a `RefCell`
+    /// borrow — the executors check this flag at every emission site, so
+    /// the unarmed cost is one `Cell` load and branch.
+    pub(crate) probe_armed: std::cell::Cell<bool>,
+    /// Current executor nesting depth, for `Event::Enter`.
+    pub(crate) depth: std::cell::Cell<u32>,
 }
 
 #[derive(Default)]
@@ -247,7 +258,27 @@ impl LibraryBuilder {
                 producers: self.producers,
                 pool: std::cell::RefCell::new(Pool::default()),
                 meter: std::cell::RefCell::new(None),
+                probe: std::cell::RefCell::new(ExecProbe::NoProbe),
+                probe_armed: std::cell::Cell::new(false),
+                depth: std::cell::Cell::new(0),
             }),
+        }
+    }
+}
+
+/// Restores the previously armed probe when dropped; returned by
+/// [`Library::arm_probe`].
+pub struct ProbeGuard<'a> {
+    lib: &'a Library,
+    prev: Option<ExecProbe>,
+    prev_armed: bool,
+}
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            *self.lib.inner.probe.borrow_mut() = prev;
+            self.lib.inner.probe_armed.set(self.prev_armed);
         }
     }
 }
@@ -365,6 +396,123 @@ impl Library {
         } else {
             Err(no_instance())
         }
+    }
+
+    /// Arms `probe` on this library until the returned guard drops,
+    /// installing relation/rule names into the probe's sinks first.
+    ///
+    /// Clones share the probe (the library's state is `Rc`-shared), so
+    /// arming affects every executor entered through any clone —
+    /// including clones captured inside lazy enumerator streams. The
+    /// guard restores whatever probe was armed before, so nesting is
+    /// safe; keep the guard in a named binding (`let _probe = ...`) or
+    /// it drops immediately.
+    ///
+    /// # Example
+    ///
+    /// ```ignore
+    /// let stats = SearchStats::new();
+    /// let guard = lib.arm_probe(ExecProbe::stats(&stats));
+    /// lib.check(rel, fuel, fuel, &args);
+    /// drop(guard);
+    /// println!("{stats}");
+    /// ```
+    pub fn arm_probe(&self, probe: ExecProbe) -> ProbeGuard<'_> {
+        probe.set_names(&self.probe_names());
+        let armed = probe.is_armed();
+        let prev = self.inner.probe.replace(probe);
+        let prev_armed = self.inner.probe_armed.replace(armed);
+        ProbeGuard {
+            lib: self,
+            prev: Some(prev),
+            prev_armed,
+        }
+    }
+
+    /// The relation and rule names probes should report. Rule names
+    /// follow *handler* order (what probe events index by): the derived
+    /// checker plan's handler names where one exists, the declared rule
+    /// order otherwise.
+    pub fn probe_names(&self) -> NameTable {
+        let mut names = NameTable::default();
+        for (rel, relation) in self.inner.env.iter() {
+            names.rels.push(relation.name().to_string());
+            let from_plan = match self.inner.checkers.get(rel.index()) {
+                Some(Some(CheckerImpl::Plan(plan, _))) => Some(
+                    plan.handlers
+                        .iter()
+                        .map(|h| h.name.clone())
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            };
+            names.rules.push(from_plan.unwrap_or_else(|| {
+                relation
+                    .rules()
+                    .iter()
+                    .map(|r| r.name().to_string())
+                    .collect()
+            }));
+        }
+        names
+    }
+
+    /// A debug rendering of everything the library knows about `rel`:
+    /// each instance's derived plan (via
+    /// [`Plan::display`](crate::plan::Plan::display)) together with its
+    /// static [`step_stats`](crate::plan::Plan::step_stats), so static
+    /// plan shape can be compared side by side with the dynamic
+    /// [`SearchStats`](indrel_producers::SearchStats) a probe collects.
+    pub fn explain(&self, rel: RelId) -> String {
+        let env = &self.inner.env;
+        let u = &self.inner.universe;
+        let mut out = String::new();
+        let _ = writeln!(out, "relation {}:", env.relation(rel).name());
+        match self
+            .inner
+            .checkers
+            .get(rel.index())
+            .and_then(Option::as_ref)
+        {
+            Some(CheckerImpl::Plan(plan, _)) => {
+                let _ = writeln!(out, "checker (derived, lowered):");
+                let _ = writeln!(out, "{}", plan.display(u, env));
+                let _ = writeln!(out, "  static step stats: {}", plan.step_stats());
+            }
+            Some(CheckerImpl::Hand(_)) => {
+                let _ = writeln!(out, "checker: handwritten (opaque)");
+            }
+            None => {
+                let _ = writeln!(out, "checker: none");
+            }
+        }
+        let mut producers: Vec<(String, &ProducerImpl)> = self
+            .inner
+            .producers
+            .iter()
+            .filter(|((r, _), _)| *r == rel)
+            .map(|((_, mode), imp)| (mode.to_string(), imp))
+            .collect();
+        producers.sort_by(|a, b| a.0.cmp(&b.0));
+        for (mode, imp) in producers {
+            match &imp.plan {
+                Some(plan) => {
+                    let _ = writeln!(out, "producer {mode} (derived):");
+                    let _ = writeln!(out, "{}", plan.display(u, env));
+                    let _ = writeln!(out, "  static step stats: {}", plan.step_stats());
+                }
+                None => {
+                    let kinds = match (&imp.hand_enum, &imp.hand_gen) {
+                        (Some(_), Some(_)) => "enumerator+generator",
+                        (Some(_), None) => "enumerator",
+                        (None, Some(_)) => "generator",
+                        (None, None) => "nothing",
+                    };
+                    let _ = writeln!(out, "producer {mode}: handwritten {kinds} (opaque)");
+                }
+            }
+        }
+        out
     }
 
     /// Errors unless exactly `expected` values were supplied — the

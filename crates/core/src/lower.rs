@@ -26,8 +26,9 @@
 
 use crate::library::Library;
 use crate::plan::{Plan, Step};
+use indrel_producers::probe::{Event, ExecKind, FailSite};
 use indrel_producers::{bind_ec, cnot, EStream, Outcome};
-use indrel_term::{Env, Pattern, Value};
+use indrel_term::{Env, Pattern, RelId, Value};
 use std::rc::Rc;
 
 /// The continuation type: runs the remaining steps of a handler.
@@ -43,6 +44,7 @@ pub(crate) struct LoweredHandler {
 
 /// A checker plan compiled to closures.
 pub(crate) struct LoweredChecker {
+    pub(crate) rel: RelId,
     pub(crate) handlers: Vec<LoweredHandler>,
     pub(crate) has_recursive: bool,
 }
@@ -54,31 +56,40 @@ pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
     let handlers = plan
         .handlers
         .iter()
-        .map(|h| LoweredHandler {
+        .enumerate()
+        .map(|(i, h)| LoweredHandler {
             recursive: h.recursive,
             nslots: h.nslots,
             input_pats: h.input_pats.clone(),
-            run: lower_steps(&h.steps, 0),
+            run: lower_steps(&h.steps, 0, i as u32),
         })
         .collect();
     LoweredChecker {
+        rel: plan.rel,
         handlers,
         has_recursive: plan.has_recursive_handlers(),
     }
 }
 
-/// Folds `steps[idx..]` into one continuation closure.
-fn lower_steps(steps: &[Step], idx: usize) -> Cont {
+/// Folds `steps[idx..]` into one continuation closure. `rule` is the
+/// handler's index, baked in for probe events.
+fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
     let Some(step) = steps.get(idx) else {
         return Rc::new(|_, _, _, _, _| Some(true));
     };
-    let rest = lower_steps(steps, idx + 1);
+    let rest = lower_steps(steps, idx + 1, rule);
+    let site = FailSite::Step(idx as u32);
     match step.clone() {
         Step::EqCheck { lhs, rhs, negated } => Rc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let l = lhs.eval(env, u).expect("plan invariant: lhs instantiated");
             let r = rhs.eval(env, u).expect("plan invariant: rhs instantiated");
             if (l == r) == negated {
+                lib.probe(|| Event::UnifyFail {
+                    rel: low.rel,
+                    rule,
+                    site,
+                });
                 return Some(false);
             }
             rest(lib, low, env, size_rem, top)
@@ -97,6 +108,11 @@ fn lower_steps(steps: &[Step], idx: usize) -> Cont {
             if pattern.matches(&v, env) {
                 rest(lib, low, env, size_rem, top)
             } else {
+                lib.probe(|| Event::UnifyFail {
+                    rel: low.rel,
+                    rule,
+                    site,
+                });
                 Some(false)
             }
         }),
@@ -179,17 +195,34 @@ impl Library {
         if !self.charge_step() {
             return None;
         }
+        let _depth = self.probe_enter(low.rel, ExecKind::Checker);
         let mut needs_fuel = false;
         let size_rem = size.saturating_sub(1);
-        for h in &low.handlers {
+        for (i, h) in low.handlers.iter().enumerate() {
             if size == 0 && h.recursive {
                 continue;
             }
-            match self.lowered_handler(low, h, size_rem, top, args) {
-                Some(true) => return Some(true),
+            self.probe(|| Event::RuleAttempt {
+                rel: low.rel,
+                rule: i as u32,
+            });
+            match self.lowered_handler(low, h, i as u32, size_rem, top, args) {
+                Some(true) => {
+                    self.probe(|| Event::RuleSuccess {
+                        rel: low.rel,
+                        rule: i as u32,
+                    });
+                    return Some(true);
+                }
                 Some(false) => {}
                 None => needs_fuel = true,
             }
+            // Anything but a conclusive yes abandons this handler for
+            // the next alternative — the same notion the meter charges.
+            self.probe(|| Event::Backtrack {
+                rel: low.rel,
+                rule: i as u32,
+            });
             if !self.charge_backtrack() {
                 return None;
             }
@@ -205,6 +238,7 @@ impl Library {
         &self,
         low: &LoweredChecker,
         h: &LoweredHandler,
+        h_idx: u32,
         size_rem: u64,
         top: u64,
         args: &[Value],
@@ -214,6 +248,11 @@ impl Library {
         for (pat, val) in h.input_pats.iter().zip(args) {
             if !pat.matches(val, &mut env) {
                 self.put_env(env);
+                self.probe(|| Event::UnifyFail {
+                    rel: low.rel,
+                    rule: h_idx,
+                    site: FailSite::Inputs,
+                });
                 return Some(false);
             }
         }

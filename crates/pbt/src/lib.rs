@@ -36,11 +36,12 @@
 
 pub mod chaos;
 
-use indrel_producers::{Budget, Exhaustion, Meter};
+use indrel_producers::{Budget, Exhaustion, Hist, Meter};
 use indrel_term::Value;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -73,6 +74,56 @@ impl TestOutcome {
             Some(true) => TestOutcome::Pass,
             Some(false) => TestOutcome::Fail,
             None => TestOutcome::Discard,
+        }
+    }
+}
+
+/// QuickChick-style label sink, handed to properties run through
+/// [`Runner::run_with`]. Labels recorded by a test are folded into
+/// [`RunReport::labels`] when the test reaches a pass/fail verdict
+/// (discarded and crashed tests record nothing, as in QuickChick);
+/// duplicate labels within one test count once.
+///
+/// ```
+/// use indrel_pbt::{Runner, TestOutcome};
+/// use indrel_term::Value;
+/// let report = Runner::new(1).run_with(
+///     100,
+///     |size, rng| Some(vec![Value::nat(rand::Rng::gen_range(rng, 0..=size))]),
+///     |args, labels| {
+///         let n = args[0].as_nat().unwrap();
+///         labels.collect(format!("parity={}", n % 2));
+///         labels.classify(n == 0, "zero");
+///         TestOutcome::Pass
+///     },
+/// );
+/// assert_eq!(report.labels.values().copied().take(2).sum::<u64>(), 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct Labels {
+    current: Vec<String>,
+}
+
+impl Labels {
+    /// Records `label` for the current test (QuickChick's `collect`).
+    pub fn collect(&mut self, label: impl fmt::Display) {
+        self.current.push(label.to_string());
+    }
+
+    /// Records `label` when `cond` holds (QuickChick's `classify`).
+    pub fn classify(&mut self, cond: bool, label: &str) {
+        if cond {
+            self.current.push(label.to_string());
+        }
+    }
+
+    /// Folds this test's labels into the run totals (deduplicated
+    /// within the test) and clears for the next test.
+    fn fold_into(&mut self, totals: &mut BTreeMap<String, u64>) {
+        self.current.sort_unstable();
+        self.current.dedup();
+        for label in self.current.drain(..) {
+            *totals.entry(label).or_default() += 1;
         }
     }
 }
@@ -120,6 +171,30 @@ pub struct RunReport {
     pub stopped: Option<Exhaustion>,
     /// Budget accounting for the whole run.
     pub spent: Spent,
+    /// Label counts from [`Labels::collect`] / [`Labels::classify`],
+    /// over tests that reached a pass/fail verdict.
+    pub labels: BTreeMap<String, u64>,
+    /// Distribution of generated input sizes (summed constructor nodes
+    /// per tuple), over every successful generation — the generator's
+    /// observable output distribution.
+    pub input_sizes: Hist,
+}
+
+impl RunReport {
+    /// Attempted tests: every verdict plus discards and crashes.
+    pub fn attempts(&self) -> usize {
+        self.passed + self.discarded + self.crashed + usize::from(self.failed.is_some())
+    }
+
+    /// Discards as a percentage of attempts (0 when nothing ran).
+    pub fn discard_rate(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.discarded as f64 / attempts as f64
+        }
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -150,7 +225,46 @@ impl fmt::Display for RunReport {
         if self.crashed > 0 {
             write!(f, " [{} crashed]", self.crashed)?;
         }
-        Ok(())
+        writeln!(f)?;
+        match &self.first_crash {
+            Some(c) => writeln!(
+                f,
+                "  crashed:   {} (first at test {})",
+                self.crashed, c.test
+            )?,
+            None => writeln!(f, "  crashed:   0")?,
+        }
+        writeln!(
+            f,
+            "  discards:  {} of {} attempts ({:.1}%)",
+            self.discarded,
+            self.attempts(),
+            self.discard_rate()
+        )?;
+        match self.stopped {
+            Some(e) => writeln!(f, "  stopped:   {e}")?,
+            None => writeln!(f, "  stopped:   no (ran to completion)")?,
+        }
+        writeln!(
+            f,
+            "  spent:     {} steps, {} backtracks",
+            self.spent.steps, self.spent.backtracks
+        )?;
+        if self.labels.is_empty() {
+            writeln!(f, "  labels:    (none)")?;
+        } else {
+            writeln!(f, "  labels:")?;
+            let verdicts = self.passed + usize::from(self.failed.is_some());
+            for (label, count) in &self.labels {
+                let pct = if verdicts == 0 {
+                    0.0
+                } else {
+                    100.0 * *count as f64 / verdicts as f64
+                };
+                writeln!(f, "    {pct:>5.1}% {label} ({count})")?;
+            }
+        }
+        write!(f, "  input sizes: {}", self.input_sizes)
     }
 }
 
@@ -231,8 +345,20 @@ impl Runner {
     pub fn run(
         &self,
         n: usize,
-        mut generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
+        generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
         mut property: impl FnMut(&[Value]) -> TestOutcome,
+    ) -> RunReport {
+        self.run_with(n, generate, move |args, _| property(args))
+    }
+
+    /// [`Runner::run`] with a [`Labels`] sink handed to the property,
+    /// for QuickChick-style `collect`/`classify` distribution
+    /// reporting. Everything else behaves identically.
+    pub fn run_with(
+        &self,
+        n: usize,
+        mut generate: impl FnMut(u64, &mut dyn rand::RngCore) -> Option<Vec<Value>>,
+        mut property: impl FnMut(&[Value], &mut Labels) -> TestOutcome,
     ) -> RunReport {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let meter = Meter::new(self.budget);
@@ -242,6 +368,9 @@ impl Runner {
         let mut crashed = 0;
         let mut first_crash: Option<Crash> = None;
         let mut failed: Option<(Vec<Value>, usize)> = None;
+        let mut labels = Labels::default();
+        let mut label_totals: BTreeMap<String, u64> = BTreeMap::new();
+        let mut input_sizes = Hist::default();
         let max_discards = if self.max_discards == 0 {
             10 * n
         } else {
@@ -275,8 +404,13 @@ impl Runner {
                     continue;
                 }
             };
-            match catch_unwind(AssertUnwindSafe(|| property(&input))) {
-                Ok(TestOutcome::Pass) => passed += 1,
+            input_sizes.record(input.iter().map(Value::size).sum());
+            labels.current.clear();
+            match catch_unwind(AssertUnwindSafe(|| property(&input, &mut labels))) {
+                Ok(TestOutcome::Pass) => {
+                    passed += 1;
+                    labels.fold_into(&mut label_totals);
+                }
                 Ok(TestOutcome::Discard) => {
                     discarded += 1;
                     if !meter.charge_backtrack() {
@@ -284,6 +418,7 @@ impl Runner {
                     }
                 }
                 Ok(TestOutcome::Fail) => {
+                    labels.fold_into(&mut label_totals);
                     failed = Some((input, passed + 1));
                     break;
                 }
@@ -311,6 +446,8 @@ impl Runner {
                 backtracks: meter.backtracks_used(),
                 elapsed: start.elapsed(),
             },
+            labels: label_totals,
+            input_sizes,
         }
     }
 
@@ -566,6 +703,65 @@ mod tests {
         assert!(r.passed < 1_000_000);
         assert_eq!(r.stopped, Some(Exhaustion::Deadline));
         assert!(r.spent.elapsed >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn labels_count_pass_and_fail_verdicts_only() {
+        let r = Runner::new(3).run_with(
+            50,
+            |_, rng| Some(vec![Value::nat(rand::Rng::gen_range(rng, 0..10u64))]),
+            |args, labels| {
+                let n = args[0].as_nat().unwrap();
+                labels.collect(format!("parity={}", n % 2));
+                labels.classify(n >= 5, "big");
+                // duplicates within one test count once
+                labels.classify(n >= 5, "big");
+                if n == 7 {
+                    TestOutcome::Discard // labels from discards are dropped
+                } else {
+                    TestOutcome::Pass
+                }
+            },
+        );
+        let verdicts: u64 = ["parity=0", "parity=1"]
+            .iter()
+            .map(|l| r.labels.get(*l).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(verdicts, r.passed as u64);
+        let big = r.labels.get("big").copied().unwrap_or(0);
+        assert!(big <= r.passed as u64);
+        assert_eq!(r.attempts(), r.passed + r.discarded);
+    }
+
+    #[test]
+    fn input_sizes_recorded_per_generated_tuple() {
+        let r = Runner::new(5).run(10, |_, _| Some(vec![Value::nat(3)]), |_| TestOutcome::Pass);
+        assert_eq!(r.input_sizes.total(), 10);
+        assert_eq!(r.input_sizes.max(), Value::nat(3).size());
+    }
+
+    #[test]
+    fn report_display_always_shows_observability_block() {
+        let r = Runner::new(1).run(20, gen_nat, |_| TestOutcome::Pass);
+        let s = r.to_string();
+        assert!(s.contains("+++ Passed 20 tests (0 discards)"), "{s}");
+        assert!(s.contains("crashed:   0"), "{s}");
+        assert!(s.contains("discards:  0 of 20 attempts (0.0%)"), "{s}");
+        assert!(s.contains("stopped:   no (ran to completion)"), "{s}");
+        assert!(s.contains("spent:"), "{s}");
+        assert!(s.contains("labels:    (none)"), "{s}");
+        assert!(s.contains("input sizes:"), "{s}");
+    }
+
+    #[test]
+    fn report_display_shows_labels_with_percentages() {
+        let r = Runner::new(1).run_with(10, gen_nat, |_, labels| {
+            labels.collect("always");
+            TestOutcome::Pass
+        });
+        let s = r.to_string();
+        assert!(s.contains("labels:"), "{s}");
+        assert!(s.contains("100.0% always (10)"), "{s}");
     }
 
     #[test]

@@ -45,6 +45,19 @@ impl std::fmt::Display for Resource {
     }
 }
 
+impl Resource {
+    /// A JSON string literal (quoted, machine-readable identifier —
+    /// `"steps"`, `"backtracks"`, `"term_size"`).
+    pub fn to_json(&self) -> String {
+        match self {
+            Resource::Steps => r#""steps""#,
+            Resource::Backtracks => r#""backtracks""#,
+            Resource::TermSize => r#""term_size""#,
+        }
+        .to_string()
+    }
+}
+
 /// Why a meter stopped admitting work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Exhaustion {
@@ -59,6 +72,19 @@ impl std::fmt::Display for Exhaustion {
         match self {
             Exhaustion::Budget(r) => write!(f, "{r} budget exhausted"),
             Exhaustion::Deadline => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+impl Exhaustion {
+    /// A JSON object tagging the cause:
+    /// `{"kind":"budget","resource":"steps"}` or `{"kind":"deadline"}`.
+    pub fn to_json(&self) -> String {
+        match self {
+            Exhaustion::Budget(r) => {
+                format!(r#"{{"kind":"budget","resource":{}}}"#, r.to_json())
+            }
+            Exhaustion::Deadline => r#"{"kind":"deadline"}"#.to_string(),
         }
     }
 }
@@ -123,6 +149,44 @@ impl Budget {
     /// True when no field imposes a limit.
     pub fn is_unlimited(&self) -> bool {
         *self == Budget::default()
+    }
+
+    /// A JSON object with one key per field; unlimited fields are
+    /// `null`, the deadline is in milliseconds.
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        format!(
+            r#"{{"steps":{},"backtracks":{},"deadline_ms":{},"max_term_size":{}}}"#,
+            opt(self.steps),
+            opt(self.backtracks),
+            self.deadline
+                .map_or_else(|| "null".to_string(), |d| d.as_millis().to_string()),
+            opt(self.max_term_size)
+        )
+    }
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_unlimited() {
+            return f.write_str("unlimited");
+        }
+        let mut parts = Vec::new();
+        if let Some(s) = self.steps {
+            parts.push(format!("steps≤{s}"));
+        }
+        if let Some(b) = self.backtracks {
+            parts.push(format!("backtracks≤{b}"));
+        }
+        if let Some(d) = self.deadline {
+            parts.push(format!("deadline {d:?}"));
+        }
+        if let Some(t) = self.max_term_size {
+            parts.push(format!("term size≤{t}"));
+        }
+        f.write_str(&parts.join(", "))
     }
 }
 
@@ -358,5 +422,31 @@ mod tests {
         );
         assert_eq!(Exhaustion::Deadline.to_string(), "deadline exceeded");
         assert_eq!(Resource::TermSize.to_string(), "term size");
+        assert_eq!(
+            b.to_string(),
+            "steps≤1, backtracks≤2, deadline 3ms, term size≤4"
+        );
+        assert_eq!(Budget::unlimited().to_string(), "unlimited");
+    }
+
+    #[test]
+    fn budget_json_round_trippable_shapes() {
+        let b = Budget::unlimited()
+            .with_steps(10)
+            .with_deadline(Duration::from_millis(250));
+        assert_eq!(
+            b.to_json(),
+            r#"{"steps":10,"backtracks":null,"deadline_ms":250,"max_term_size":null}"#
+        );
+        assert_eq!(
+            Budget::unlimited().to_json(),
+            r#"{"steps":null,"backtracks":null,"deadline_ms":null,"max_term_size":null}"#
+        );
+        assert_eq!(Resource::TermSize.to_json(), r#""term_size""#);
+        assert_eq!(
+            Exhaustion::Budget(Resource::Backtracks).to_json(),
+            r#"{"kind":"budget","resource":"backtracks"}"#
+        );
+        assert_eq!(Exhaustion::Deadline.to_json(), r#"{"kind":"deadline"}"#);
     }
 }

@@ -182,6 +182,22 @@ impl<T: 'static> EStream<T> {
         }
     }
 
+    /// Calls `f` on each produced value as it passes through, without
+    /// consuming or reordering anything — the observation hook used by
+    /// probe instrumentation to report produced terms.
+    pub fn inspect(self, mut f: impl FnMut(&T) + 'static) -> EStream<T>
+    where
+        T: 'static,
+    {
+        EStream {
+            inner: Box::new(self.inner.inspect(move |o| {
+                if let Outcome::Val(v) = o {
+                    f(v);
+                }
+            })),
+        }
+    }
+
     /// Charges one step on `meter` per element demanded. Once the meter
     /// is exhausted the stream ends immediately — deliberately *not* an
     /// [`Outcome::OutOfFuel`], which would read as "retry with more

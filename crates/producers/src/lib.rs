@@ -26,17 +26,24 @@
 //!   before continuing to produce,
 //! * [`budget`] — cross-cutting execution budgets ([`budget::Budget`])
 //!   and their running accounts ([`budget::Meter`]), orthogonal to the
-//!   fuel discipline above; see that module's docs for the distinction.
+//!   fuel discipline above; see that module's docs for the distinction,
+//! * [`probe`] — search telemetry ([`probe::ExecProbe`]): structured
+//!   events from the executors' charge sites, aggregated by
+//!   [`probe::SearchStats`] or traced by [`probe::TraceProbe`].
 
 pub mod budget;
 pub mod checker;
 pub mod estream;
 pub mod gen;
+pub mod probe;
 
 pub use budget::{Budget, Exhaustion, Meter, Resource};
 pub use checker::{backtracking, backtracking_metered, cand, cnot, cor, CheckResult};
 pub use estream::{bind_ec, enumerating, EStream, Outcome};
 pub use gen::{backtrack, Gen};
+pub use probe::{
+    json_escape, Event, ExecKind, ExecProbe, FailSite, Hist, NameTable, SearchStats, TraceProbe,
+};
 
 /// Sequences a checker before an enumerator continuation (`bind_ce`).
 ///

@@ -1,0 +1,869 @@
+//! Search telemetry: structured events from the backtracking search.
+//!
+//! Derived checkers, enumerators, and generators are backtracking
+//! search procedures, and both the paper's evaluation and real PBT use
+//! depend on *where* that search spends its time — which rules are
+//! attempted, where unification fails, how often generation backtracks,
+//! and what the produced terms look like. A [`Meter`] answers "how
+//! much" (and cuts the search off); an [`ExecProbe`] answers "where":
+//! a sink for [`Event`]s emitted at the same executor sites the budget
+//! work instruments, with a [`ExecProbe::NoProbe`] default that records
+//! nothing and costs one flag check per site.
+//!
+//! Two concrete probes ship:
+//!
+//! * [`SearchStats`] — per-rule attempt/success/backtrack counters,
+//!   choice-point-depth and produced-term-size histograms, and
+//!   unification-failure sites, with a human-readable [`Display`] table
+//!   and a deterministic, `serde`-free [`SearchStats::to_json`];
+//! * [`TraceProbe`] — a bounded ring buffer of raw events, dumpable as
+//!   JSON lines for post-mortem "why did this check return `None` /
+//!   why is this generator slow" debugging.
+//!
+//! Probes identify relations and rules by [`RelId`] and rule index; a
+//! [`NameTable`] (installed by whoever arms the probe) maps those to
+//! source names for display and export.
+//!
+//! [`Meter`]: crate::budget::Meter
+//! [`Display`]: std::fmt::Display
+
+use indrel_term::RelId;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which executor family emitted an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExecKind {
+    /// The three-valued checker (Figure 1).
+    Checker,
+    /// The lazy enumerator (Figure 2).
+    Enumerator,
+    /// The random generator (QuickChick `backtrack`).
+    Generator,
+}
+
+impl ExecKind {
+    /// Lower-case label, used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecKind::Checker => "checker",
+            ExecKind::Enumerator => "enumerator",
+            ExecKind::Generator => "generator",
+        }
+    }
+}
+
+/// Where inside a rule a unification failure happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailSite {
+    /// The conclusion's input patterns did not match the arguments.
+    Inputs,
+    /// Plan step `step` (an equality check or a reconciliation match)
+    /// conclusively failed.
+    Step(u32),
+}
+
+impl fmt::Display for FailSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailSite::Inputs => f.write_str("inputs"),
+            FailSite::Step(i) => write!(f, "step{i}"),
+        }
+    }
+}
+
+/// One structured instrumentation event. Events are cheap (`Copy`) and
+/// constructed lazily — an unarmed probe never builds them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// An executor entered a relation: one checker or generator
+    /// recursion, or the creation of one enumerator stream. `depth` is
+    /// the number of executor entries currently on the stack — the
+    /// choice-point depth of this entry.
+    Enter {
+        /// The relation entered.
+        rel: RelId,
+        /// Which executor family.
+        kind: ExecKind,
+        /// Current nesting depth (0 for a top-level call).
+        depth: u32,
+    },
+    /// A rule (handler) was attempted.
+    RuleAttempt {
+        /// The relation searched.
+        rel: RelId,
+        /// Handler index within the relation's plan.
+        rule: u32,
+    },
+    /// A rule conclusively succeeded.
+    RuleSuccess {
+        /// The relation searched.
+        rel: RelId,
+        /// Handler index.
+        rule: u32,
+    },
+    /// Unification conclusively failed inside a rule.
+    UnifyFail {
+        /// The relation searched.
+        rel: RelId,
+        /// Handler index.
+        rule: u32,
+        /// Which pattern/equality failed.
+        site: FailSite,
+    },
+    /// A rule was abandoned and the search moved to an alternative —
+    /// the same notion the budget layer charges as a backtrack.
+    Backtrack {
+        /// The relation searched.
+        rel: RelId,
+        /// The abandoned handler index.
+        rule: u32,
+    },
+    /// A producer delivered an output tuple of `size` total constructor
+    /// nodes.
+    TermProduced {
+        /// The producing relation.
+        rel: RelId,
+        /// Summed [`Value::size`](indrel_term::Value::size) of the
+        /// output tuple.
+        size: u64,
+    },
+}
+
+/// Maps [`RelId`]s and rule indices to source names, for display and
+/// export. Installed into a probe by whoever arms it (the library knows
+/// the names; the probe does not).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NameTable {
+    /// Relation names, indexed by `RelId::index()`.
+    pub rels: Vec<String>,
+    /// Rule (constructor) names per relation, in handler order.
+    pub rules: Vec<Vec<String>>,
+}
+
+impl NameTable {
+    /// The relation's name, or a positional placeholder.
+    pub fn rel(&self, rel: RelId) -> String {
+        self.rels
+            .get(rel.index())
+            .cloned()
+            .unwrap_or_else(|| format!("rel#{}", rel.index()))
+    }
+
+    /// A rule's name, or a positional placeholder.
+    pub fn rule(&self, rel: RelId, rule: u32) -> String {
+        self.rules
+            .get(rel.index())
+            .and_then(|rs| rs.get(rule as usize))
+            .cloned()
+            .unwrap_or_else(|| format!("rule#{rule}"))
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes). Covers the characters that can actually occur
+/// in relation/rule names and panic messages; other control characters
+/// are emitted as `\u00XX`.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A histogram over `u64` samples with power-of-two buckets: bucket 0
+/// holds the value 0, bucket `b > 0` holds `[2^(b-1), 2^b)`. Compact,
+/// deterministic, and resolution-matched to term sizes and search
+/// depths.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The bucket index for a sample: its bit length.
+fn bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` range of bucket `b`.
+fn bucket_range(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        (1 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(b, c)| {
+                let (lo, hi) = bucket_range(b);
+                (lo, hi, *c)
+            })
+            .collect()
+    }
+
+    /// Deterministic JSON: totals plus the non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets()
+            .into_iter()
+            .map(|(lo, hi, c)| format!(r#"{{"lo":{lo},"hi":{hi},"count":{c}}}"#))
+            .collect();
+        format!(
+            r#"{{"total":{},"sum":{},"max":{},"buckets":[{}]}}"#,
+            self.total,
+            self.sum,
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+impl fmt::Display for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return f.write_str("(empty)");
+        }
+        let parts: Vec<String> = self
+            .buckets()
+            .into_iter()
+            .map(|(lo, hi, c)| {
+                if lo == hi {
+                    format!("{lo}:{c}")
+                } else {
+                    format!("{lo}-{hi}:{c}")
+                }
+            })
+            .collect();
+        write!(
+            f,
+            "{} (n={}, mean {:.1}, max {})",
+            parts.join(" "),
+            self.total,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// Per-rule counters accumulated by [`SearchStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Times the rule was attempted.
+    pub attempts: u64,
+    /// Times it conclusively succeeded.
+    pub successes: u64,
+    /// Times it was abandoned for an alternative.
+    pub backtracks: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsState {
+    names: NameTable,
+    /// Keyed by `(rel index, rule index)` — `BTreeMap` so iteration
+    /// (and hence all output) is deterministic.
+    rules: BTreeMap<(u32, u32), RuleStats>,
+    /// Unification-failure counts keyed by `(rel, rule, site)`.
+    fails: BTreeMap<(u32, u32, FailSite), u64>,
+    /// Executor entries per [`ExecKind`] (indexed by discriminant).
+    enters: [u64; 3],
+    depths: Hist,
+    term_sizes: Hist,
+    events: u64,
+}
+
+/// An aggregating probe: counters and histograms over the whole search,
+/// with a [`Display`](fmt::Display) table and a deterministic
+/// [`SearchStats::to_json`]. Clones share state, so keep a handle and
+/// read it after the armed run finishes.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    state: Rc<RefCell<StatsState>>,
+}
+
+impl SearchStats {
+    /// An empty accumulator.
+    pub fn new() -> SearchStats {
+        SearchStats::default()
+    }
+
+    /// Installs the name table used for display and export.
+    pub fn set_names(&self, names: NameTable) {
+        self.state.borrow_mut().names = names;
+    }
+
+    /// Records one event.
+    pub fn record(&self, e: Event) {
+        let mut s = self.state.borrow_mut();
+        s.events += 1;
+        match e {
+            Event::Enter { kind, depth, .. } => {
+                s.enters[kind as usize] += 1;
+                s.depths.record(u64::from(depth));
+            }
+            Event::RuleAttempt { rel, rule } => {
+                s.rules
+                    .entry((rel.index() as u32, rule))
+                    .or_default()
+                    .attempts += 1;
+            }
+            Event::RuleSuccess { rel, rule } => {
+                s.rules
+                    .entry((rel.index() as u32, rule))
+                    .or_default()
+                    .successes += 1;
+            }
+            Event::Backtrack { rel, rule } => {
+                s.rules
+                    .entry((rel.index() as u32, rule))
+                    .or_default()
+                    .backtracks += 1;
+            }
+            Event::UnifyFail { rel, rule, site } => {
+                *s.fails.entry((rel.index() as u32, rule, site)).or_default() += 1;
+            }
+            Event::TermProduced { size, .. } => {
+                s.term_sizes.record(size);
+            }
+        }
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.state.borrow().events
+    }
+
+    /// Executor entries for one family — the search's "steps" as the
+    /// budget layer counts them (checker/generator recursions,
+    /// enumerator stream creations).
+    pub fn enters(&self, kind: ExecKind) -> u64 {
+        self.state.borrow().enters[kind as usize]
+    }
+
+    /// Executor entries across all families.
+    pub fn total_enters(&self) -> u64 {
+        self.state.borrow().enters.iter().sum()
+    }
+
+    /// Rule attempts across all rules.
+    pub fn total_attempts(&self) -> u64 {
+        self.state.borrow().rules.values().map(|r| r.attempts).sum()
+    }
+
+    /// Rule successes across all rules.
+    pub fn total_successes(&self) -> u64 {
+        self.state
+            .borrow()
+            .rules
+            .values()
+            .map(|r| r.successes)
+            .sum()
+    }
+
+    /// Abandoned rules across all rules.
+    pub fn total_backtracks(&self) -> u64 {
+        self.state
+            .borrow()
+            .rules
+            .values()
+            .map(|r| r.backtracks)
+            .sum()
+    }
+
+    /// Unification failures across all sites.
+    pub fn total_unify_fails(&self) -> u64 {
+        self.state.borrow().fails.values().sum()
+    }
+
+    /// Counters for one `(rel, rule)` pair.
+    pub fn rule_stats(&self, rel: RelId, rule: u32) -> RuleStats {
+        self.state
+            .borrow()
+            .rules
+            .get(&(rel.index() as u32, rule))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The choice-point-depth histogram.
+    pub fn depth_hist(&self) -> Hist {
+        self.state.borrow().depths.clone()
+    }
+
+    /// The produced-term-size histogram.
+    pub fn term_size_hist(&self) -> Hist {
+        self.state.borrow().term_sizes.clone()
+    }
+
+    /// The `n` most frequent unification-failure sites, as
+    /// `(description, count)`, ties broken by site key so the order is
+    /// deterministic.
+    pub fn top_fail_sites(&self, n: usize) -> Vec<(String, u64)> {
+        let s = self.state.borrow();
+        let mut sites: Vec<(&(u32, u32, FailSite), &u64)> = s.fails.iter().collect();
+        sites.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        sites
+            .into_iter()
+            .take(n)
+            .map(|((rel, rule, site), count)| {
+                let rel = RelId::new(*rel as usize);
+                (
+                    format!(
+                        "{}.{}[{}]",
+                        s.names.rel(rel),
+                        s.names.rule(rel, *rule),
+                        site
+                    ),
+                    *count,
+                )
+            })
+            .collect()
+    }
+
+    /// Deterministic, `serde`-free JSON: every map is ordered, no
+    /// timestamps — two runs with the same seed and budget produce
+    /// byte-identical output.
+    pub fn to_json(&self) -> String {
+        let s = self.state.borrow();
+        let rules: Vec<String> = s
+            .rules
+            .iter()
+            .map(|((rel, rule), r)| {
+                let id = RelId::new(*rel as usize);
+                format!(
+                    r#"{{"rel":"{}","rule":"{}","attempts":{},"successes":{},"backtracks":{}}}"#,
+                    json_escape(&s.names.rel(id)),
+                    json_escape(&s.names.rule(id, *rule)),
+                    r.attempts,
+                    r.successes,
+                    r.backtracks
+                )
+            })
+            .collect();
+        let fails: Vec<String> = s
+            .fails
+            .iter()
+            .map(|((rel, rule, site), count)| {
+                let id = RelId::new(*rel as usize);
+                format!(
+                    r#"{{"rel":"{}","rule":"{}","site":"{}","count":{}}}"#,
+                    json_escape(&s.names.rel(id)),
+                    json_escape(&s.names.rule(id, *rule)),
+                    site,
+                    count
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                r#"{{"events":{},"#,
+                r#""enters":{{"checker":{},"enumerator":{},"generator":{}}},"#,
+                r#""rules":[{}],"#,
+                r#""unify_fails":[{}],"#,
+                r#""depth":{},"#,
+                r#""term_size":{}}}"#
+            ),
+            s.events,
+            s.enters[ExecKind::Checker as usize],
+            s.enters[ExecKind::Enumerator as usize],
+            s.enters[ExecKind::Generator as usize],
+            rules.join(","),
+            fails.join(","),
+            s.depths.to_json(),
+            s.term_sizes.to_json()
+        )
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.borrow();
+        writeln!(
+            f,
+            "search stats: {} events ({} checker / {} enumerator / {} generator entries)",
+            s.events,
+            s.enters[ExecKind::Checker as usize],
+            s.enters[ExecKind::Enumerator as usize],
+            s.enters[ExecKind::Generator as usize]
+        )?;
+        writeln!(
+            f,
+            "  {:<24} {:>10} {:>10} {:>10}",
+            "rule", "attempts", "successes", "backtracks"
+        )?;
+        for ((rel, rule), r) in &s.rules {
+            let id = RelId::new(*rel as usize);
+            writeln!(
+                f,
+                "  {:<24} {:>10} {:>10} {:>10}",
+                format!("{}.{}", s.names.rel(id), s.names.rule(id, *rule)),
+                r.attempts,
+                r.successes,
+                r.backtracks
+            )?;
+        }
+        drop(s);
+        let fails = self.top_fail_sites(5);
+        if !fails.is_empty() {
+            writeln!(f, "  top unification failures:")?;
+            for (site, count) in fails {
+                writeln!(f, "    {site:<30} {count:>8}")?;
+            }
+        }
+        writeln!(f, "  depth:     {}", self.depth_hist())?;
+        write!(f, "  term size: {}", self.term_size_hist())
+    }
+}
+
+/// A bounded ring buffer of raw [`Event`]s with monotonically
+/// increasing sequence numbers; when full, the oldest events are
+/// dropped (and counted). Dump with [`TraceProbe::to_json_lines`].
+#[derive(Clone, Debug)]
+pub struct TraceProbe {
+    state: Rc<RefCell<TraceState>>,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    names: NameTable,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<(u64, Event)>,
+}
+
+impl TraceProbe {
+    /// A trace buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceProbe {
+        TraceProbe {
+            state: Rc::new(RefCell::new(TraceState {
+                names: NameTable::default(),
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                buf: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Installs the name table used for export.
+    pub fn set_names(&self, names: NameTable) {
+        self.state.borrow_mut().names = names;
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&self, e: Event) {
+        let mut s = self.state.borrow_mut();
+        if s.buf.len() == s.capacity {
+            s.buf.pop_front();
+            s.dropped += 1;
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.buf.push_back((seq, e));
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.borrow().buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.state.borrow().dropped
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.state.borrow().buf.iter().map(|(_, e)| *e).collect()
+    }
+
+    /// The buffered events as JSON lines (one object per line, oldest
+    /// first), for post-mortem analysis with ordinary line tools.
+    pub fn to_json_lines(&self) -> String {
+        let s = self.state.borrow();
+        let mut out = String::new();
+        for (seq, e) in &s.buf {
+            out.push_str(&event_json(*seq, e, &s.names));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn event_json(seq: u64, e: &Event, names: &NameTable) -> String {
+    match e {
+        Event::Enter { rel, kind, depth } => format!(
+            r#"{{"seq":{seq},"event":"enter","rel":"{}","kind":"{}","depth":{depth}}}"#,
+            json_escape(&names.rel(*rel)),
+            kind.label()
+        ),
+        Event::RuleAttempt { rel, rule } => format!(
+            r#"{{"seq":{seq},"event":"rule_attempt","rel":"{}","rule":"{}"}}"#,
+            json_escape(&names.rel(*rel)),
+            json_escape(&names.rule(*rel, *rule))
+        ),
+        Event::RuleSuccess { rel, rule } => format!(
+            r#"{{"seq":{seq},"event":"rule_success","rel":"{}","rule":"{}"}}"#,
+            json_escape(&names.rel(*rel)),
+            json_escape(&names.rule(*rel, *rule))
+        ),
+        Event::UnifyFail { rel, rule, site } => format!(
+            r#"{{"seq":{seq},"event":"unify_fail","rel":"{}","rule":"{}","site":"{site}"}}"#,
+            json_escape(&names.rel(*rel)),
+            json_escape(&names.rule(*rel, *rule))
+        ),
+        Event::Backtrack { rel, rule } => format!(
+            r#"{{"seq":{seq},"event":"backtrack","rel":"{}","rule":"{}"}}"#,
+            json_escape(&names.rel(*rel)),
+            json_escape(&names.rule(*rel, *rule))
+        ),
+        Event::TermProduced { rel, size } => format!(
+            r#"{{"seq":{seq},"event":"term_produced","rel":"{}","size":{size}}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+    }
+}
+
+/// The probe sink the executors dispatch to. Enum dispatch (not a trait
+/// object) keeps the unarmed path a plain match on a unit variant.
+#[derive(Clone, Debug, Default)]
+pub enum ExecProbe {
+    /// Record nothing (the default).
+    #[default]
+    NoProbe,
+    /// Aggregate into a [`SearchStats`].
+    Stats(SearchStats),
+    /// Buffer raw events in a [`TraceProbe`].
+    Trace(TraceProbe),
+    /// Both at once.
+    Both(SearchStats, TraceProbe),
+}
+
+impl ExecProbe {
+    /// A probe feeding the given accumulator (clone-shared).
+    pub fn stats(stats: &SearchStats) -> ExecProbe {
+        ExecProbe::Stats(stats.clone())
+    }
+
+    /// A probe feeding the given trace buffer (clone-shared).
+    pub fn trace(trace: &TraceProbe) -> ExecProbe {
+        ExecProbe::Trace(trace.clone())
+    }
+
+    /// A probe feeding both sinks.
+    pub fn both(stats: &SearchStats, trace: &TraceProbe) -> ExecProbe {
+        ExecProbe::Both(stats.clone(), trace.clone())
+    }
+
+    /// `false` for [`ExecProbe::NoProbe`].
+    pub fn is_armed(&self) -> bool {
+        !matches!(self, ExecProbe::NoProbe)
+    }
+
+    /// Dispatches one event to the sink(s).
+    #[inline]
+    pub fn record(&self, e: Event) {
+        match self {
+            ExecProbe::NoProbe => {}
+            ExecProbe::Stats(s) => s.record(e),
+            ExecProbe::Trace(t) => t.record(e),
+            ExecProbe::Both(s, t) => {
+                s.record(e);
+                t.record(e);
+            }
+        }
+    }
+
+    /// Installs `names` into every sink.
+    pub fn set_names(&self, names: &NameTable) {
+        match self {
+            ExecProbe::NoProbe => {}
+            ExecProbe::Stats(s) => s.set_names(names.clone()),
+            ExecProbe::Trace(t) => t.set_names(names.clone()),
+            ExecProbe::Both(s, t) => {
+                s.set_names(names.clone());
+                t.set_names(names.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> NameTable {
+        NameTable {
+            rels: vec!["bst".into()],
+            rules: vec![vec!["bst_leaf".into(), "bst_node".into()]],
+        }
+    }
+
+    #[test]
+    fn hist_buckets_are_powers_of_two() {
+        let mut h = Hist::default();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 9);
+        assert_eq!(h.max(), 100);
+        assert_eq!(
+            h.buckets(),
+            vec![
+                (0, 0, 2),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (64, 127, 1)
+            ]
+        );
+        assert!(h
+            .to_json()
+            .starts_with(r#"{"total":9,"sum":125,"max":100,"#));
+        assert_eq!(format!("{}", Hist::default()), "(empty)");
+    }
+
+    #[test]
+    fn stats_accumulate_and_export_deterministically() {
+        let stats = SearchStats::new();
+        stats.set_names(names());
+        let rel = RelId::new(0);
+        stats.record(Event::Enter {
+            rel,
+            kind: ExecKind::Checker,
+            depth: 0,
+        });
+        stats.record(Event::RuleAttempt { rel, rule: 0 });
+        stats.record(Event::UnifyFail {
+            rel,
+            rule: 0,
+            site: FailSite::Inputs,
+        });
+        stats.record(Event::Backtrack { rel, rule: 0 });
+        stats.record(Event::RuleAttempt { rel, rule: 1 });
+        stats.record(Event::RuleSuccess { rel, rule: 1 });
+        stats.record(Event::TermProduced { rel, size: 5 });
+        assert_eq!(stats.events(), 7);
+        assert_eq!(stats.total_attempts(), 2);
+        assert_eq!(stats.total_successes(), 1);
+        assert_eq!(stats.total_backtracks(), 1);
+        assert_eq!(stats.total_unify_fails(), 1);
+        assert_eq!(stats.enters(ExecKind::Checker), 1);
+        assert_eq!(stats.rule_stats(rel, 1).successes, 1);
+        assert_eq!(
+            stats.top_fail_sites(3),
+            vec![("bst.bst_leaf[inputs]".into(), 1)]
+        );
+        let json = stats.to_json();
+        assert!(json.contains(r#""rel":"bst","rule":"bst_node","attempts":1,"successes":1"#));
+        assert!(json.contains(r#""site":"inputs","count":1"#));
+        assert_eq!(json, stats.to_json(), "export is stable");
+        let table = stats.to_string();
+        assert!(table.contains("bst.bst_node"));
+        assert!(table.contains("top unification failures"));
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest() {
+        let trace = TraceProbe::new(2);
+        trace.set_names(names());
+        let rel = RelId::new(0);
+        for rule in 0..4 {
+            trace.record(Event::RuleAttempt { rel, rule });
+        }
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.dropped(), 2);
+        let lines = trace.to_json_lines();
+        let lines: Vec<&str> = lines.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":2,"event":"rule_attempt","rel":"bst","rule":"rule#2"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":3,"event":"rule_attempt","rel":"bst","rule":"rule#3"}"#
+        );
+    }
+
+    #[test]
+    fn probe_dispatch_and_arming() {
+        let stats = SearchStats::new();
+        let trace = TraceProbe::new(16);
+        assert!(!ExecProbe::NoProbe.is_armed());
+        let both = ExecProbe::both(&stats, &trace);
+        assert!(both.is_armed());
+        both.set_names(&names());
+        both.record(Event::RuleAttempt {
+            rel: RelId::new(0),
+            rule: 0,
+        });
+        assert_eq!(stats.total_attempts(), 1);
+        assert_eq!(trace.len(), 1);
+        ExecProbe::NoProbe.record(Event::RuleAttempt {
+            rel: RelId::new(0),
+            rule: 0,
+        });
+        assert_eq!(stats.total_attempts(), 1, "NoProbe records nothing");
+    }
+
+    #[test]
+    fn json_escape_covers_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+}

@@ -73,10 +73,10 @@ pub use indrel_validate as validate;
 /// The common imports for working with the framework.
 pub mod prelude {
     pub use indrel_core::{
-        Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, Exhaustion, InstanceKind,
-        Library, LibraryBuilder, Mode, Plan, Resource,
+        Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe, Exhaustion,
+        InstanceKind, Library, LibraryBuilder, Mode, Plan, Resource, SearchStats, TraceProbe,
     };
-    pub use indrel_pbt::{RunReport, Runner, TestOutcome};
+    pub use indrel_pbt::{Labels, RunReport, Runner, TestOutcome};
     pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
     pub use indrel_rel::parse::{parse_program, parse_relation};
     pub use indrel_rel::{Premise, RelEnv, Relation, Rule, RuleBuilder};
