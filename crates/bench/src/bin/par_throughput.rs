@@ -1,0 +1,54 @@
+//! Measures parallel-runner scaling on the BST derived-checker
+//! workload (see `indrel_bench::par`).
+//!
+//! ```text
+//! cargo run -p indrel-bench --release --bin par_throughput
+//! cargo run -p indrel-bench --release --bin par_throughput -- --json [PATH]
+//! ```
+//!
+//! `--json` writes the measurement as one machine-readable document
+//! (schema `indrel.bench.par/1`, default path `BENCH_par.json`).
+//!
+//! Environment: `PAR_TESTS` (test slots per worker count, default
+//! 20000), `PAR_WORKERS` (comma-separated worker counts, 0 = off,
+//! default `0,1,2,4,8`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            let path = match it.peek() {
+                Some(p) if !p.starts_with('-') => it.next().unwrap().clone(),
+                _ => "BENCH_par.json".to_string(),
+            };
+            json_path = Some(path);
+        }
+    }
+    let tests: usize = std::env::var("PAR_TESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let workers: Vec<usize> = std::env::var("PAR_WORKERS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|w| w.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
+    if let Some(path) = json_path {
+        let doc = indrel_bench::par::par_json(tests, &workers);
+        std::fs::write(&path, format!("{doc}\n")).expect("write JSON output");
+        println!("wrote {path}");
+        return;
+    }
+    let s = indrel_bench::par::bst_scaling(tests, &workers);
+    println!("Parallel runner scaling: BST derived checker, {tests} test slots");
+    println!("(host cores: {}; speedup is bounded by them)", s.host_cores);
+    for c in &s.cases {
+        println!("  {c}");
+    }
+    println!(
+        "reports identical across worker counts: {}",
+        s.reports_identical
+    );
+}

@@ -14,10 +14,12 @@
 //! | §6.2 mutation study | [`mutation`] | `mutation` | — |
 //! | §6.3 reflection | [`reflection`] | `reflection` | `reflection` |
 //! | DESIGN.md ablations | [`ablation`] | — | `ablation` |
+//! | EXPERIMENTS.md parallel scaling | [`par`] | `par_throughput` | — |
 
 pub mod ablation;
 pub mod fig3;
 pub mod mutation;
+pub mod par;
 pub mod reflection;
 pub mod table1;
 

@@ -1,0 +1,182 @@
+//! Parallel-runner scaling: the BST derived-checker workload run
+//! through [`Runner::run_par`] at increasing worker counts.
+//!
+//! The workload is the Figure 3 BST checker case (handwritten
+//! generator, derived checker, seed 1, size 6), run for a fixed number
+//! of test slots per worker count so runs are comparable by wall-clock
+//! alone. Alongside the timings, the harness checks the engine's core
+//! claim — that the merged [`RunReport`] is **byte-identical** at every
+//! worker count — and reports the host's core count, since speedup is
+//! bounded by it (a single-core host shows ≈1× at every worker count;
+//! see `EXPERIMENTS.md`).
+
+use indrel_bst::{Bst, BstShared};
+use indrel_pbt::{Parallelism, RunReport, Runner, TestOutcome};
+use indrel_term::Value;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const BST_FUEL: u64 = 64;
+const SEED: u64 = 1;
+const SIZE: u64 = 6;
+
+/// One worker-count measurement.
+#[derive(Clone, Debug)]
+pub struct ParCase {
+    /// Worker threads (0 = [`Parallelism::Off`], the sequential
+    /// baseline running the same sharded engine inline).
+    pub workers: usize,
+    /// Test slots executed (the report's attempts, including
+    /// discards).
+    pub tests: usize,
+    /// Wall-clock time for the whole run, merge included.
+    pub wall: Duration,
+}
+
+impl ParCase {
+    /// Test cases per second of wall-clock time.
+    pub fn cases_per_second(&self) -> f64 {
+        self.tests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+impl fmt::Display for ParCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = if self.workers == 0 {
+            "off".to_string()
+        } else {
+            format!("{:>3}", self.workers)
+        };
+        write!(
+            f,
+            "workers {label}   {:>9.0} cases/s   ({} cases in {:.1} ms)",
+            self.cases_per_second(),
+            self.tests,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// The whole scaling measurement: per-worker-count timings plus the
+/// cross-count determinism check.
+#[derive(Clone, Debug)]
+pub struct ParScaling {
+    /// One entry per measured worker count, in input order.
+    pub cases: Vec<ParCase>,
+    /// Whether every run's report rendered byte-identically — the
+    /// parallel engine's determinism claim, checked on the real
+    /// workload.
+    pub reports_identical: bool,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cores: usize,
+}
+
+fn run_bst(shared: &BstShared, parallelism: Parallelism, tests: usize) -> (RunReport, Duration) {
+    let runner = Runner::new(SEED)
+        .with_size(SIZE)
+        .with_parallelism(parallelism);
+    let t0 = Instant::now();
+    let report = runner.run_par(tests, || {
+        let gen_bst = shared.fork();
+        let check_bst = shared.fork();
+        (
+            move |size, rng: &mut dyn rand::RngCore| {
+                Some(vec![gen_bst.handwritten_gen(0, 24, size, rng)])
+            },
+            move |args: &[Value]| {
+                TestOutcome::from_check(check_bst.derived_check(0, 24, &args[0], BST_FUEL))
+            },
+        )
+    });
+    (report, t0.elapsed())
+}
+
+/// Runs the BST checker workload for `tests` slots at each worker
+/// count in `workers` (0 = `Off`), verifying report determinism along
+/// the way.
+pub fn bst_scaling(tests: usize, workers: &[usize]) -> ParScaling {
+    let shared = Bst::new().shared();
+    let mut cases = Vec::new();
+    let mut rendered: Option<String> = None;
+    let mut reports_identical = true;
+    for &w in workers {
+        let parallelism = if w == 0 {
+            Parallelism::Off
+        } else {
+            Parallelism::Fixed(w)
+        };
+        let (report, wall) = run_bst(&shared, parallelism, tests);
+        let this = report.to_string();
+        match &rendered {
+            None => rendered = Some(this),
+            Some(first) => reports_identical &= *first == this,
+        }
+        cases.push(ParCase {
+            workers: w,
+            tests: report.attempts(),
+            wall,
+        });
+    }
+    ParScaling {
+        cases,
+        reports_identical,
+        host_cores: std::thread::available_parallelism().map_or(1, |k| k.get()),
+    }
+}
+
+/// The scaling measurement as one JSON document
+/// (`indrel.bench.par/1`): per-worker-count cases/sec, speedup over
+/// the `Off` baseline, the determinism verdict, and the host core
+/// count needed to interpret the speedups.
+pub fn par_json(tests: usize, workers: &[usize]) -> String {
+    let s = bst_scaling(tests, workers);
+    let base = s.cases.first().map_or(0.0, ParCase::cases_per_second);
+    let cases = s
+        .cases
+        .iter()
+        .map(|c| {
+            let cps = c.cases_per_second();
+            format!(
+                "{{\"workers\":{},\"tests\":{},\"wall_ms\":{:.3},\"cases_per_sec\":{:.3},\
+                 \"speedup_vs_off\":{:.3}}}",
+                c.workers,
+                c.tests,
+                c.wall.as_secs_f64() * 1e3,
+                cps,
+                if base > 0.0 { cps / base } else { 0.0 }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"schema\":\"indrel.bench.par/1\",\"workload\":\"bst-derived-checker\",\
+         \"seed\":{SEED},\"size\":{SIZE},\"fuel\":{BST_FUEL},\"requested_tests\":{tests},\
+         \"host_cores\":{},\"reports_identical\":{},\"cases\":[{cases}]}}",
+        s.host_cores, s.reports_identical
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_measures_and_reports_are_identical() {
+        let s = bst_scaling(300, &[0, 2]);
+        assert_eq!(s.cases.len(), 2);
+        assert!(s.reports_identical, "parallel BST reports diverged");
+        for c in &s.cases {
+            assert!(c.cases_per_second() > 0.0, "{c}");
+            assert!(c.tests >= 300, "discards count as cases: {c}");
+        }
+    }
+
+    #[test]
+    fn par_json_has_schema_and_speedups() {
+        let j = par_json(200, &[0, 2]);
+        assert!(j.starts_with("{\"schema\":\"indrel.bench.par/1\""), "{j}");
+        assert!(j.contains("\"reports_identical\":true"), "{j}");
+        assert!(j.contains("\"speedup_vs_off\""), "{j}");
+        assert!(j.contains("\"host_cores\""), "{j}");
+    }
+}

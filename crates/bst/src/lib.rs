@@ -24,12 +24,12 @@
 //! assert!(bst.handwritten_check(0, 16, &t2));
 //! ```
 
-use indrel_core::{Library, LibraryBuilder, Mode};
+use indrel_core::{Library, LibraryBuilder, Mode, SharedLibrary};
 use indrel_rel::parse::parse_program;
 use indrel_rel::RelEnv;
 use indrel_term::{CtorId, RelId, Universe, Value};
 use rand::Rng as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The inductive specification, in the surface syntax.
 pub const BST_SOURCE: &str = r"
@@ -97,13 +97,13 @@ impl Bst {
         let mut b = LibraryBuilder::new(u, env);
         b.register_checker(
             le,
-            Rc::new(|_, _, args: &[Value]| {
+            Arc::new(|_, _, args: &[Value]| {
                 Some(args[0].as_nat().expect("nat") <= args[1].as_nat().expect("nat"))
             }),
         );
         b.register_checker(
             lt,
-            Rc::new(|_, _, args: &[Value]| {
+            Arc::new(|_, _, args: &[Value]| {
                 Some(args[0].as_nat().expect("nat") < args[1].as_nat().expect("nat"))
             }),
         );
@@ -122,6 +122,32 @@ impl Bst {
     /// The underlying instance library.
     pub fn library(&self) -> &Library {
         &self.lib
+    }
+
+    /// A `Send + Sync` handle on this case study for parallel test
+    /// runs: ship one [`BstShared`] to the worker factory and
+    /// [`BstShared::fork`] a private session per worker.
+    ///
+    /// ```
+    /// use indrel_bst::Bst;
+    ///
+    /// let shared = Bst::new().shared();
+    /// std::thread::spawn(move || {
+    ///     let bst = shared.fork();
+    ///     let t = bst.leaf();
+    ///     assert_eq!(bst.derived_check(0, 16, &t, 64), Some(true));
+    /// })
+    /// .join()
+    /// .unwrap();
+    /// ```
+    pub fn shared(&self) -> BstShared {
+        BstShared {
+            lib: self.lib.shared(),
+            bst: self.bst,
+            lt: self.lt,
+            leaf: self.leaf,
+            node: self.node,
+        }
     }
 
     /// The `bst` relation id.
@@ -271,6 +297,32 @@ impl Bst {
     /// The `lt'` relation id (registered handwritten instance).
     pub fn lt_relation(&self) -> RelId {
         self.lt
+    }
+}
+
+/// A `Send + Sync` handle on a built [`Bst`], for fanning the case
+/// study out across worker threads (see [`Bst::shared`]). Forking is
+/// O(1): the universe, derived checkers, and derived producers are
+/// shared behind an [`Arc`]; only per-session scratch state is fresh.
+#[derive(Clone, Debug)]
+pub struct BstShared {
+    lib: SharedLibrary,
+    bst: RelId,
+    lt: RelId,
+    leaf: CtorId,
+    node: CtorId,
+}
+
+impl BstShared {
+    /// Builds a private [`Bst`] session over the shared artifacts.
+    pub fn fork(&self) -> Bst {
+        Bst {
+            lib: self.lib.fork(),
+            bst: self.bst,
+            lt: self.lt,
+            leaf: self.leaf,
+            node: self.node,
+        }
     }
 }
 

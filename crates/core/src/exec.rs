@@ -46,6 +46,7 @@ use indrel_term::{
     Env, Pattern, RelId, TermExpr, Value,
 };
 use std::rc::Rc;
+use std::sync::Arc;
 
 impl Library {
     /// Runs the checker for `rel` on fully instantiated `args`.
@@ -572,7 +573,7 @@ impl Library {
 
     pub(crate) fn run_plan_check(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         size: u64,
         top: u64,
         args: &[Value],
@@ -610,7 +611,7 @@ impl Library {
     /// emission points, so both strategies report the same search).
     fn probed_handler_check(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         size_rem: u64,
         top: u64,
@@ -648,7 +649,7 @@ impl Library {
 
     fn handler_check(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         size_rem: u64,
         top: u64,
@@ -675,7 +676,7 @@ impl Library {
 
     fn steps_check(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         idx: usize,
         env: &mut Env,
@@ -802,7 +803,7 @@ impl Library {
 
     pub(crate) fn run_plan_enum(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         size: u64,
         top: u64,
         inputs: &[Value],
@@ -848,7 +849,7 @@ impl Library {
 
     fn handler_enum(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         size_rem: u64,
         top: u64,
@@ -885,7 +886,7 @@ impl Library {
 
     fn steps_enum(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         idx: usize,
         mut env: Env,
@@ -992,7 +993,7 @@ impl Library {
     fn bind_outs(
         &self,
         stream: EStream<Vec<Value>>,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         idx: usize,
         env: Env,
@@ -1017,7 +1018,7 @@ impl Library {
 
     pub(crate) fn run_plan_gen(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         size: u64,
         top: u64,
         inputs: &[Value],
@@ -1079,7 +1080,7 @@ impl Library {
 
     fn handler_gen(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         size_rem: u64,
         top: u64,
@@ -1106,7 +1107,7 @@ impl Library {
 
     fn handler_gen_steps(
         &self,
-        plan: &Rc<Plan>,
+        plan: &Arc<Plan>,
         h_idx: usize,
         env: &mut Env,
         size_rem: u64,

@@ -63,6 +63,8 @@
 //! assert_eq!(evens, vec![0, 2, 4, 6, 8]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compat;
 pub mod compile;
 pub mod error;
@@ -74,14 +76,14 @@ pub mod plan;
 
 pub use error::{DeriveError, ExecError, InstanceKind};
 pub use exec::BudgetedStream;
-pub use library::{Library, LibraryBuilder, ProbeGuard};
+pub use library::{Library, LibraryBuilder, ProbeGuard, SharedLibrary};
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};
 // Budgets live with the producer combinators; re-exported here because
 // the `try_*` entry points take them. Probes likewise, for `arm_probe`.
 pub use indrel_producers::{
-    Budget, Event, ExecKind, ExecProbe, Exhaustion, FailSite, Meter, NameTable, Resource,
-    SearchStats, TraceProbe,
+    Budget, BudgetPool, Event, ExecKind, ExecProbe, Exhaustion, FailSite, Meter, NameTable,
+    Resource, SearchStats, TraceProbe,
 };
 
 /// Derivation options.

@@ -19,18 +19,23 @@ use indrel_term::{RelId, Universe, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A handwritten checker: `(size, top_size, args) → option bool`.
-pub type HandCheckFn = Rc<dyn Fn(u64, u64, &[Value]) -> Option<bool>>;
+/// `Send + Sync` (like every registered instance) so the built library
+/// can be shared across parallel test workers via [`SharedLibrary`].
+pub type HandCheckFn = Arc<dyn Fn(u64, u64, &[Value]) -> Option<bool> + Send + Sync>;
 
 /// A handwritten enumerator for a `(rel, mode)` instance:
 /// `(size, top_size, inputs) → E (outputs)`, where `inputs` and the
 /// produced output vectors follow the mode's positions in ascending
-/// order.
-pub type HandEnumFn = Rc<dyn Fn(u64, u64, &[Value]) -> EStream<Vec<Value>>>;
+/// order. (The closure must be `Send + Sync`; the streams it returns
+/// stay on the calling thread.)
+pub type HandEnumFn = Arc<dyn Fn(u64, u64, &[Value]) -> EStream<Vec<Value>> + Send + Sync>;
 
 /// A handwritten generator for a `(rel, mode)` instance.
-pub type HandGenFn = Rc<dyn Fn(u64, u64, &[Value], &mut dyn rand::RngCore) -> Option<Vec<Value>>>;
+pub type HandGenFn =
+    Arc<dyn Fn(u64, u64, &[Value], &mut dyn rand::RngCore) -> Option<Vec<Value>> + Send + Sync>;
 
 #[derive(Clone)]
 pub(crate) enum CheckerImpl {
@@ -38,23 +43,42 @@ pub(crate) enum CheckerImpl {
     /// A derived checker: the plan (for inspection and the interpreted
     /// ablation baseline) plus its closure-lowered form (the default
     /// execution strategy).
-    Plan(Rc<Plan>, Rc<crate::lower::LoweredChecker>),
+    Plan(Arc<Plan>, Arc<crate::lower::LoweredChecker>),
 }
 
 #[derive(Clone, Default)]
 pub(crate) struct ProducerImpl {
-    pub(crate) plan: Option<Rc<Plan>>,
+    pub(crate) plan: Option<Arc<Plan>>,
     pub(crate) hand_enum: Option<HandEnumFn>,
     pub(crate) hand_gen: Option<HandGenFn>,
 }
 
-pub(crate) struct Inner {
+/// The immutable core of a built library: everything [`LibraryBuilder`]
+/// froze, and nothing session-local. `Send + Sync` — this is the part a
+/// [`SharedLibrary`] hands across threads.
+pub(crate) struct Shared {
     pub(crate) universe: Universe,
     pub(crate) env: RelEnv,
     /// Dense checker table indexed by relation id (ids are dense per
     /// `RelEnv`), so the hot external-call path avoids hashing.
     pub(crate) checkers: Vec<Option<CheckerImpl>>,
     pub(crate) producers: HashMap<(RelId, Mode), ProducerImpl>,
+}
+
+// The whole point of the split: the frozen core must be shareable
+// across worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Shared>();
+    assert_send_sync::<SharedLibrary>();
+};
+
+/// One session over a [`Shared`] core: the frozen instances plus the
+/// single-threaded mutable execution state (scratch pools, the armed
+/// meter and probe, nesting depth). Field accesses for the frozen part
+/// go through `Deref`.
+pub(crate) struct Inner {
+    pub(crate) shared: Arc<Shared>,
     /// Scratch buffers reused across plan executions (single-threaded).
     pub(crate) pool: std::cell::RefCell<Pool>,
     /// The armed budget meter, if any. Only the `try_*` entry points of
@@ -72,6 +96,28 @@ pub(crate) struct Inner {
     pub(crate) probe_armed: std::cell::Cell<bool>,
     /// Current executor nesting depth, for `Event::Enter`.
     pub(crate) depth: std::cell::Cell<u32>,
+}
+
+impl Inner {
+    /// Fresh session state over a frozen core.
+    fn fresh(shared: Arc<Shared>) -> Inner {
+        Inner {
+            shared,
+            pool: std::cell::RefCell::new(Pool::default()),
+            meter: std::cell::RefCell::new(None),
+            probe: std::cell::RefCell::new(ExecProbe::NoProbe),
+            probe_armed: std::cell::Cell::new(false),
+            depth: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl std::ops::Deref for Inner {
+    type Target = Shared;
+
+    fn deref(&self) -> &Shared {
+        &self.shared
+    }
 }
 
 #[derive(Default)]
@@ -223,9 +269,9 @@ impl LibraryBuilder {
                     self,
                 )
                 .map(|plan| {
-                    let lowered = Rc::new(crate::lower::lower_checker(&plan));
+                    let lowered = Arc::new(crate::lower::lower_checker(&plan));
                     self.checkers
-                        .insert(*rel, CheckerImpl::Plan(Rc::new(plan), lowered));
+                        .insert(*rel, CheckerImpl::Plan(Arc::new(plan), lowered));
                 })
             }
             Key::Producer(rel, mode) => compile_plan(
@@ -237,7 +283,7 @@ impl LibraryBuilder {
                 self,
             )
             .map(|plan| {
-                self.producers.entry((*rel, mode.clone())).or_default().plan = Some(Rc::new(plan));
+                self.producers.entry((*rel, mode.clone())).or_default().plan = Some(Arc::new(plan));
             }),
         };
         self.in_progress.pop();
@@ -251,17 +297,12 @@ impl LibraryBuilder {
             checkers[rel.index()] = Some(imp);
         }
         Library {
-            inner: Rc::new(Inner {
+            inner: Rc::new(Inner::fresh(Arc::new(Shared {
                 universe: self.universe,
                 env: self.env,
                 checkers,
                 producers: self.producers,
-                pool: std::cell::RefCell::new(Pool::default()),
-                meter: std::cell::RefCell::new(None),
-                probe: std::cell::RefCell::new(ExecProbe::NoProbe),
-                probe_armed: std::cell::Cell::new(false),
-                depth: std::cell::Cell::new(0),
-            }),
+            }))),
         }
     }
 }
@@ -311,10 +352,83 @@ impl std::fmt::Debug for Library {
     }
 }
 
+/// A `Send + Sync` handle on a library's frozen core, for parallel
+/// test runs: derived plans, lowered checkers, and handwritten
+/// instances are shared (never re-derived), while each worker gets its
+/// own single-threaded session state — scratch pools, armed meter,
+/// armed probe — by calling [`SharedLibrary::fork`].
+///
+/// # Example
+///
+/// ```
+/// use indrel_core::LibraryBuilder;
+/// use indrel_rel::{parse::parse_program, RelEnv};
+/// use indrel_term::{Universe, Value};
+///
+/// let mut u = Universe::new();
+/// let mut env = RelEnv::new();
+/// parse_program(&mut u, &mut env, r"
+///     rel even' : nat :=
+///     | even_0  : even' 0
+///     | even_SS : forall n, even' n -> even' (S (S n))
+///     .
+/// ").unwrap();
+/// let even = env.rel_id("even'").unwrap();
+/// let mut builder = LibraryBuilder::new(u, env);
+/// builder.derive_checker(even).unwrap();
+/// let shared = builder.build().shared();
+///
+/// let worker = std::thread::spawn(move || {
+///     let lib = shared.fork(); // same compiled plans, fresh session
+///     lib.check(even, 10, 10, &[Value::nat(4)])
+/// });
+/// assert_eq!(worker.join().unwrap(), Some(true));
+/// ```
+#[derive(Clone)]
+pub struct SharedLibrary {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SharedLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedLibrary")
+            .field("checkers", &self.shared.checkers.len())
+            .field("producers", &self.shared.producers.len())
+            .finish()
+    }
+}
+
+impl SharedLibrary {
+    /// A fresh [`Library`] session over the shared core, with its own
+    /// scratch pools and (unarmed) meter and probe. O(1) — nothing is
+    /// re-derived or re-lowered.
+    pub fn fork(&self) -> Library {
+        Library {
+            inner: Rc::new(Inner::fresh(Arc::clone(&self.shared))),
+        }
+    }
+}
+
 impl Library {
     /// The universe the library was built over.
     pub fn universe(&self) -> &Universe {
         &self.inner.universe
+    }
+
+    /// A `Send + Sync` handle on this library's frozen core; see
+    /// [`SharedLibrary`].
+    pub fn shared(&self) -> SharedLibrary {
+        SharedLibrary {
+            shared: Arc::clone(&self.inner.shared),
+        }
+    }
+
+    /// A fresh session over the same frozen core — shorthand for
+    /// `self.shared().fork()`. The fork shares all compiled instances
+    /// but none of the session state (pools, armed meter/probe), which
+    /// is what a parallel test worker wants.
+    pub fn fork(&self) -> Library {
+        self.shared().fork()
     }
 
     /// The relation environment the library was built over.

@@ -29,10 +29,11 @@ use crate::plan::{Plan, Step};
 use indrel_producers::probe::{Event, ExecKind, FailSite};
 use indrel_producers::{bind_ec, cnot, EStream, Outcome};
 use indrel_term::{Env, Pattern, RelId, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The continuation type: runs the remaining steps of a handler.
-type Cont = Rc<dyn Fn(&Library, &LoweredChecker, &mut Env, u64, u64) -> Option<bool>>;
+type Cont =
+    Arc<dyn Fn(&Library, &LoweredChecker, &mut Env, u64, u64) -> Option<bool> + Send + Sync>;
 
 /// One compiled handler: input patterns plus the composed step closure.
 pub(crate) struct LoweredHandler {
@@ -75,12 +76,12 @@ pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
 /// handler's index, baked in for probe events.
 fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
     let Some(step) = steps.get(idx) else {
-        return Rc::new(|_, _, _, _, _| Some(true));
+        return Arc::new(|_, _, _, _, _| Some(true));
     };
     let rest = lower_steps(steps, idx + 1, rule);
     let site = FailSite::Step(idx as u32);
     match step.clone() {
-        Step::EqCheck { lhs, rhs, negated } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::EqCheck { lhs, rhs, negated } => Arc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let l = lhs.eval(env, u).expect("plan invariant: lhs instantiated");
             let r = rhs.eval(env, u).expect("plan invariant: rhs instantiated");
@@ -94,14 +95,14 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             }
             rest(lib, low, env, size_rem, top)
         }),
-        Step::EqBind { var, expr } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::EqBind { var, expr } => Arc::new(move |lib, low, env, size_rem, top| {
             let v = expr
                 .eval(env, lib.universe())
                 .expect("plan invariant: expr instantiated");
             env.bind(var, v);
             rest(lib, low, env, size_rem, top)
         }),
-        Step::MatchExpr { scrutinee, pattern } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::MatchExpr { scrutinee, pattern } => Arc::new(move |lib, low, env, size_rem, top| {
             let v = scrutinee
                 .eval(env, lib.universe())
                 .expect("plan invariant: scrutinee instantiated");
@@ -116,7 +117,7 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
                 Some(false)
             }
         }),
-        Step::CheckRel { rel, args, negated } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::CheckRel { rel, args, negated } => Arc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let vals: Vec<Value> = args
                 .iter()
@@ -131,7 +132,7 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
                 other => other,
             }
         }),
-        Step::RecCheck { args } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::RecCheck { args } => Arc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let vals: Vec<Value> = args
                 .iter()
@@ -147,7 +148,7 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             mode,
             in_args,
             out_slots,
-        } => Rc::new(move |lib, low, env, size_rem, top| {
+        } => Arc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
             let in_vals: Vec<Value> = in_args
                 .iter()
@@ -165,7 +166,7 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
         Step::ProduceRec { .. } => {
             unreachable!("checker plans never contain ProduceRec")
         }
-        Step::Unconstrained { var, ty } => Rc::new(move |lib, low, env, size_rem, top| {
+        Step::Unconstrained { var, ty } => Arc::new(move |lib, low, env, size_rem, top| {
             let candidates = lib.raw_values(&ty, top);
             let truncated = lib.raw_truncated(&ty, top);
             let values = (0..candidates.len())

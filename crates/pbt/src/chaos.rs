@@ -38,6 +38,7 @@ use crate::TestOutcome;
 use indrel_term::Value;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+use std::hash::{Hash, Hasher};
 use std::panic;
 
 /// Stream separators so the generator and property wrappers see
@@ -140,11 +141,75 @@ impl Chaos {
             f(args)
         }
     }
+
+    /// [`Chaos::wrap_gen`] for the parallel engine
+    /// ([`Runner::run_par`](crate::Runner::run_par)).
+    ///
+    /// The sequential wrapper keys its fault schedule on *call order*,
+    /// which is meaningless under work stealing. This wrapper instead
+    /// rolls faults from the RNG handed to the generator — the slot's
+    /// own deterministic stream — so whether test `(seed, index)` gets
+    /// a fault is identical at any worker count. Rolls consume slot
+    /// randomness, so a nonzero-rate wrapped generator produces
+    /// different inputs than the bare one; zero-rate wrapping draws
+    /// nothing and is a no-op, as in the sequential wrapper.
+    ///
+    /// The wrapper holds no schedule state of its own (`Send`/`Sync`
+    /// follow from `F`), so build one per worker inside the `make`
+    /// factory — even around a worker-local forked session.
+    pub fn wrap_gen_par<F>(&self, f: F) -> impl Fn(u64, &mut dyn RngCore) -> Option<Vec<Value>>
+    where
+        F: Fn(u64, &mut dyn RngCore) -> Option<Vec<Value>>,
+    {
+        let panic_rate = self.gen_panic_rate;
+        let none_rate = self.none_rate;
+        move |size, rng| {
+            if roll(rng, panic_rate) {
+                panic!("chaos: injected generator panic");
+            }
+            if roll(rng, none_rate) {
+                return None;
+            }
+            f(size, rng)
+        }
+    }
+
+    /// [`Chaos::wrap_property`] for the parallel engine.
+    ///
+    /// Properties receive no RNG, so per-test determinism comes from a
+    /// fingerprint instead: faults are rolled from a fresh RNG seeded
+    /// by hashing the chaos seed with the input tuple. The same input
+    /// is faulted the same way on every run and at any worker count
+    /// (within one build — the fingerprint uses
+    /// [`std::hash::DefaultHasher`], which is stable per build, not
+    /// across toolchains).
+    pub fn wrap_property_par<F>(&self, f: F) -> impl Fn(&[Value]) -> TestOutcome
+    where
+        F: Fn(&[Value]) -> TestOutcome,
+    {
+        let seed = self.seed ^ PROP_STREAM;
+        let panic_rate = self.prop_panic_rate;
+        let burn_rate = self.burn_rate;
+        let burn_iters = self.burn_iters;
+        move |args| {
+            let mut h = std::hash::DefaultHasher::new();
+            seed.hash(&mut h);
+            args.hash(&mut h);
+            let mut faults = SmallRng::seed_from_u64(h.finish());
+            if roll(&mut faults, burn_rate) {
+                burn(burn_iters);
+            }
+            if roll(&mut faults, panic_rate) {
+                panic!("chaos: injected checker panic on {args:?}");
+            }
+            f(args)
+        }
+    }
 }
 
 /// True with probability `p`; draws nothing when `p` is zero, so a
 /// disabled fault does not perturb the schedules of enabled ones.
-fn roll(rng: &mut SmallRng, p: f64) -> bool {
+fn roll<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
     p > 0.0 && ((rng.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
 }
 

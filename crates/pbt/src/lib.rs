@@ -18,6 +18,13 @@
 //! structured [`Exhaustion`] reason instead of hanging. The [`chaos`]
 //! module injects faults on purpose to test exactly these paths.
 //!
+//! Runs can execute across worker threads: configure
+//! [`Parallelism`] and call [`Runner::run_par`], which shards test
+//! indices over deterministic per-index RNG streams so the merged
+//! [`RunReport`] is byte-identical regardless of worker count — see
+//! the [`par`] module for the full model and the `(seed, index)`
+//! reproduction token.
+//!
 //! # Example
 //!
 //! ```
@@ -34,7 +41,12 @@
 //! assert_eq!(report.passed, 1000);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chaos;
+pub mod par;
+
+pub use par::Parallelism;
 
 use indrel_producers::{Budget, Exhaustion, Hist, Meter};
 use indrel_term::Value;
@@ -169,6 +181,17 @@ pub struct RunReport {
     /// Set when the runner's [`Budget`] stopped the run before the
     /// requested number of tests.
     pub stopped: Option<Exhaustion>,
+    /// The seed the run was started with — one half of the
+    /// reproduction token.
+    pub seed: u64,
+    /// The counterexample's slot index, for runs executed by the
+    /// parallel engine ([`Runner::run_par`]). Together with
+    /// [`RunReport::seed`] this is the *reproduction token*: replay it
+    /// with [`Runner::repro_index`] on any machine, with any worker
+    /// count. `None` for sequential runs (whose RNG is threaded
+    /// through the whole run, so single tests are not independently
+    /// replayable) and for parallel runs that did not fail.
+    pub failed_index: Option<u64>,
     /// Budget accounting for the whole run.
     pub spent: Spent,
     /// Label counts from [`Labels::collect`] / [`Labels::classify`],
@@ -194,6 +217,14 @@ impl RunReport {
         } else {
             100.0 * self.discarded as f64 / attempts as f64
         }
+    }
+
+    /// The `(seed, index)` reproduction token of a parallel run's
+    /// counterexample — `None` unless this report has a
+    /// [`failed_index`](RunReport::failed_index). Feed it back to
+    /// [`Runner::repro_index`] to replay exactly the failing test.
+    pub fn reproduction(&self) -> Option<(u64, u64)> {
+        self.failed_index.map(|i| (self.seed, i))
     }
 }
 
@@ -226,6 +257,9 @@ impl fmt::Display for RunReport {
             write!(f, " [{} crashed]", self.crashed)?;
         }
         writeln!(f)?;
+        if let Some(index) = self.failed_index {
+            writeln!(f, "  repro:     seed={} index={index}", self.seed)?;
+        }
         match &self.first_crash {
             Some(c) => writeln!(
                 f,
@@ -306,23 +340,35 @@ pub struct Runner {
     size: u64,
     max_discards: usize,
     budget: Budget,
+    parallelism: Parallelism,
 }
 
 impl Runner {
     /// A runner with the given seed, default size 10, a discard budget
-    /// of 10× the test budget, and no resource budget.
+    /// of 10× the test budget, no resource budget, and
+    /// [`Parallelism::Off`].
     pub fn new(seed: u64) -> Runner {
         Runner {
             seed,
             size: 10,
             max_discards: 0,
             budget: Budget::unlimited(),
+            parallelism: Parallelism::Off,
         }
     }
 
     /// Sets the generation size.
     pub fn with_size(mut self, size: u64) -> Runner {
         self.size = size;
+        self
+    }
+
+    /// Sets the worker-thread configuration used by
+    /// [`Runner::run_par`]. Reports from budget-unlimited parallel
+    /// runs are byte-identical across every [`Parallelism`] setting;
+    /// [`Runner::run`] is unaffected.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Runner {
+        self.parallelism = parallelism;
         self
     }
 
@@ -377,10 +423,10 @@ impl Runner {
             self.max_discards
         };
         while passed + crashed < n && discarded < max_discards {
-            // One step per attempted test. The deadline is polled every
-            // test (not every DEADLINE_POLL_PERIOD charges) because a
-            // single test can be arbitrarily slow.
-            if !meter.charge_step() || !meter.check_deadline() {
+            // One step per attempted test. The deadline poll rides on
+            // charge_step's own once-per-DEADLINE_POLL_PERIOD check —
+            // no extra Instant::now() on the per-test hot path.
+            if !meter.charge_step() {
                 break;
             }
             let input = match catch_unwind(AssertUnwindSafe(|| generate(self.size, &mut rng))) {
@@ -441,6 +487,8 @@ impl Runner {
             first_crash,
             failed,
             stopped: meter.exhaustion(),
+            seed: self.seed,
+            failed_index: None,
             spent: Spent {
                 steps: meter.steps_used(),
                 backtracks: meter.backtracks_used(),
@@ -504,6 +552,7 @@ impl Runner {
                 size: self.size,
                 max_discards: self.max_discards,
                 budget: self.budget,
+                parallelism: self.parallelism,
             };
             let report = runner.run(budget, &mut generate, &mut property);
             match report.failed {

@@ -21,6 +21,8 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A budgeted resource (everything except wall-clock time, which is
@@ -193,7 +195,7 @@ impl std::fmt::Display for Budget {
 /// How often [`Meter::charge_step`] polls the wall clock: checking
 /// `Instant::now()` on every charge would dominate the cost of the
 /// cheap charges, so the deadline is polled once per this many charges.
-const DEADLINE_POLL_PERIOD: u32 = 16;
+pub const DEADLINE_POLL_PERIOD: u32 = 16;
 
 #[derive(Debug)]
 struct MeterState {
@@ -332,6 +334,214 @@ impl Meter {
     }
 }
 
+// Exhaustion causes, encoded for the pool's first-wins atomic slot.
+const EXH_NONE: u8 = 0;
+const EXH_STEPS: u8 = 1;
+const EXH_BACKTRACKS: u8 = 2;
+const EXH_TERM_SIZE: u8 = 3;
+const EXH_DEADLINE: u8 = 4;
+
+fn decode_exhaustion(code: u8) -> Option<Exhaustion> {
+    match code {
+        EXH_NONE => None,
+        EXH_STEPS => Some(Exhaustion::Budget(Resource::Steps)),
+        EXH_BACKTRACKS => Some(Exhaustion::Budget(Resource::Backtracks)),
+        EXH_TERM_SIZE => Some(Exhaustion::Budget(Resource::TermSize)),
+        EXH_DEADLINE => Some(Exhaustion::Deadline),
+        _ => unreachable!("invalid exhaustion code {code}"),
+    }
+}
+
+#[derive(Debug)]
+struct PoolState {
+    // `u64::MAX` means unlimited; drawn down by CAS otherwise.
+    steps_left: AtomicU64,
+    backtracks_left: AtomicU64,
+    steps_used: AtomicU64,
+    backtracks_used: AtomicU64,
+    max_term_size: u64,
+    deadline: Option<Instant>,
+    // First-wins: set once by whichever worker hits a limit first.
+    exhaustion: AtomicU8,
+}
+
+/// A thread-safe account of one shared [`Budget`], drawn from in chunks.
+///
+/// Where a [`Meter`] is a single-threaded running account (cheap `Cell`
+/// counters, `Rc`-shared), a `BudgetPool` is its atomic counterpart for
+/// parallel runs: clones share one pool (`Arc`), and each worker draws
+/// a *chunk* of steps or backtracks into a thread-local cache with
+/// [`BudgetPool::draw_steps`], charging the atomics once per chunk
+/// instead of once per unit. Unused units are handed back with
+/// [`BudgetPool::return_steps`] when the worker stops, so the
+/// [`BudgetPool::steps_used`] totals are exact even though draws are
+/// batched. The wall-clock deadline is polled per chunk refill
+/// ([`BudgetPool::check_deadline`]), never on the per-unit hot path.
+///
+/// Like a meter, a pool is *poisoned* by the first failed draw (or
+/// missed deadline): later draws return 0 immediately, and
+/// [`BudgetPool::exhaustion`] reports what ran out first — first in
+/// poisoning order, not wall-clock order of the underlying work.
+///
+/// # Example
+///
+/// ```
+/// use indrel_producers::budget::{Budget, BudgetPool};
+/// let pool = BudgetPool::new(Budget::unlimited().with_steps(100));
+/// let got = pool.draw_steps(64); // a worker takes a chunk...
+/// assert_eq!(got, 64);
+/// pool.return_steps(got - 10); // ...uses 10, returns the rest.
+/// assert_eq!(pool.steps_used(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BudgetPool {
+    state: Arc<PoolState>,
+}
+
+impl BudgetPool {
+    /// Starts pooling `budget`; the deadline clock starts now.
+    pub fn new(budget: Budget) -> BudgetPool {
+        BudgetPool {
+            state: Arc::new(PoolState {
+                steps_left: AtomicU64::new(budget.steps.unwrap_or(u64::MAX)),
+                backtracks_left: AtomicU64::new(budget.backtracks.unwrap_or(u64::MAX)),
+                steps_used: AtomicU64::new(0),
+                backtracks_used: AtomicU64::new(0),
+                max_term_size: budget.max_term_size.unwrap_or(u64::MAX),
+                deadline: budget.deadline.map(|d| Instant::now() + d),
+                exhaustion: AtomicU8::new(EXH_NONE),
+            }),
+        }
+    }
+
+    /// A pool that admits everything (still counts usage).
+    pub fn unlimited() -> BudgetPool {
+        BudgetPool::new(Budget::unlimited())
+    }
+
+    fn poison(&self, code: u8) {
+        let _ = self.state.exhaustion.compare_exchange(
+            EXH_NONE,
+            code,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    // Draws up to `want` units from `left`, provisionally counting the
+    // grant as used (the worker gives back leftovers via `ret`).
+    fn draw(&self, left: &AtomicU64, used: &AtomicU64, want: u64, code: u8) -> u64 {
+        if self.is_exhausted() || want == 0 {
+            return 0;
+        }
+        let mut cur = left.load(Ordering::Relaxed);
+        loop {
+            if cur == u64::MAX {
+                // Unlimited: no draw-down, so no CAS contention.
+                used.fetch_add(want, Ordering::Relaxed);
+                return want;
+            }
+            let take = want.min(cur);
+            if take == 0 {
+                self.poison(code);
+                return 0;
+            }
+            match left.compare_exchange_weak(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    used.fetch_add(take, Ordering::Relaxed);
+                    return take;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn ret(&self, left: &AtomicU64, used: &AtomicU64, unused: u64) {
+        if unused == 0 {
+            return;
+        }
+        used.fetch_sub(unused, Ordering::Relaxed);
+        if left.load(Ordering::Relaxed) != u64::MAX {
+            left.fetch_add(unused, Ordering::Relaxed);
+        }
+    }
+
+    /// Draws up to `want` steps; returns the number granted. A return
+    /// of 0 (with `want > 0`) means the pool is exhausted and poisoned.
+    pub fn draw_steps(&self, want: u64) -> u64 {
+        let s = &*self.state;
+        self.draw(&s.steps_left, &s.steps_used, want, EXH_STEPS)
+    }
+
+    /// Draws up to `want` backtracks; returns the number granted.
+    pub fn draw_backtracks(&self, want: u64) -> u64 {
+        let s = &*self.state;
+        self.draw(&s.backtracks_left, &s.backtracks_used, want, EXH_BACKTRACKS)
+    }
+
+    /// Hands back steps drawn but not consumed, keeping usage exact.
+    pub fn return_steps(&self, unused: u64) {
+        let s = &*self.state;
+        self.ret(&s.steps_left, &s.steps_used, unused);
+    }
+
+    /// Hands back backtracks drawn but not consumed.
+    pub fn return_backtracks(&self, unused: u64) {
+        let s = &*self.state;
+        self.ret(&s.backtracks_left, &s.backtracks_used, unused);
+    }
+
+    /// Admits or rejects an argument term of `size` constructor nodes.
+    pub fn admit_term_size(&self, size: u64) -> bool {
+        if self.is_exhausted() {
+            return false;
+        }
+        if size > self.state.max_term_size {
+            self.poison(EXH_TERM_SIZE);
+            return false;
+        }
+        true
+    }
+
+    /// Polls the wall clock if a deadline is set; returns `false` (and
+    /// poisons the pool) when the deadline has passed. Intended to be
+    /// called once per chunk refill, not per unit of work.
+    pub fn check_deadline(&self) -> bool {
+        if self.is_exhausted() {
+            return false;
+        }
+        match self.state.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.poison(EXH_DEADLINE);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// What poisoned the pool, if anything has.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        decode_exhaustion(self.state.exhaustion.load(Ordering::Relaxed))
+    }
+
+    /// True once any draw has failed or the deadline has passed.
+    pub fn is_exhausted(&self) -> bool {
+        self.state.exhaustion.load(Ordering::Relaxed) != EXH_NONE
+    }
+
+    /// Steps drawn and not returned — exact once all workers have
+    /// stopped and handed back their leftovers.
+    pub fn steps_used(&self) -> u64 {
+        self.state.steps_used.load(Ordering::Relaxed)
+    }
+
+    /// Backtracks drawn and not returned.
+    pub fn backtracks_used(&self) -> u64 {
+        self.state.backtracks_used.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +637,70 @@ mod tests {
             "steps≤1, backtracks≤2, deadline 3ms, term size≤4"
         );
         assert_eq!(Budget::unlimited().to_string(), "unlimited");
+    }
+
+    #[test]
+    fn pool_draws_and_returns_exactly() {
+        let pool = BudgetPool::new(Budget::unlimited().with_steps(100));
+        assert_eq!(pool.draw_steps(64), 64);
+        assert_eq!(pool.draw_steps(64), 36); // partial final chunk
+        assert_eq!(pool.draw_steps(1), 0); // dry → poisoned
+        assert_eq!(pool.exhaustion(), Some(Exhaustion::Budget(Resource::Steps)));
+        pool.return_steps(30);
+        assert_eq!(pool.steps_used(), 70);
+        // Poisoning is first-wins even after a return frees capacity.
+        assert_eq!(pool.draw_steps(1), 0);
+    }
+
+    #[test]
+    fn pool_unlimited_never_draws_down() {
+        let pool = BudgetPool::unlimited();
+        assert_eq!(pool.draw_steps(1 << 40), 1 << 40);
+        assert_eq!(pool.draw_backtracks(7), 7);
+        pool.return_backtracks(3);
+        assert_eq!(pool.steps_used(), 1 << 40);
+        assert_eq!(pool.backtracks_used(), 4);
+        assert!(pool.check_deadline());
+        assert!(pool.admit_term_size(u64::MAX));
+        assert_eq!(pool.exhaustion(), None);
+    }
+
+    #[test]
+    fn pool_deadline_and_term_size_poison() {
+        let pool = BudgetPool::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        assert!(!pool.check_deadline());
+        assert_eq!(pool.exhaustion(), Some(Exhaustion::Deadline));
+        assert_eq!(pool.draw_steps(1), 0);
+
+        let pool = BudgetPool::new(Budget::unlimited().with_max_term_size(5));
+        assert!(pool.admit_term_size(5));
+        assert!(!pool.admit_term_size(6));
+        assert_eq!(
+            pool.exhaustion(),
+            Some(Exhaustion::Budget(Resource::TermSize))
+        );
+    }
+
+    #[test]
+    fn pool_accounting_is_exact_across_threads() {
+        let pool = BudgetPool::new(Budget::unlimited().with_steps(10_000));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                scope.spawn(move || loop {
+                    let got = pool.draw_steps(64);
+                    if got == 0 {
+                        break;
+                    }
+                    // Pretend to consume half of each chunk.
+                    pool.return_steps(got - got.div_ceil(2));
+                });
+            }
+        });
+        // Every drawn-and-kept unit is accounted for, none lost or
+        // double-counted, regardless of thread interleaving.
+        assert_eq!(pool.steps_used(), 10_000);
+        assert!(pool.is_exhausted());
     }
 
     #[test]

@@ -31,13 +31,15 @@
 //!   events from the executors' charge sites, aggregated by
 //!   [`probe::SearchStats`] or traced by [`probe::TraceProbe`].
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod checker;
 pub mod estream;
 pub mod gen;
 pub mod probe;
 
-pub use budget::{Budget, Exhaustion, Meter, Resource};
+pub use budget::{Budget, BudgetPool, Exhaustion, Meter, Resource, DEADLINE_POLL_PERIOD};
 pub use checker::{backtracking, backtracking_metered, cand, cnot, cor, CheckResult};
 pub use estream::{bind_ec, enumerating, EStream, Outcome};
 pub use gen::{backtrack, Gen};

@@ -28,10 +28,9 @@
 //! [`Display`]: std::fmt::Display
 
 use indrel_term::RelId;
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Which executor family emitted an event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -162,6 +161,13 @@ impl NameTable {
     }
 }
 
+// Probe sinks tolerate panics in instrumented executors (the PBT layer
+// isolates them with `catch_unwind`): stats updates never leave a sink
+// in a torn state, so a poisoned lock is safe to keep reading.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Escapes a string for inclusion in a JSON string literal (without the
 /// surrounding quotes). Covers the characters that can actually occur
 /// in relation/rule names and panic messages; other control characters
@@ -234,6 +240,22 @@ impl Hist {
     /// Mean sample (NaN when empty).
     pub fn mean(&self) -> f64 {
         self.sum as f64 / self.total as f64
+    }
+
+    /// Folds another histogram into this one: bucket counts, totals,
+    /// and sums add; maxima take the larger. Merging is associative and
+    /// commutative, so per-worker histograms combine into the same
+    /// aggregate regardless of merge order.
+    pub fn merge(&mut self, other: &Hist) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Non-empty buckets as `(lo, hi, count)`, ascending.
@@ -321,11 +343,15 @@ struct StatsState {
 
 /// An aggregating probe: counters and histograms over the whole search,
 /// with a [`Display`](fmt::Display) table and a deterministic
-/// [`SearchStats::to_json`]. Clones share state, so keep a handle and
-/// read it after the armed run finishes.
+/// [`SearchStats::to_json`]. Clones share state (`Arc<Mutex>`, so the
+/// sink is `Send + Sync`): keep a handle and read it after the armed
+/// run finishes. For parallel runs, give each worker its own
+/// accumulator and fold them together with [`SearchStats::merge_from`]
+/// rather than sharing one sink — that keeps the hot path uncontended
+/// and the aggregate deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
-    state: Rc<RefCell<StatsState>>,
+    state: Arc<Mutex<StatsState>>,
 }
 
 impl SearchStats {
@@ -336,12 +362,12 @@ impl SearchStats {
 
     /// Installs the name table used for display and export.
     pub fn set_names(&self, names: NameTable) {
-        self.state.borrow_mut().names = names;
+        lock(&self.state).names = names;
     }
 
     /// Records one event.
     pub fn record(&self, e: Event) {
-        let mut s = self.state.borrow_mut();
+        let mut s = lock(&self.state);
         s.events += 1;
         match e {
             Event::Enter { kind, depth, .. } => {
@@ -375,57 +401,83 @@ impl SearchStats {
         }
     }
 
+    /// Folds another accumulator's counters into this one. All counters
+    /// and histogram buckets add, so merging per-worker stats from a
+    /// parallel run is associative and commutative — the aggregate is
+    /// independent of worker scheduling and merge order. The name table
+    /// of `self` is kept (`other`'s is ignored).
+    pub fn merge_from(&self, other: &SearchStats) {
+        // Take a snapshot first so merging a stats handle into itself
+        // (or a clone sharing its state) cannot deadlock.
+        let snap = {
+            let o = lock(&other.state);
+            (
+                o.rules.clone(),
+                o.fails.clone(),
+                o.enters,
+                o.depths.clone(),
+                o.term_sizes.clone(),
+                o.events,
+            )
+        };
+        let mut s = lock(&self.state);
+        for (key, r) in snap.0 {
+            let dst = s.rules.entry(key).or_default();
+            dst.attempts += r.attempts;
+            dst.successes += r.successes;
+            dst.backtracks += r.backtracks;
+        }
+        for (key, count) in snap.1 {
+            *s.fails.entry(key).or_default() += count;
+        }
+        for (dst, src) in s.enters.iter_mut().zip(snap.2) {
+            *dst += src;
+        }
+        s.depths.merge(&snap.3);
+        s.term_sizes.merge(&snap.4);
+        s.events += snap.5;
+    }
+
     /// Total events recorded.
     pub fn events(&self) -> u64 {
-        self.state.borrow().events
+        lock(&self.state).events
     }
 
     /// Executor entries for one family — the search's "steps" as the
     /// budget layer counts them (checker/generator recursions,
     /// enumerator stream creations).
     pub fn enters(&self, kind: ExecKind) -> u64 {
-        self.state.borrow().enters[kind as usize]
+        lock(&self.state).enters[kind as usize]
     }
 
     /// Executor entries across all families.
     pub fn total_enters(&self) -> u64 {
-        self.state.borrow().enters.iter().sum()
+        lock(&self.state).enters.iter().sum()
     }
 
     /// Rule attempts across all rules.
     pub fn total_attempts(&self) -> u64 {
-        self.state.borrow().rules.values().map(|r| r.attempts).sum()
+        lock(&self.state).rules.values().map(|r| r.attempts).sum()
     }
 
     /// Rule successes across all rules.
     pub fn total_successes(&self) -> u64 {
-        self.state
-            .borrow()
-            .rules
-            .values()
-            .map(|r| r.successes)
-            .sum()
+        lock(&self.state).rules.values().map(|r| r.successes).sum()
     }
 
     /// Abandoned rules across all rules.
     pub fn total_backtracks(&self) -> u64 {
-        self.state
-            .borrow()
-            .rules
-            .values()
-            .map(|r| r.backtracks)
-            .sum()
+        lock(&self.state).rules.values().map(|r| r.backtracks).sum()
     }
 
     /// Unification failures across all sites.
     pub fn total_unify_fails(&self) -> u64 {
-        self.state.borrow().fails.values().sum()
+        lock(&self.state).fails.values().sum()
     }
 
     /// Counters for one `(rel, rule)` pair.
     pub fn rule_stats(&self, rel: RelId, rule: u32) -> RuleStats {
-        self.state
-            .borrow()
+        lock(&self.state)
             .rules
             .get(&(rel.index() as u32, rule))
             .copied()
@@ -434,19 +486,19 @@ impl SearchStats {
 
     /// The choice-point-depth histogram.
     pub fn depth_hist(&self) -> Hist {
-        self.state.borrow().depths.clone()
+        lock(&self.state).depths.clone()
     }
 
     /// The produced-term-size histogram.
     pub fn term_size_hist(&self) -> Hist {
-        self.state.borrow().term_sizes.clone()
+        lock(&self.state).term_sizes.clone()
     }
 
     /// The `n` most frequent unification-failure sites, as
     /// `(description, count)`, ties broken by site key so the order is
     /// deterministic.
     pub fn top_fail_sites(&self, n: usize) -> Vec<(String, u64)> {
-        let s = self.state.borrow();
+        let s = lock(&self.state);
         let mut sites: Vec<(&(u32, u32, FailSite), &u64)> = s.fails.iter().collect();
         sites.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         sites
@@ -471,7 +523,7 @@ impl SearchStats {
     /// timestamps — two runs with the same seed and budget produce
     /// byte-identical output.
     pub fn to_json(&self) -> String {
-        let s = self.state.borrow();
+        let s = lock(&self.state);
         let rules: Vec<String> = s
             .rules
             .iter()
@@ -524,7 +576,7 @@ impl SearchStats {
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.state.borrow();
+        let s = lock(&self.state);
         writeln!(
             f,
             "search stats: {} events ({} checker / {} enumerator / {} generator entries)",
@@ -567,7 +619,7 @@ impl fmt::Display for SearchStats {
 /// dropped (and counted). Dump with [`TraceProbe::to_json_lines`].
 #[derive(Clone, Debug)]
 pub struct TraceProbe {
-    state: Rc<RefCell<TraceState>>,
+    state: Arc<Mutex<TraceState>>,
 }
 
 #[derive(Debug)]
@@ -583,7 +635,7 @@ impl TraceProbe {
     /// A trace buffer holding at most `capacity` events.
     pub fn new(capacity: usize) -> TraceProbe {
         TraceProbe {
-            state: Rc::new(RefCell::new(TraceState {
+            state: Arc::new(Mutex::new(TraceState {
                 names: NameTable::default(),
                 capacity: capacity.max(1),
                 next_seq: 0,
@@ -595,12 +647,12 @@ impl TraceProbe {
 
     /// Installs the name table used for export.
     pub fn set_names(&self, names: NameTable) {
-        self.state.borrow_mut().names = names;
+        lock(&self.state).names = names;
     }
 
     /// Records one event, evicting the oldest when full.
     pub fn record(&self, e: Event) {
-        let mut s = self.state.borrow_mut();
+        let mut s = lock(&self.state);
         if s.buf.len() == s.capacity {
             s.buf.pop_front();
             s.dropped += 1;
@@ -612,7 +664,7 @@ impl TraceProbe {
 
     /// Events currently buffered.
     pub fn len(&self) -> usize {
-        self.state.borrow().buf.len()
+        lock(&self.state).buf.len()
     }
 
     /// `true` when nothing has been recorded (or everything dropped).
@@ -622,18 +674,18 @@ impl TraceProbe {
 
     /// Events evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
-        self.state.borrow().dropped
+        lock(&self.state).dropped
     }
 
     /// The buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.state.borrow().buf.iter().map(|(_, e)| *e).collect()
+        lock(&self.state).buf.iter().map(|(_, e)| *e).collect()
     }
 
     /// The buffered events as JSON lines (one object per line, oldest
     /// first), for post-mortem analysis with ordinary line tools.
     pub fn to_json_lines(&self) -> String {
-        let s = self.state.borrow();
+        let s = lock(&self.state);
         let mut out = String::new();
         for (seq, e) in &s.buf {
             out.push_str(&event_json(*seq, e, &s.names));
@@ -859,6 +911,84 @@ mod tests {
             rule: 0,
         });
         assert_eq!(stats.total_attempts(), 1, "NoProbe records nothing");
+    }
+
+    #[test]
+    fn hist_merge_is_associative() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        let mut c = Hist::default();
+        for v in [0, 1, 2] {
+            a.record(v);
+        }
+        for v in [3, 100] {
+            b.record(v);
+        }
+        c.record(7);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.total(), 6);
+        assert_eq!(ab_c.max(), 100);
+        assert_eq!(ab_c.to_json(), a_bc.to_json());
+    }
+
+    #[test]
+    fn stats_merge_equals_single_sink() {
+        let rel = RelId::new(0);
+        let events = [
+            Event::Enter {
+                rel,
+                kind: ExecKind::Checker,
+                depth: 0,
+            },
+            Event::RuleAttempt { rel, rule: 0 },
+            Event::UnifyFail {
+                rel,
+                rule: 0,
+                site: FailSite::Inputs,
+            },
+            Event::Backtrack { rel, rule: 0 },
+            Event::RuleAttempt { rel, rule: 1 },
+            Event::RuleSuccess { rel, rule: 1 },
+            Event::TermProduced { rel, size: 5 },
+        ];
+        // One sink seeing everything...
+        let whole = SearchStats::new();
+        whole.set_names(names());
+        for e in events {
+            whole.record(e);
+        }
+        // ...equals two per-worker sinks merged, whichever way the
+        // events were split.
+        let left = SearchStats::new();
+        left.set_names(names());
+        let right = SearchStats::new();
+        for (i, e) in events.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(*e);
+            } else {
+                right.record(*e);
+            }
+        }
+        left.merge_from(&right);
+        assert_eq!(left.to_json(), whole.to_json());
+        assert_eq!(left.events(), whole.events());
+    }
+
+    #[test]
+    fn stats_sink_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchStats>();
+        assert_send_sync::<TraceProbe>();
+        assert_send_sync::<ExecProbe>();
+        assert_send_sync::<crate::budget::BudgetPool>();
     }
 
     #[test]

@@ -175,7 +175,10 @@ impl Reflection {
 /// Proof construction and checking recurse once per list element; at
 /// the paper's `n = 2000` (and beyond) that exceeds the 2 MiB default
 /// of test threads. The whole case study is built inside the spawned
-/// thread because libraries are single-threaded (`Rc`-based).
+/// thread: a `Library` *session* is single-threaded (its scratch pools
+/// and probe state are `Rc`/`RefCell`-based), and nothing here needs
+/// the cross-thread `SharedLibrary`/`fork()` path that parallel test
+/// runs use.
 ///
 /// # Panics
 ///

@@ -6,7 +6,7 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The sentinel produced by [`TypeExpr::named`]: resolved to the datatype
 /// currently being declared.
@@ -93,8 +93,9 @@ pub struct FunDecl {
 }
 
 /// The implementation of a registered function: total over well-typed
-/// argument tuples.
-pub type FunImpl = Rc<dyn Fn(&[Value]) -> Value>;
+/// argument tuples. `Send + Sync` so a built [`Universe`] can be shared
+/// across worker threads by the parallel test runner.
+pub type FunImpl = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
 
 impl FunDecl {
     /// Function name.
@@ -254,7 +255,7 @@ impl Universe {
         name: &str,
         arg_types: Vec<TypeExpr>,
         ret_type: TypeExpr,
-        imp: impl Fn(&[Value]) -> Value + 'static,
+        imp: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> Result<FunId, DeclareError> {
         if self.fun_by_name.contains_key(name) {
             return Err(DeclareError::DuplicateFun(name.to_string()));
@@ -264,7 +265,7 @@ impl Universe {
             name: name.to_string(),
             arg_types,
             ret_type,
-            imp: Rc::new(imp),
+            imp: Arc::new(imp),
         });
         self.fun_by_name.insert(name.to_string(), id);
         Ok(id)
@@ -440,8 +441,8 @@ impl Universe {
                 u.fun_by_name.insert(name.to_string(), id);
             }
         };
-        fn nat2(f: impl Fn(u64, u64) -> u64 + 'static) -> FunImpl {
-            Rc::new(move |args: &[Value]| {
+        fn nat2(f: impl Fn(u64, u64) -> u64 + Send + Sync + 'static) -> FunImpl {
+            Arc::new(move |args: &[Value]| {
                 let a = args[0].as_nat().expect("nat argument");
                 let b = args[1].as_nat().expect("nat argument");
                 Value::nat(f(a, b))
@@ -487,14 +488,14 @@ impl Universe {
             "succ",
             vec![nat.clone()],
             nat.clone(),
-            Rc::new(|args: &[Value]| {
+            Arc::new(|args: &[Value]| {
                 Value::nat(args[0].as_nat().expect("nat argument").saturating_add(1))
             }),
         );
 
         let nil = self.ctor_id("nil").expect("std_list");
         let cons = self.ctor_id("cons").expect("std_list");
-        let app_imp: FunImpl = Rc::new(move |args: &[Value]| {
+        let app_imp: FunImpl = Arc::new(move |args: &[Value]| {
             fn go(cons: CtorId, a: &Value, b: &Value) -> Value {
                 match a.as_ctor() {
                     Some((c, elems)) if c == cons => {
@@ -514,7 +515,7 @@ impl Universe {
             app_imp,
         );
 
-        let len_imp: FunImpl = Rc::new(move |args: &[Value]| {
+        let len_imp: FunImpl = Arc::new(move |args: &[Value]| {
             let mut n = 0u64;
             let mut v = &args[0];
             while let Some((c, elems)) = v.as_ctor() {
@@ -528,7 +529,7 @@ impl Universe {
         });
         reg(self, "len", vec![list_p.clone()], nat, len_imp);
 
-        let rev_imp: FunImpl = Rc::new(move |args: &[Value]| {
+        let rev_imp: FunImpl = Arc::new(move |args: &[Value]| {
             let mut acc = Value::ctor(nil, vec![]);
             let mut v = &args[0];
             while let Some((c, elems)) = v.as_ctor() {

@@ -1,7 +1,7 @@
 //! Runtime values.
 
 use crate::ids::CtorId;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A first-order runtime value: a machine natural, a boolean, or a fully
 /// applied constructor.
@@ -25,7 +25,7 @@ pub enum Value {
     /// A boolean.
     Bool(bool),
     /// A fully applied constructor.
-    Ctor(CtorId, Rc<Vec<Value>>),
+    Ctor(CtorId, Arc<Vec<Value>>),
 }
 
 impl Value {
@@ -41,7 +41,7 @@ impl Value {
 
     /// Builds a fully applied constructor value.
     pub fn ctor(ctor: CtorId, args: Vec<Value>) -> Value {
-        Value::Ctor(ctor, Rc::new(args))
+        Value::Ctor(ctor, Arc::new(args))
     }
 
     /// Returns the constructor id if the value is a constructor.
@@ -82,7 +82,7 @@ impl Value {
     /// Structural equality that never consults pointer identity.
     ///
     /// [`PartialEq`] for [`Value`] is also structural, but Rust's derived
-    /// implementation short-circuits on `Rc` pointer equality for shared
+    /// implementation short-circuits on `Arc` pointer equality for shared
     /// subterms. The proof-checking case study (§6.3 of the paper) needs
     /// the honest O(n) comparison a proof kernel would perform, so this
     /// method deliberately walks both terms.
@@ -165,7 +165,7 @@ mod tests {
         let big = node(1, node(2, leaf(), leaf()), leaf());
         let copy = big.clone();
         if let (Value::Ctor(_, a), Value::Ctor(_, b)) = (&big, &copy) {
-            assert!(Rc::ptr_eq(a, b));
+            assert!(Arc::ptr_eq(a, b));
         } else {
             panic!("expected constructors");
         }

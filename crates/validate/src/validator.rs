@@ -318,7 +318,7 @@ mod tests {
     use indrel_rel::parse::parse_program;
     use indrel_rel::RelEnv;
     use indrel_term::Universe;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn validated_lib(src: &str, rel: &str, modes: &[Vec<usize>]) -> (Validator, RelId) {
         let mut u = Universe::new();
@@ -373,7 +373,7 @@ mod tests {
         let le = env.rel_id("le").unwrap();
         let mut b = LibraryBuilder::new(u, env);
         // An unsound checker: claims le m n for everything.
-        b.register_checker(le, Rc::new(|_, _, _| Some(true)));
+        b.register_checker(le, Arc::new(|_, _, _| Some(true)));
         let v = Validator::new(b.build()).unwrap();
         let cert = v.validate_checker(le);
         assert!(!cert.is_valid());
@@ -391,7 +391,7 @@ mod tests {
         let le = env.rel_id("le").unwrap();
         let mut b = LibraryBuilder::new(u, env);
         // Sound but incomplete-and-claiming-false: rejects everything.
-        b.register_checker(le, Rc::new(|_, _, _| Some(false)));
+        b.register_checker(le, Arc::new(|_, _, _| Some(false)));
         let v = Validator::new(b.build()).unwrap();
         let cert = v.validate_checker(le);
         assert!(cert
@@ -408,7 +408,7 @@ mod tests {
         let le = env.rel_id("le").unwrap();
         let mut b = LibraryBuilder::new(u, env);
         // Flips its verdict with fuel parity.
-        b.register_checker(le, Rc::new(|s, _, _| Some(s % 2 == 0)));
+        b.register_checker(le, Arc::new(|s, _, _| Some(s % 2 == 0)));
         let v = Validator::new(b.build()).unwrap();
         let cert = v.validate_checker(le);
         assert!(cert

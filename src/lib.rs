@@ -74,9 +74,10 @@ pub use indrel_validate as validate;
 pub mod prelude {
     pub use indrel_core::{
         Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe, Exhaustion,
-        InstanceKind, Library, LibraryBuilder, Mode, Plan, Resource, SearchStats, TraceProbe,
+        InstanceKind, Library, LibraryBuilder, Mode, Plan, Resource, SearchStats, SharedLibrary,
+        TraceProbe,
     };
-    pub use indrel_pbt::{Labels, RunReport, Runner, TestOutcome};
+    pub use indrel_pbt::{Labels, Parallelism, RunReport, Runner, TestOutcome};
     pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
     pub use indrel_rel::parse::{parse_program, parse_relation};
     pub use indrel_rel::{Premise, RelEnv, Relation, Rule, RuleBuilder};

@@ -161,7 +161,7 @@ fn handwritten_instances_shadow_derived_ones() {
     // Register a deliberately wrong handwritten checker and confirm the
     // library dispatches to it (so Figure 3's baselines really are the
     // handwritten artifacts).
-    b.register_checker(always, std::rc::Rc::new(|_, _, _| Some(false)));
+    b.register_checker(always, std::sync::Arc::new(|_, _, _| Some(false)));
     let lib = b.build();
     assert_eq!(lib.check(always, 5, 5, &[Value::nat(0)]), Some(false));
 }

@@ -1,0 +1,138 @@
+//! Parallel-runner determinism, end to end: the BST case study run
+//! through the parallel engine must produce byte-identical reports at
+//! every worker count — including under injected faults — and failing
+//! runs must hand back a working `(seed, index)` reproduction token.
+
+use indrel::bst::Bst;
+use indrel::pbt::chaos::{silence_panics, Chaos};
+use indrel::prelude::*;
+
+const BST_FUEL: u64 = 64;
+
+/// Renders the BST insertion-preservation property as a report string,
+/// with the configured `insert` (correct or mutated) and parallelism.
+/// Workers fork private sessions off one shared handle.
+fn render(parallelism: Parallelism, buggy: bool, tests: usize) -> String {
+    let shared = Bst::new().shared();
+    let report = Runner::new(11)
+        .with_size(6)
+        .with_parallelism(parallelism)
+        .run_par(tests, || {
+            let gen_bst = shared.fork();
+            let check_bst = shared.fork();
+            (
+                move |size, rng: &mut dyn rand::RngCore| {
+                    let t = gen_bst.handwritten_gen(0, 24, size, rng);
+                    let x = rand::Rng::gen_range(rng, 1..24u64);
+                    Some(vec![Value::nat(x), t])
+                },
+                move |args: &[Value]| {
+                    let x = args[0].as_nat().unwrap();
+                    let t2 = if buggy {
+                        check_bst.insert_buggy(x, &args[1])
+                    } else {
+                        check_bst.insert(x, &args[1])
+                    };
+                    TestOutcome::from_check(check_bst.derived_check(0, 24, &t2, BST_FUEL))
+                },
+            )
+        });
+    report.to_string()
+}
+
+#[test]
+fn bst_reports_identical_across_worker_counts() {
+    let off = render(Parallelism::Off, false, 600);
+    assert!(off.contains("+++ Passed"), "{off}");
+    assert_eq!(off, render(Parallelism::Fixed(2), false, 600));
+    assert_eq!(off, render(Parallelism::Fixed(8), false, 600));
+}
+
+#[test]
+fn bst_failing_reports_identical_across_worker_counts() {
+    let off = render(Parallelism::Off, true, 2000);
+    assert!(off.contains("*** Failed"), "mutation must be found: {off}");
+    assert!(off.contains("repro:     seed=11"), "{off}");
+    assert_eq!(off, render(Parallelism::Fixed(2), true, 2000));
+    assert_eq!(off, render(Parallelism::Fixed(8), true, 2000));
+}
+
+#[test]
+fn repro_token_replays_the_parallel_counterexample() {
+    let shared = Bst::new().shared();
+    let make = || {
+        let gen_bst = shared.fork();
+        let check_bst = shared.fork();
+        (
+            move |size, rng: &mut dyn rand::RngCore| {
+                let t = gen_bst.handwritten_gen(0, 24, size, rng);
+                let x = rand::Rng::gen_range(rng, 1..24u64);
+                Some(vec![Value::nat(x), t])
+            },
+            move |args: &[Value]| {
+                let x = args[0].as_nat().unwrap();
+                let t2 = check_bst.insert_buggy(x, &args[1]);
+                TestOutcome::from_check(check_bst.derived_check(0, 24, &t2, BST_FUEL))
+            },
+        )
+    };
+    let runner = Runner::new(11)
+        .with_size(6)
+        .with_parallelism(Parallelism::Fixed(4));
+    let report = runner.run_par(2000, make);
+    let (cex, _) = report.failed.clone().expect("mutation found");
+    let (seed, index) = report.reproduction().expect("token on failing report");
+    assert_eq!(seed, 11);
+
+    // Replaying the token — even on a runner configured with a
+    // different worker count — yields the same counterexample.
+    let (mut gen, mut prop) = make();
+    let (input, outcome) = Runner::new(seed)
+        .with_size(6)
+        .repro_index(index, &mut gen, &mut prop)
+        .expect("slot resolves");
+    assert_eq!(input, cex);
+    assert_eq!(outcome, TestOutcome::Fail);
+}
+
+#[test]
+fn chaos_parallel_run_is_crash_isolated_and_deterministic() {
+    // 1% injected checker panics over a parallel BST run: every crash
+    // is caught, the run completes, and the report is identical at
+    // every worker count (fault schedules key on the slot, not on
+    // wall-clock arrival order).
+    let _quiet = silence_panics();
+    let run = |parallelism: Parallelism| {
+        let shared = Bst::new().shared();
+        Runner::new(5)
+            .with_size(6)
+            .with_parallelism(parallelism)
+            .run_par(1000, || {
+                let chaos = Chaos::new(42).with_panic_rate(0.01).with_none_rate(0.02);
+                let gen_bst = shared.fork();
+                let check_bst = shared.fork();
+                let gen = chaos.wrap_gen_par(move |size, rng: &mut dyn rand::RngCore| {
+                    let t = gen_bst.handwritten_gen(0, 24, size, rng);
+                    let x = rand::Rng::gen_range(rng, 1..24u64);
+                    Some(vec![Value::nat(x), t])
+                });
+                let prop = chaos.wrap_property_par(move |args: &[Value]| {
+                    let x = args[0].as_nat().unwrap();
+                    let t2 = check_bst.insert(x, &args[1]);
+                    TestOutcome::from_check(check_bst.derived_check(0, 24, &t2, BST_FUEL))
+                });
+                (gen, prop)
+            })
+    };
+    let off = run(Parallelism::Off);
+    assert!(off.crashed > 0, "~10 crashes expected at 1%");
+    assert!(off.failed.is_none(), "no real counterexample injected");
+    assert_eq!(off.passed + off.crashed, 1000, "every slot resolved");
+    let par = run(Parallelism::Fixed(4));
+    assert_eq!(off.to_string(), par.to_string());
+    assert_eq!(off.crashed, par.crashed);
+    assert_eq!(
+        off.first_crash.as_ref().map(|c| c.test),
+        par.first_crash.as_ref().map(|c| c.test)
+    );
+}

@@ -98,6 +98,26 @@ pub trait SeedableRng: Sized {
         }
         Self::from_seed(seed)
     }
+
+    /// Builds the generator seeded from the `stream`-th deterministic
+    /// substream of `root`.
+    ///
+    /// This is an extension beyond the `rand` 0.8 surface (the real
+    /// crate has no stream-splitting on `SmallRng`): the root seed is
+    /// diffused through SplitMix64, perturbed by the stream index
+    /// scaled by the SplitMix64 golden-gamma constant, and diffused
+    /// again, so nearby `(root, stream)` pairs land on statistically
+    /// independent streams. The derivation depends only on the two
+    /// arguments — never on thread identity or call order — which is
+    /// what makes `(seed, index)` a stable reproduction token for
+    /// parallel consumers.
+    fn seed_from_u64_stream(root: u64, stream: u64) -> Self {
+        let mut state = root;
+        let mixed_root = splitmix64(&mut state);
+        let mut stream_state = mixed_root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let key = splitmix64(&mut stream_state);
+        Self::seed_from_u64(key)
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -311,6 +331,44 @@ mod tests {
         dynrng.fill_bytes(&mut bytes);
         assert_ne!(bytes, [0u8; 13]);
     }
+
+    #[test]
+    fn stream_split_is_deterministic_and_independent() {
+        let mut a = SmallRng::seed_from_u64_stream(42, 3);
+        let mut b = SmallRng::seed_from_u64_stream(42, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Neighbouring streams and neighbouring roots both diverge.
+        let mut c = SmallRng::seed_from_u64_stream(42, 4);
+        let mut d = SmallRng::seed_from_u64_stream(43, 3);
+        let x = a.next_u64();
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
+        // Stream 0 is not the plain seed (streams form their own family).
+        let mut e = SmallRng::seed_from_u64_stream(42, 0);
+        let mut f = SmallRng::seed_from_u64(42);
+        assert_ne!(e.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn stream_split_is_frozen() {
+        // Reproduction tokens `(seed, index)` published by the PBT
+        // runner embed this derivation; changing it silently would
+        // invalidate every recorded token. Golden values pin it down.
+        let mut g = SmallRng::seed_from_u64_stream(0, 0);
+        let g00 = g.next_u64();
+        let mut g = SmallRng::seed_from_u64_stream(1, 7);
+        let g17 = g.next_u64();
+        assert_eq!(
+            (g00, g17),
+            (GOLDEN_0_0, GOLDEN_1_7),
+            "stream derivation changed; parallel repro tokens are now invalid"
+        );
+    }
+
+    const GOLDEN_0_0: u64 = 0x3ED1_653F_0682_083A;
+    const GOLDEN_1_7: u64 = 0x3E55_7403_CBAB_E908;
 
     #[test]
     fn gen_bool_extremes() {
