@@ -114,6 +114,28 @@ impl Library {
         }
     }
 
+    /// Runs the checker for `rel` through *both* execution strategies
+    /// and returns `(lowered, interpreted)` — the differential hook
+    /// behind the fuzzer's executor-equivalence oracle. The two
+    /// verdicts must agree for every well-formed relation; a mismatch
+    /// is a bug in the lowering (or the interpreter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checker instance exists for `rel`.
+    pub fn check_both(
+        &self,
+        rel: RelId,
+        size: u64,
+        top_size: u64,
+        args: &[Value],
+    ) -> (Option<bool>, Option<bool>) {
+        (
+            self.check(rel, size, top_size, args),
+            self.check_interpreted(rel, size, top_size, args),
+        )
+    }
+
     /// Iterative-deepening driver over the checker: doubles the fuel
     /// until a definite verdict or until `max_fuel` is exceeded.
     ///

@@ -1,0 +1,333 @@
+//! Deterministic fuzzing campaign over the derivation pipeline.
+//!
+//! ```text
+//! fuzz_pipeline --seed 0 --cases 500 --max-size 6 --json
+//! ```
+//!
+//! Each case draws an independent RNG stream from the root seed
+//! (`seed_from_u64_stream(seed, case)`), generates one spec, and runs
+//! the full differential oracle bank on it. Violations are minimized
+//! with the greedy shrinker and written to the artifact directory as
+//! plain DSL text (`min_case<N>_<oracle>.dsl`).
+//!
+//! With `--json`, stdout carries exactly one `indrel.fuzz/1` document;
+//! two runs at the same seed are byte-identical (wall-clock throughput
+//! is opt-in via `--throughput`, which taints comparability on
+//! purpose). The human summary goes to stderr either way. Exit code is
+//! 1 iff any oracle was violated.
+
+use indrel_fuzz::oracles::{Oracle, OracleOutcome, OracleParams};
+use indrel_fuzz::shrink::shrink_spec;
+use indrel_fuzz::{gen_spec, run_dsl_with, SpecFeatures};
+use indrel_producers::json_escape;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Config {
+    seed: u64,
+    cases: u64,
+    max_size: u64,
+    json: bool,
+    throughput: bool,
+    progress: bool,
+    artifacts: String,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        seed: 0,
+        cases: 500,
+        max_size: 6,
+        json: false,
+        throughput: false,
+        progress: false,
+        artifacts: "target/fuzz-artifacts".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = num(&value("--seed")?)?,
+            "--cases" => cfg.cases = num(&value("--cases")?)?,
+            "--max-size" => cfg.max_size = num(&value("--max-size")?)?,
+            "--artifacts" => cfg.artifacts = value("--artifacts")?,
+            "--json" => cfg.json = true,
+            "--throughput" => cfg.throughput = true,
+            "--progress" => cfg.progress = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz_pipeline [--seed N] [--cases N] [--max-size N] \
+                            [--artifacts DIR] [--json] [--throughput]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: `{s}`"))
+}
+
+/// One minimized violation, ready for reporting and artifact emission.
+struct ViolationRecord {
+    case: u64,
+    oracle: Oracle,
+    detail: String,
+    minimized: String,
+    shrink_steps: usize,
+    shrink_attempts: usize,
+}
+
+#[derive(Default)]
+struct FeatureHistogram {
+    mutual: u64,
+    nonlinear: u64,
+    funcall: u64,
+    existential: u64,
+    negation: u64,
+    equality: u64,
+    multi_rel: u64,
+    with_adts: u64,
+}
+
+impl FeatureHistogram {
+    fn record(&mut self, f: &SpecFeatures) {
+        self.mutual += u64::from(f.mutual);
+        self.nonlinear += u64::from(f.nonlinear);
+        self.funcall += u64::from(f.funcall);
+        self.existential += u64::from(f.existential);
+        self.negation += u64::from(f.negation);
+        self.equality += u64::from(f.equality);
+        self.multi_rel += u64::from(f.relations > 1);
+        self.with_adts += u64::from(f.datatypes > 0);
+    }
+
+    fn pairs(&self) -> [(&'static str, u64); 8] {
+        [
+            ("mutual", self.mutual),
+            ("nonlinear", self.nonlinear),
+            ("funcall", self.funcall),
+            ("existential", self.existential),
+            ("negation", self.negation),
+            ("equality", self.equality),
+            ("multi_rel", self.multi_rel),
+            ("with_adts", self.with_adts),
+        ]
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = OracleParams::default();
+    let mut histogram = FeatureHistogram::default();
+    let mut pass = vec![0u64; Oracle::ALL.len()];
+    let mut skip = vec![0u64; Oracle::ALL.len()];
+    let mut violated = vec![0u64; Oracle::ALL.len()];
+    let mut violations: Vec<ViolationRecord> = Vec::new();
+    let mut skip_reasons: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    let start = Instant::now();
+
+    for case in 0..cfg.cases {
+        let mut rng = SmallRng::seed_from_u64_stream(cfg.seed, case);
+        let spec = gen_spec(&mut rng, cfg.max_size);
+        if cfg.progress {
+            eprintln!("case {case}:\n{}", spec.emit());
+        }
+        let report = run_dsl_with(&spec.emit(), &params);
+        histogram.record(&report.features);
+        let mut case_skip_reason: Option<&str> = None;
+        for (i, (_, outcome)) in report.outcomes.iter().enumerate() {
+            match outcome {
+                OracleOutcome::Pass => pass[i] += 1,
+                OracleOutcome::Skip(reason) => {
+                    skip[i] += 1;
+                    case_skip_reason.get_or_insert(reason);
+                }
+                OracleOutcome::Violation(_) => violated[i] += 1,
+            }
+        }
+        if let Some(reason) = case_skip_reason {
+            // Coarse bucket: strip everything after the first `:` so
+            // e.g. all `InstanceCycle` skips land in one row.
+            let bucket = reason.split(':').nth(1).unwrap_or(reason).trim();
+            *skip_reasons.entry(bucket.to_string()).or_insert(0) += 1;
+        }
+        if let Some((oracle, detail)) = report.violation() {
+            let detail = detail.to_string();
+            eprintln!("case {case}: oracle {oracle} violated, shrinking…");
+            let shrunk = shrink_spec(&spec, oracle, &params);
+            violations.push(ViolationRecord {
+                case,
+                oracle,
+                detail,
+                minimized: shrunk.spec.emit(),
+                shrink_steps: shrunk.steps,
+                shrink_attempts: shrunk.attempts,
+            });
+        }
+    }
+    let elapsed = start.elapsed();
+
+    if !violations.is_empty() {
+        if let Err(e) = write_artifacts(&cfg.artifacts, &violations) {
+            eprintln!(
+                "warning: could not write artifacts to {}: {e}",
+                cfg.artifacts
+            );
+        }
+    }
+
+    // Human summary (stderr, so --json stdout stays byte-comparable).
+    eprintln!(
+        "fuzz_pipeline: {} cases, seed {}, max size {}: {} violation(s)",
+        cfg.cases,
+        cfg.seed,
+        cfg.max_size,
+        violations.len()
+    );
+    for (i, o) in Oracle::ALL.iter().enumerate() {
+        eprintln!(
+            "  {:<22} pass {:>5}  violation {:>3}  skip {:>5}",
+            o.name(),
+            pass[i],
+            violated[i],
+            skip[i]
+        );
+    }
+    for (reason, n) in &skip_reasons {
+        eprintln!("  skipped {n:>4}: {reason}");
+    }
+    for v in &violations {
+        eprintln!(
+            "  case {} violates {} ({} shrink steps): {}",
+            v.case,
+            v.oracle.name(),
+            v.shrink_steps,
+            v.detail
+        );
+    }
+
+    if cfg.json {
+        let doc = render_json(
+            &cfg,
+            &histogram,
+            &pass,
+            &violated,
+            &skip,
+            &violations,
+            elapsed,
+        );
+        println!("{doc}");
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_artifacts(dir: &str, violations: &[ViolationRecord]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for v in violations {
+        let path = format!("{dir}/min_case{}_{}.dsl", v.case, v.oracle.name());
+        std::fs::write(&path, &v.minimized)?;
+        eprintln!("  minimized spec written to {path}");
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cfg: &Config,
+    histogram: &FeatureHistogram,
+    pass: &[u64],
+    violated: &[u64],
+    skip: &[u64],
+    violations: &[ViolationRecord],
+    elapsed: std::time::Duration,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"indrel.fuzz/1\",");
+    write!(
+        out,
+        "\"seed\":{},\"cases\":{},\"max_size\":{},",
+        cfg.seed, cfg.cases, cfg.max_size
+    )
+    .expect("write to string");
+    out.push_str("\"features\":{");
+    for (i, (name, n)) in histogram.pairs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "\"{name}\":{n}").expect("write to string");
+    }
+    out.push_str("},\"oracles\":[");
+    for (i, o) in Oracle::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"pass\":{},\"violation\":{},\"skip\":{}}}",
+            o.name(),
+            pass[i],
+            violated[i],
+            skip[i]
+        )
+        .expect("write to string");
+    }
+    let total_steps: usize = violations.iter().map(|v| v.shrink_steps).sum();
+    let total_attempts: usize = violations.iter().map(|v| v.shrink_attempts).sum();
+    write!(
+        out,
+        "],\"shrink\":{{\"violations\":{},\"total_steps\":{total_steps},\
+         \"total_attempts\":{total_attempts}}},",
+        violations.len()
+    )
+    .expect("write to string");
+    out.push_str("\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"case\":{},\"oracle\":\"{}\",\"detail\":\"{}\",\"minimized\":\"{}\"}}",
+            v.case,
+            v.oracle.name(),
+            json_escape(&v.detail),
+            json_escape(&v.minimized)
+        )
+        .expect("write to string");
+    }
+    out.push(']');
+    if cfg.throughput {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        write!(
+            out,
+            ",\"throughput\":{{\"elapsed_s\":{:.3},\"cases_per_s\":{:.1}}}",
+            elapsed.as_secs_f64(),
+            cfg.cases as f64 / secs
+        )
+        .expect("write to string");
+    }
+    out.push('}');
+    out
+}

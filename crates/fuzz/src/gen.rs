@@ -1,0 +1,289 @@
+//! Seeded random generation of well-formed relation specs.
+//!
+//! The generator is type-directed: every variable is created with a
+//! known ground type and every term is built to match the type of the
+//! position it fills, so emitted programs always parse and type-check.
+//! Beyond that it deliberately wanders into the shapes the paper's
+//! derivation has to preprocess away or reject — non-linear
+//! conclusions (reused variables), function calls in conclusions,
+//! negated premises, existential premise variables, and mutually
+//! recursive relation groups — because those are exactly where
+//! derivation pipelines hide bugs.
+
+use crate::spec::{Spec, SpecAdt, SpecCtor, SpecPremise, SpecRel, SpecRule, SpecTerm, SpecType};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Standard-library functions the generator may call (all
+/// `nat × nat → nat`, all total and saturating).
+const NAT_FUNS: [&str; 4] = ["plus", "mult", "minus", "max'"];
+
+/// Generates one well-formed spec. `max_size` scales how many
+/// declarations, rules, and premises the spec gets (the default driver
+/// uses 6); the same `(rng state, max_size)` always yields the same
+/// spec.
+pub fn gen_spec(rng: &mut SmallRng, max_size: u64) -> Spec {
+    let size = max_size.max(1) as usize;
+    let n_adts = rng.gen_range(0..=2usize.min(1 + size / 4));
+    let mut adts = Vec::new();
+    for a in 0..n_adts {
+        adts.push(gen_adt(rng, a, &adts));
+    }
+
+    let n_rels = rng.gen_range(1..=3usize.min(1 + size / 2));
+    // Occasionally fuse two adjacent relations into a mutual group.
+    let mutual_at = if n_rels >= 2 && rng.gen_bool(0.2) {
+        Some(rng.gen_range(0..n_rels - 1))
+    } else {
+        None
+    };
+    let mut rel_group = Vec::new();
+    let mut gid = 0usize;
+    for i in 0..n_rels {
+        rel_group.push(gid);
+        if Some(i) != mutual_at {
+            gid += 1;
+        }
+    }
+
+    let mut spec = Spec {
+        adts,
+        rels: Vec::new(),
+        rel_group: rel_group.clone(),
+    };
+    // First pass: fix every relation's signature so rules (including
+    // forward references inside a mutual group) know premise arities.
+    for i in 0..n_rels {
+        let arity = rng.gen_range(1..=2);
+        let args = (0..arity).map(|_| gen_type(rng, spec.adts.len())).collect();
+        spec.rels.push(SpecRel {
+            name: format!("r{i}"),
+            args,
+            rules: Vec::new(),
+        });
+    }
+    // Second pass: rules.
+    for i in 0..n_rels {
+        let n_rules = rng.gen_range(1..=2 + usize::from(size >= 6));
+        let mut rules = Vec::new();
+        for j in 0..n_rules {
+            // Rule 0 is always a base rule (no relation premises), so
+            // derived searches have somewhere to bottom out.
+            rules.push(gen_rule(rng, &spec, i, j, j == 0, size));
+        }
+        spec.rels[i].rules = rules;
+    }
+    spec
+}
+
+fn gen_type(rng: &mut SmallRng, n_adts: usize) -> SpecType {
+    match rng.gen_range(0..10u32) {
+        0..=5 => SpecType::Nat,
+        6 => SpecType::Bool,
+        _ if n_adts > 0 => SpecType::Adt(rng.gen_range(0..n_adts)),
+        _ => SpecType::Nat,
+    }
+}
+
+fn gen_adt(rng: &mut SmallRng, index: usize, earlier: &[SpecAdt]) -> SpecAdt {
+    let n_ctors = rng.gen_range(1..=3usize);
+    let mut ctors = vec![SpecCtor {
+        name: format!("K{index}_0"),
+        args: Vec::new(),
+    }];
+    for c in 1..n_ctors {
+        let n_args = rng.gen_range(0..=2usize);
+        let args = (0..n_args)
+            .map(|_| match rng.gen_range(0..4u32) {
+                0 => SpecType::Nat,
+                1 => SpecType::Bool,
+                // Self-recursion or a reference to an earlier adt; both
+                // bottom out at some type's nullary first constructor.
+                2 => SpecType::Adt(index),
+                _ => SpecType::Adt(rng.gen_range(0..=earlier.len().min(index))),
+            })
+            .collect();
+        ctors.push(SpecCtor {
+            name: format!("K{index}_{c}"),
+            args,
+        });
+    }
+    SpecAdt {
+        name: format!("d{index}"),
+        ctors,
+    }
+}
+
+/// Builds a term of type `ty`, possibly creating fresh variables in
+/// `vars`. `depth` bounds structural nesting; `allow_fun` gates
+/// function calls (kept out of premise relation arguments, where the
+/// surface language expects constructor terms to stay matchable).
+fn gen_term(
+    rng: &mut SmallRng,
+    spec: &Spec,
+    vars: &mut Vec<SpecType>,
+    ty: SpecType,
+    depth: usize,
+    allow_fun: bool,
+) -> SpecTerm {
+    // Reuse an existing variable of the right type (non-linearity) or
+    // bind a fresh one.
+    let candidates: Vec<usize> = (0..vars.len()).filter(|&i| vars[i] == ty).collect();
+    let roll = rng.gen_range(0..10u32);
+    if roll < 3 && !candidates.is_empty() {
+        return SpecTerm::Var(candidates[rng.gen_range(0..candidates.len())]);
+    }
+    if roll < 6 {
+        vars.push(ty);
+        return SpecTerm::Var(vars.len() - 1);
+    }
+    match ty {
+        SpecType::Bool => SpecTerm::BoolLit(rng.gen_bool(0.5)),
+        SpecType::Nat => {
+            if depth == 0 {
+                return SpecTerm::NatLit(rng.gen_range(0..=2));
+            }
+            match rng.gen_range(0..4u32) {
+                0 => SpecTerm::NatLit(rng.gen_range(0..=2)),
+                1 | 2 => SpecTerm::Succ(Box::new(gen_term(
+                    rng,
+                    spec,
+                    vars,
+                    SpecType::Nat,
+                    depth - 1,
+                    allow_fun,
+                ))),
+                _ if allow_fun => {
+                    let f = NAT_FUNS[rng.gen_range(0..NAT_FUNS.len())];
+                    let a = gen_term(rng, spec, vars, SpecType::Nat, 0, false);
+                    let b = gen_term(rng, spec, vars, SpecType::Nat, 0, false);
+                    SpecTerm::Fun(f, vec![a, b])
+                }
+                _ => SpecTerm::NatLit(rng.gen_range(0..=2)),
+            }
+        }
+        SpecType::Adt(a) => {
+            let adt = &spec.adts[a];
+            let ctor = if depth == 0 {
+                0
+            } else {
+                rng.gen_range(0..adt.ctors.len())
+            };
+            let arg_tys = adt.ctors[ctor].args.clone();
+            let args = arg_tys
+                .into_iter()
+                .map(|t| gen_term(rng, spec, vars, t, depth.saturating_sub(1), allow_fun))
+                .collect();
+            SpecTerm::Ctor { adt: a, ctor, args }
+        }
+    }
+}
+
+fn gen_rule(
+    rng: &mut SmallRng,
+    spec: &Spec,
+    rel: usize,
+    rule_idx: usize,
+    base: bool,
+    size: usize,
+) -> SpecRule {
+    let mut vars: Vec<SpecType> = Vec::new();
+    let concl_depth = 1 + usize::from(size >= 4);
+    let conclusion: Vec<SpecTerm> = spec.rels[rel]
+        .args
+        .iter()
+        .map(|&ty| {
+            let allow_fun = rng.gen_bool(0.25);
+            gen_term(rng, spec, &mut vars, ty, concl_depth, allow_fun)
+        })
+        .collect();
+
+    let mut premises = Vec::new();
+    if !base {
+        let group = spec.group_members(rel);
+        let n_prem = rng.gen_range(1..=2usize);
+        for _ in 0..n_prem {
+            if rng.gen_bool(0.3) {
+                // Equality / disequality premise, possibly with a
+                // function call — the preprocessed form of §3.1.
+                let lhs = gen_term(rng, spec, &mut vars, SpecType::Nat, 1, true);
+                let rhs = gen_term(rng, spec, &mut vars, SpecType::Nat, 0, false);
+                premises.push(SpecPremise::Eq {
+                    lhs,
+                    rhs,
+                    negated: rng.gen_bool(0.3),
+                });
+            } else {
+                // Relation premise: self, an earlier relation, or any
+                // member of the same mutual group.
+                let mut targets: Vec<usize> = (0..=rel).collect();
+                targets.extend(group.iter().copied().filter(|&j| j > rel));
+                let q = targets[rng.gen_range(0..targets.len())];
+                let args = spec.rels[q]
+                    .args
+                    .iter()
+                    .map(|&ty| gen_term(rng, spec, &mut vars, ty, 1, false))
+                    .collect();
+                premises.push(SpecPremise::Rel {
+                    rel: q,
+                    args,
+                    negated: rng.gen_bool(0.15),
+                });
+            }
+        }
+    }
+    SpecRule {
+        name: format!("r{rel}_c{rule_idx}"),
+        vars,
+        premises,
+        conclusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_spec(&mut SmallRng::seed_from_u64_stream(1, 0), 6);
+        let b = gen_spec(&mut SmallRng::seed_from_u64_stream(1, 0), 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_specs_are_well_formed() {
+        for case in 0..200 {
+            let spec = gen_spec(&mut SmallRng::seed_from_u64_stream(7, case), 6);
+            assert!(!spec.rels.is_empty());
+            assert_eq!(spec.rel_group.len(), spec.rels.len());
+            for adt in &spec.adts {
+                assert!(!adt.ctors.is_empty());
+                assert!(adt.ctors[0].args.is_empty(), "first ctor must be nullary");
+            }
+            for (i, rel) in spec.rels.iter().enumerate() {
+                assert!(!rel.rules.is_empty());
+                for rule in &rel.rules {
+                    assert_eq!(rule.conclusion.len(), rel.args.len());
+                    for p in &rule.premises {
+                        if let SpecPremise::Rel { rel: q, args, .. } = p {
+                            assert_eq!(args.len(), spec.rels[*q].args.len());
+                            assert!(
+                                *q <= i || spec.group_members(i).contains(q),
+                                "forward reference outside mutual group"
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    rel.rules[0]
+                        .premises
+                        .iter()
+                        .all(|p| matches!(p, SpecPremise::Eq { .. })),
+                    "rule 0 must be a base rule"
+                );
+            }
+        }
+    }
+}

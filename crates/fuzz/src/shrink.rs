@@ -1,0 +1,586 @@
+//! Greedy minimization of oracle-violating specs.
+//!
+//! When an oracle flags a generated spec, the raw program is usually
+//! far bigger than the disagreement it witnesses. The shrinker runs the
+//! classic greedy fixpoint: propose structurally smaller variants
+//! (drop a relation, a rule, a premise, a constructor; simplify a
+//! term), keep a variant iff the *same* oracle still fires on it, and
+//! stop when no proposal makes progress. The result is the checked-in
+//! regression artifact: minimal DSL text plus the oracle it violates.
+
+use crate::oracles::{run_dsl_with, Oracle, OracleParams};
+use crate::spec::{Spec, SpecPremise, SpecTerm, SpecType};
+
+/// Outcome of shrinking one failing spec.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized spec (still violates the oracle).
+    pub spec: Spec,
+    /// The oracle the minimized spec violates.
+    pub oracle: Oracle,
+    /// Number of accepted shrink steps.
+    pub steps: usize,
+    /// Number of oracle executions spent shrinking.
+    pub attempts: usize,
+}
+
+/// Hard cap on oracle executions per shrink, so a pathological spec
+/// cannot stall the whole campaign.
+const MAX_ATTEMPTS: usize = 300;
+
+/// Minimizes `spec`, which must already violate `oracle` under
+/// `params`. Greedy: accepts the first candidate that still violates
+/// the same oracle and restarts proposal generation from it.
+pub fn shrink_spec(spec: &Spec, oracle: Oracle, params: &OracleParams) -> ShrinkResult {
+    let mut current = spec.clone();
+    let mut steps = 0;
+    let mut attempts = 0;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            let still_fails = run_dsl_with(&cand.emit(), params)
+                .violation()
+                .is_some_and(|(o, _)| o == oracle);
+            if still_fails {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        spec: current,
+        oracle,
+        steps,
+        attempts,
+    }
+}
+
+/// Structurally smaller variants of `spec`, most aggressive first.
+/// Every candidate is well-formed: indices are remapped after removals
+/// and removals that would break a reference are not proposed.
+pub fn candidates(spec: &Spec) -> Vec<Spec> {
+    let mut out = Vec::new();
+    drop_relations(spec, &mut out);
+    drop_rules(spec, &mut out);
+    drop_premises(spec, &mut out);
+    drop_adts(spec, &mut out);
+    drop_ctors(spec, &mut out);
+    shrink_terms(spec, &mut out);
+    out
+}
+
+/// `true` if any rule of any relation other than `rel` references `rel`.
+fn rel_referenced_elsewhere(spec: &Spec, rel: usize) -> bool {
+    spec.rels.iter().enumerate().any(|(i, r)| {
+        i != rel
+            && r.rules.iter().any(|rule| {
+                rule.premises
+                    .iter()
+                    .any(|p| matches!(p, SpecPremise::Rel { rel: q, .. } if *q == rel))
+            })
+    })
+}
+
+fn drop_relations(spec: &Spec, out: &mut Vec<Spec>) {
+    if spec.rels.len() <= 1 {
+        return;
+    }
+    for dead in 0..spec.rels.len() {
+        if rel_referenced_elsewhere(spec, dead) {
+            continue;
+        }
+        let mut s = spec.clone();
+        s.rels.remove(dead);
+        s.rel_group.remove(dead);
+        let remap = |q: usize| if q > dead { q - 1 } else { q };
+        for rel in &mut s.rels {
+            for rule in &mut rel.rules {
+                for p in &mut rule.premises {
+                    if let SpecPremise::Rel { rel: q, .. } = p {
+                        *q = remap(*q);
+                    }
+                }
+            }
+        }
+        out.push(s);
+    }
+}
+
+fn drop_rules(spec: &Spec, out: &mut Vec<Spec>) {
+    for (i, rel) in spec.rels.iter().enumerate() {
+        if rel.rules.len() <= 1 {
+            continue;
+        }
+        for dead in 0..rel.rules.len() {
+            let mut s = spec.clone();
+            s.rels[i].rules.remove(dead);
+            out.push(s);
+        }
+    }
+}
+
+fn drop_premises(spec: &Spec, out: &mut Vec<Spec>) {
+    for (i, rel) in spec.rels.iter().enumerate() {
+        for (j, rule) in rel.rules.iter().enumerate() {
+            for dead in 0..rule.premises.len() {
+                let mut s = spec.clone();
+                s.rels[i].rules[j].premises.remove(dead);
+                prune_vars(&mut s, i, j);
+                out.push(s);
+            }
+        }
+    }
+}
+
+/// `true` if any relation signature, constructor argument, or term in
+/// the spec references datatype `adt`.
+fn adt_referenced(spec: &Spec, adt: usize) -> bool {
+    let ty_hits = |tys: &[SpecType]| tys.contains(&SpecType::Adt(adt));
+    spec.adts
+        .iter()
+        .enumerate()
+        .any(|(i, a)| i != adt && a.ctors.iter().any(|c| ty_hits(&c.args)))
+        || spec.rels.iter().any(|r| {
+            ty_hits(&r.args)
+                || r.rules.iter().any(|rule| {
+                    ty_hits(&rule.vars)
+                        || rule.conclusion.iter().any(|t| term_uses_adt(t, adt))
+                        || rule.premises.iter().any(|p| match p {
+                            SpecPremise::Rel { args, .. } => {
+                                args.iter().any(|t| term_uses_adt(t, adt))
+                            }
+                            SpecPremise::Eq { lhs, rhs, .. } => {
+                                term_uses_adt(lhs, adt) || term_uses_adt(rhs, adt)
+                            }
+                        })
+                })
+        })
+}
+
+fn term_uses_adt(t: &SpecTerm, adt: usize) -> bool {
+    match t {
+        SpecTerm::Var(_) | SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => false,
+        SpecTerm::Succ(inner) => term_uses_adt(inner, adt),
+        SpecTerm::Ctor { adt: a, args, .. } => {
+            *a == adt || args.iter().any(|x| term_uses_adt(x, adt))
+        }
+        SpecTerm::Fun(_, args) => args.iter().any(|x| term_uses_adt(x, adt)),
+    }
+}
+
+fn remap_adt_term(t: &mut SpecTerm, dead: usize) {
+    match t {
+        SpecTerm::Var(_) | SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => {}
+        SpecTerm::Succ(inner) => remap_adt_term(inner, dead),
+        SpecTerm::Ctor { adt, args, .. } => {
+            if *adt > dead {
+                *adt -= 1;
+            }
+            for a in args {
+                remap_adt_term(a, dead);
+            }
+        }
+        SpecTerm::Fun(_, args) => {
+            for a in args {
+                remap_adt_term(a, dead);
+            }
+        }
+    }
+}
+
+fn drop_adts(spec: &Spec, out: &mut Vec<Spec>) {
+    for dead in 0..spec.adts.len() {
+        if adt_referenced(spec, dead) {
+            continue;
+        }
+        let mut s = spec.clone();
+        s.adts.remove(dead);
+        let remap_ty = |t: &mut SpecType| {
+            if let SpecType::Adt(a) = t {
+                if *a > dead {
+                    *a -= 1;
+                }
+            }
+        };
+        for a in &mut s.adts {
+            for c in &mut a.ctors {
+                c.args.iter_mut().for_each(remap_ty);
+            }
+        }
+        for r in &mut s.rels {
+            r.args.iter_mut().for_each(remap_ty);
+            for rule in &mut r.rules {
+                rule.vars.iter_mut().for_each(remap_ty);
+                for t in &mut rule.conclusion {
+                    remap_adt_term(t, dead);
+                }
+                for p in &mut rule.premises {
+                    match p {
+                        SpecPremise::Rel { args, .. } => {
+                            args.iter_mut().for_each(|t| remap_adt_term(t, dead));
+                        }
+                        SpecPremise::Eq { lhs, rhs, .. } => {
+                            remap_adt_term(lhs, dead);
+                            remap_adt_term(rhs, dead);
+                        }
+                    }
+                }
+            }
+        }
+        out.push(s);
+    }
+}
+
+/// `true` if any term in the spec applies constructor `(adt, ctor)`.
+fn ctor_referenced(spec: &Spec, adt: usize, ctor: usize) -> bool {
+    let in_term = |t: &SpecTerm| term_uses_ctor(t, adt, ctor);
+    spec.rels.iter().any(|r| {
+        r.rules.iter().any(|rule| {
+            rule.conclusion.iter().any(in_term)
+                || rule.premises.iter().any(|p| match p {
+                    SpecPremise::Rel { args, .. } => args.iter().any(in_term),
+                    SpecPremise::Eq { lhs, rhs, .. } => in_term(lhs) || in_term(rhs),
+                })
+        })
+    })
+}
+
+fn term_uses_ctor(t: &SpecTerm, adt: usize, ctor: usize) -> bool {
+    match t {
+        SpecTerm::Var(_) | SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => false,
+        SpecTerm::Succ(inner) => term_uses_ctor(inner, adt, ctor),
+        SpecTerm::Ctor {
+            adt: a,
+            ctor: c,
+            args,
+        } => (*a == adt && *c == ctor) || args.iter().any(|x| term_uses_ctor(x, adt, ctor)),
+        SpecTerm::Fun(_, args) => args.iter().any(|x| term_uses_ctor(x, adt, ctor)),
+    }
+}
+
+fn drop_ctors(spec: &Spec, out: &mut Vec<Spec>) {
+    for (ai, adt) in spec.adts.iter().enumerate() {
+        // Keep the nullary first constructor: it carries the
+        // inhabitation invariant.
+        for dead in 1..adt.ctors.len() {
+            if ctor_referenced(spec, ai, dead) {
+                continue;
+            }
+            let mut s = spec.clone();
+            s.adts[ai].ctors.remove(dead);
+            let remap = |t: &mut SpecTerm| remap_ctor_term(t, ai, dead);
+            for r in &mut s.rels {
+                for rule in &mut r.rules {
+                    rule.conclusion.iter_mut().for_each(remap);
+                    for p in &mut rule.premises {
+                        match p {
+                            SpecPremise::Rel { args, .. } => args.iter_mut().for_each(remap),
+                            SpecPremise::Eq { lhs, rhs, .. } => {
+                                remap(lhs);
+                                remap(rhs);
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(s);
+        }
+    }
+}
+
+fn remap_ctor_term(t: &mut SpecTerm, adt: usize, dead: usize) {
+    match t {
+        SpecTerm::Var(_) | SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => {}
+        SpecTerm::Succ(inner) => remap_ctor_term(inner, adt, dead),
+        SpecTerm::Ctor { adt: a, ctor, args } => {
+            if *a == adt && *ctor > dead {
+                *ctor -= 1;
+            }
+            for x in args {
+                remap_ctor_term(x, adt, dead);
+            }
+        }
+        SpecTerm::Fun(_, args) => {
+            for x in args {
+                remap_ctor_term(x, adt, dead);
+            }
+        }
+    }
+}
+
+/// One-step term simplifications, applied at every position of every
+/// rule: `S t → t`, `f a b → a`, `C … tᵢ … → tᵢ` when `tᵢ` has the
+/// constructor's own type, and any composite → the first constructor of
+/// its type (`0`, `false`, the nullary base constructor).
+fn shrink_terms(spec: &Spec, out: &mut Vec<Spec>) {
+    for (i, rel) in spec.rels.iter().enumerate() {
+        for (j, rule) in rel.rules.iter().enumerate() {
+            let mut positions: Vec<(&SpecTerm, TermSlot)> = Vec::new();
+            for (k, t) in rule.conclusion.iter().enumerate() {
+                positions.push((t, TermSlot::Conclusion(k)));
+            }
+            for (k, p) in rule.premises.iter().enumerate() {
+                match p {
+                    SpecPremise::Rel { args, .. } => {
+                        for (l, t) in args.iter().enumerate() {
+                            positions.push((t, TermSlot::PremiseArg(k, l)));
+                        }
+                    }
+                    SpecPremise::Eq { lhs, rhs, .. } => {
+                        positions.push((lhs, TermSlot::EqLhs(k)));
+                        positions.push((rhs, TermSlot::EqRhs(k)));
+                    }
+                }
+            }
+            for (t, slot) in positions {
+                for small in simpler_terms(spec, t) {
+                    let mut s = spec.clone();
+                    slot.set(&mut s.rels[i].rules[j], small);
+                    prune_vars(&mut s, i, j);
+                    out.push(s);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum TermSlot {
+    Conclusion(usize),
+    PremiseArg(usize, usize),
+    EqLhs(usize),
+    EqRhs(usize),
+}
+
+impl TermSlot {
+    fn set(self, rule: &mut crate::spec::SpecRule, t: SpecTerm) {
+        match self {
+            TermSlot::Conclusion(k) => rule.conclusion[k] = t,
+            TermSlot::PremiseArg(k, l) => {
+                if let SpecPremise::Rel { args, .. } = &mut rule.premises[k] {
+                    args[l] = t;
+                }
+            }
+            TermSlot::EqLhs(k) => {
+                if let SpecPremise::Eq { lhs, .. } = &mut rule.premises[k] {
+                    *lhs = t;
+                }
+            }
+            TermSlot::EqRhs(k) => {
+                if let SpecPremise::Eq { rhs, .. } = &mut rule.premises[k] {
+                    *rhs = t;
+                }
+            }
+        }
+    }
+}
+
+fn simpler_terms(spec: &Spec, t: &SpecTerm) -> Vec<SpecTerm> {
+    match t {
+        SpecTerm::Var(_) | SpecTerm::BoolLit(_) => Vec::new(),
+        SpecTerm::NatLit(0) => Vec::new(),
+        SpecTerm::NatLit(_) => vec![SpecTerm::NatLit(0)],
+        SpecTerm::Succ(inner) => vec![(**inner).clone(), SpecTerm::NatLit(0)],
+        SpecTerm::Fun(_, args) => {
+            let mut v: Vec<SpecTerm> = args.to_vec();
+            v.push(SpecTerm::NatLit(0));
+            v
+        }
+        SpecTerm::Ctor { adt, ctor, args } => {
+            let mut v = Vec::new();
+            // Same-typed subterm promotion.
+            let arg_tys = &spec.adts[*adt].ctors[*ctor].args;
+            for (x, ty) in args.iter().zip(arg_tys) {
+                if *ty == SpecType::Adt(*adt) {
+                    v.push(x.clone());
+                }
+            }
+            if *ctor != 0 || !args.is_empty() {
+                v.push(SpecTerm::Ctor {
+                    adt: *adt,
+                    ctor: 0,
+                    args: Vec::new(),
+                });
+            }
+            v
+        }
+    }
+}
+
+/// After a premise drop or a term shrink, some `forall` variables may
+/// no longer occur anywhere in rule `(rel, rule)`; drop them and
+/// renumber the survivors so the emitted binder list stays tight.
+fn prune_vars(spec: &mut Spec, rel: usize, rule: usize) {
+    let r = &spec.rels[rel].rules[rule];
+    let mut used = vec![false; r.vars.len()];
+    let mut mark = |t: &SpecTerm| mark_vars(t, &mut used);
+    r.conclusion.iter().for_each(&mut mark);
+    for p in &r.premises {
+        match p {
+            SpecPremise::Rel { args, .. } => args.iter().for_each(&mut mark),
+            SpecPremise::Eq { lhs, rhs, .. } => {
+                mark(lhs);
+                mark(rhs);
+            }
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+    let mut remap = vec![usize::MAX; used.len()];
+    let mut next = 0;
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let r = &mut spec.rels[rel].rules[rule];
+    r.vars = r
+        .vars
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| u)
+        .map(|(&ty, _)| ty)
+        .collect();
+    let apply = |t: &mut SpecTerm| remap_vars(t, &remap);
+    r.conclusion.iter_mut().for_each(apply);
+    for p in &mut r.premises {
+        match p {
+            SpecPremise::Rel { args, .. } => args.iter_mut().for_each(apply),
+            SpecPremise::Eq { lhs, rhs, .. } => {
+                remap_vars(lhs, &remap);
+                remap_vars(rhs, &remap);
+            }
+        }
+    }
+}
+
+fn mark_vars(t: &SpecTerm, used: &mut [bool]) {
+    match t {
+        SpecTerm::Var(i) => used[*i] = true,
+        SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => {}
+        SpecTerm::Succ(inner) => mark_vars(inner, used),
+        SpecTerm::Ctor { args, .. } | SpecTerm::Fun(_, args) => {
+            for a in args {
+                mark_vars(a, used);
+            }
+        }
+    }
+}
+
+fn remap_vars(t: &mut SpecTerm, remap: &[usize]) {
+    match t {
+        SpecTerm::Var(i) => *i = remap[*i],
+        SpecTerm::NatLit(_) | SpecTerm::BoolLit(_) => {}
+        SpecTerm::Succ(inner) => remap_vars(inner, remap),
+        SpecTerm::Ctor { args, .. } | SpecTerm::Fun(_, args) => {
+            for a in args {
+                remap_vars(a, remap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_spec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A well-founded size measure: every shrink candidate must be
+    /// strictly smaller under it, which is what makes the greedy loop
+    /// terminate even without the attempt cap.
+    fn measure(spec: &Spec) -> (usize, u64) {
+        fn term(t: &SpecTerm, nodes: &mut usize, weight: &mut u64) {
+            *nodes += 1;
+            match t {
+                SpecTerm::Var(_) | SpecTerm::BoolLit(_) => {}
+                SpecTerm::NatLit(n) => *weight += n,
+                SpecTerm::Succ(inner) => term(inner, nodes, weight),
+                SpecTerm::Ctor { ctor, args, .. } => {
+                    *weight += *ctor as u64;
+                    args.iter().for_each(|a| term(a, nodes, weight));
+                }
+                SpecTerm::Fun(_, args) => args.iter().for_each(|a| term(a, nodes, weight)),
+            }
+        }
+        let mut nodes = 0;
+        let mut weight = 0;
+        for adt in &spec.adts {
+            nodes += 1 + adt.ctors.iter().map(|c| 1 + c.args.len()).sum::<usize>();
+        }
+        for rel in &spec.rels {
+            nodes += 1;
+            for rule in &rel.rules {
+                nodes += 1 + rule.vars.len();
+                rule.conclusion
+                    .iter()
+                    .for_each(|t| term(t, &mut nodes, &mut weight));
+                for p in &rule.premises {
+                    nodes += 1;
+                    match p {
+                        SpecPremise::Rel { args, .. } => {
+                            args.iter().for_each(|t| term(t, &mut nodes, &mut weight));
+                        }
+                        SpecPremise::Eq { lhs, rhs, .. } => {
+                            term(lhs, &mut nodes, &mut weight);
+                            term(rhs, &mut nodes, &mut weight);
+                        }
+                    }
+                }
+            }
+        }
+        (nodes, weight)
+    }
+
+    #[test]
+    fn candidates_are_well_formed_and_smaller() {
+        for case in 0..50 {
+            let spec = gen_spec(&mut SmallRng::seed_from_u64_stream(21, case), 6);
+            let base = measure(&spec);
+            for cand in candidates(&spec) {
+                // Every candidate still parses (well-formedness is
+                // exactly "the emitted text is a valid program").
+                let mut u = indrel_rel::parse::std_universe();
+                let mut env = indrel_rel::RelEnv::new();
+                let text = cand.emit();
+                indrel_rel::parse::parse_program(&mut u, &mut env, &text)
+                    .unwrap_or_else(|e| panic!("candidate no longer parses: {e}\n{text}"));
+                assert!(measure(&cand) < base, "candidate not smaller:\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn prune_vars_renumbers_binders() {
+        use crate::spec::*;
+        let mut spec = Spec {
+            adts: vec![],
+            rels: vec![SpecRel {
+                name: "r0".into(),
+                args: vec![SpecType::Nat],
+                rules: vec![SpecRule {
+                    name: "c0".into(),
+                    vars: vec![SpecType::Nat, SpecType::Nat, SpecType::Nat],
+                    premises: vec![],
+                    conclusion: vec![SpecTerm::Succ(Box::new(SpecTerm::Var(2)))],
+                }],
+            }],
+            rel_group: vec![0],
+        };
+        prune_vars(&mut spec, 0, 0);
+        let rule = &spec.rels[0].rules[0];
+        assert_eq!(rule.vars.len(), 1);
+        assert_eq!(
+            rule.conclusion[0],
+            SpecTerm::Succ(Box::new(SpecTerm::Var(0)))
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! A lightweight AST for *generated* relation specifications.
+//!
+//! The fuzzer works on this representation — not on
+//! [`indrel_rel::Relation`] directly — because generation and shrinking
+//! constantly add and remove declarations, and plain `usize` indices
+//! are trivial to remap where interned [`indrel_term::RelId`]s are not.
+//! A [`Spec`] knows how to render itself as surface syntax
+//! ([`Spec::emit`]); everything downstream (derivation, oracles)
+//! consumes the parsed program, so the DSL text is the single source of
+//! truth and the emitted artifact for failing cases.
+
+use std::fmt::Write;
+
+/// A ground type in a generated spec.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecType {
+    /// `nat`.
+    Nat,
+    /// `bool`.
+    Bool,
+    /// The `i`-th generated datatype.
+    Adt(usize),
+}
+
+/// A constructor of a generated datatype.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecCtor {
+    /// Constructor name (unique across the universe).
+    pub name: String,
+    /// Argument types.
+    pub args: Vec<SpecType>,
+}
+
+/// A generated algebraic datatype. The first constructor is always
+/// nullary, so every generated type is inhabited and every recursive
+/// position has a base case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecAdt {
+    /// Datatype name.
+    pub name: String,
+    /// Constructors (at least one; the first is nullary).
+    pub ctors: Vec<SpecCtor>,
+}
+
+/// A term over a rule's variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecTerm {
+    /// The `i`-th universally quantified variable of the rule.
+    Var(usize),
+    /// A `nat` literal.
+    NatLit(u64),
+    /// A `bool` literal.
+    BoolLit(bool),
+    /// `S e`.
+    Succ(Box<SpecTerm>),
+    /// Application of constructor `ctor` of datatype `adt`.
+    Ctor {
+        /// Datatype index.
+        adt: usize,
+        /// Constructor index within the datatype.
+        ctor: usize,
+        /// Arguments.
+        args: Vec<SpecTerm>,
+    },
+    /// Application of a standard-library function (by name, e.g.
+    /// `plus`); all generated calls are `nat`-valued.
+    Fun(&'static str, Vec<SpecTerm>),
+}
+
+/// A premise of a generated rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecPremise {
+    /// `r e…` or `~ (r e…)` on the `rel`-th generated relation.
+    Rel {
+        /// Relation index.
+        rel: usize,
+        /// Arguments.
+        args: Vec<SpecTerm>,
+        /// `true` for a negated premise.
+        negated: bool,
+    },
+    /// `e₁ = e₂` or `e₁ <> e₂`.
+    Eq {
+        /// Left-hand side.
+        lhs: SpecTerm,
+        /// Right-hand side.
+        rhs: SpecTerm,
+        /// `true` for a disequality.
+        negated: bool,
+    },
+}
+
+/// A rule of a generated relation. Variables are named `x0`, `x1`, …
+/// and always emitted with type annotations, so parsing is never
+/// at the mercy of inference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecRule {
+    /// Rule (constructor) name.
+    pub name: String,
+    /// Types of the universally quantified variables, indexed by
+    /// [`SpecTerm::Var`].
+    pub vars: Vec<SpecType>,
+    /// Premises in order.
+    pub premises: Vec<SpecPremise>,
+    /// Conclusion arguments (arity matches the relation).
+    pub conclusion: Vec<SpecTerm>,
+}
+
+/// A generated inductive relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecRel {
+    /// Relation name.
+    pub name: String,
+    /// Argument types.
+    pub args: Vec<SpecType>,
+    /// Rules.
+    pub rules: Vec<SpecRule>,
+}
+
+/// A complete generated program: datatypes, then relations.
+///
+/// `rel_group` assigns every relation a group id (parallel to `rels`,
+/// nondecreasing); a maximal run of equal ids with more than one member
+/// is emitted as a `mutual … end` block, so members may reference each
+/// other freely. Relations may otherwise only reference themselves and
+/// earlier relations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spec {
+    /// Generated datatypes, in declaration order.
+    pub adts: Vec<SpecAdt>,
+    /// Generated relations, in declaration order.
+    pub rels: Vec<SpecRel>,
+    /// Group id per relation (see type-level docs).
+    pub rel_group: Vec<usize>,
+}
+
+impl Spec {
+    /// The indices of the relations sharing a `mutual` group with
+    /// `rel` (including `rel` itself).
+    pub fn group_members(&self, rel: usize) -> Vec<usize> {
+        let gid = self.rel_group[rel];
+        (0..self.rels.len())
+            .filter(|&j| self.rel_group[j] == gid)
+            .collect()
+    }
+
+    /// `true` when any relation lives in a multi-member mutual group.
+    pub fn has_mutual(&self) -> bool {
+        (0..self.rels.len()).any(|i| self.group_members(i).len() > 1)
+    }
+
+    fn emit_type(&self, ty: SpecType, out: &mut String) {
+        match ty {
+            SpecType::Nat => out.push_str("nat"),
+            SpecType::Bool => out.push_str("bool"),
+            SpecType::Adt(i) => out.push_str(&self.adts[i].name),
+        }
+    }
+
+    fn emit_term(&self, t: &SpecTerm, atom: bool, out: &mut String) {
+        match t {
+            SpecTerm::Var(i) => write!(out, "x{i}").expect("write to string"),
+            SpecTerm::NatLit(n) => write!(out, "{n}").expect("write to string"),
+            SpecTerm::BoolLit(b) => write!(out, "{b}").expect("write to string"),
+            SpecTerm::Succ(inner) => {
+                if atom {
+                    out.push('(');
+                }
+                out.push_str("S ");
+                self.emit_term(inner, true, out);
+                if atom {
+                    out.push(')');
+                }
+            }
+            SpecTerm::Ctor { adt, ctor, args } => {
+                let paren = atom && !args.is_empty();
+                if paren {
+                    out.push('(');
+                }
+                out.push_str(&self.adts[*adt].ctors[*ctor].name);
+                for a in args {
+                    out.push(' ');
+                    self.emit_term(a, true, out);
+                }
+                if paren {
+                    out.push(')');
+                }
+            }
+            SpecTerm::Fun(name, args) => {
+                let paren = atom && !args.is_empty();
+                if paren {
+                    out.push('(');
+                }
+                out.push_str(name);
+                for a in args {
+                    out.push(' ');
+                    self.emit_term(a, true, out);
+                }
+                if paren {
+                    out.push(')');
+                }
+            }
+        }
+    }
+
+    fn emit_rel(&self, rel: &SpecRel, out: &mut String) {
+        write!(out, "rel {} :", rel.name).expect("write to string");
+        for &ty in &rel.args {
+            out.push(' ');
+            self.emit_type(ty, out);
+        }
+        out.push_str(" :=\n");
+        for rule in &rel.rules {
+            write!(out, "| {} :", rule.name).expect("write to string");
+            if !rule.vars.is_empty() {
+                out.push_str(" forall");
+                for (i, &ty) in rule.vars.iter().enumerate() {
+                    write!(out, " (x{i} : ").expect("write to string");
+                    self.emit_type(ty, out);
+                    out.push(')');
+                }
+                out.push(',');
+            }
+            for p in &rule.premises {
+                out.push(' ');
+                match p {
+                    SpecPremise::Rel {
+                        rel: q,
+                        args,
+                        negated,
+                    } => {
+                        if *negated {
+                            out.push_str("~ ");
+                        }
+                        out.push_str(&self.rels[*q].name);
+                        for a in args {
+                            out.push(' ');
+                            self.emit_term(a, true, out);
+                        }
+                    }
+                    SpecPremise::Eq { lhs, rhs, negated } => {
+                        self.emit_term(lhs, false, out);
+                        out.push_str(if *negated { " <> " } else { " = " });
+                        self.emit_term(rhs, false, out);
+                    }
+                }
+                out.push_str(" ->");
+            }
+            write!(out, " {}", rel.name).expect("write to string");
+            for a in &rule.conclusion {
+                out.push(' ');
+                self.emit_term(a, true, out);
+            }
+            out.push('\n');
+        }
+        out.push_str(".\n");
+    }
+
+    /// Renders the spec as a program the surface parser accepts.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for adt in &self.adts {
+            write!(out, "data {} :=", adt.name).expect("write to string");
+            for (i, c) in adt.ctors.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" |");
+                }
+                write!(out, " {}", c.name).expect("write to string");
+                for &ty in &c.args {
+                    out.push(' ');
+                    self.emit_type(ty, &mut out);
+                }
+            }
+            out.push_str(" .\n");
+        }
+        let mut i = 0;
+        while i < self.rels.len() {
+            let members = self.group_members(i);
+            if members.len() > 1 {
+                out.push_str("mutual\n");
+                for &j in &members {
+                    self.emit_rel(&self.rels[j], &mut out);
+                }
+                out.push_str("end\n");
+            } else {
+                self.emit_rel(&self.rels[i], &mut out);
+            }
+            i += members.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> Spec {
+        Spec {
+            adts: vec![SpecAdt {
+                name: "d0".into(),
+                ctors: vec![
+                    SpecCtor {
+                        name: "K0_0".into(),
+                        args: vec![],
+                    },
+                    SpecCtor {
+                        name: "K0_1".into(),
+                        args: vec![SpecType::Nat, SpecType::Adt(0)],
+                    },
+                ],
+            }],
+            rels: vec![SpecRel {
+                name: "r0".into(),
+                args: vec![SpecType::Nat, SpecType::Adt(0)],
+                rules: vec![SpecRule {
+                    name: "c0".into(),
+                    vars: vec![SpecType::Nat],
+                    premises: vec![SpecPremise::Eq {
+                        lhs: SpecTerm::Fun("plus", vec![SpecTerm::Var(0), SpecTerm::NatLit(1)]),
+                        rhs: SpecTerm::Var(0),
+                        negated: true,
+                    }],
+                    conclusion: vec![
+                        SpecTerm::Succ(Box::new(SpecTerm::Var(0))),
+                        SpecTerm::Ctor {
+                            adt: 0,
+                            ctor: 1,
+                            args: vec![
+                                SpecTerm::Var(0),
+                                SpecTerm::Ctor {
+                                    adt: 0,
+                                    ctor: 0,
+                                    args: vec![],
+                                },
+                            ],
+                        },
+                    ],
+                }],
+            }],
+            rel_group: vec![0],
+        }
+    }
+
+    #[test]
+    fn emit_renders_expected_surface_syntax() {
+        let text = tiny_spec().emit();
+        assert!(text.contains("data d0 := K0_0 | K0_1 nat d0 ."), "{text}");
+        assert!(text.contains("rel r0 : nat d0 :="), "{text}");
+        assert!(
+            text.contains("| c0 : forall (x0 : nat), plus x0 1 <> x0 -> r0 (S x0) (K0_1 x0 K0_0)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn mutual_groups_emit_blocks() {
+        let mut spec = tiny_spec();
+        let mut r1 = spec.rels[0].clone();
+        r1.name = "r1".into();
+        spec.rels.push(r1);
+        spec.rel_group = vec![0, 0];
+        let text = spec.emit();
+        assert!(spec.has_mutual());
+        assert!(text.contains("mutual\n"), "{text}");
+        assert!(text.trim_end().ends_with("end"), "{text}");
+    }
+}

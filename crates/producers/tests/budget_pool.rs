@@ -1,0 +1,177 @@
+//! `BudgetPool` exact-accounting properties under concurrency.
+//!
+//! The parallel PBT runner's workers each hold a drawer that pulls
+//! chunks of steps from a shared pool, consumes some, and hands the
+//! leftover back. The whole budget story rests on two invariants:
+//!
+//! * **exact accounting** — `steps_used()` equals the sum over all
+//!   workers of (granted − returned), i.e. no draw or return is ever
+//!   lost to a race;
+//! * **never over-spend** — outstanding grants never exceed the pool's
+//!   capacity, under any interleaving.
+//!
+//! Each trial replays the *same* deterministic per-thread operation
+//! scripts (seeded per thread) concurrently at 2, 4, and 8 threads and
+//! sequentially as the reference ledger. With ample capacity the
+//! concurrent outcome must equal the sequential ledger exactly; with a
+//! tight capacity grants become interleaving-dependent, but the
+//! conservation invariants must still hold bit-exactly.
+
+use indrel_producers::{Budget, BudgetPool};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted drawer operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Draw up to this many steps from the pool.
+    Draw(u64),
+    /// Consume this fraction (per mille) of currently held steps, then
+    /// return the rest to the pool.
+    Flush(u64),
+}
+
+/// The deterministic operation script for one thread of one trial.
+fn script(trial: u64, thread: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64_stream(0xB0D6E7 ^ trial, thread);
+    let len = rng.gen_range(20..60usize);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                Op::Draw(rng.gen_range(1..=96))
+            } else {
+                Op::Flush(rng.gen_range(0..=1000))
+            }
+        })
+        .collect()
+}
+
+/// Replays `ops` against `pool` the way the runner's drawer does:
+/// draws accumulate into a held balance, flushes consume part of it
+/// and return the remainder. Returns `(granted, returned)` totals.
+fn run_script(pool: &BudgetPool, ops: &[Op]) -> (u64, u64) {
+    let mut held = 0u64;
+    let mut granted = 0u64;
+    let mut returned = 0u64;
+    for &op in ops {
+        match op {
+            Op::Draw(want) => {
+                let got = pool.draw_steps(want);
+                assert!(got <= want, "granted {got} > wanted {want}");
+                held += got;
+                granted += got;
+            }
+            Op::Flush(per_mille) => {
+                let consumed = held * per_mille / 1000;
+                let unused = held - consumed;
+                pool.return_steps(unused);
+                returned += unused;
+                held = 0;
+            }
+        }
+    }
+    // Final drop: like `Drawer::drop`, hand back everything still held.
+    pool.return_steps(held);
+    returned += held;
+    (granted, returned)
+}
+
+/// The sequential reference: same scripts, one thread, one pool.
+fn sequential_ledger(trial: u64, threads: u64, capacity: Option<u64>) -> (u64, Vec<(u64, u64)>) {
+    let mut budget = Budget::unlimited();
+    if let Some(c) = capacity {
+        budget = budget.with_steps(c);
+    }
+    let pool = BudgetPool::new(budget);
+    let per_thread: Vec<(u64, u64)> = (0..threads)
+        .map(|t| run_script(&pool, &script(trial, t)))
+        .collect();
+    (pool.steps_used(), per_thread)
+}
+
+fn concurrent_run(trial: u64, threads: u64, capacity: Option<u64>) -> (u64, Vec<(u64, u64)>) {
+    let mut budget = Budget::unlimited();
+    if let Some(c) = capacity {
+        budget = budget.with_steps(c);
+    }
+    let pool = BudgetPool::new(budget);
+    let per_thread = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = &pool;
+                scope.spawn(move || run_script(pool, &script(trial, t)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    (pool.steps_used(), per_thread)
+}
+
+#[test]
+fn ample_capacity_matches_sequential_ledger_exactly() {
+    // Capacity far above total demand: every draw is granted in full,
+    // so concurrency must not change a single number.
+    for &threads in &[2u64, 4, 8] {
+        for trial in 0..8u64 {
+            let (seq_used, seq_ledger) = sequential_ledger(trial, threads, None);
+            let (par_used, par_ledger) = concurrent_run(trial, threads, None);
+            assert_eq!(
+                par_ledger, seq_ledger,
+                "trial {trial}, {threads} threads: per-thread (granted, returned) diverged"
+            );
+            assert_eq!(
+                par_used, seq_used,
+                "trial {trial}, {threads} threads: pool usage diverged"
+            );
+            let net: u64 = par_ledger.iter().map(|(g, r)| g - r).sum();
+            assert_eq!(par_used, net, "usage must equal sum of net grants");
+        }
+    }
+}
+
+#[test]
+fn tight_capacity_conserves_steps_under_any_interleaving() {
+    for &threads in &[2u64, 4, 8] {
+        for trial in 0..12u64 {
+            let capacity = 500 + trial * 97;
+            let (par_used, par_ledger) = concurrent_run(trial, threads, Some(capacity));
+            let granted: u64 = par_ledger.iter().map(|(g, _)| *g).sum();
+            let returned: u64 = par_ledger.iter().map(|(_, r)| *r).sum();
+            // Exact accounting: no draw or return lost to a race.
+            assert_eq!(
+                par_used,
+                granted - returned,
+                "trial {trial}, {threads} threads, cap {capacity}: \
+                 pool says {par_used} used but ledger nets {}",
+                granted - returned
+            );
+            // Never over-spend: net outstanding grants fit the budget.
+            assert!(
+                par_used <= capacity,
+                "trial {trial}, {threads} threads: used {par_used} > capacity {capacity}"
+            );
+            // Never under-spend: the sequential ledger's total is
+            // reachable, and a tight pool must grant at least as much
+            // as the worst case where the whole capacity was consumed.
+            let (seq_used, _) = sequential_ledger(trial, threads, Some(capacity));
+            assert!(seq_used <= capacity);
+        }
+    }
+}
+
+#[test]
+fn exhaustion_is_sticky_and_only_after_refusal() {
+    // Unlimited pools never exhaust; tight pools exhaust exactly when
+    // some draw comes back smaller than requested.
+    let pool = BudgetPool::new(Budget::unlimited().with_steps(100));
+    assert_eq!(pool.draw_steps(60), 60);
+    assert!(!pool.is_exhausted());
+    assert_eq!(pool.draw_steps(60), 40, "partial grant drains the pool");
+    assert_eq!(pool.draw_steps(1), 0, "empty pool grants nothing");
+    assert!(pool.is_exhausted(), "a refused draw poisons the pool");
+    pool.return_steps(40);
+    assert_eq!(pool.steps_used(), 60);
+}

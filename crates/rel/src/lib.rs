@@ -40,6 +40,7 @@ pub mod builder;
 pub mod infer;
 pub mod parse;
 pub mod preprocess;
+pub mod pretty;
 pub mod relation;
 
 pub use builder::RuleBuilder;

@@ -25,6 +25,9 @@
 //! * identifiers that are not constructors, functions, or relations are
 //!   universally quantified variables (binders in `forall` may carry
 //!   type annotations: `forall (x : nat) (l : list nat), …`);
+//! * `mutual rel … . rel … . end` declares mutually recursive
+//!   relations — inside the block, premises may reference any member,
+//!   including ones declared later;
 //! * `--` starts a line comment and `(* … *)` a block comment.
 //!
 //! Functions used in rules (e.g. `plus`) must already be registered in
@@ -339,8 +342,67 @@ impl Parser<'_> {
     fn item(&mut self) -> Result<(), ParseError> {
         match self.peek().clone() {
             Tok::Ident(s) if s == "data" => self.data_decl(),
-            Tok::Ident(s) if s == "rel" => self.rel_decl(),
-            _ => Err(self.error("expected `data` or `rel` declaration")),
+            Tok::Ident(s) if s == "rel" => {
+                self.bump();
+                self.rel_decl_body(false)
+            }
+            Tok::Ident(s) if s == "mutual" => self.mutual_block(),
+            _ => Err(self.error("expected `data`, `rel`, or `mutual` declaration")),
+        }
+    }
+
+    // mutual rel … . rel … . end
+    //
+    // Two passes: the first reserves every relation's id and argument
+    // types (so premises may reference any member, including later
+    // ones), the second parses the rule bodies. Skipping a body in the
+    // first pass is safe because `.` only occurs as a terminator.
+    fn mutual_block(&mut self) -> Result<(), ParseError> {
+        self.bump(); // mutual
+        let start = self.pos;
+        let mut count = 0usize;
+        loop {
+            match self.peek().clone() {
+                Tok::Ident(s) if s == "end" => break,
+                Tok::Ident(s) if s == "rel" => {
+                    self.bump();
+                    let name = self.ident("relation name")?;
+                    self.expect(Tok::Colon, "`:`")?;
+                    let mut arg_types = Vec::new();
+                    while self.starts_type() {
+                        arg_types.push(self.atom_type(&[])?);
+                    }
+                    self.expect(Tok::ColonEq, "`:=`")?;
+                    self.env
+                        .reserve(&name, arg_types)
+                        .map_err(|e| self.error(e.to_string()))?;
+                    count += 1;
+                    loop {
+                        match self.bump() {
+                            Tok::Dot => break,
+                            Tok::Eof => {
+                                return Err(self.error("unterminated relation in `mutual` block"));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {
+                    return Err(self.error("expected `rel` declaration or `end` in `mutual` block"))
+                }
+            }
+        }
+        if count == 0 {
+            return Err(self.error("`mutual` block declares no relation"));
+        }
+        self.pos = start;
+        for _ in 0..count {
+            self.bump(); // rel (checked in the first pass)
+            self.rel_decl_body(true)?;
+        }
+        match self.bump() {
+            Tok::Ident(s) if s == "end" => Ok(()),
+            _ => Err(self.error("expected `end`")),
         }
     }
 
@@ -442,9 +504,11 @@ impl Parser<'_> {
         }
     }
 
-    // rel name : ty… := | rule … .
-    fn rel_decl(&mut self) -> Result<(), ParseError> {
-        self.bump(); // rel
+    // rel name : ty… := | rule … .   (after the `rel` keyword)
+    //
+    // With `pre_reserved`, the relation's id and argument types were
+    // already registered by a surrounding `mutual` block's first pass.
+    fn rel_decl_body(&mut self, pre_reserved: bool) -> Result<(), ParseError> {
         let name = self.ident("relation name")?;
         self.expect(Tok::Colon, "`:`")?;
         let mut arg_types = Vec::new();
@@ -452,10 +516,13 @@ impl Parser<'_> {
             arg_types.push(self.atom_type(&[])?);
         }
         self.expect(Tok::ColonEq, "`:=`")?;
-        let rel = self
-            .env
-            .reserve(&name, arg_types)
-            .map_err(|e| self.error(e.to_string()))?;
+        let rel = if pre_reserved {
+            self.env.rel_id(&name).expect("reserved in first pass")
+        } else {
+            self.env
+                .reserve(&name, arg_types)
+                .map_err(|e| self.error(e.to_string()))?
+        };
         let mut rules = Vec::new();
         loop {
             match self.bump() {
@@ -962,6 +1029,61 @@ mod tests {
         let mut env = RelEnv::new();
         let id = parse_relation(&mut u, &mut env, "rel only : nat := | o : only 0 .").unwrap();
         assert_eq!(env.relation(id).name(), "only");
+    }
+
+    #[test]
+    fn mutual_block_allows_forward_references() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        let out = parse_program(
+            &mut u,
+            &mut env,
+            r"
+            mutual
+            rel even2 : nat :=
+            | e0 : even2 0
+            | eS : forall n, odd2 n -> even2 (S n)
+            .
+            rel odd2 : nat :=
+            | oS : forall n, even2 n -> odd2 (S n)
+            .
+            end
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.relations, vec!["even2", "odd2"]);
+        let even2 = env.rel_id("even2").unwrap();
+        let odd2 = env.rel_id("odd2").unwrap();
+        assert!(matches!(
+            env.relation(even2).rules()[1].premises()[0],
+            Premise::Rel { rel, .. } if rel == odd2
+        ));
+        assert!(matches!(
+            env.relation(odd2).rules()[0].premises()[0],
+            Premise::Rel { rel, .. } if rel == even2
+        ));
+        // Inference saw the reserved signatures.
+        assert!(env.relation(even2).rules()[1]
+            .var_types()
+            .iter()
+            .all(Option::is_some));
+    }
+
+    #[test]
+    fn mutual_block_rejects_stray_items_and_emptiness() {
+        let mut u = Universe::new();
+        let mut env = RelEnv::new();
+        let err = parse_program(&mut u, &mut env, "mutual end").unwrap_err();
+        assert!(err.message.contains("declares no relation"), "{err}");
+        let err = parse_program(
+            &mut u,
+            &mut env,
+            "mutual data t := T . rel a : nat := | a0 : a 0 . end",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("`mutual` block"), "{err}");
+        let err = parse_program(&mut u, &mut env, "mutual rel b : nat := | b0 : b 0").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
     }
 
     #[test]

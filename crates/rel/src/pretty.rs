@@ -1,0 +1,337 @@
+//! Pretty-printing declarations back to parseable surface syntax.
+//!
+//! [`RelEnv::display_rule`](crate::RelEnv::display_rule) renders rules
+//! *roughly* — it drops binder type annotations and knows nothing about
+//! datatype declarations or declaration order. This module is the
+//! complete counterpart: [`pretty_program`] emits a program that
+//! [`crate::parse::parse_program`] accepts and that parses back to
+//! structurally equal declarations — including negated premises,
+//! existential binders with their inferred types, and mutually
+//! recursive relations (grouped into `mutual … end` blocks).
+//!
+//! ```
+//! use indrel_rel::{parse::parse_program, pretty::pretty_program, RelEnv};
+//! use indrel_term::Universe;
+//!
+//! let src = r"rel le : nat nat :=
+//!     | le_n : forall n, le n n
+//!     | le_S : forall n m, le n m -> le n (S m)
+//!     .";
+//! let mut u = Universe::new();
+//! let mut env = RelEnv::new();
+//! parse_program(&mut u, &mut env, src).unwrap();
+//! let le = env.rel_id("le").unwrap();
+//! let text = pretty_program(&u, &env, &[], &[le]);
+//!
+//! let mut u2 = Universe::new();
+//! let mut env2 = RelEnv::new();
+//! parse_program(&mut u2, &mut env2, &text).unwrap();
+//! let le2 = env2.rel_id("le").unwrap();
+//! assert_eq!(env.relation(le), env2.relation(le2));
+//! ```
+
+use crate::relation::{Premise, RelEnv, Rule};
+use indrel_term::{DtId, RelId, TermExpr, TypeExpr, Universe};
+use std::fmt::Write;
+
+/// Renders a type for an *atom* position (relation signatures, binder
+/// annotations live behind their own `:` so the head form is fine
+/// there; constructor argument lists need parens around applied types).
+fn atom_type(universe: &Universe, ty: &TypeExpr) -> String {
+    match ty {
+        TypeExpr::App(_, args) if !args.is_empty() => format!("({})", ty.display(universe)),
+        _ => ty.display(universe).to_string(),
+    }
+}
+
+/// Renders a term for an atom position: non-atomic terms (successors,
+/// constructor or function applications with arguments) get parens.
+fn atom_term(universe: &Universe, names: &[String], e: &TermExpr) -> String {
+    let atomic = matches!(
+        e,
+        TermExpr::Var(_) | TermExpr::NatLit(_) | TermExpr::BoolLit(_)
+    ) || matches!(e, TermExpr::Ctor(_, args) if args.is_empty())
+        || matches!(e, TermExpr::Fun(_, args) if args.is_empty());
+    if atomic {
+        e.display(universe, names).to_string()
+    } else {
+        format!("({})", e.display(universe, names))
+    }
+}
+
+/// Emits one `data` declaration.
+///
+/// # Panics
+///
+/// Panics if the datatype has no constructors — such a declaration has
+/// no parseable rendering (the grammar requires at least one
+/// constructor after `:=`).
+pub fn pretty_datatype(universe: &Universe, dt: DtId) -> String {
+    let decl = universe.datatype(dt);
+    assert!(
+        !decl.ctors().is_empty(),
+        "datatype `{}` has no constructors and cannot be rendered",
+        decl.name()
+    );
+    let mut out = String::new();
+    write!(out, "data {}", decl.name()).expect("write to string");
+    for i in 0..decl.nparams() {
+        // Mirrors the `'a`…`'z` naming used by `TypeExpr::display`.
+        write!(out, " '{}", (b'a' + (i as u8 % 26)) as char).expect("write to string");
+    }
+    out.push_str(" :=");
+    for (i, &c) in decl.ctors().iter().enumerate() {
+        let ctor = universe.ctor(c);
+        if i > 0 {
+            out.push_str(" |");
+        }
+        write!(out, " {}", ctor.name()).expect("write to string");
+        for ty in ctor.arg_types() {
+            write!(out, " {}", atom_type(universe, ty)).expect("write to string");
+        }
+    }
+    out.push_str(" .\n");
+    out
+}
+
+fn pretty_rule(universe: &Universe, env: &RelEnv, rel: RelId, rule: &Rule, out: &mut String) {
+    let names = rule.var_names();
+    write!(out, "| {} :", rule.name()).expect("write to string");
+    if !names.is_empty() {
+        out.push_str(" forall");
+        for (name, ty) in names.iter().zip(rule.var_types()) {
+            match ty {
+                Some(ty) => write!(out, " ({name} : {})", ty.display(universe)),
+                None => write!(out, " {name}"),
+            }
+            .expect("write to string");
+        }
+        out.push(',');
+    }
+    for p in rule.premises() {
+        out.push(' ');
+        match p {
+            Premise::Rel {
+                rel: q,
+                args,
+                negated,
+            } => {
+                if *negated {
+                    out.push_str("~ ");
+                }
+                out.push_str(env.relation(*q).name());
+                for a in args {
+                    write!(out, " {}", atom_term(universe, names, a)).expect("write to string");
+                }
+            }
+            Premise::Eq { lhs, rhs, negated } => {
+                write!(
+                    out,
+                    "{} {} {}",
+                    lhs.display(universe, names),
+                    if *negated { "<>" } else { "=" },
+                    rhs.display(universe, names)
+                )
+                .expect("write to string");
+            }
+        }
+        out.push_str(" ->");
+    }
+    write!(out, " {}", env.relation(rel).name()).expect("write to string");
+    for a in rule.conclusion() {
+        write!(out, " {}", atom_term(universe, names, a)).expect("write to string");
+    }
+    out.push('\n');
+}
+
+/// Emits one `rel` declaration (without any `mutual` wrapper).
+pub fn pretty_relation(universe: &Universe, env: &RelEnv, rel: RelId) -> String {
+    let r = env.relation(rel);
+    let mut out = String::new();
+    write!(out, "rel {} :", r.name()).expect("write to string");
+    for ty in r.arg_types() {
+        write!(out, " {}", atom_type(universe, ty)).expect("write to string");
+    }
+    out.push_str(" :=\n");
+    for rule in r.rules() {
+        pretty_rule(universe, env, rel, rule, &mut out);
+    }
+    out.push_str(".\n");
+    out
+}
+
+/// Emits a parseable program declaring `datatypes` then `relations`, in
+/// the given order. Relations that reference a *later* relation in the
+/// slice (directly or through a chain of forward references) are
+/// grouped with it into a single `mutual … end` block; everything else
+/// is emitted as a plain declaration.
+///
+/// The rendering assumes any datatype, function, or relation *not*
+/// listed here is pre-registered in the universe/environment the text
+/// will be parsed into (as [`crate::parse::std_universe`] does for the
+/// standard library).
+pub fn pretty_program(
+    universe: &Universe,
+    env: &RelEnv,
+    datatypes: &[DtId],
+    relations: &[RelId],
+) -> String {
+    let mut out = String::new();
+    for &dt in datatypes {
+        out.push_str(&pretty_datatype(universe, dt));
+    }
+    // Interval merging: a premise referencing relations[j] from
+    // relations[i] with j > i forces i..=j into one mutual block
+    // (declaration order is preserved, so only forward edges matter).
+    let pos = |id: RelId| relations.iter().position(|&r| r == id);
+    let mut reach: Vec<usize> = (0..relations.len()).collect();
+    for (i, &rel) in relations.iter().enumerate() {
+        for rule in env.relation(rel).rules() {
+            for p in rule.premises() {
+                if let Premise::Rel { rel: q, .. } = p {
+                    if let Some(j) = pos(*q) {
+                        reach[i] = reach[i].max(j);
+                    }
+                }
+            }
+        }
+    }
+    let mut i = 0;
+    while i < relations.len() {
+        // Extend the block while any member reaches past its end.
+        let mut end = reach[i];
+        let mut j = i;
+        while j <= end {
+            end = end.max(reach[j]);
+            j += 1;
+        }
+        if end == i {
+            out.push_str(&pretty_relation(universe, env, relations[i]));
+        } else {
+            out.push_str("mutual\n");
+            for &rel in &relations[i..=end] {
+                out.push_str(&pretty_relation(universe, env, rel));
+            }
+            out.push_str("end\n");
+        }
+        i = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_program, std_universe};
+
+    fn roundtrip(src: &str) {
+        let mut u = std_universe();
+        let mut env = RelEnv::new();
+        let out = parse_program(&mut u, &mut env, src).unwrap();
+        let dts: Vec<DtId> = out
+            .datatypes
+            .iter()
+            .map(|n| u.dt_id(n).expect("declared"))
+            .collect();
+        let rels: Vec<RelId> = out
+            .relations
+            .iter()
+            .map(|n| env.rel_id(n).expect("declared"))
+            .collect();
+        let text = pretty_program(&u, &env, &dts, &rels);
+
+        let mut u2 = std_universe();
+        let mut env2 = RelEnv::new();
+        let out2 = parse_program(&mut u2, &mut env2, &text).unwrap_or_else(|e| {
+            panic!("pretty output failed to parse: {e}\n{text}");
+        });
+        assert_eq!(out.datatypes, out2.datatypes, "{text}");
+        assert_eq!(out.relations, out2.relations, "{text}");
+        for name in &out.relations {
+            let a = env.relation(env.rel_id(name).unwrap());
+            let b = env2.relation(env2.rel_id(name).unwrap());
+            assert_eq!(a, b, "relation `{name}` changed across roundtrip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_datatypes_and_annotations() {
+        roundtrip(
+            r"
+            data tree := Leaf | Node nat tree tree .
+            rel bst : nat nat tree :=
+            | bst_leaf : forall (lo : nat) (hi : nat), bst lo hi Leaf
+            | bst_node : forall lo hi x l r,
+                bst lo x l -> bst x hi r -> bst lo hi (Node x l r)
+            .
+            ",
+        );
+    }
+
+    #[test]
+    fn roundtrips_negation_equalities_and_functions() {
+        roundtrip(
+            r"
+            rel even' : nat :=
+            | even_0 : even' 0
+            | even_SS : forall n, even' n -> even' (S (S n))
+            .
+            rel weird : nat nat :=
+            | w : forall n m,
+                ~ (even' n) -> plus n 1 = m -> n <> 4 -> weird n m
+            .
+            ",
+        );
+    }
+
+    #[test]
+    fn roundtrips_existentials_and_parameterized_types() {
+        roundtrip(
+            r"
+            rel in_list : nat (list nat) :=
+            | in_here : forall x l, in_list x (cons x l)
+            | in_there : forall x y l, in_list x l -> in_list x (cons y l)
+            .
+            rel nonempty : (list nat) :=
+            | ne : forall x l, in_list x l -> nonempty l
+            .
+            ",
+        );
+    }
+
+    #[test]
+    fn forward_references_render_as_mutual_block() {
+        let mut u = std_universe();
+        let mut env = RelEnv::new();
+        parse_program(
+            &mut u,
+            &mut env,
+            r"
+            mutual
+            rel even2 : nat :=
+            | e0 : even2 0
+            | eS : forall n, odd2 n -> even2 (S n)
+            .
+            rel odd2 : nat :=
+            | oS : forall n, even2 n -> odd2 (S n)
+            .
+            end
+            ",
+        )
+        .unwrap();
+        let rels = vec![env.rel_id("even2").unwrap(), env.rel_id("odd2").unwrap()];
+        let text = pretty_program(&u, &env, &[], &rels);
+        assert!(text.starts_with("mutual\n"), "{text}");
+        assert!(text.contains("end\n"), "{text}");
+        let mut u2 = std_universe();
+        let mut env2 = RelEnv::new();
+        parse_program(&mut u2, &mut env2, &text).unwrap();
+        for (name, &rel) in ["even2", "odd2"].iter().zip(&rels) {
+            assert_eq!(
+                env.relation(rel),
+                env2.relation(env2.rel_id(name).unwrap()),
+                "{text}"
+            );
+        }
+    }
+}

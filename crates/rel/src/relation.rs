@@ -59,7 +59,7 @@ impl Premise {
 }
 
 /// A rule (constructor) of an inductive relation.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rule {
     name: String,
     var_names: Vec<String>,
@@ -164,7 +164,7 @@ impl Rule {
 }
 
 /// An inductive relation: a name, argument types, and rules.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Relation {
     name: String,
     arg_types: Vec<TypeExpr>,

@@ -127,6 +127,26 @@ impl fmt::Display for Violation {
     }
 }
 
+/// The judgement of a single swept case — one argument (or input)
+/// tuple run through one oracle. The per-case counterpart of a
+/// [`Certificate`], returned by the `Validator`'s `*_case` methods so
+/// external drivers (e.g. the fuzz pipeline) can consume oracles
+/// incrementally.
+#[derive(Clone, Debug, Default)]
+pub struct CaseReport {
+    /// Violations found on this case.
+    pub violations: Vec<Violation>,
+    /// Comparisons skipped because the reference was inconclusive.
+    pub inconclusive: usize,
+}
+
+impl CaseReport {
+    /// `true` when no violations were found on this case.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
 /// The result of validating one derived artifact.
 #[derive(Clone, Debug)]
 pub struct Certificate {

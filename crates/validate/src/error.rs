@@ -1,0 +1,46 @@
+//! Typed errors for validator construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`Validator`](crate::Validator) could not be built.
+///
+/// Machine-matchable (unlike the previous `Result<_, String>`), so
+/// drivers that validate *generated* programs — the fuzz pipeline in
+/// particular — can classify construction failures instead of string-
+/// matching them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The reference semantics could not preprocess the relations
+    /// (e.g. a rule shape the proof search does not support).
+    Preprocess {
+        /// Human-readable reason from `indrel-semantics`.
+        message: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Preprocess { message } => {
+                write!(f, "reference semantics preprocessing failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = ValidateError::Preprocess {
+            message: "bad rule".into(),
+        };
+        assert!(e.to_string().contains("bad rule"));
+        assert_eq!(e.clone(), e);
+    }
+}

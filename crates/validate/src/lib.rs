@@ -57,7 +57,9 @@
 //! ```
 
 mod certificate;
+mod error;
 mod validator;
 
-pub use certificate::{ArtifactKind, Certificate, ValidationParams, Violation};
+pub use certificate::{ArtifactKind, CaseReport, Certificate, ValidationParams, Violation};
+pub use error::ValidateError;
 pub use validator::Validator;

@@ -1,6 +1,7 @@
 //! The validation engine.
 
-use crate::certificate::{ArtifactKind, Certificate, ValidationParams, Violation};
+use crate::certificate::{ArtifactKind, CaseReport, Certificate, ValidationParams, Violation};
+use crate::error::ValidateError;
 use indrel_core::{Library, Mode};
 use indrel_producers::Outcome;
 use indrel_semantics::{ProofSystem, Tv};
@@ -12,6 +13,13 @@ use std::collections::BTreeSet;
 
 /// Validates derived artifacts of a [`Library`] against the reference
 /// semantics. See the [crate docs](crate) for an example.
+///
+/// Each `validate_*` method sweeps a bounded domain and wraps the
+/// result into a [`Certificate`]; the per-case methods
+/// ([`Validator::checker_case`], [`Validator::enumerator_case`],
+/// [`Validator::generator_case`]) expose the same oracles one argument
+/// tuple at a time, for drivers — the fuzz pipeline, notably — that
+/// need to interleave, shrink, or budget individual comparisons.
 #[derive(Debug)]
 pub struct Validator {
     lib: Library,
@@ -25,8 +33,9 @@ impl Validator {
     ///
     /// # Errors
     ///
-    /// Propagates preprocessing errors from the reference semantics.
-    pub fn new(lib: Library) -> Result<Validator, String> {
+    /// Propagates preprocessing errors from the reference semantics as
+    /// [`ValidateError::Preprocess`].
+    pub fn new(lib: Library) -> Result<Validator, ValidateError> {
         Validator::with_params(lib, ValidationParams::default())
     }
 
@@ -34,9 +43,11 @@ impl Validator {
     ///
     /// # Errors
     ///
-    /// Propagates preprocessing errors from the reference semantics.
-    pub fn with_params(lib: Library, params: ValidationParams) -> Result<Validator, String> {
-        let mut sys = ProofSystem::new(lib.universe().clone(), lib.env().clone())?;
+    /// Propagates preprocessing errors from the reference semantics as
+    /// [`ValidateError::Preprocess`].
+    pub fn with_params(lib: Library, params: ValidationParams) -> Result<Validator, ValidateError> {
+        let mut sys = ProofSystem::new(lib.universe().clone(), lib.env().clone())
+            .map_err(|message| ValidateError::Preprocess { message })?;
         sys.set_value_bound(params.value_bound);
         Ok(Validator { lib, sys, params })
     }
@@ -58,19 +69,106 @@ impl Validator {
             .join(", ")
     }
 
+    /// Runs the reference search for `rel` at the configured depth —
+    /// the "ground truth" side of every differential comparison.
+    pub fn reference_holds(&self, rel: RelId, args: &[Value]) -> Tv {
+        self.sys.holds(rel, args, self.params.ref_depth)
+    }
+
     /// Re-runs the reference search with a witness bound matching the
     /// checker's maximum fuel, for double-checking would-be soundness
     /// violations (the default bound can truncate large witnesses).
-    fn generous_holds(&self, rel: RelId, args: &[Value]) -> Tv {
+    pub fn generous_holds(&self, rel: RelId, args: &[Value]) -> Tv {
         let mut sys = ProofSystem::new(self.lib.universe().clone(), self.lib.env().clone())
             .expect("relations already preprocessed once");
         sys.set_value_bound(self.params.value_bound.max(self.params.max_fuel));
         sys.holds(rel, args, self.params.ref_depth.max(self.params.max_fuel))
     }
 
-    fn sweep_args(&self, rel: RelId) -> Vec<Vec<Value>> {
+    /// The bounded argument domain swept for `rel`: every argument
+    /// tuple whose values have size at most the configured `arg_size`.
+    pub fn sweep_args(&self, rel: RelId) -> Vec<Vec<Value>> {
         let tys = self.lib.env().relation(rel).arg_types().to_vec();
         tuples_up_to(self.lib.universe(), &tys, self.params.arg_size)
+    }
+
+    /// The bounded domain of *input* tuples for `(rel, mode)`.
+    pub fn sweep_inputs(&self, rel: RelId, mode: &Mode) -> Vec<Vec<Value>> {
+        let in_tys: Vec<_> = mode
+            .in_positions()
+            .into_iter()
+            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
+            .collect();
+        tuples_up_to(self.lib.universe(), &in_tys, self.params.arg_size)
+    }
+
+    /// Judges the checker on one argument tuple: runs the fuel ladder
+    /// for monotonicity, then compares the final verdict against the
+    /// reference search.
+    pub fn checker_case(&self, rel: RelId, args: &[Value]) -> CaseReport {
+        let mut report = CaseReport::default();
+        let reference = self.reference_holds(rel, args);
+        // Monotonicity: once definite, the verdict never changes.
+        let mut definite: Option<(bool, u64)> = None;
+        let mut final_result = None;
+        for fuel in 0..=self.params.max_fuel {
+            let r = self.lib.check(rel, fuel, fuel, args);
+            if let Some(b) = r {
+                match definite {
+                    None => definite = Some((b, fuel)),
+                    Some((b0, f0)) => {
+                        if b0 != b {
+                            report.violations.push(Violation::NotMonotonic {
+                                args: self.render(args),
+                                fuel_lo: f0,
+                                fuel_hi: fuel,
+                            });
+                            // The verdict is unstable; comparing it
+                            // against the reference would double-report
+                            // the same defect.
+                            return report;
+                        }
+                    }
+                }
+            }
+            final_result = r;
+        }
+        match (final_result, reference) {
+            (Some(true), Tv::False) => {
+                // The checker may have used a witness larger than the
+                // reference search's value bound; re-verify with a
+                // bound matching the checker's fuel before flagging.
+                if self.generous_holds(rel, args) == Tv::False {
+                    report.violations.push(Violation::CheckerUnsound {
+                        args: self.render(args),
+                    });
+                } else {
+                    report.inconclusive += 1;
+                }
+            }
+            (Some(false), Tv::True) => {
+                report.violations.push(Violation::CheckerUnsoundNegative {
+                    args: self.render(args),
+                });
+            }
+            (None, Tv::True) => {
+                // `None` on a positive is an incompleteness.
+                report.violations.push(Violation::CheckerIncomplete {
+                    args: self.render(args),
+                });
+            }
+            (Some(true), Tv::Unknown) => {
+                // A positive checker verdict with an inconclusive
+                // reference can't be judged.
+                report.inconclusive += 1;
+            }
+            _ => {
+                if reference == Tv::Unknown {
+                    report.inconclusive += 1;
+                }
+            }
+        }
+        report
     }
 
     /// Validates the checker instance for `rel`: soundness, negative
@@ -81,69 +179,9 @@ impl Validator {
         let mut inconclusive = 0usize;
         let tuples = self.sweep_args(rel);
         for args in &tuples {
-            let reference = self.sys.holds(rel, args, self.params.ref_depth);
-            // Monotonicity: once definite, the verdict never changes.
-            let mut definite: Option<(bool, u64)> = None;
-            let mut final_result = None;
-            let mut monotonic = true;
-            for fuel in 0..=self.params.max_fuel {
-                let r = self.lib.check(rel, fuel, fuel, args);
-                if let Some(b) = r {
-                    match definite {
-                        None => definite = Some((b, fuel)),
-                        Some((b0, f0)) => {
-                            if b0 != b {
-                                violations.push(Violation::NotMonotonic {
-                                    args: self.render(args),
-                                    fuel_lo: f0,
-                                    fuel_hi: fuel,
-                                });
-                                monotonic = false;
-                                break;
-                            }
-                        }
-                    }
-                }
-                final_result = r;
-            }
-            if !monotonic {
-                // The verdict is unstable; comparing it against the
-                // reference would double-report the same defect.
-                continue;
-            }
-            match (final_result, reference) {
-                (Some(true), Tv::False) => {
-                    // The checker may have used a witness larger than the
-                    // reference search's value bound; re-verify with a
-                    // bound matching the checker's fuel before flagging.
-                    if self.generous_holds(rel, args) == Tv::False {
-                        violations.push(Violation::CheckerUnsound {
-                            args: self.render(args),
-                        });
-                    } else {
-                        inconclusive += 1;
-                    }
-                }
-                (Some(false), Tv::True) => violations.push(Violation::CheckerUnsoundNegative {
-                    args: self.render(args),
-                }),
-                (None, Tv::True) => {
-                    // `None` on a positive is an incompleteness.
-                    violations.push(Violation::CheckerIncomplete {
-                        args: self.render(args),
-                    });
-                }
-                (Some(true), Tv::Unknown) => {
-                    // A positive checker verdict with an inconclusive
-                    // reference can't be judged.
-                    inconclusive += 1;
-                }
-                _ => {
-                    if reference == Tv::Unknown {
-                        inconclusive += 1;
-                    }
-                }
-            }
+            let case = self.checker_case(rel, args);
+            violations.extend(case.violations);
+            inconclusive += case.inconclusive;
         }
         Certificate {
             rel: self.lib.env().relation(rel).name().to_string(),
@@ -159,7 +197,7 @@ impl Validator {
     /// The set of satisfying output tuples for `(rel, mode)` at the
     /// given inputs, according to the reference semantics, restricted to
     /// outputs within the sweep bound.
-    fn reference_outputs(&self, rel: RelId, mode: &Mode, inputs: &[Value]) -> Vec<Vec<Value>> {
+    pub fn reference_outputs(&self, rel: RelId, mode: &Mode, inputs: &[Value]) -> Vec<Vec<Value>> {
         let tys: Vec<_> = mode
             .out_positions()
             .into_iter()
@@ -175,6 +213,59 @@ impl Validator {
         sat
     }
 
+    /// Judges the enumerator on one input tuple: outcome-set
+    /// monotonicity across sizes, soundness of every enumerated output,
+    /// and completeness against [`Validator::reference_outputs`].
+    pub fn enumerator_case(&self, rel: RelId, mode: &Mode, inputs: &[Value]) -> CaseReport {
+        let mut report = CaseReport::default();
+        let mut prev: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut seen_at_max: BTreeSet<Vec<Value>> = BTreeSet::new();
+        for size in 0..=self.params.max_fuel {
+            let outcomes = self.lib.enumerate(rel, mode, size, size, inputs).outcomes();
+            let mut cur: BTreeSet<Vec<Value>> = BTreeSet::new();
+            for o in outcomes {
+                if let Outcome::Val(v) = o {
+                    cur.insert(v);
+                }
+            }
+            // Monotonicity of outcome sets.
+            if !prev.is_subset(&cur) {
+                report.violations.push(Violation::NotMonotonic {
+                    args: self.render(inputs),
+                    fuel_lo: size.saturating_sub(1),
+                    fuel_hi: size,
+                });
+            }
+            prev = cur.clone();
+            if size == self.params.max_fuel {
+                seen_at_max = cur;
+            }
+        }
+        // Soundness: everything produced satisfies the relation.
+        for outs in &seen_at_max {
+            let args = assemble(mode, inputs, outs);
+            match self.sys.holds(rel, &args, self.params.ref_depth) {
+                Tv::False => report.violations.push(Violation::ProducerUnsound {
+                    inputs: self.render(inputs),
+                    outputs: self.render(outs),
+                }),
+                Tv::Unknown => report.inconclusive += 1,
+                Tv::True => {}
+            }
+        }
+        // Completeness: every satisfying output (within bounds) is
+        // eventually produced.
+        for outs in self.reference_outputs(rel, mode, inputs) {
+            if !seen_at_max.contains(&outs) {
+                report.violations.push(Violation::ProducerIncomplete {
+                    inputs: self.render(inputs),
+                    outputs: self.render(&outs),
+                });
+            }
+        }
+        report
+    }
+
     /// Validates the enumerator instance for `(rel, mode)`: soundness
     /// of every outcome, completeness against the reference output set,
     /// and monotonicity of outcome sets. (Duplicates are allowed: a
@@ -183,58 +274,11 @@ impl Validator {
     pub fn validate_enumerator(&self, rel: RelId, mode: &Mode) -> Certificate {
         let mut violations = Vec::new();
         let mut inconclusive = 0usize;
-        let in_tys: Vec<_> = mode
-            .in_positions()
-            .into_iter()
-            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
-            .collect();
-        let input_tuples = tuples_up_to(self.lib.universe(), &in_tys, self.params.arg_size);
+        let input_tuples = self.sweep_inputs(rel, mode);
         for inputs in &input_tuples {
-            let mut prev: BTreeSet<Vec<Value>> = BTreeSet::new();
-            let mut seen_at_max: BTreeSet<Vec<Value>> = BTreeSet::new();
-            for size in 0..=self.params.max_fuel {
-                let outcomes = self.lib.enumerate(rel, mode, size, size, inputs).outcomes();
-                let mut cur: BTreeSet<Vec<Value>> = BTreeSet::new();
-                for o in outcomes {
-                    if let Outcome::Val(v) = o {
-                        cur.insert(v);
-                    }
-                }
-                // Monotonicity of outcome sets.
-                if !prev.is_subset(&cur) {
-                    violations.push(Violation::NotMonotonic {
-                        args: self.render(inputs),
-                        fuel_lo: size.saturating_sub(1),
-                        fuel_hi: size,
-                    });
-                }
-                prev = cur.clone();
-                if size == self.params.max_fuel {
-                    seen_at_max = cur;
-                }
-            }
-            // Soundness: everything produced satisfies the relation.
-            for outs in &seen_at_max {
-                let args = assemble(mode, inputs, outs);
-                match self.sys.holds(rel, &args, self.params.ref_depth) {
-                    Tv::False => violations.push(Violation::ProducerUnsound {
-                        inputs: self.render(inputs),
-                        outputs: self.render(outs),
-                    }),
-                    Tv::Unknown => inconclusive += 1,
-                    Tv::True => {}
-                }
-            }
-            // Completeness: every satisfying output (within bounds) is
-            // eventually produced.
-            for outs in self.reference_outputs(rel, mode, inputs) {
-                if !seen_at_max.contains(&outs) {
-                    violations.push(Violation::ProducerIncomplete {
-                        inputs: self.render(inputs),
-                        outputs: self.render(&outs),
-                    });
-                }
-            }
+            let case = self.enumerator_case(rel, mode, inputs);
+            violations.extend(case.violations);
+            inconclusive += case.inconclusive;
         }
         Certificate {
             rel: self.lib.env().relation(rel).name().to_string(),
@@ -247,6 +291,41 @@ impl Validator {
         }
     }
 
+    /// Judges the generator on one input tuple: draws the configured
+    /// number of samples from `rng` and checks each against the
+    /// reference (soundness only — coverage is statistical).
+    pub fn generator_case(
+        &self,
+        rel: RelId,
+        mode: &Mode,
+        inputs: &[Value],
+        rng: &mut dyn rand::RngCore,
+    ) -> CaseReport {
+        let mut report = CaseReport::default();
+        for _ in 0..self.params.gen_samples {
+            let Some(outs) = self.lib.generate(
+                rel,
+                mode,
+                self.params.max_fuel,
+                self.params.max_fuel,
+                inputs,
+                rng,
+            ) else {
+                continue;
+            };
+            let args = assemble(mode, inputs, &outs);
+            match self.sys.holds(rel, &args, self.params.ref_depth) {
+                Tv::False => report.violations.push(Violation::ProducerUnsound {
+                    inputs: self.render(inputs),
+                    outputs: self.render(&outs),
+                }),
+                Tv::Unknown => report.inconclusive += 1,
+                Tv::True => {}
+            }
+        }
+        report
+    }
+
     /// Validates the generator instance for `(rel, mode)`: every sample
     /// satisfies the relation (soundness); coverage of the reference
     /// output set is reported through the certificate's `inconclusive`
@@ -254,35 +333,12 @@ impl Validator {
     pub fn validate_generator(&self, rel: RelId, mode: &Mode) -> Certificate {
         let mut violations = Vec::new();
         let mut inconclusive = 0usize;
-        let in_tys: Vec<_> = mode
-            .in_positions()
-            .into_iter()
-            .map(|i| self.lib.env().relation(rel).arg_types()[i].clone())
-            .collect();
-        let input_tuples = tuples_up_to(self.lib.universe(), &in_tys, self.params.arg_size);
+        let input_tuples = self.sweep_inputs(rel, mode);
         let mut rng = SmallRng::seed_from_u64(self.params.seed);
         for inputs in &input_tuples {
-            for _ in 0..self.params.gen_samples {
-                let Some(outs) = self.lib.generate(
-                    rel,
-                    mode,
-                    self.params.max_fuel,
-                    self.params.max_fuel,
-                    inputs,
-                    &mut rng,
-                ) else {
-                    continue;
-                };
-                let args = assemble(mode, inputs, &outs);
-                match self.sys.holds(rel, &args, self.params.ref_depth) {
-                    Tv::False => violations.push(Violation::ProducerUnsound {
-                        inputs: self.render(inputs),
-                        outputs: self.render(&outs),
-                    }),
-                    Tv::Unknown => inconclusive += 1,
-                    Tv::True => {}
-                }
-            }
+            let case = self.generator_case(rel, mode, inputs, &mut rng);
+            violations.extend(case.violations);
+            inconclusive += case.inconclusive;
         }
         Certificate {
             rel: self.lib.env().relation(rel).name().to_string(),

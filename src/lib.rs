@@ -60,6 +60,7 @@
 pub use indrel_bst as bst;
 pub use indrel_core as core;
 pub use indrel_corpus as corpus;
+pub use indrel_fuzz as fuzz;
 pub use indrel_ifc as ifc;
 pub use indrel_pbt as pbt;
 pub use indrel_producers as producers;
@@ -85,7 +86,9 @@ pub mod prelude {
     pub use indrel_term::{
         CtorId, DtId, Env, FunId, Pattern, RelId, TermExpr, TypeExpr, Universe, Value, VarId,
     };
-    pub use indrel_validate::{Certificate, ValidationParams, Validator};
+    pub use indrel_validate::{
+        CaseReport, Certificate, ValidateError, ValidationParams, Validator,
+    };
 }
 
 #[cfg(test)]
