@@ -15,9 +15,11 @@
 //! | §6.3 reflection | [`reflection`] | `reflection` | `reflection` |
 //! | DESIGN.md ablations | [`ablation`] | — | `ablation` |
 //! | EXPERIMENTS.md parallel scaling | [`par`] | `par_throughput` | — |
+//! | EXPERIMENTS.md tabling speedups | [`memo`] | `memo` | — |
 
 pub mod ablation;
 pub mod fig3;
+pub mod memo;
 pub mod mutation;
 pub mod par;
 pub mod reflection;

@@ -62,7 +62,7 @@ impl Library {
     /// register one first).
     pub fn check(&self, rel: RelId, size: u64, top_size: u64, args: &[Value]) -> Option<bool> {
         let imp = self.require_checker(rel).unwrap_or_else(|e| panic!("{e}"));
-        self.run_checker_impl(rel, &imp, size, top_size, args)
+        self.run_checker_impl(rel, imp, size, top_size, args)
     }
 
     fn run_checker_impl(
@@ -110,7 +110,7 @@ impl Library {
                 let _depth = self.probe_enter(rel, ExecKind::Checker);
                 f(size, top_size, args)
             }
-            CheckerImpl::Plan(plan, _) => self.run_plan_check(&plan, size, top_size, args),
+            CheckerImpl::Plan(plan, _) => self.run_plan_check(plan, size, top_size, args),
         }
     }
 
@@ -181,7 +181,7 @@ impl Library {
         let entry = self
             .require_producer(rel, mode, InstanceKind::Enumerator)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.run_enum_impl(rel, &entry, size, top_size, inputs)
+        self.run_enum_impl(rel, entry, size, top_size, inputs)
     }
 
     fn run_enum_impl(
@@ -248,7 +248,7 @@ impl Library {
         let entry = self
             .require_producer(rel, mode, InstanceKind::Generator)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.run_gen_impl(rel, &entry, size, top_size, inputs, rng)
+        self.run_gen_impl(rel, entry, size, top_size, inputs, rng)
     }
 
     fn run_gen_impl(
@@ -309,6 +309,20 @@ impl Library {
             Some(m) => m.charge_backtrack(),
             None => true,
         }
+    }
+
+    /// `true` when no armed meter has been exhausted — the memo layer's
+    /// write guard (see [`crate::memo`]): verdicts observed after a
+    /// meter was poisoned can be fabricated by early-unwinding inner
+    /// searches, so they must not be cached. Exhaustion is sticky, so
+    /// checking at write time covers the whole preceding search.
+    #[inline]
+    pub(crate) fn meter_intact(&self) -> bool {
+        self.inner
+            .meter
+            .borrow()
+            .as_ref()
+            .is_none_or(|m| !m.is_exhausted())
     }
 
     /// The armed meter, if any (a cheap `Rc` clone).
@@ -410,13 +424,13 @@ impl Library {
         let imp = self.require_checker(rel)?;
         self.require_count(rel, self.inner.env.relation(rel).arity(), args.len())?;
         if budget.is_unlimited() {
-            return Ok(self.run_checker_impl(rel, &imp, size, top_size, args));
+            return Ok(self.run_checker_impl(rel, imp, size, top_size, args));
         }
         let meter = Meter::new(budget);
         admit_terms(&meter, args)?;
         let result = {
             let _armed = self.arm_meter(meter.clone());
-            self.run_checker_impl(rel, &imp, size, top_size, args)
+            self.run_checker_impl(rel, imp, size, top_size, args)
         };
         match meter.exhaustion() {
             Some(e) => Err(e.into()),
@@ -445,7 +459,7 @@ impl Library {
         let _armed = (!budget.is_unlimited()).then(|| self.arm_meter(meter.clone()));
         let mut fuel = 1u64;
         loop {
-            let r = self.run_checker_impl(rel, &imp, fuel, fuel, args);
+            let r = self.run_checker_impl(rel, imp, fuel, fuel, args);
             if let Some(e) = meter.exhaustion() {
                 return Err(e.into());
             }
@@ -484,7 +498,7 @@ impl Library {
         self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
         let meter = Meter::new(budget);
         admit_terms(&meter, inputs)?;
-        let stream = self.run_enum_impl(rel, &entry, size, top_size, inputs);
+        let stream = self.run_enum_impl(rel, entry, size, top_size, inputs);
         Ok(BudgetedStream {
             lib: self.clone(),
             meter,
@@ -514,13 +528,13 @@ impl Library {
         let entry = self.require_producer(rel, mode, InstanceKind::Generator)?;
         self.require_count(rel, mode.arity() - mode.num_outs(), inputs.len())?;
         if budget.is_unlimited() {
-            return Ok(self.run_gen_impl(rel, &entry, size, top_size, inputs, rng));
+            return Ok(self.run_gen_impl(rel, entry, size, top_size, inputs, rng));
         }
         let meter = Meter::new(budget);
         admit_terms(&meter, inputs)?;
         let result = {
             let _armed = self.arm_meter(meter.clone());
-            self.run_gen_impl(rel, &entry, size, top_size, inputs, rng)
+            self.run_gen_impl(rel, entry, size, top_size, inputs, rng)
         };
         match meter.exhaustion() {
             Some(e) => Err(e.into()),
@@ -775,10 +789,11 @@ impl Library {
                     let in_vals = self.eval_into(in_args, env);
                     let stream = self.enumerate(*rel, mode, top, top, &in_vals);
                     self.put_args(in_vals);
-                    let slots = out_slots.clone();
+                    // bind_ec drains the stream eagerly, so the closure
+                    // can borrow `out_slots` from the plan directly.
                     return bind_ec(stream, |outs| {
                         let mut env2 = env.clone();
-                        for (slot, v) in slots.iter().zip(outs) {
+                        for (slot, v) in out_slots.iter().zip(outs) {
                             env2.bind(*slot, v);
                         }
                         self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)
@@ -788,10 +803,9 @@ impl Library {
                     let in_vals = self.eval_into(in_args, env);
                     let stream = self.run_plan_enum(plan, size_rem, top, &in_vals);
                     self.put_args(in_vals);
-                    let slots = out_slots.clone();
                     return bind_ec(stream, |outs| {
                         let mut env2 = env.clone();
-                        for (slot, v) in slots.iter().zip(outs) {
+                        for (slot, v) in out_slots.iter().zip(outs) {
                             env2.bind(*slot, v);
                         }
                         self.steps_check(plan, h_idx, idx + 1, &mut env2, size_rem, top)

@@ -69,14 +69,17 @@ pub mod compat;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub(crate) mod index;
 pub mod library;
 pub(crate) mod lower;
+pub mod memo;
 pub mod mode;
 pub mod plan;
 
 pub use error::{DeriveError, ExecError, InstanceKind};
 pub use exec::BudgetedStream;
 pub use library::{Library, LibraryBuilder, ProbeGuard, SharedLibrary};
+pub use memo::MemoStats;
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};
 // Budgets live with the producer combinators; re-exported here because

@@ -96,6 +96,17 @@ pub(crate) struct Inner {
     pub(crate) probe_armed: std::cell::Cell<bool>,
     /// Current executor nesting depth, for `Event::Enter`.
     pub(crate) depth: std::cell::Cell<u32>,
+    /// The session's verdict table (tabling, [`crate::memo`]). Present
+    /// but inert until [`Library::with_memo`] flips `memo_enabled`.
+    pub(crate) memo: std::cell::RefCell<crate::memo::MemoTable>,
+    /// Mirror flag, like `probe_armed`: the lowered checker consults it
+    /// on every entry, so the disabled cost is one `Cell` load.
+    pub(crate) memo_enabled: std::cell::Cell<bool>,
+    /// Monotone count of lowered checker searches this session; the
+    /// delta across one search is the memo layer's cost gate (a verdict
+    /// that cost fewer than [`crate::memo::MIN_SEARCH_COST`] recursions
+    /// is not worth caching).
+    pub(crate) search_calls: std::cell::Cell<u64>,
 }
 
 impl Inner {
@@ -108,6 +119,9 @@ impl Inner {
             probe: std::cell::RefCell::new(ExecProbe::NoProbe),
             probe_armed: std::cell::Cell::new(false),
             depth: std::cell::Cell::new(0),
+            memo: std::cell::RefCell::new(crate::memo::MemoTable::default()),
+            memo_enabled: std::cell::Cell::new(false),
+            search_calls: std::cell::Cell::new(0),
         }
     }
 }
@@ -467,14 +481,13 @@ impl Library {
             .is_some_and(|p| p.hand_gen.is_some() || p.plan.is_some())
     }
 
-    /// Looks up the checker for `rel`, as a value (`Rc`-backed clones
-    /// are cheap).
-    pub(crate) fn require_checker(&self, rel: RelId) -> Result<CheckerImpl, ExecError> {
+    /// Looks up the checker for `rel`, borrowing straight out of the
+    /// frozen table — the checker hot path pays no per-call clone.
+    pub(crate) fn require_checker(&self, rel: RelId) -> Result<&CheckerImpl, ExecError> {
         self.inner
             .checkers
             .get(rel.index())
             .and_then(Option::as_ref)
-            .cloned()
             .ok_or_else(|| ExecError::NoInstance {
                 kind: InstanceKind::Checker,
                 rel: self.inner.env.relation(rel).name().to_string(),
@@ -483,13 +496,14 @@ impl Library {
     }
 
     /// Looks up the producer for `(rel, mode)`, requiring the half
-    /// (enumerator or generator) that `kind` asks for.
+    /// (enumerator or generator) that `kind` asks for. Borrows from the
+    /// frozen table, like [`Library::require_checker`].
     pub(crate) fn require_producer(
         &self,
         rel: RelId,
         mode: &Mode,
         kind: InstanceKind,
-    ) -> Result<ProducerImpl, ExecError> {
+    ) -> Result<&ProducerImpl, ExecError> {
         let no_instance = || ExecError::NoInstance {
             kind,
             rel: self.inner.env.relation(rel).name().to_string(),
@@ -506,10 +520,52 @@ impl Library {
             InstanceKind::Checker => false,
         };
         if usable {
-            Ok(entry.clone())
+            Ok(entry)
         } else {
             Err(no_instance())
         }
+    }
+
+    /// Enables tabling on this session and returns it, for chaining:
+    /// derived checkers cache decided (`Some`) verdicts across calls,
+    /// justified by the monotonicity theorems of §5 (see
+    /// [`crate::memo`]). Out-of-fuel `None` verdicts are never cached.
+    ///
+    /// The flag is session state: clones of this `Library` share it,
+    /// but [`Library::fork`] starts with tabling off again.
+    ///
+    /// # Example
+    ///
+    /// ```ignore
+    /// let lib = builder.build().with_memo();
+    /// lib.check(rel, fuel, fuel, &args); // first call fills the table
+    /// lib.check(rel, fuel, fuel, &args); // answered from the table
+    /// ```
+    pub fn with_memo(self) -> Library {
+        self.inner.memo_enabled.set(true);
+        self
+    }
+
+    /// Like [`Library::with_memo`], with an explicit bound on the
+    /// number of cached verdicts (and interned term nodes). Once full,
+    /// the table stops admitting new entries — deterministic, no
+    /// eviction — and existing entries keep serving hits.
+    pub fn with_memo_capacity(self, max_entries: usize) -> Library {
+        self.inner
+            .memo
+            .replace(crate::memo::MemoTable::with_capacity(max_entries));
+        self.with_memo()
+    }
+
+    /// `true` when tabling is enabled on this session.
+    pub fn memo_enabled(&self) -> bool {
+        self.inner.memo_enabled.get()
+    }
+
+    /// This session's tabling counters (all zero when tabling was never
+    /// enabled).
+    pub fn memo_stats(&self) -> crate::memo::MemoStats {
+        self.inner.memo.borrow().stats()
     }
 
     /// Arms `probe` on this library until the returned guard drops,

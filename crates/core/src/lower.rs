@@ -24,7 +24,9 @@
 //! [`LibraryBuilder::build`]: crate::LibraryBuilder::build
 //! [`Library::check_interpreted`]: crate::Library::check_interpreted
 
+use crate::index::DispatchIndex;
 use crate::library::Library;
+use crate::memo::Lookup;
 use crate::plan::{Plan, Step};
 use indrel_producers::probe::{Event, ExecKind, FailSite};
 use indrel_producers::{bind_ec, cnot, EStream, Outcome};
@@ -48,13 +50,16 @@ pub(crate) struct LoweredChecker {
     pub(crate) rel: RelId,
     pub(crate) handlers: Vec<LoweredHandler>,
     pub(crate) has_recursive: bool,
+    /// First-argument discrimination index ([`crate::index`]); `None`
+    /// when every input pattern is flexible.
+    pub(crate) index: Option<DispatchIndex>,
 }
 
 /// Compiles a checker plan. Must only be called on plans whose mode is
 /// the all-input checker mode.
 pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
     debug_assert!(plan.mode.is_checker());
-    let handlers = plan
+    let handlers: Vec<LoweredHandler> = plan
         .handlers
         .iter()
         .enumerate()
@@ -65,10 +70,13 @@ pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
             run: lower_steps(&h.steps, 0, i as u32),
         })
         .collect();
+    let rows: Vec<&[Pattern]> = handlers.iter().map(|h| h.input_pats.as_slice()).collect();
+    let index = DispatchIndex::build(&rows);
     LoweredChecker {
         rel: plan.rel,
         handlers,
         has_recursive: plan.has_recursive_handlers(),
+        index,
     }
 }
 
@@ -118,12 +126,9 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             }
         }),
         Step::CheckRel { rel, args, negated } => Arc::new(move |lib, low, env, size_rem, top| {
-            let u = lib.universe();
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
-                .collect();
+            let vals = lib.eval_into(&args, env);
             let mut r = lib.check(rel, top, top, &vals);
+            lib.put_args(vals);
             if negated {
                 r = cnot(r);
             }
@@ -133,12 +138,10 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             }
         }),
         Step::RecCheck { args } => Arc::new(move |lib, low, env, size_rem, top| {
-            let u = lib.universe();
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
-                .collect();
-            match lib.run_lowered_check(low, size_rem, top, &vals) {
+            let vals = lib.eval_into(&args, env);
+            let r = lib.run_lowered_rec(low, size_rem, top, &vals);
+            lib.put_args(vals);
+            match r {
                 Some(true) => rest(lib, low, env, size_rem, top),
                 other => other,
             }
@@ -149,12 +152,9 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             in_args,
             out_slots,
         } => Arc::new(move |lib, low, env, size_rem, top| {
-            let u = lib.universe();
-            let in_vals: Vec<Value> = in_args
-                .iter()
-                .map(|a| a.eval(env, u).expect("plan invariant: args instantiated"))
-                .collect();
+            let in_vals = lib.eval_into(&in_args, env);
             let stream = lib.enumerate(rel, &mode, top, top, &in_vals);
+            lib.put_args(in_vals);
             bind_ec(stream, |outs| {
                 let mut env2 = env.clone();
                 for (slot, v) in out_slots.iter().zip(outs) {
@@ -181,9 +181,39 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
     }
 }
 
+/// Allocation-free candidate iteration: an index bucket when one
+/// exists, every handler otherwise.
+enum Dispatch<'a> {
+    Indexed(std::slice::Iter<'a, u32>),
+    Linear(std::ops::Range<u32>),
+}
+
+impl Iterator for Dispatch<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            Dispatch::Indexed(it) => it.next().copied(),
+            Dispatch::Linear(r) => r.next(),
+        }
+    }
+}
+
 impl Library {
-    /// Runs a lowered checker, mirroring `run_plan_check`'s fuel
-    /// discipline exactly.
+    /// Runs a lowered checker at an *entry boundary* — a top-level
+    /// [`Library::check`] or an external `CheckRel` premise — mirroring
+    /// `run_plan_check`'s fuel discipline exactly, with the memo table
+    /// consulted on the way in. Recursive self-calls go through
+    /// [`Library::run_lowered_rec`] instead and skip the table: they
+    /// descend into strict subterms of a tuple that already missed
+    /// here, so per-level lookups would tax every recursion of a
+    /// miss-heavy workload for reuse that entry-level hits capture
+    /// anyway (measured: per-level tabling cost 3–5× overhead on
+    /// distinct-input sweeps and bought no additional hits).
+    ///
+    /// The interpreter stays unindexed and unmemoized on purpose: it is
+    /// the differential baseline the `interp_vs_lowered` and
+    /// `memo_vs_plain` oracles compare against.
     pub(crate) fn run_lowered_check(
         &self,
         low: &LoweredChecker,
@@ -192,26 +222,124 @@ impl Library {
         args: &[Value],
     ) -> Option<bool> {
         // Budget charge: one step per checker recursion, one backtrack
-        // per abandoned handler (no-ops when no meter is armed).
+        // per abandoned handler (no-ops when no meter is armed). A memo
+        // hit still pays this step — the table accelerates the search,
+        // it does not make work free.
         if !self.charge_step() {
             return None;
         }
+        // Tabling (crate::memo): decided verdicts are monotone in both
+        // fuels, so an entry decided at dominated fuels answers this
+        // call outright. The borrow must end before the search below —
+        // recursive calls re-enter this table.
+        if !self.inner.memo_enabled.get() {
+            return self.run_lowered_search(low, size, top, args);
+        }
+        let fp = match self
+            .inner
+            .memo
+            .borrow_mut()
+            .lookup(low.rel, args, size, top)
+        {
+            Lookup::Hit(verdict) => {
+                self.probe(|| Event::MemoHit { rel: low.rel });
+                return Some(verdict);
+            }
+            Lookup::Miss(fp) => {
+                self.probe(|| Event::MemoMiss { rel: low.rel });
+                fp
+            }
+        };
+        let calls_before = self.inner.search_calls.get();
+        let result = self.run_lowered_search(low, size, top, args);
+        match result {
+            // Never cache under an exhausted meter: past that point
+            // inner searches return early and verdicts can be
+            // fabricated (the `try_*` entry points mask them with an
+            // error). Exhaustion is sticky, so checking now covers the
+            // whole search above. The cost gate keeps leaf goals —
+            // cheaper to re-derive than to cache — out of the table.
+            Some(verdict) => {
+                let cost = self.inner.search_calls.get() - calls_before;
+                if cost >= crate::memo::MIN_SEARCH_COST && self.meter_intact() {
+                    self.inner
+                        .memo
+                        .borrow_mut()
+                        .insert(low.rel, fp, args, size, top, verdict);
+                }
+            }
+            // The monotonicity boundary: `None` is not a verdict, a
+            // larger fuel may still decide it. Never cached.
+            None => self.inner.memo.borrow_mut().note_none_skipped(),
+        }
+        result
+    }
+
+    /// A recursive self-call of a lowered checker: the same budget
+    /// charge as an entry, no table. See [`Library::run_lowered_check`]
+    /// for why recursion bypasses the memo layer.
+    pub(crate) fn run_lowered_rec(
+        &self,
+        low: &LoweredChecker,
+        size: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        if !self.charge_step() {
+            return None;
+        }
+        self.run_lowered_search(low, size, top, args)
+    }
+
+    /// The search body of [`Library::run_lowered_check`]: rule dispatch
+    /// and the fuel discipline, without budget entry or tabling.
+    fn run_lowered_search(
+        &self,
+        low: &LoweredChecker,
+        size: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
+        // Feeds the memo layer's cost gate; one `Cell` bump.
+        self.inner
+            .search_calls
+            .set(self.inner.search_calls.get() + 1);
         let _depth = self.probe_enter(low.rel, ExecKind::Checker);
         let mut needs_fuel = false;
         let size_rem = size.saturating_sub(1);
-        for (i, h) in low.handlers.iter().enumerate() {
+        // Constructor-indexed dispatch (crate::index): jump straight to
+        // the handlers whose input patterns can match the scrutinee's
+        // head. Pruned handlers would have failed their input match
+        // conclusively (`Some(false)`), so the verdict — including the
+        // `needs_fuel` bookkeeping — is identical to linear dispatch.
+        let candidates = match &low.index {
+            Some(index) => {
+                let bucket = index.candidates(args);
+                let skipped = index.total() - bucket.len() as u32;
+                if skipped > 0 {
+                    self.probe(|| Event::IndexSkip {
+                        rel: low.rel,
+                        skipped,
+                    });
+                }
+                Dispatch::Indexed(bucket.iter())
+            }
+            None => Dispatch::Linear(0..low.handlers.len() as u32),
+        };
+        for i in candidates {
+            let h = &low.handlers[i as usize];
             if size == 0 && h.recursive {
                 continue;
             }
             self.probe(|| Event::RuleAttempt {
                 rel: low.rel,
-                rule: i as u32,
+                rule: i,
             });
-            match self.lowered_handler(low, h, i as u32, size_rem, top, args) {
+            match self.lowered_handler(low, h, i, size_rem, top, args) {
                 Some(true) => {
                     self.probe(|| Event::RuleSuccess {
                         rel: low.rel,
-                        rule: i as u32,
+                        rule: i,
                     });
                     return Some(true);
                 }
@@ -222,7 +350,7 @@ impl Library {
             // the next alternative — the same notion the meter charges.
             self.probe(|| Event::Backtrack {
                 rel: low.rel,
-                rule: i as u32,
+                rule: i,
             });
             if !self.charge_backtrack() {
                 return None;

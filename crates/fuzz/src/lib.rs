@@ -5,11 +5,11 @@
 //! seeded generator ([`gen::gen_spec`]) produces random well-formed
 //! relation specs — non-linear conclusions, function calls, negation,
 //! existentials, mutual recursion — renders them as surface syntax
-//! ([`spec::Spec::emit`]), and runs every one through a bank of seven
+//! ([`spec::Spec::emit`]), and runs every one through a bank of eight
 //! differential oracles ([`oracles`]) that pit independent layers of
 //! the pipeline against each other (interpreter vs lowered executor,
 //! derived checker vs reference proof search, sequential vs parallel
-//! runner, …). Failing specs are minimized by a greedy shrinker
+//! runner, memoized vs plain sessions, …). Failing specs are minimized by a greedy shrinker
 //! ([`shrink`]) and written out as reproducible DSL artifacts; the
 //! `fuzz_pipeline` binary drives the whole loop deterministically from
 //! a root seed.

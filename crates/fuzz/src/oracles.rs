@@ -2,7 +2,7 @@
 //!
 //! Every generated spec is pushed through the *entire* derivation
 //! pipeline — parse, preprocess, compile, execute — and checked against
-//! seven independent oracles, each comparing two implementations that
+//! eight independent oracles, each comparing two implementations that
 //! should agree but share as little code as possible:
 //!
 //! | oracle                 | left side              | right side                  |
@@ -14,6 +14,7 @@
 //! | `probe_parity`         | probe-armed checker    | unarmed checker             |
 //! | `par_report_identity`  | sequential PBT report  | 2-worker PBT report         |
 //! | `budget_determinism`   | budgeted run           | identical re-run            |
+//! | `memo_vs_plain`        | memo-enabled fork      | plain (memo-less) fork      |
 //!
 //! A spec that the deriver rejects (e.g. mutual recursion hitting
 //! `InstanceCycle`) is not a violation: the execution oracles record a
@@ -32,7 +33,7 @@ use indrel_validate::{ValidationParams, Validator};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The seven oracles, in reporting order.
+/// The eight oracles, in reporting order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Oracle {
     /// `parse(pretty(p))` is structurally equal to `parse(p)`.
@@ -54,11 +55,15 @@ pub enum Oracle {
     /// `try_check` under a step budget returns the same `Result` on
     /// repeated runs.
     BudgetDeterminism,
+    /// A [`Library::with_memo`] fork agrees with a plain fork across
+    /// the domain and an ascending fuel ladder (exercising both cold
+    /// misses and monotonicity-justified hits).
+    MemoVsPlain,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::Roundtrip,
         Oracle::ExecutorEquivalence,
         Oracle::CheckerVsReference,
@@ -66,6 +71,7 @@ impl Oracle {
         Oracle::ProbeParity,
         Oracle::ParallelReportIdentity,
         Oracle::BudgetDeterminism,
+        Oracle::MemoVsPlain,
     ];
 
     /// Stable machine-readable name (used in JSON output, artifacts,
@@ -79,6 +85,7 @@ impl Oracle {
             Oracle::ProbeParity => "probe_parity",
             Oracle::ParallelReportIdentity => "par_report_identity",
             Oracle::BudgetDeterminism => "budget_determinism",
+            Oracle::MemoVsPlain => "memo_vs_plain",
         }
     }
 }
@@ -259,6 +266,10 @@ pub fn run_dsl_with(source: &str, params: &OracleParams) -> SpecReport {
             outcomes.push((
                 Oracle::BudgetDeterminism,
                 budget_determinism(&lib, &u, &env, &rels, params),
+            ));
+            outcomes.push((
+                Oracle::MemoVsPlain,
+                memo_vs_plain(&lib, &u, &env, &rels, params),
             ));
         }
         Err(reason) => {
@@ -616,6 +627,54 @@ fn budget_determinism(
                     env.relation(rel).name(),
                     render_args(u, args),
                 ));
+            }
+        }
+    }
+    OracleOutcome::Pass
+}
+
+fn memo_vs_plain(
+    lib: &Library,
+    u: &Universe,
+    env: &RelEnv,
+    rels: &[RelId],
+    params: &OracleParams,
+) -> OracleOutcome {
+    // One memoized session for the whole spec: the fuel ladder runs
+    // ascending so later, larger-fuel queries hit entries decided at
+    // smaller fuels — the monotonicity rule under test.
+    let memoized = lib.fork().with_memo();
+    for &rel in rels {
+        let (_, dom) = domain(u, env, rel, params.arg_size);
+        for fuel in [0, params.max_fuel / 2, params.max_fuel] {
+            for args in &dom {
+                let plain = match budgeted_check(lib, rel, fuel, args, params) {
+                    Ok(v) => v,
+                    // The memoized run charges at most as many steps as
+                    // the plain one (a hit replaces a whole search with
+                    // one step), so a plain cut-off says nothing about
+                    // the memoized verdict — skip the tuple.
+                    Err(e) if is_cutoff(&e) => continue,
+                    Err(e) => return OracleOutcome::Violation(format!("plain checker: {e}")),
+                };
+                match budgeted_check(&memoized, rel, fuel, args, params) {
+                    Ok(m) if m == plain => {}
+                    Ok(m) => {
+                        return OracleOutcome::Violation(format!(
+                            "{} at fuel {fuel} on {}: memoized {m:?} vs plain {plain:?}",
+                            env.relation(rel).name(),
+                            render_args(u, args),
+                        ));
+                    }
+                    Err(e) => {
+                        return OracleOutcome::Violation(format!(
+                            "{} at fuel {fuel} on {}: memoized run failed ({e}) where \
+                             the plain run returned {plain:?}",
+                            env.relation(rel).name(),
+                            render_args(u, args),
+                        ));
+                    }
+                }
             }
         }
     }

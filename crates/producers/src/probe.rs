@@ -129,6 +129,25 @@ pub enum Event {
         /// output tuple.
         size: u64,
     },
+    /// A tabling lookup returned a cached verdict; the search body was
+    /// skipped entirely (one budget step was still charged).
+    MemoHit {
+        /// The relation whose verdict was cached.
+        rel: RelId,
+    },
+    /// A tabling lookup found no usable entry; the search ran in full.
+    MemoMiss {
+        /// The relation looked up.
+        rel: RelId,
+    },
+    /// The constructor dispatch index pruned `skipped` rules for one
+    /// checker entry without attempting them.
+    IndexSkip {
+        /// The relation dispatched on.
+        rel: RelId,
+        /// Rules pruned (their input patterns provably cannot match).
+        skipped: u32,
+    },
 }
 
 /// Maps [`RelId`]s and rule indices to source names, for display and
@@ -339,6 +358,10 @@ struct StatsState {
     depths: Hist,
     term_sizes: Hist,
     events: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    /// Total rules pruned by the dispatch index (sum of `skipped`).
+    index_skipped: u64,
 }
 
 /// An aggregating probe: counters and histograms over the whole search,
@@ -398,6 +421,9 @@ impl SearchStats {
             Event::TermProduced { size, .. } => {
                 s.term_sizes.record(size);
             }
+            Event::MemoHit { .. } => s.memo_hits += 1,
+            Event::MemoMiss { .. } => s.memo_misses += 1,
+            Event::IndexSkip { skipped, .. } => s.index_skipped += u64::from(skipped),
         }
     }
 
@@ -418,6 +444,7 @@ impl SearchStats {
                 o.depths.clone(),
                 o.term_sizes.clone(),
                 o.events,
+                (o.memo_hits, o.memo_misses, o.index_skipped),
             )
         };
         let mut s = lock(&self.state);
@@ -436,6 +463,9 @@ impl SearchStats {
         s.depths.merge(&snap.3);
         s.term_sizes.merge(&snap.4);
         s.events += snap.5;
+        s.memo_hits += snap.6 .0;
+        s.memo_misses += snap.6 .1;
+        s.index_skipped += snap.6 .2;
     }
 
     /// Total events recorded.
@@ -473,6 +503,22 @@ impl SearchStats {
     /// Unification failures across all sites.
     pub fn total_unify_fails(&self) -> u64 {
         lock(&self.state).fails.values().sum()
+    }
+
+    /// Tabling lookups answered from the cache.
+    pub fn memo_hits(&self) -> u64 {
+        lock(&self.state).memo_hits
+    }
+
+    /// Tabling lookups that fell through to the full search.
+    pub fn memo_misses(&self) -> u64 {
+        lock(&self.state).memo_misses
+    }
+
+    /// Rules pruned by the constructor dispatch index (summed over all
+    /// checker entries).
+    pub fn index_skipped(&self) -> u64 {
+        lock(&self.state).index_skipped
     }
 
     /// Counters for one `(rel, rule)` pair.
@@ -557,6 +603,8 @@ impl SearchStats {
             concat!(
                 r#"{{"events":{},"#,
                 r#""enters":{{"checker":{},"enumerator":{},"generator":{}}},"#,
+                r#""memo":{{"hits":{},"misses":{}}},"#,
+                r#""index_skipped":{},"#,
                 r#""rules":[{}],"#,
                 r#""unify_fails":[{}],"#,
                 r#""depth":{},"#,
@@ -566,6 +614,9 @@ impl SearchStats {
             s.enters[ExecKind::Checker as usize],
             s.enters[ExecKind::Enumerator as usize],
             s.enters[ExecKind::Generator as usize],
+            s.memo_hits,
+            s.memo_misses,
+            s.index_skipped,
             rules.join(","),
             fails.join(","),
             s.depths.to_json(),
@@ -599,6 +650,13 @@ impl fmt::Display for SearchStats {
                 r.attempts,
                 r.successes,
                 r.backtracks
+            )?;
+        }
+        if s.memo_hits + s.memo_misses + s.index_skipped > 0 {
+            writeln!(
+                f,
+                "  memo: {} hits / {} misses; index pruned {} rules",
+                s.memo_hits, s.memo_misses, s.index_skipped
             )?;
         }
         drop(s);
@@ -726,6 +784,18 @@ fn event_json(seq: u64, e: &Event, names: &NameTable) -> String {
             r#"{{"seq":{seq},"event":"term_produced","rel":"{}","size":{size}}}"#,
             json_escape(&names.rel(*rel))
         ),
+        Event::MemoHit { rel } => format!(
+            r#"{{"seq":{seq},"event":"memo_hit","rel":"{}"}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+        Event::MemoMiss { rel } => format!(
+            r#"{{"seq":{seq},"event":"memo_miss","rel":"{}"}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+        Event::IndexSkip { rel, skipped } => format!(
+            r#"{{"seq":{seq},"event":"index_skip","rel":"{}","skipped":{skipped}}}"#,
+            json_escape(&names.rel(*rel))
+        ),
     }
 }
 
@@ -849,7 +919,14 @@ mod tests {
         stats.record(Event::RuleAttempt { rel, rule: 1 });
         stats.record(Event::RuleSuccess { rel, rule: 1 });
         stats.record(Event::TermProduced { rel, size: 5 });
-        assert_eq!(stats.events(), 7);
+        stats.record(Event::MemoMiss { rel });
+        stats.record(Event::MemoHit { rel });
+        stats.record(Event::MemoHit { rel });
+        stats.record(Event::IndexSkip { rel, skipped: 3 });
+        assert_eq!(stats.events(), 11);
+        assert_eq!(stats.memo_hits(), 2);
+        assert_eq!(stats.memo_misses(), 1);
+        assert_eq!(stats.index_skipped(), 3);
         assert_eq!(stats.total_attempts(), 2);
         assert_eq!(stats.total_successes(), 1);
         assert_eq!(stats.total_backtracks(), 1);
@@ -863,6 +940,7 @@ mod tests {
         let json = stats.to_json();
         assert!(json.contains(r#""rel":"bst","rule":"bst_node","attempts":1,"successes":1"#));
         assert!(json.contains(r#""site":"inputs","count":1"#));
+        assert!(json.contains(r#""memo":{"hits":2,"misses":1},"index_skipped":3"#));
         assert_eq!(json, stats.to_json(), "export is stable");
         let table = stats.to_string();
         assert!(table.contains("bst.bst_node"));
@@ -958,6 +1036,9 @@ mod tests {
             Event::RuleAttempt { rel, rule: 1 },
             Event::RuleSuccess { rel, rule: 1 },
             Event::TermProduced { rel, size: 5 },
+            Event::MemoMiss { rel },
+            Event::MemoHit { rel },
+            Event::IndexSkip { rel, skipped: 2 },
         ];
         // One sink seeing everything...
         let whole = SearchStats::new();

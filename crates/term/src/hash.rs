@@ -1,0 +1,110 @@
+//! A tiny multiply–rotate hasher for integer- and pointer-keyed maps.
+//!
+//! The std `HashMap` defaults to SipHash, whose per-probe cost dwarfs
+//! the work the hot lookup paths ([`crate::intern`]'s fingerprint
+//! cache, the core memo table's buckets) do around it. Their keys are
+//! single machine words — addresses and already-mixed fingerprints —
+//! with no exposure to attacker-chosen collisions, so an fxhash-style
+//! word mixer is the right tool: one `rotate`/`xor`/`mul` per word and
+//! a finishing shift that pushes the multiply's high-bit entropy back
+//! into the low bits the table indexes by.
+
+use std::hash::{BuildHasher, Hasher};
+
+const K: u64 = 0x517C_C1B7_2722_0A95;
+
+/// One-word-at-a-time multiply–rotate hasher. See the module docs.
+#[derive(Clone, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Low bits index the table; fold the high bits down.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, w: usize) {
+        self.write_u64(w as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (deterministic, zero seed state).
+#[derive(Clone, Default)]
+pub struct FastHashBuilder;
+
+impl BuildHasher for FastHashBuilder {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl Fn(&mut FastHasher)) -> u64 {
+        let mut h = FastHashBuilder.build_hasher();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_word_sensitive() {
+        assert_eq!(hash_of(|h| h.write_u64(7)), hash_of(|h| h.write_u64(7)));
+        assert_ne!(hash_of(|h| h.write_u64(7)), hash_of(|h| h.write_u64(8)));
+        assert_ne!(
+            hash_of(|h| h.write_u64(7)),
+            hash_of(|h| {
+                h.write_u64(7);
+                h.write_u64(7);
+            })
+        );
+    }
+
+    #[test]
+    fn aligned_pointers_spread_across_low_bits() {
+        // Addresses differ only in a few middle bits; the table indexes
+        // by low bits, so those must vary.
+        let mut low = std::collections::HashSet::new();
+        for i in 0..64usize {
+            low.insert(hash_of(|h| h.write_usize(0x7F00_0000_0000 + i * 64)) & 0x3F);
+        }
+        assert!(
+            low.len() > 32,
+            "only {} distinct low-bit patterns",
+            low.len()
+        );
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes() {
+        assert_eq!(
+            hash_of(|h| h.write(&42u64.to_le_bytes())),
+            hash_of(|h| h.write_u64(42))
+        );
+    }
+}

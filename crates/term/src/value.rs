@@ -71,12 +71,23 @@ impl Value {
     /// The *size* of a value: number of constructor nodes, counting a
     /// natural `n` as `n` successor nodes. This is the measure used by
     /// bounded-exhaustive enumeration and by the validation harness.
+    ///
+    /// Iterative (explicit worklist): fuzz-generated terms can nest
+    /// arbitrarily deep, and the recursion stack must not be the limit.
     pub fn size(&self) -> u64 {
-        match self {
-            Value::Nat(n) => *n,
-            Value::Bool(_) => 0,
-            Value::Ctor(_, args) => 1 + args.iter().map(Value::size).sum::<u64>(),
+        let mut total = 0u64;
+        let mut work = vec![self];
+        while let Some(v) = work.pop() {
+            match v {
+                Value::Nat(n) => total += n,
+                Value::Bool(_) => {}
+                Value::Ctor(_, args) => {
+                    total += 1;
+                    work.extend(args.iter());
+                }
+            }
         }
+        total
     }
 
     /// Structural equality that never consults pointer identity.
@@ -85,29 +96,49 @@ impl Value {
     /// implementation short-circuits on `Arc` pointer equality for shared
     /// subterms. The proof-checking case study (§6.3 of the paper) needs
     /// the honest O(n) comparison a proof kernel would perform, so this
-    /// method deliberately walks both terms.
+    /// method deliberately walks both terms — iteratively, so the honest
+    /// walk survives terms deeper than the call stack.
     pub fn structurally_equal(&self, other: &Value) -> bool {
-        match (self, other) {
-            (Value::Nat(a), Value::Nat(b)) => a == b,
-            (Value::Bool(a), Value::Bool(b)) => a == b,
-            (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => {
-                c1 == c2
-                    && a1.len() == a2.len()
-                    && a1
-                        .iter()
-                        .zip(a2.iter())
-                        .all(|(x, y)| x.structurally_equal(y))
+        let mut work = vec![(self, other)];
+        while let Some((a, b)) = work.pop() {
+            match (a, b) {
+                (Value::Nat(x), Value::Nat(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Value::Bool(x), Value::Bool(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => {
+                    if c1 != c2 || a1.len() != a2.len() {
+                        return false;
+                    }
+                    work.extend(a1.iter().zip(a2.iter()));
+                }
+                _ => return false,
             }
-            _ => false,
         }
+        true
     }
 
     /// Depth of the value tree (a `Nat` has depth 0).
     pub fn depth(&self) -> u64 {
-        match self {
-            Value::Nat(_) | Value::Bool(_) => 0,
-            Value::Ctor(_, args) => 1 + args.iter().map(Value::depth).max().unwrap_or(0),
+        let mut deepest = 0u64;
+        let mut work = vec![(self, 0u64)];
+        while let Some((v, above)) = work.pop() {
+            match v {
+                Value::Nat(_) | Value::Bool(_) => deepest = deepest.max(above),
+                Value::Ctor(_, args) => {
+                    let here = above + 1;
+                    deepest = deepest.max(here);
+                    work.extend(args.iter().map(|a| (a, here)));
+                }
+            }
         }
+        deepest
     }
 }
 
@@ -169,6 +200,45 @@ mod tests {
         } else {
             panic!("expected constructors");
         }
+    }
+
+    /// A unary chain `depth` constructors tall. Dropping such a chain
+    /// recursively would itself overflow the stack, so the helper below
+    /// dismantles it iteratively.
+    fn deep_chain(depth: usize) -> Value {
+        let mut v = leaf();
+        for _ in 0..depth {
+            v = Value::ctor(CtorId::new(2), vec![v]);
+        }
+        v
+    }
+
+    fn dismantle(mut v: Value) {
+        while let Value::Ctor(_, args) = v {
+            match Arc::try_unwrap(args) {
+                Ok(mut vec) => match vec.pop() {
+                    Some(child) => v = child,
+                    None => break,
+                },
+                // Shared — the other owner dismantles it.
+                Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow_the_stack() {
+        const DEPTH: usize = 300_000;
+        let a = deep_chain(DEPTH);
+        let b = a.clone(); // shallow: shares the whole chain
+        assert_eq!(a.size(), DEPTH as u64 + 1);
+        assert_eq!(a.depth(), DEPTH as u64 + 1);
+        assert!(a.structurally_equal(&b));
+        let c = deep_chain(DEPTH); // physically distinct copy
+        assert!(a.structurally_equal(&c));
+        drop(b); // refcounts stay > 1 along `a`'s chain: non-recursive
+        dismantle(a);
+        dismantle(c);
     }
 
     #[test]

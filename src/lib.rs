@@ -75,8 +75,8 @@ pub use indrel_validate as validate;
 pub mod prelude {
     pub use indrel_core::{
         Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe, Exhaustion,
-        InstanceKind, Library, LibraryBuilder, Mode, Plan, Resource, SearchStats, SharedLibrary,
-        TraceProbe,
+        InstanceKind, Library, LibraryBuilder, MemoStats, Mode, Plan, Resource, SearchStats,
+        SharedLibrary, TraceProbe,
     };
     pub use indrel_pbt::{Labels, Parallelism, RunReport, Runner, TestOutcome};
     pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
