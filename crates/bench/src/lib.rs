@@ -16,6 +16,7 @@
 //! | DESIGN.md ablations | [`ablation`] | — | `ablation` |
 //! | EXPERIMENTS.md parallel scaling | [`par`] | `par_throughput` | — |
 //! | EXPERIMENTS.md tabling speedups | [`memo`] | `memo` | — |
+//! | EXPERIMENTS.md concurrent serving | [`serve`] | `serve` | — |
 
 pub mod ablation;
 pub mod fig3;
@@ -23,6 +24,7 @@ pub mod memo;
 pub mod mutation;
 pub mod par;
 pub mod reflection;
+pub mod serve;
 pub mod table1;
 
 /// Formats a signed percentage delta the way Figure 3 annotates bars.

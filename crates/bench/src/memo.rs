@@ -145,8 +145,16 @@ fn measure(
 
 /// A random search tree respecting `(lo, hi)` bounds, like the BST
 /// suite's handwritten generator but built against the caller's ctor
-/// ids.
-fn gen_tree(leaf: CtorId, node: CtorId, lo: u64, hi: u64, depth: u64, rng: &mut SmallRng) -> Value {
+/// ids. Shared with the serve benchmark, which drives the same
+/// workload through the concurrent request layer.
+pub(crate) fn gen_tree(
+    leaf: CtorId,
+    node: CtorId,
+    lo: u64,
+    hi: u64,
+    depth: u64,
+    rng: &mut SmallRng,
+) -> Value {
     if depth == 0 || hi <= lo + 1 || rng.gen_range(0..5u32) == 0 {
         return Value::ctor(leaf, vec![]);
     }
@@ -162,7 +170,7 @@ fn gen_tree(leaf: CtorId, node: CtorId, lo: u64, hi: u64, depth: u64, rng: &mut 
 }
 
 /// The fully derived BST pipeline: `bst` plus derived `le'`/`lt'`.
-fn derived_bst() -> (Library, RelId, CtorId, CtorId) {
+pub(crate) fn derived_bst() -> (Library, RelId, CtorId, CtorId) {
     let mut u = Universe::new();
     let mut env = RelEnv::new();
     parse_program(&mut u, &mut env, BST_SOURCE).expect("embedded source parses");

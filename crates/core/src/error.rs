@@ -111,10 +111,12 @@ impl fmt::Display for InstanceKind {
 /// Why a `try_*` execution entry point could not produce an answer.
 ///
 /// The first two variants are caller errors, caught before any plan
-/// runs; the last two report a [budget](indrel_producers::Budget)
-/// cut-off. The panicking entry points ([`Library::check`] and
-/// friends) format the same values into their panic messages, so both
-/// API layers describe failures identically.
+/// runs; `BudgetExhausted` and `Deadline` report a
+/// [budget](indrel_producers::Budget) cut-off; `Overloaded` is the
+/// serving layer's structured load-shedding rejection. The panicking
+/// entry points ([`Library::check`] and friends) format the same
+/// values into their panic messages, so both API layers describe
+/// failures identically.
 ///
 /// [`Library::check`]: crate::Library::check
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -146,6 +148,15 @@ pub enum ExecError {
     },
     /// The wall-clock deadline passed before an answer was found.
     Deadline,
+    /// Admission control rejected the request: the serving layer
+    /// ([`crate::serve`]) was already at its in-flight capacity, and
+    /// shedding beats queueing unboundedly. Retry once load drains.
+    Overloaded {
+        /// Requests in flight when admission was refused.
+        inflight: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -163,6 +174,10 @@ impl fmt::Display for ExecError {
                 write!(f, "{resource} budget exhausted before an answer was found")
             }
             ExecError::Deadline => f.write_str("deadline exceeded before an answer was found"),
+            ExecError::Overloaded { inflight, capacity } => write!(
+                f,
+                "request shed: {inflight} request(s) already in flight at capacity {capacity}"
+            ),
         }
     }
 }
@@ -203,6 +218,12 @@ mod tests {
         };
         assert!(e.to_string().contains("expects 2"));
         assert!(e.to_string().contains('3'));
+        let e = ExecError::Overloaded {
+            inflight: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("shed"));
+        assert!(e.to_string().contains("capacity 8"));
     }
 
     #[test]

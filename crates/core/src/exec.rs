@@ -202,6 +202,10 @@ impl Library {
             });
             f(size, top_size, inputs)
         } else {
+            // Unreachable expect (panic audit): every `entry` comes from
+            // `require_producer`, which only returns entries where
+            // `hand_enum` or `plan` is present; with no handwritten
+            // instance, the plan is there by that guard.
             let plan = entry
                 .plan
                 .as_ref()
@@ -267,6 +271,9 @@ impl Library {
             let _depth = self.probe_enter(rel, ExecKind::Generator);
             f(size, top_size, inputs, rng)
         } else {
+            // Unreachable expect (panic audit): as in `run_enum_impl`,
+            // `require_producer` guarantees a plan when there is no
+            // handwritten generator.
             let plan = entry
                 .plan
                 .as_ref()
@@ -435,6 +442,41 @@ impl Library {
         match meter.exhaustion() {
             Some(e) => Err(e.into()),
             None => Ok(result),
+        }
+    }
+
+    /// [`Library::try_check`] plus the meter's step usage — the serving
+    /// layer ([`crate::serve`]) draws per-request step allotments from
+    /// a shared [`BudgetPool`](indrel_producers::BudgetPool) and must
+    /// hand back what a request leaves unspent, which requires seeing
+    /// the armed meter's account (always a fresh meter here, even for
+    /// unlimited budgets, so the count is exact).
+    pub(crate) fn try_check_usage(
+        &self,
+        rel: RelId,
+        size: u64,
+        top_size: u64,
+        args: &[Value],
+        budget: Budget,
+    ) -> (Result<Option<bool>, ExecError>, u64) {
+        let imp = match self.require_checker(rel) {
+            Ok(imp) => imp,
+            Err(e) => return (Err(e), 0),
+        };
+        if let Err(e) = self.require_count(rel, self.inner.env.relation(rel).arity(), args.len()) {
+            return (Err(e), 0);
+        }
+        let meter = Meter::new(budget);
+        if let Err(e) = admit_terms(&meter, args) {
+            return (Err(e), meter.steps_used());
+        }
+        let result = {
+            let _armed = self.arm_meter(meter.clone());
+            self.run_checker_impl(rel, imp, size, top_size, args)
+        };
+        match meter.exhaustion() {
+            Some(e) => (Err(e.into()), meter.steps_used()),
+            None => (Ok(result), meter.steps_used()),
         }
     }
 
@@ -1321,6 +1363,14 @@ impl Iterator for BudgetedStream {
     }
 }
 
+// Deliberately a panic, not an `ExecError` (panic audit): the
+// compatibility analysis in `compile` only schedules an `Eval` once
+// every variable the expression mentions is bound, so an
+// uninstantiated expression here is a derivation bug, and demoting it
+// to a structured runtime error would let a miscompiled plan disagree
+// silently instead of failing loudly. The same reasoning covers the
+// mirrored expects in `lower.rs` and the `RecCheck` unreachables
+// (recursive-check steps are only emitted into checker plans).
 fn eval(e: &TermExpr, env: &Env, lib: &Library) -> Value {
     e.eval(env, &lib.inner.universe)
         .expect("plan invariant: expressions are fully instantiated when evaluated")

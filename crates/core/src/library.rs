@@ -107,6 +107,12 @@ pub(crate) struct Inner {
     /// that cost fewer than [`crate::memo::MIN_SEARCH_COST`] recursions
     /// is not worth caching).
     pub(crate) search_calls: std::cell::Cell<u64>,
+    /// The process-wide concurrent verdict table ([`crate::serve`]),
+    /// when this session serves requests through one. Consulted by the
+    /// lowered checker at the same entry boundaries as the local table;
+    /// `None` (one `RefCell` borrow + `Option` check per entry) for
+    /// ordinary sessions.
+    pub(crate) shared_memo: std::cell::RefCell<Option<Arc<crate::serve::SharedMemo>>>,
 }
 
 impl Inner {
@@ -122,6 +128,7 @@ impl Inner {
             memo: std::cell::RefCell::new(crate::memo::MemoTable::default()),
             memo_enabled: std::cell::Cell::new(false),
             search_calls: std::cell::Cell::new(0),
+            shared_memo: std::cell::RefCell::new(None),
         }
     }
 }
@@ -555,6 +562,20 @@ impl Library {
             .memo
             .replace(crate::memo::MemoTable::with_capacity(max_entries));
         self.with_memo()
+    }
+
+    /// Attaches a process-wide concurrent verdict table
+    /// ([`serve::SharedMemo`](crate::serve::SharedMemo)) to this
+    /// session and returns it, for chaining. The lowered checker
+    /// consults the shared table at the same entry boundaries as the
+    /// local one (and under the same write guards); fuel monotonicity
+    /// makes verdicts cached by *any* session valid for every session
+    /// over the same frozen core. The caller must only attach tables
+    /// created for this library's [`SharedLibrary`] core — fingerprints
+    /// are structural, but relation ids are only meaningful per core.
+    pub fn with_shared_memo(self, memo: Arc<crate::serve::SharedMemo>) -> Library {
+        *self.inner.shared_memo.borrow_mut() = Some(memo);
+        self
     }
 
     /// `true` when tabling is enabled on this session.

@@ -228,6 +228,50 @@ impl Library {
         if !self.charge_step() {
             return None;
         }
+        // Serving sessions consult the process-wide concurrent table
+        // (crate::serve) first: monotone verdicts cached by any session
+        // over the same frozen core answer this one too. Ordinary
+        // sessions pay one `RefCell` borrow + `Option` check here.
+        let shared = self.inner.shared_memo.borrow().clone();
+        if let Some(sm) = shared {
+            // The fingerprint comes from this session's interner —
+            // structural, so identical across sessions — and doubles as
+            // the shard key.
+            let fp = self.inner.memo.borrow_mut().query_fp(low.rel, args);
+            if let Some(verdict) = sm.lookup(low.rel, fp, args, size, top) {
+                self.probe(|| Event::MemoHit { rel: low.rel });
+                return Some(verdict);
+            }
+            self.probe(|| Event::MemoMiss { rel: low.rel });
+            let calls_before = self.inner.search_calls.get();
+            let result = self.run_lowered_memo_or_search(low, size, top, args);
+            match result {
+                // Same write guards as the local table below: no `None`,
+                // no poisoned-meter fabrications, no trivial verdicts.
+                Some(verdict) => {
+                    let cost = self.inner.search_calls.get() - calls_before;
+                    if cost >= crate::memo::MIN_SEARCH_COST && self.meter_intact() {
+                        sm.insert(low.rel, fp, args, size, top, verdict);
+                    }
+                }
+                None => sm.note_none_skipped(),
+            }
+            return result;
+        }
+        self.run_lowered_memo_or_search(low, size, top, args)
+    }
+
+    /// The local-table half of an entry boundary: the session memo
+    /// lookup (when enabled) wrapped around the search. Split from
+    /// [`Library::run_lowered_check`] so serving sessions can layer the
+    /// concurrent table on top.
+    fn run_lowered_memo_or_search(
+        &self,
+        low: &LoweredChecker,
+        size: u64,
+        top: u64,
+        args: &[Value],
+    ) -> Option<bool> {
         // Tabling (crate::memo): decided verdicts are monotone in both
         // fuels, so an entry decided at dominated fuels answers this
         // call outright. The borrow must end before the search below —

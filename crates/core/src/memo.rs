@@ -70,8 +70,10 @@ pub(crate) const MIN_SEARCH_COST: u64 = 2;
 /// `true` when the stored canonical tuple and a probe tuple denote the
 /// same arguments. Scalars compare by value; constructor terms take the
 /// `Arc`-identity fast path (canonical vs previously interned probes)
-/// and fall back to the iterative structural walk.
-fn args_match(stored: &[Value], probe: &[Value]) -> bool {
+/// and fall back to the iterative structural walk. Shared with the
+/// concurrent table ([`crate::serve`]), which confirms candidates the
+/// same way.
+pub(crate) fn args_match(stored: &[Value], probe: &[Value]) -> bool {
     stored.len() == probe.len()
         && stored.iter().zip(probe).all(|(a, b)| match (a, b) {
             (Value::Nat(x), Value::Nat(y)) => x == y,
@@ -99,7 +101,12 @@ pub(crate) enum Lookup {
     Miss(u64),
 }
 
-/// Counters exposed by [`Library::memo_stats`](crate::Library::memo_stats).
+/// Counters exposed by [`Library::memo_stats`](crate::Library::memo_stats)
+/// and [`serve::SharedMemo::stats`](crate::serve::SharedMemo::stats).
+///
+/// The last three counters are serving-layer telemetry: they stay zero
+/// for the per-session table and are populated by the concurrent table
+/// and request layer of [`crate::serve`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Lookups answered from the table.
@@ -115,6 +122,59 @@ pub struct MemoStats {
     pub full_skipped: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Shards of the concurrent table retired after a writer panic;
+    /// queries routed to them fall back to the unmemoized search.
+    pub degraded_shards: u64,
+    /// Requests rejected by admission control
+    /// ([`ExecError::Overloaded`](crate::ExecError::Overloaded)).
+    pub shed: u64,
+    /// Budget-exhausted requests retried with an escalated budget.
+    pub retries: u64,
+}
+
+impl MemoStats {
+    /// The counters as one JSON object with deterministically sorted
+    /// keys, matching the [`SearchStats`](indrel_producers::SearchStats)
+    /// / [`Budget`](indrel_producers::Budget) reporting idiom: no
+    /// timestamps, byte-identical across identical runs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"degraded_shards\":{},\"entries\":{},\"full_skipped\":{},\"hits\":{},\
+             \"insertions\":{},\"misses\":{},\"none_skipped\":{},\"retries\":{},\"shed\":{}}}",
+            self.degraded_shards,
+            self.entries,
+            self.full_skipped,
+            self.hits,
+            self.insertions,
+            self.misses,
+            self.none_skipped,
+            self.retries,
+            self.shed,
+        )
+    }
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses, {} insertions ({} entries; skipped {} none, {} full)",
+            self.hits,
+            self.misses,
+            self.insertions,
+            self.entries,
+            self.none_skipped,
+            self.full_skipped,
+        )?;
+        if self.degraded_shards > 0 || self.shed > 0 || self.retries > 0 {
+            write!(
+                f,
+                "; serving: {} degraded shard(s), {} shed, {} retries",
+                self.degraded_shards, self.shed, self.retries,
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// The per-session verdict table. See the module docs for the
@@ -156,8 +216,11 @@ impl MemoTable {
     }
 
     /// Fingerprint of a `(rel, args)` query, folding each argument's
-    /// structural fingerprint into the relation's.
-    fn query_fp(&mut self, rel: RelId, args: &[Value]) -> u64 {
+    /// structural fingerprint into the relation's. Fingerprints are
+    /// *structural* — independent of which session's interner computed
+    /// them — so they double as the shard keys of the concurrent table
+    /// ([`crate::serve`]).
+    pub(crate) fn query_fp(&mut self, rel: RelId, args: &[Value]) -> u64 {
         let mut h = 0x243F_6A88_85A3_08D3u64 ^ (rel.index() as u64);
         for a in args {
             h = (h.rotate_left(5) ^ self.interner.fingerprint(a))
@@ -239,7 +302,9 @@ impl MemoTable {
         self.none_skipped += 1;
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters. The serving-layer counters are always
+    /// zero here: a per-session table has no shards to degrade and no
+    /// admission control.
     pub(crate) fn stats(&self) -> MemoStats {
         MemoStats {
             hits: self.hits,
@@ -248,6 +313,9 @@ impl MemoTable {
             none_skipped: self.none_skipped,
             full_skipped: self.full_skipped,
             entries: self.entries,
+            degraded_shards: 0,
+            shed: 0,
+            retries: 0,
         }
     }
 }
@@ -353,5 +421,45 @@ mod tests {
             t.lookup(rel(), &[tree(0)], 5, 5),
             Lookup::Hit(true)
         ));
+    }
+
+    #[test]
+    fn stats_json_keys_are_sorted_and_display_is_stable() {
+        let mut t = MemoTable::with_capacity(4);
+        let args = [tree(1)];
+        let fp = miss_fp(&mut t, rel(), &args, 5, 5);
+        t.insert(rel(), fp, &args, 5, 5, true);
+        let s = t.stats();
+        let j = s.to_json();
+        let keys = [
+            "degraded_shards",
+            "entries",
+            "full_skipped",
+            "hits",
+            "insertions",
+            "misses",
+            "none_skipped",
+            "retries",
+            "shed",
+        ];
+        let mut at = 0;
+        for k in keys {
+            let pos = j.find(&format!("\"{k}\":")).expect(k);
+            assert!(pos >= at, "key {k} out of sorted order in {j}");
+            at = pos;
+        }
+        assert_eq!(j, t.stats().to_json(), "snapshot must be deterministic");
+        let d = s.to_string();
+        assert!(d.contains("1 insertions"), "{d}");
+        assert!(!d.contains("serving:"), "zero serve counters stay silent");
+        let served = MemoStats {
+            degraded_shards: 2,
+            shed: 3,
+            retries: 4,
+            ..s
+        };
+        assert!(served
+            .to_string()
+            .contains("2 degraded shard(s), 3 shed, 4 retries"));
     }
 }

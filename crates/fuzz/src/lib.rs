@@ -5,11 +5,12 @@
 //! seeded generator ([`gen::gen_spec`]) produces random well-formed
 //! relation specs — non-linear conclusions, function calls, negation,
 //! existentials, mutual recursion — renders them as surface syntax
-//! ([`spec::Spec::emit`]), and runs every one through a bank of eight
+//! ([`spec::Spec::emit`]), and runs every one through a bank of nine
 //! differential oracles ([`oracles`]) that pit independent layers of
 //! the pipeline against each other (interpreter vs lowered executor,
 //! derived checker vs reference proof search, sequential vs parallel
-//! runner, memoized vs plain sessions, …). Failing specs are minimized by a greedy shrinker
+//! runner, memoized vs plain sessions, concurrently served vs plain
+//! sessions, …). Failing specs are minimized by a greedy shrinker
 //! ([`shrink`]) and written out as reproducible DSL artifacts; the
 //! `fuzz_pipeline` binary drives the whole loop deterministically from
 //! a root seed.

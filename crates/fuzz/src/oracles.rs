@@ -2,26 +2,29 @@
 //!
 //! Every generated spec is pushed through the *entire* derivation
 //! pipeline — parse, preprocess, compile, execute — and checked against
-//! eight independent oracles, each comparing two implementations that
+//! nine independent oracles, each comparing two implementations that
 //! should agree but share as little code as possible:
 //!
-//! | oracle                 | left side              | right side                  |
-//! |------------------------|------------------------|-----------------------------|
-//! | `parse_roundtrip`      | parsed program         | reparse of pretty-printout  |
-//! | `interp_vs_lowered`    | plan interpreter       | lowered executor            |
-//! | `checker_vs_reference` | derived checker        | `indrel-semantics` search   |
-//! | `enumerator_vs_checker`| enumerator outcome set | checker-filtered domain     |
-//! | `probe_parity`         | probe-armed checker    | unarmed checker             |
-//! | `par_report_identity`  | sequential PBT report  | 2-worker PBT report         |
-//! | `budget_determinism`   | budgeted run           | identical re-run            |
-//! | `memo_vs_plain`        | memo-enabled fork      | plain (memo-less) fork      |
+//! | oracle                     | left side              | right side                  |
+//! |----------------------------|------------------------|-----------------------------|
+//! | `parse_roundtrip`          | parsed program         | reparse of pretty-printout  |
+//! | `interp_vs_lowered`        | plan interpreter       | lowered executor            |
+//! | `checker_vs_reference`     | derived checker        | `indrel-semantics` search   |
+//! | `enumerator_vs_checker`    | enumerator outcome set | checker-filtered domain     |
+//! | `probe_parity`             | probe-armed checker    | unarmed checker             |
+//! | `par_report_identity`      | sequential PBT report  | 2-worker PBT report         |
+//! | `budget_determinism`       | budgeted run           | identical re-run            |
+//! | `memo_vs_plain`            | memo-enabled fork      | plain (memo-less) fork      |
+//! | `concurrent_memo_vs_plain` | threaded serve session | plain (memo-less) fork      |
 //!
 //! A spec that the deriver rejects (e.g. mutual recursion hitting
 //! `InstanceCycle`) is not a violation: the execution oracles record a
 //! [`OracleOutcome::Skip`] with the deriver's error, while the
 //! roundtrip oracle still applies.
 
-use indrel_core::{Budget, ExecError, ExecProbe, Library, LibraryBuilder, Mode, SearchStats};
+use indrel_core::{
+    Budget, ExecError, ExecProbe, Library, LibraryBuilder, Mode, SearchStats, ServeConfig, Server,
+};
 use indrel_pbt::{Parallelism, Runner, TestOutcome};
 use indrel_rel::analysis::features;
 use indrel_rel::parse::{parse_program, std_universe};
@@ -33,7 +36,7 @@ use indrel_validate::{ValidationParams, Validator};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The eight oracles, in reporting order.
+/// The nine oracles, in reporting order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Oracle {
     /// `parse(pretty(p))` is structurally equal to `parse(p)`.
@@ -59,11 +62,15 @@ pub enum Oracle {
     /// the domain and an ascending fuel ladder (exercising both cold
     /// misses and monotonicity-justified hits).
     MemoVsPlain,
+    /// A shared sharded-memo [`Server`] session, driven concurrently
+    /// from multiple worker threads with one shard poison-injected,
+    /// agrees verdict-for-verdict with a fresh unmemoized fork.
+    ConcurrentMemoVsPlain,
 }
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::Roundtrip,
         Oracle::ExecutorEquivalence,
         Oracle::CheckerVsReference,
@@ -72,6 +79,7 @@ impl Oracle {
         Oracle::ParallelReportIdentity,
         Oracle::BudgetDeterminism,
         Oracle::MemoVsPlain,
+        Oracle::ConcurrentMemoVsPlain,
     ];
 
     /// Stable machine-readable name (used in JSON output, artifacts,
@@ -86,6 +94,7 @@ impl Oracle {
             Oracle::ParallelReportIdentity => "par_report_identity",
             Oracle::BudgetDeterminism => "budget_determinism",
             Oracle::MemoVsPlain => "memo_vs_plain",
+            Oracle::ConcurrentMemoVsPlain => "concurrent_memo_vs_plain",
         }
     }
 }
@@ -270,6 +279,10 @@ pub fn run_dsl_with(source: &str, params: &OracleParams) -> SpecReport {
             outcomes.push((
                 Oracle::MemoVsPlain,
                 memo_vs_plain(&lib, &u, &env, &rels, params),
+            ));
+            outcomes.push((
+                Oracle::ConcurrentMemoVsPlain,
+                concurrent_memo_vs_plain(&lib, &u, &env, &rels, params),
             ));
         }
         Err(reason) => {
@@ -677,6 +690,124 @@ fn memo_vs_plain(
                 }
             }
         }
+    }
+    OracleOutcome::Pass
+}
+
+fn concurrent_memo_vs_plain(
+    lib: &Library,
+    u: &Universe,
+    env: &RelEnv,
+    rels: &[RelId],
+    params: &OracleParams,
+) -> OracleOutcome {
+    // Plain side first, single-threaded: every tuple the unmemoized
+    // checker decides within budget, grouped by (relation, fuel) the
+    // way `check_batch` consumes them. Cut-off tuples are skipped for
+    // the same reason as in `memo_vs_plain`.
+    struct Group {
+        rel: RelId,
+        fuel: u64,
+        tuples: Vec<Vec<Value>>,
+        plain: Vec<Option<bool>>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for &rel in rels {
+        let (_, dom) = domain(u, env, rel, params.arg_size);
+        for fuel in [0, params.max_fuel / 2, params.max_fuel] {
+            let mut g = Group {
+                rel,
+                fuel,
+                tuples: Vec::new(),
+                plain: Vec::new(),
+            };
+            for args in &dom {
+                match budgeted_check(lib, rel, fuel, args, params) {
+                    Ok(v) => {
+                        g.tuples.push(args.clone());
+                        g.plain.push(v);
+                    }
+                    Err(e) if is_cutoff(&e) => {}
+                    Err(e) => return OracleOutcome::Violation(format!("plain checker: {e}")),
+                }
+            }
+            if !g.tuples.is_empty() {
+                groups.push(g);
+            }
+        }
+    }
+    if groups.is_empty() {
+        return OracleOutcome::Skip("no tuple decided within the step budget".into());
+    }
+    // Shared serving side: one server, one shard poison-injected up
+    // front (a degraded shard must fall back to the unmemoized search,
+    // never answer wrongly), two worker threads interleaving batches
+    // over the same shared table. Retries absorb the small step
+    // overhead the memo boundary adds over the plain budget.
+    let server = Server::new(
+        lib.fork().shared(),
+        ServeConfig {
+            shards: 8,
+            shard_capacity: 1 << 12,
+            steps_per_request: params.call_steps,
+            max_retries: 2,
+            ..ServeConfig::default()
+        },
+        Budget::unlimited(),
+    );
+    {
+        let _quiet = indrel_pbt::chaos::silence_panics();
+        server.memo().poison_shard(0);
+    }
+    // Each worker reports the first disagreement it sees as
+    // (group, tuple, served result); rendering happens back here.
+    type Complaint = (usize, usize, Result<Option<bool>, ExecError>);
+    let mut complaints: Vec<Complaint> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2usize)
+            .map(|t| {
+                let server = &server;
+                let groups = &groups;
+                scope.spawn(move || -> Option<Complaint> {
+                    let session = server.session();
+                    for (gi, g) in groups.iter().enumerate() {
+                        let mine: Vec<usize> = (0..g.tuples.len()).filter(|i| i % 2 == t).collect();
+                        let batch: Vec<Vec<Value>> =
+                            mine.iter().map(|&i| g.tuples[i].clone()).collect();
+                        let got = session.check_batch(g.rel, g.fuel, &batch);
+                        for (&i, r) in mine.iter().zip(&got) {
+                            match r {
+                                Ok(v) if *v == g.plain[i] => {}
+                                other => return Some((gi, i, other.clone())),
+                            }
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Some(c)) => complaints.push(c),
+                Ok(None) => {}
+                Err(_) => complaints.push((usize::MAX, 0, Err(ExecError::Deadline))),
+            }
+        }
+    });
+    if let Some((gi, i, served)) = complaints.into_iter().next() {
+        if gi == usize::MAX {
+            return OracleOutcome::Violation("serving worker thread panicked".into());
+        }
+        let g = &groups[gi];
+        return OracleOutcome::Violation(format!(
+            "{} at fuel {} on {}: served {served:?} vs plain {:?} \
+             (2 threads, shard 0 poisoned, degraded_shards={})",
+            env.relation(g.rel).name(),
+            g.fuel,
+            render_args(u, &g.tuples[i]),
+            g.plain[i],
+            server.stats().degraded_shards,
+        ));
     }
     OracleOutcome::Pass
 }

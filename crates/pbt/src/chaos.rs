@@ -45,6 +45,10 @@ use std::panic;
 /// independent fault schedules from one seed.
 const GEN_STREAM: u64 = 0x67656e5f73747265; // "gen_stre"
 const PROP_STREAM: u64 = 0x70726f705f737472; // "prop_str"
+/// Streams for the keyed serving-layer faults ([`Chaos::rolls_shard_poison`],
+/// [`Chaos::rolls_deadline_storm`]).
+const POISON_STREAM: u64 = 0x73686172645f7073; // "shard_ps"
+const STORM_STREAM: u64 = 0x73746f726d5f646c; // "storm_dl"
 
 /// A seed-controlled fault-injection configuration. All rates default
 /// to zero (no faults); the builders below switch individual faults
@@ -59,6 +63,8 @@ pub struct Chaos {
     prop_panic_rate: f64,
     burn_rate: f64,
     burn_iters: u64,
+    shard_poison_rate: f64,
+    deadline_storm_rate: f64,
 }
 
 impl Chaos {
@@ -71,6 +77,8 @@ impl Chaos {
             prop_panic_rate: 0.0,
             burn_rate: 0.0,
             burn_iters: 0,
+            shard_poison_rate: 0.0,
+            deadline_storm_rate: 0.0,
         }
     }
 
@@ -99,6 +107,50 @@ impl Chaos {
         self.burn_rate = p;
         self.burn_iters = iters;
         self
+    }
+
+    /// Probability that [`Chaos::rolls_shard_poison`] answers `true`
+    /// for a given key — the concurrent-serving harness poisons a memo
+    /// shard on those requests (simulating a writer panicking inside
+    /// the shard lock).
+    pub fn with_shard_poison_rate(mut self, p: f64) -> Chaos {
+        self.shard_poison_rate = p;
+        self
+    }
+
+    /// Probability that [`Chaos::rolls_deadline_storm`] answers `true`
+    /// for a given key — the harness collapses that request's budget to
+    /// near-nothing, forcing the retry/backoff and shedding paths.
+    pub fn with_deadline_storm_rate(mut self, p: f64) -> Chaos {
+        self.deadline_storm_rate = p;
+        self
+    }
+
+    /// Keyed, stateless fault roll: the answer depends only on
+    /// `(chaos seed, stream, key)`, never on call order or thread
+    /// interleaving — exactly what a concurrent harness needs, where
+    /// worker scheduling is nondeterministic but the fault plan must
+    /// not be. Zero rates never construct an RNG.
+    fn keyed_roll(&self, stream: u64, key: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ stream ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        roll(&mut rng, p)
+    }
+
+    /// Whether the request (or test) identified by `key` should poison
+    /// a memo shard. Deterministic per `(seed, key)`.
+    pub fn rolls_shard_poison(&self, key: u64) -> bool {
+        self.keyed_roll(POISON_STREAM, key, self.shard_poison_rate)
+    }
+
+    /// Whether the request identified by `key` is caught in a deadline
+    /// storm (its budget collapsed). Deterministic per `(seed, key)`,
+    /// independent of the shard-poison schedule.
+    pub fn rolls_deadline_storm(&self, key: u64) -> bool {
+        self.keyed_roll(STORM_STREAM, key, self.deadline_storm_rate)
     }
 
     /// Wraps a generator with the configured generator faults. Faults
@@ -335,6 +387,41 @@ mod tests {
             );
         assert_eq!(r.stopped, Some(Exhaustion::Deadline));
         assert!(r.passed < 1_000_000);
+    }
+
+    #[test]
+    fn keyed_rolls_are_deterministic_independent_and_rate_bounded() {
+        let chaos = Chaos::new(11)
+            .with_shard_poison_rate(0.1)
+            .with_deadline_storm_rate(0.25);
+        // Per-key determinism: same (seed, key) → same answer, in any
+        // order, any number of times.
+        for key in (0..200u64).rev() {
+            assert_eq!(chaos.rolls_shard_poison(key), chaos.rolls_shard_poison(key));
+            assert_eq!(
+                chaos.rolls_deadline_storm(key),
+                chaos.rolls_deadline_storm(key)
+            );
+        }
+        // Rates land in the right ballpark over many keys.
+        let poisons = (0..2000u64)
+            .filter(|k| chaos.rolls_shard_poison(*k))
+            .count();
+        let storms = (0..2000u64)
+            .filter(|k| chaos.rolls_deadline_storm(*k))
+            .count();
+        assert!((100..400).contains(&poisons), "~200 expected: {poisons}");
+        assert!((300..700).contains(&storms), "~500 expected: {storms}");
+        // The streams are independent: changing one rate must not move
+        // the other schedule.
+        let storm_only = Chaos::new(11).with_deadline_storm_rate(0.25);
+        for key in 0..500u64 {
+            assert_eq!(
+                chaos.rolls_deadline_storm(key),
+                storm_only.rolls_deadline_storm(key)
+            );
+            assert!(!storm_only.rolls_shard_poison(key), "zero rate never fires");
+        }
     }
 
     #[test]

@@ -348,6 +348,8 @@ fn decode_exhaustion(code: u8) -> Option<Exhaustion> {
         EXH_BACKTRACKS => Some(Exhaustion::Budget(Resource::Backtracks)),
         EXH_TERM_SIZE => Some(Exhaustion::Budget(Resource::TermSize)),
         EXH_DEADLINE => Some(Exhaustion::Deadline),
+        // Unreachable (panic audit): the exhaustion cell is private and
+        // only ever stored with the four `EXH_*` codes above.
         _ => unreachable!("invalid exhaustion code {code}"),
     }
 }

@@ -148,6 +148,26 @@ pub enum Event {
         /// Rules pruned (their input patterns provably cannot match).
         skipped: u32,
     },
+    /// Admission control rejected a serving-layer request instead of
+    /// queueing it (load shedding).
+    Shed {
+        /// The relation the rejected request targeted.
+        rel: RelId,
+    },
+    /// A budget-exhausted serving-layer request was retried with an
+    /// escalated budget.
+    Retry {
+        /// The relation the retried request targets.
+        rel: RelId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A shard of the concurrent memo table was retired after a writer
+    /// panic; queries for it fall back to the unmemoized search.
+    ShardDegraded {
+        /// The retired shard's index.
+        shard: u32,
+    },
 }
 
 /// Maps [`RelId`]s and rule indices to source names, for display and
@@ -362,6 +382,12 @@ struct StatsState {
     memo_misses: u64,
     /// Total rules pruned by the dispatch index (sum of `skipped`).
     index_skipped: u64,
+    /// Serving-layer requests rejected by admission control.
+    shed: u64,
+    /// Serving-layer retries after budget exhaustion.
+    retries: u64,
+    /// Concurrent-memo shards retired after writer panics.
+    shards_degraded: u64,
 }
 
 /// An aggregating probe: counters and histograms over the whole search,
@@ -424,6 +450,9 @@ impl SearchStats {
             Event::MemoHit { .. } => s.memo_hits += 1,
             Event::MemoMiss { .. } => s.memo_misses += 1,
             Event::IndexSkip { skipped, .. } => s.index_skipped += u64::from(skipped),
+            Event::Shed { .. } => s.shed += 1,
+            Event::Retry { .. } => s.retries += 1,
+            Event::ShardDegraded { .. } => s.shards_degraded += 1,
         }
     }
 
@@ -445,6 +474,7 @@ impl SearchStats {
                 o.term_sizes.clone(),
                 o.events,
                 (o.memo_hits, o.memo_misses, o.index_skipped),
+                (o.shed, o.retries, o.shards_degraded),
             )
         };
         let mut s = lock(&self.state);
@@ -466,6 +496,9 @@ impl SearchStats {
         s.memo_hits += snap.6 .0;
         s.memo_misses += snap.6 .1;
         s.index_skipped += snap.6 .2;
+        s.shed += snap.7 .0;
+        s.retries += snap.7 .1;
+        s.shards_degraded += snap.7 .2;
     }
 
     /// Total events recorded.
@@ -519,6 +552,21 @@ impl SearchStats {
     /// checker entries).
     pub fn index_skipped(&self) -> u64 {
         lock(&self.state).index_skipped
+    }
+
+    /// Serving-layer requests rejected by admission control.
+    pub fn shed(&self) -> u64 {
+        lock(&self.state).shed
+    }
+
+    /// Serving-layer retries after budget exhaustion.
+    pub fn retries(&self) -> u64 {
+        lock(&self.state).retries
+    }
+
+    /// Concurrent-memo shards retired after writer panics.
+    pub fn shards_degraded(&self) -> u64 {
+        lock(&self.state).shards_degraded
     }
 
     /// Counters for one `(rel, rule)` pair.
@@ -605,6 +653,7 @@ impl SearchStats {
                 r#""enters":{{"checker":{},"enumerator":{},"generator":{}}},"#,
                 r#""memo":{{"hits":{},"misses":{}}},"#,
                 r#""index_skipped":{},"#,
+                r#""serve":{{"retries":{},"shards_degraded":{},"shed":{}}},"#,
                 r#""rules":[{}],"#,
                 r#""unify_fails":[{}],"#,
                 r#""depth":{},"#,
@@ -617,6 +666,9 @@ impl SearchStats {
             s.memo_hits,
             s.memo_misses,
             s.index_skipped,
+            s.retries,
+            s.shards_degraded,
+            s.shed,
             rules.join(","),
             fails.join(","),
             s.depths.to_json(),
@@ -657,6 +709,13 @@ impl fmt::Display for SearchStats {
                 f,
                 "  memo: {} hits / {} misses; index pruned {} rules",
                 s.memo_hits, s.memo_misses, s.index_skipped
+            )?;
+        }
+        if s.shed + s.retries + s.shards_degraded > 0 {
+            writeln!(
+                f,
+                "  serve: {} shed / {} retries / {} degraded shard(s)",
+                s.shed, s.retries, s.shards_degraded
             )?;
         }
         drop(s);
@@ -796,6 +855,17 @@ fn event_json(seq: u64, e: &Event, names: &NameTable) -> String {
             r#"{{"seq":{seq},"event":"index_skip","rel":"{}","skipped":{skipped}}}"#,
             json_escape(&names.rel(*rel))
         ),
+        Event::Shed { rel } => format!(
+            r#"{{"seq":{seq},"event":"shed","rel":"{}"}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+        Event::Retry { rel, attempt } => format!(
+            r#"{{"seq":{seq},"event":"retry","rel":"{}","attempt":{attempt}}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+        Event::ShardDegraded { shard } => {
+            format!(r#"{{"seq":{seq},"event":"shard_degraded","shard":{shard}}}"#)
+        }
     }
 }
 
@@ -1070,6 +1140,41 @@ mod tests {
         assert_send_sync::<TraceProbe>();
         assert_send_sync::<ExecProbe>();
         assert_send_sync::<crate::budget::BudgetPool>();
+    }
+
+    #[test]
+    fn serve_events_count_and_export() {
+        let stats = SearchStats::new();
+        stats.set_names(names());
+        let rel = RelId::new(0);
+        stats.record(Event::Shed { rel });
+        stats.record(Event::Shed { rel });
+        stats.record(Event::Retry { rel, attempt: 1 });
+        stats.record(Event::ShardDegraded { shard: 5 });
+        assert_eq!(stats.shed(), 2);
+        assert_eq!(stats.retries(), 1);
+        assert_eq!(stats.shards_degraded(), 1);
+        let json = stats.to_json();
+        assert!(
+            json.contains(r#""serve":{"retries":1,"shards_degraded":1,"shed":2}"#),
+            "{json}"
+        );
+        assert!(stats.to_string().contains("serve: 2 shed / 1 retries"));
+        // Merging folds the serve counters like every other counter.
+        let other = SearchStats::new();
+        other.record(Event::Retry { rel, attempt: 2 });
+        stats.merge_from(&other);
+        assert_eq!(stats.retries(), 2);
+        // Trace export renders each variant.
+        let trace = TraceProbe::new(8);
+        trace.set_names(names());
+        trace.record(Event::Shed { rel });
+        trace.record(Event::Retry { rel, attempt: 3 });
+        trace.record(Event::ShardDegraded { shard: 7 });
+        let lines = trace.to_json_lines();
+        assert!(lines.contains(r#""event":"shed","rel":"bst""#), "{lines}");
+        assert!(lines.contains(r#""event":"retry","rel":"bst","attempt":3"#));
+        assert!(lines.contains(r#""event":"shard_degraded","shard":7"#));
     }
 
     #[test]

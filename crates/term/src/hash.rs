@@ -49,6 +49,22 @@ impl Hasher for FastHasher {
     }
 }
 
+/// Maps an already-mixed 64-bit fingerprint to one of `shards` shards
+/// (`shards` must be a power of two).
+///
+/// The concurrent memo table shards by structural query fingerprint;
+/// within a shard, the same fingerprint's *low* bits index the bucket
+/// map. Selecting the shard from the low bits too would leave each
+/// shard's map using only every `shards`-th bucket, so one more
+/// multiply–rotate round re-mixes the word and the *high* bits pick
+/// the shard.
+#[inline]
+pub fn shard_of(fp: u64, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two(), "shard count must be 2^k");
+    let mixed = (fp.rotate_left(5) ^ fp).wrapping_mul(K);
+    ((mixed >> 32) as usize) & (shards - 1)
+}
+
 /// `BuildHasher` for [`FastHasher`] (deterministic, zero seed state).
 #[derive(Clone, Default)]
 pub struct FastHashBuilder;
@@ -98,6 +114,25 @@ mod tests {
             "only {} distinct low-bit patterns",
             low.len()
         );
+    }
+
+    #[test]
+    fn shards_spread_and_stay_deterministic() {
+        assert_eq!(shard_of(42, 64), shard_of(42, 64));
+        let mut seen = std::collections::HashSet::new();
+        for fp in 0..256u64 {
+            let s = shard_of(fp, 64);
+            assert!(s < 64);
+            seen.insert(s);
+        }
+        assert!(seen.len() > 32, "only {} shards used", seen.len());
+        // Fingerprints that collide in their low bucket-index bits must
+        // still spread across shards.
+        let mut low_collide = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            low_collide.insert(shard_of(i << 32, 64));
+        }
+        assert!(low_collide.len() > 16, "{}", low_collide.len());
     }
 
     #[test]

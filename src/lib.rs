@@ -74,9 +74,9 @@ pub use indrel_validate as validate;
 /// The common imports for working with the framework.
 pub mod prelude {
     pub use indrel_core::{
-        Budget, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe, Exhaustion,
-        InstanceKind, Library, LibraryBuilder, MemoStats, Mode, Plan, Resource, SearchStats,
-        SharedLibrary, TraceProbe,
+        Budget, BudgetPool, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe,
+        Exhaustion, InstanceKind, Library, LibraryBuilder, MemoStats, Mode, Permit, Plan, Resource,
+        SearchStats, ServeConfig, Server, Session, SharedLibrary, SharedMemo, TraceProbe,
     };
     pub use indrel_pbt::{Labels, Parallelism, RunReport, Runner, TestOutcome};
     pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
