@@ -1,0 +1,61 @@
+//! The observability smoke benchmark: one mixed serving run with a
+//! stats probe armed on every worker, exported as an
+//! `indrel.metrics/1` snapshot and cross-checked for counter
+//! coherence (see `indrel_bench::obs`).
+//!
+//! ```text
+//! cargo run -p indrel-bench --release --bin obs
+//! cargo run -p indrel-bench --release --bin obs -- --json [PATH]
+//! ```
+//!
+//! `--json` writes the snapshot as one `indrel.metrics/1` document
+//! (default path `BENCH_obs.json`); without it, the Prometheus text
+//! exposition is printed. Either way the process exits non-zero if the
+//! schema or counter-coherence checks fail — this is the CI gate.
+//!
+//! Environment: `OBS_REQUESTS` (default 512), `OBS_THREADS`
+//! (default 2).
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            let path = match it.peek() {
+                Some(p) if !p.starts_with('-') => it.next().unwrap().clone(),
+                _ => "BENCH_obs.json".to_string(),
+            };
+            json_path = Some(path);
+        }
+    }
+    let requests = env_usize("OBS_REQUESTS", 512);
+    let threads = env_usize("OBS_THREADS", 2).max(1);
+    let (snap, stats) = indrel_bench::obs::run(requests, threads);
+    let mut errors = indrel_bench::obs::schema_errors(&snap);
+    errors.extend(indrel_bench::obs::coherence_errors(&snap, &stats));
+    if let Some(path) = &json_path {
+        std::fs::write(path, format!("{}\n", snap.to_json())).expect("write JSON output");
+        println!("wrote {path}");
+    } else {
+        println!(
+            "Observability smoke: {requests} requests at {threads} threads\n\n{}",
+            snap.to_prometheus()
+        );
+    }
+    if errors.is_empty() {
+        println!("schema + coherence: ok");
+    } else {
+        for e in &errors {
+            eprintln!("obs check failed: {e}");
+        }
+        std::process::exit(1);
+    }
+}

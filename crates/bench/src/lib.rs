@@ -17,11 +17,13 @@
 //! | EXPERIMENTS.md parallel scaling | [`par`] | `par_throughput` | — |
 //! | EXPERIMENTS.md tabling speedups | [`memo`] | `memo` | — |
 //! | EXPERIMENTS.md concurrent serving | [`serve`] | `serve` | — |
+//! | EXPERIMENTS.md observability smoke | [`obs`] | `obs` | `probe_overhead` |
 
 pub mod ablation;
 pub mod fig3;
 pub mod memo;
 pub mod mutation;
+pub mod obs;
 pub mod par;
 pub mod reflection;
 pub mod serve;

@@ -1,0 +1,140 @@
+//! Observability smoke benchmark: one mixed serving run with every
+//! telemetry surface enabled, exported as a metrics snapshot
+//! (`indrel.metrics/1`) and cross-checked for counter coherence.
+//!
+//! This is not a timing benchmark — `probe_overhead` (Criterion) owns
+//! the ≤5% unarmed-overhead bar. This harness answers two different
+//! questions the CI smoke job asks:
+//!
+//! 1. **Schema sanity** — the snapshot renders as a well-formed
+//!    `indrel.metrics/1` document with the deterministic and
+//!    wall-clock sections split.
+//! 2. **Counter coherence** — the registry's `memo.*`/`serve.*` series
+//!    agree exactly with the [`MemoStats`] the server reports; the two
+//!    renderings share one source of truth, so any drift is a bug in
+//!    the booking, not the workload.
+//!
+//! The workload reuses the serving benchmark's BST corpus (seeded, so
+//! reruns serve the identical request list) with a [`SearchStats`]
+//! probe armed on every worker, so the exported snapshot also carries
+//! the per-rule and per-premise attribution series.
+
+use crate::serve::{request_corpus, BST_FUEL};
+use indrel_core::{Budget, MemoStats, ServeConfig, Server};
+use indrel_producers::{ExecProbe, MetricsSnapshot, SearchStats};
+
+/// One observability run: `requests` single-tuple checks served at
+/// `threads` workers, each with a shared stats probe armed. Returns
+/// the full metrics snapshot (registry + memo counters + attribution)
+/// and the server's [`MemoStats`] for coherence checking.
+pub fn run(requests: usize, threads: usize) -> (MetricsSnapshot, MemoStats) {
+    let (shared, rel, corpus) = request_corpus(requests);
+    let server = Server::new(
+        shared,
+        ServeConfig {
+            max_inflight: threads.max(1) * 4,
+            steps_per_request: 1_000_000,
+            ..ServeConfig::default()
+        },
+        Budget::unlimited(),
+    );
+    let stats = SearchStats::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads.max(1) {
+            let (server, corpus, stats) = (&server, &corpus, &stats);
+            scope.spawn(move || {
+                let session = server.session();
+                let _probe = session.library().arm_probe(ExecProbe::stats(stats));
+                for args in corpus.iter().skip(t).step_by(threads.max(1)) {
+                    let r = session.check_batch(rel, BST_FUEL, std::slice::from_ref(args));
+                    assert!(
+                        matches!(r[0], Ok(Some(_))),
+                        "obs workload must decide: {:?}",
+                        r[0]
+                    );
+                }
+            });
+        }
+    });
+    (server.snapshot_with_stats(&stats), server.stats())
+}
+
+/// Coherence check: every shared counter must appear identically in
+/// the metrics snapshot and the [`MemoStats`] rendering. Returns one
+/// message per mismatch (empty = coherent).
+pub fn coherence_errors(snap: &MetricsSnapshot, stats: &MemoStats) -> Vec<String> {
+    let mut errs = Vec::new();
+    let counters = [
+        ("memo.hits", stats.hits),
+        ("memo.misses", stats.misses),
+        ("memo.insertions", stats.insertions),
+        ("memo.none_skipped", stats.none_skipped),
+        ("memo.full_skipped", stats.full_skipped),
+        ("serve.shed", stats.shed),
+        ("serve.retries", stats.retries),
+    ];
+    for (name, want) in counters {
+        match snap.counter(name) {
+            Some(got) if got == want => {}
+            got => errs.push(format!("counter {name}: snapshot {got:?} != stats {want}")),
+        }
+    }
+    let gauges = [
+        ("memo.entries", stats.entries as u64),
+        ("memo.degraded_shards", stats.degraded_shards),
+    ];
+    for (name, want) in gauges {
+        match snap.gauge(name) {
+            Some(got) if got == want => {}
+            got => errs.push(format!("gauge {name}: snapshot {got:?} != stats {want}")),
+        }
+    }
+    errs
+}
+
+/// Schema sanity for the exported document (the CI smoke assertions,
+/// callable from tests and the binary alike). Returns one message per
+/// violation (empty = sane).
+pub fn schema_errors(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut errs = Vec::new();
+    let json = snap.to_json();
+    if !json.starts_with("{\"schema\":\"indrel.metrics/1\"") {
+        errs.push(format!(
+            "missing schema header: {}",
+            &json[..json.len().min(64)]
+        ));
+    }
+    for key in [
+        "\"deterministic\":",
+        "\"wall_clock\":",
+        "serve.requests",
+        "serve.latency_us",
+    ] {
+        if !json.contains(key) {
+            errs.push(format!("missing {key} in snapshot"));
+        }
+    }
+    if snap.deterministic_json().contains("latency") {
+        errs.push("wall-clock series leaked into the deterministic section".to_string());
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_run_is_coherent_and_schema_clean() {
+        let (snap, stats) = run(64, 2);
+        assert_eq!(coherence_errors(&snap, &stats), Vec::<String>::new());
+        assert_eq!(schema_errors(&snap), Vec::<String>::new());
+        assert_eq!(snap.counter("serve.requests"), Some(64));
+        assert!(
+            snap.counter("rule.bst.1.attempts").unwrap_or(0) > 0
+                || snap.counter("rule.bst.0.attempts").unwrap_or(0) > 0,
+            "attribution series present:\n{snap}"
+        );
+        assert!(snap.histogram("serve.latency_us").unwrap().count >= 64);
+    }
+}

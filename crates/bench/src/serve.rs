@@ -27,7 +27,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-const BST_FUEL: u64 = 64;
+pub(crate) const BST_FUEL: u64 = 64;
 /// Distinct trees in the corpus; requests cycle through it, so smaller
 /// values mean more cross-thread memo reuse.
 const DISTINCT_TREES: usize = 256;
@@ -72,19 +72,10 @@ impl std::fmt::Display for ServeCase {
     }
 }
 
-/// Nearest-rank percentile over an unsorted sample, in microseconds.
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
-    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
-}
-
 /// The request corpus: `requests` single-tuple queries cycling through
 /// `DISTINCT_TREES` random in-bounds trees (seeded, so every pass and
 /// every thread count serves the identical request list).
-fn request_corpus(requests: usize) -> (SharedLibrary, RelId, Vec<Vec<Value>>) {
+pub(crate) fn request_corpus(requests: usize) -> (SharedLibrary, RelId, Vec<Vec<Value>>) {
     let (lib, bst, leaf, node) = derived_bst();
     let mut rng = SmallRng::seed_from_u64(21);
     let trees: Vec<Value> = (0..DISTINCT_TREES)
@@ -103,16 +94,18 @@ fn request_corpus(requests: usize) -> (SharedLibrary, RelId, Vec<Vec<Value>>) {
 }
 
 /// One pass: a fresh server (cold shared table), `threads` workers each
-/// serving its round-robin share of the corpus, one timed
-/// `check_batch` call per request. Returns the wall milliseconds, the
-/// merged per-request latencies (nanoseconds, sorted), and how many
-/// requests came back decided.
+/// serving its round-robin share of the corpus, one `check_batch` call
+/// per request. Returns the wall milliseconds and how many requests
+/// came back decided; per-request latency is not timed here — the
+/// serving layer itself records every request into the server's
+/// `serve.latency_us` [`Log2Histogram`](indrel_producers::Log2Histogram),
+/// which [`scaling`] reads the percentiles from.
 fn serve_pass(
     shared: &SharedLibrary,
     rel: RelId,
     corpus: &[Vec<Value>],
     threads: usize,
-) -> (Server, f64, Vec<u64>, usize) {
+) -> (Server, f64, usize) {
     let server = Server::new(
         shared.clone(),
         ServeConfig {
@@ -126,38 +119,30 @@ fn serve_pass(
         Budget::unlimited(),
     );
     let t0 = Instant::now();
-    let (mut lat, decided) = std::thread::scope(|scope| {
+    let decided = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let server = &server;
                 scope.spawn(move || {
                     let session = server.session();
-                    let mut lat = Vec::with_capacity(corpus.len() / threads + 1);
                     let mut decided = 0usize;
                     for args in corpus.iter().skip(t).step_by(threads) {
-                        let q0 = Instant::now();
                         let r = session.check_batch(rel, BST_FUEL, std::slice::from_ref(args));
-                        lat.push(u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         if matches!(r[0], Ok(Some(_))) {
                             decided += 1;
                         }
                     }
-                    (lat, decided)
+                    decided
                 })
             })
             .collect();
-        let mut all = Vec::with_capacity(corpus.len());
-        let mut decided = 0usize;
-        for h in handles {
-            let (lat, d) = h.join().expect("serve worker panicked");
-            all.extend(lat);
-            decided += d;
-        }
-        (all, decided)
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .sum()
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    lat.sort_unstable();
-    (server, wall_ms, lat, decided)
+    (server, wall_ms, decided)
 }
 
 /// Runs the corpus at each thread count, best-of-`passes` by wall
@@ -172,15 +157,20 @@ pub fn scaling(requests: usize, threads: &[usize], passes: usize) -> Vec<ServeCa
         .map(|&threads| {
             let mut best: Option<ServeCase> = None;
             for _ in 0..passes.max(1) {
-                let (server, wall_ms, lat, decided) = serve_pass(&shared, rel, &corpus, threads);
+                let (server, wall_ms, decided) = serve_pass(&shared, rel, &corpus, threads);
                 assert_eq!(decided, corpus.len(), "every request must decide");
                 if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+                    let lat = server
+                        .snapshot()
+                        .histogram("serve.latency_us")
+                        .expect("the serving layer records every request's latency")
+                        .clone();
                     best = Some(ServeCase {
                         threads,
                         requests: corpus.len(),
                         wall_ms,
-                        p50_us: percentile_us(&lat, 50.0),
-                        p99_us: percentile_us(&lat, 99.0),
+                        p50_us: lat.quantile(0.5),
+                        p99_us: lat.quantile(0.99),
                         stats: server.stats(),
                     });
                 }
@@ -274,10 +264,15 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_nearest_rank() {
-        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert_eq!(percentile_us(&ns, 50.0), 51.0);
-        assert_eq!(percentile_us(&ns, 99.0), 99.0);
-        assert_eq!(percentile_us(&[], 50.0), 0.0);
+    fn latency_percentiles_come_from_the_serve_histogram() {
+        let (shared, rel, corpus) = request_corpus(48);
+        let (server, _, decided) = serve_pass(&shared, rel, &corpus, 2);
+        assert_eq!(decided, corpus.len());
+        let snap = server.snapshot();
+        let lat = snap
+            .histogram("serve.latency_us")
+            .expect("serving layer records latency");
+        assert_eq!(lat.count, corpus.len() as u64, "one sample per request");
+        assert!(lat.quantile(0.99) >= lat.quantile(0.5));
     }
 }

@@ -83,7 +83,7 @@ pub use library::{Library, LibraryBuilder, ProbeGuard, SharedLibrary};
 pub use memo::MemoStats;
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};
-pub use serve::{Permit, ServeConfig, Server, Session, SharedMemo};
+pub use serve::{FlightRecorder, Permit, RequestSpan, ServeConfig, Server, Session, SharedMemo};
 // Budgets live with the producer combinators; re-exported here because
 // the `try_*` entry points take them. Probes likewise, for `arm_probe`.
 pub use indrel_producers::{

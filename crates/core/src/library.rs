@@ -13,7 +13,7 @@ use crate::error::{DeriveError, ExecError, InstanceKind};
 use crate::mode::Mode;
 use crate::plan::Plan;
 use crate::DeriveOptions;
-use indrel_producers::{EStream, ExecProbe, Meter, NameTable};
+use indrel_producers::{EStream, ExecProbe, Meter, NameTable, PremiseStats, SearchStats};
 use indrel_rel::RelEnv;
 use indrel_term::{RelId, Universe, Value};
 use std::collections::HashMap;
@@ -113,6 +113,13 @@ pub(crate) struct Inner {
     /// `None` (one `RefCell` borrow + `Option` check per entry) for
     /// ordinary sessions.
     pub(crate) shared_memo: std::cell::RefCell<Option<Arc<crate::serve::SharedMemo>>>,
+    /// Session-local count of shared-table hits, so the serving layer
+    /// can attribute memo reuse to individual requests (the table's own
+    /// counters are process-wide). Only advanced on the shared-memo
+    /// path.
+    pub(crate) shared_hits: std::cell::Cell<u64>,
+    /// Session-local count of shared-table misses; see `shared_hits`.
+    pub(crate) shared_misses: std::cell::Cell<u64>,
 }
 
 impl Inner {
@@ -129,6 +136,8 @@ impl Inner {
             memo_enabled: std::cell::Cell::new(false),
             search_calls: std::cell::Cell::new(0),
             shared_memo: std::cell::RefCell::new(None),
+            shared_hits: std::cell::Cell::new(0),
+            shared_misses: std::cell::Cell::new(0),
         }
     }
 }
@@ -578,6 +587,14 @@ impl Library {
         self
     }
 
+    /// This session's cumulative shared-table `(hits, misses)` counts.
+    /// The serving layer reads the delta across one request to give each
+    /// [`RequestSpan`](crate::serve::RequestSpan) its memo attribution;
+    /// both stay zero for sessions without a shared table.
+    pub fn shared_memo_counts(&self) -> (u64, u64) {
+        (self.inner.shared_hits.get(), self.inner.shared_misses.get())
+    }
+
     /// `true` when tabling is enabled on this session.
     pub fn memo_enabled(&self) -> bool {
         self.inner.memo_enabled.get()
@@ -653,8 +670,34 @@ impl Library {
     /// [`Plan::display`](crate::plan::Plan::display)) together with its
     /// static [`step_stats`](crate::plan::Plan::step_stats), so static
     /// plan shape can be compared side by side with the dynamic
-    /// [`SearchStats`](indrel_producers::SearchStats) a probe collects.
+    /// [`SearchStats`] a probe collects.
+    ///
+    /// When a stats probe is armed on this session, the checker plan is
+    /// followed by a per-premise **estimated-vs-observed cost table**
+    /// (see [`Library::explain_with_stats`] for the explicit-stats
+    /// form): one row per plan step, pairing the scheduler's static
+    /// cost estimate ([`Step::static_cost`](crate::plan::Step)) with
+    /// the probe's observed attribution — evaluations, mean search
+    /// entries per evaluation, and conclusive failures. This table is
+    /// the input the profile-guided replanner
+    /// (`Library::replan_from(stats)`) will consume.
     pub fn explain(&self, rel: RelId) -> String {
+        let armed = match &*self.inner.probe.borrow() {
+            ExecProbe::Stats(s) | ExecProbe::Both(s, _) => Some(s.clone()),
+            ExecProbe::NoProbe | ExecProbe::Trace(_) => None,
+        };
+        self.explain_inner(rel, armed.as_ref())
+    }
+
+    /// [`Library::explain`] against an explicit stats accumulator —
+    /// e.g. one merged from several worker sessions with
+    /// [`SearchStats::merge_from`] — rather than whatever probe is
+    /// currently armed.
+    pub fn explain_with_stats(&self, rel: RelId, stats: &SearchStats) -> String {
+        self.explain_inner(rel, Some(stats))
+    }
+
+    fn explain_inner(&self, rel: RelId, stats: Option<&SearchStats>) -> String {
         let env = &self.inner.env;
         let u = &self.inner.universe;
         let mut out = String::new();
@@ -669,6 +712,9 @@ impl Library {
                 let _ = writeln!(out, "checker (derived, lowered):");
                 let _ = writeln!(out, "{}", plan.display(u, env));
                 let _ = writeln!(out, "  static step stats: {}", plan.step_stats());
+                if let Some(stats) = stats {
+                    out.push_str(&Self::premise_cost_table(plan, stats));
+                }
             }
             Some(CheckerImpl::Hand(_)) => {
                 let _ = writeln!(out, "checker: handwritten (opaque)");
@@ -700,6 +746,50 @@ impl Library {
                         (None, None) => "nothing",
                     };
                     let _ = writeln!(out, "producer {mode}: handwritten {kinds} (opaque)");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the estimated-vs-observed premise cost table for a
+    /// checker plan: one row per plan step, the static estimate next to
+    /// the probe's attribution. Steps the executor does not attribute
+    /// (local equalities and matches, folded into their premise's cost)
+    /// and steps never reached show `obs —`.
+    fn premise_cost_table(plan: &Plan, stats: &SearchStats) -> String {
+        use std::collections::BTreeMap;
+        let observed: BTreeMap<(u32, u32), PremiseStats> = stats
+            .premise_stats(plan.rel)
+            .into_iter()
+            .map(|(rule, step, p)| ((rule, step), p))
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "  cost table (estimated vs observed, search entries):");
+        for (rule_idx, handler) in plan.handlers.iter().enumerate() {
+            for (step_idx, step) in handler.steps.iter().enumerate() {
+                let est = step.static_cost();
+                let _ = write!(
+                    out,
+                    "    rule {} step {} {:<13} est {:>3} | ",
+                    handler.name,
+                    step_idx,
+                    step.kind_label(),
+                    est
+                );
+                match observed.get(&(rule_idx as u32, step_idx as u32)) {
+                    Some(p) => {
+                        let _ = writeln!(
+                            out,
+                            "obs {} evals, mean {:.1}, {} failed",
+                            p.evals,
+                            p.mean_cost(),
+                            p.failures
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "obs —");
+                    }
                 }
             }
         }

@@ -88,6 +88,7 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
     };
     let rest = lower_steps(steps, idx + 1, rule);
     let site = FailSite::Step(idx as u32);
+    let step_idx = idx as u32;
     match step.clone() {
         Step::EqCheck { lhs, rhs, negated } => Arc::new(move |lib, low, env, size_rem, top| {
             let u = lib.universe();
@@ -127,10 +128,24 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
         }),
         Step::CheckRel { rel, args, negated } => Arc::new(move |lib, low, env, size_rem, top| {
             let vals = lib.eval_into(&args, env);
+            // Premise cost attribution (Event::Premise): the search-call
+            // delta across the premise, gated on arming so the unarmed
+            // cost is one Cell load per premise.
+            let calls_before = lib.probe_armed().then(|| lib.inner.search_calls.get());
             let mut r = lib.check(rel, top, top, &vals);
             lib.put_args(vals);
             if negated {
                 r = cnot(r);
+            }
+            if let Some(before) = calls_before {
+                let cost = lib.inner.search_calls.get() - before;
+                lib.probe(|| Event::Premise {
+                    rel: low.rel,
+                    rule,
+                    step: step_idx,
+                    cost,
+                    failed: r == Some(false),
+                });
             }
             match r {
                 Some(true) => rest(lib, low, env, size_rem, top),
@@ -139,8 +154,19 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
         }),
         Step::RecCheck { args } => Arc::new(move |lib, low, env, size_rem, top| {
             let vals = lib.eval_into(&args, env);
+            let calls_before = lib.probe_armed().then(|| lib.inner.search_calls.get());
             let r = lib.run_lowered_rec(low, size_rem, top, &vals);
             lib.put_args(vals);
+            if let Some(before) = calls_before {
+                let cost = lib.inner.search_calls.get() - before;
+                lib.probe(|| Event::Premise {
+                    rel: low.rel,
+                    rule,
+                    step: step_idx,
+                    cost,
+                    failed: r == Some(false),
+                });
+            }
             match r {
                 Some(true) => rest(lib, low, env, size_rem, top),
                 other => other,
@@ -153,15 +179,31 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
             out_slots,
         } => Arc::new(move |lib, low, env, size_rem, top| {
             let in_vals = lib.eval_into(&in_args, env);
+            // For producer premises the streams are lazy, so the cost
+            // delta necessarily covers the premise *and* its
+            // continuation under the binder — the scheduling-relevant
+            // tail cost of placing the premise here.
+            let calls_before = lib.probe_armed().then(|| lib.inner.search_calls.get());
             let stream = lib.enumerate(rel, &mode, top, top, &in_vals);
             lib.put_args(in_vals);
-            bind_ec(stream, |outs| {
+            let r = bind_ec(stream, |outs| {
                 let mut env2 = env.clone();
                 for (slot, v) in out_slots.iter().zip(outs) {
                     env2.bind(*slot, v);
                 }
                 rest(lib, low, &mut env2, size_rem, top)
-            })
+            });
+            if let Some(before) = calls_before {
+                let cost = lib.inner.search_calls.get() - before;
+                lib.probe(|| Event::Premise {
+                    rel: low.rel,
+                    rule,
+                    step: step_idx,
+                    cost,
+                    failed: r == Some(false),
+                });
+            }
+            r
         }),
         Step::ProduceRec { .. } => {
             unreachable!("checker plans never contain ProduceRec")
@@ -169,14 +211,26 @@ fn lower_steps(steps: &[Step], idx: usize, rule: u32) -> Cont {
         Step::Unconstrained { var, ty } => Arc::new(move |lib, low, env, size_rem, top| {
             let candidates = lib.raw_values(&ty, top);
             let truncated = lib.raw_truncated(&ty, top);
+            let calls_before = lib.probe_armed().then(|| lib.inner.search_calls.get());
             let values = (0..candidates.len())
                 .map(|i| Outcome::Val(candidates[i].clone()))
                 .chain(truncated.then_some(Outcome::OutOfFuel));
-            bind_ec(EStream::from_outcomes(values.collect::<Vec<_>>()), |v| {
+            let r = bind_ec(EStream::from_outcomes(values.collect::<Vec<_>>()), |v| {
                 let mut env2 = env.clone();
                 env2.bind(var, v);
                 rest(lib, low, &mut env2, size_rem, top)
-            })
+            });
+            if let Some(before) = calls_before {
+                let cost = lib.inner.search_calls.get() - before;
+                lib.probe(|| Event::Premise {
+                    rel: low.rel,
+                    rule,
+                    step: step_idx,
+                    cost,
+                    failed: r == Some(false),
+                });
+            }
+            r
         }),
     }
 }
@@ -239,9 +293,13 @@ impl Library {
             // the shard key.
             let fp = self.inner.memo.borrow_mut().query_fp(low.rel, args);
             if let Some(verdict) = sm.lookup(low.rel, fp, args, size, top) {
+                self.inner.shared_hits.set(self.inner.shared_hits.get() + 1);
                 self.probe(|| Event::MemoHit { rel: low.rel });
                 return Some(verdict);
             }
+            self.inner
+                .shared_misses
+                .set(self.inner.shared_misses.get() + 1);
             self.probe(|| Event::MemoMiss { rel: low.rel });
             let calls_before = self.inner.search_calls.get();
             let result = self.run_lowered_memo_or_search(low, size, top, args);

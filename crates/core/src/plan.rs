@@ -127,6 +127,40 @@ pub struct Plan {
     pub handlers: Vec<Handler>,
 }
 
+impl Step {
+    /// A short label for the step kind, used by `explain()`'s cost
+    /// table and diagnostics.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Step::EqCheck { negated: false, .. } => "eq-check",
+            Step::EqCheck { negated: true, .. } => "neq-check",
+            Step::EqBind { .. } => "eq-bind",
+            Step::MatchExpr { .. } => "match",
+            Step::CheckRel { negated: false, .. } => "check-rel",
+            Step::CheckRel { negated: true, .. } => "check-not",
+            Step::RecCheck { .. } => "rec-check",
+            Step::ProduceExt { .. } => "produce-ext",
+            Step::ProduceRec { .. } => "produce-rec",
+            Step::Unconstrained { .. } => "unconstrained",
+        }
+    }
+
+    /// The scheduler's static cost estimate for one evaluation of the
+    /// step, in the same unit the probe's premise attribution observes
+    /// (search entries). Local work (equalities, matches) is flat;
+    /// checker calls recurse; producer calls additionally enumerate.
+    /// `explain()` renders these next to the observed means so the
+    /// estimates can be judged — and eventually replaced — by profile
+    /// data (`Library::replan_from`).
+    pub fn static_cost(&self) -> u64 {
+        match self {
+            Step::EqCheck { .. } | Step::EqBind { .. } | Step::MatchExpr { .. } => 1,
+            Step::CheckRel { .. } | Step::RecCheck { .. } => 10,
+            Step::ProduceExt { .. } | Step::ProduceRec { .. } | Step::Unconstrained { .. } => 25,
+        }
+    }
+}
+
 impl Plan {
     /// `true` when some handler is recursive (so the fuel-0 case must
     /// include a `None`/out-of-fuel option, Algorithm 1 line 11).

@@ -32,6 +32,15 @@
 //!   purely from `(seed, request index)` — reports stay byte-identical
 //!   across runs and any single request can be replayed exactly with
 //!   [`Session::check_replay`].
+//! * **Observability** — every request is booked three ways: into the
+//!   server's [`MetricsRegistry`] (deterministic `serve.*` counters,
+//!   one wall-clock `serve.latency_us` histogram, snapshot with
+//!   [`Server::snapshot`]), as a wall-clock-free [`RequestSpan`] in the
+//!   worker's bounded [`FlightRecorder`] ring (dumped on shard
+//!   degradation or explicitly with [`Server::dump_flight_recorder`]),
+//!   and — only when a probe is armed — as an
+//!   [`Event::Request`](indrel_producers::Event) probe event, keeping
+//!   the unarmed fast path cheap.
 //!
 //! # Example
 //!
@@ -67,14 +76,17 @@ use crate::error::ExecError;
 use crate::library::{Library, SharedLibrary};
 use crate::memo::{args_match, MemoStats};
 use indrel_producers::probe::Event;
-use indrel_producers::{Budget, BudgetPool};
+use indrel_producers::{
+    json_escape, Budget, BudgetPool, Counter, Determinism, Log2Histogram, MetricsRegistry,
+    MetricsSnapshot, RequestOutcome, SearchStats,
+};
 use indrel_term::{shard_of, FastHashBuilder, RelId, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // Everything the serving layer shares across worker threads must be
 // thread-safe by construction, not by accident.
@@ -335,6 +347,144 @@ impl SharedMemo {
     }
 }
 
+/// The completed-request record the serving layer keeps for every
+/// request: the `(seed, index)` repro token, what was asked, how it
+/// ended, and what it cost. Spans are deliberately wall-clock-free —
+/// every field is deterministic for a given workload, so flight-
+/// recorder dumps can be diffed across runs; latency lives only in the
+/// server's `serve.latency_us` histogram, which is marked
+/// [`Determinism::WallClock`] and excluded from byte-identity checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// The retry seed the request ran under ([`ServeConfig::retry_seed`]
+    /// for batch traffic).
+    pub seed: u64,
+    /// The request's index in its batch — with `seed`, the repro token
+    /// [`Session::check_replay`] consumes.
+    pub index: u64,
+    /// The relation queried.
+    pub rel: RelId,
+    /// The fuel the query ran at.
+    pub size: u64,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// Budget-escalation attempts consumed (1 = first try decided; 0
+    /// for shed requests, which never reach the search).
+    pub attempts: u32,
+    /// Budget steps spent across all attempts.
+    pub steps: u64,
+    /// Shared-memo hits observed during the request.
+    pub memo_hits: u64,
+    /// Shared-memo misses observed during the request.
+    pub memo_misses: u64,
+}
+
+impl RequestSpan {
+    /// The span's fields as a JSON object body (no braces), so dumps
+    /// can prefix a `"worker"` coordinate without re-serializing.
+    fn fields(&self, rel_name: &str) -> String {
+        format!(
+            "\"seed\":{},\"index\":{},\"rel\":\"{}\",\"size\":{},\"outcome\":\"{}\",\
+             \"attempts\":{},\"steps\":{},\"memo_hits\":{},\"memo_misses\":{}",
+            self.seed,
+            self.index,
+            json_escape(rel_name),
+            self.size,
+            self.outcome.label(),
+            self.attempts,
+            self.steps,
+            self.memo_hits,
+            self.memo_misses,
+        )
+    }
+
+    /// Renders the span as one JSON line (the flight-recorder dump
+    /// format). All fields are deterministic; see the type docs.
+    pub fn to_json_line(&self, rel_name: &str) -> String {
+        format!("{{{}}}", self.fields(rel_name))
+    }
+}
+
+/// A bounded ring of the last N completed [`RequestSpan`]s for one
+/// worker session — the always-on flight recorder. Pushes are a short
+/// uncontended critical section on the worker's own ring (the server
+/// only locks it when rendering a dump), so recording stays cheap
+/// enough to leave enabled in production. When the ring is full the
+/// oldest span is dropped and counted.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestSpan>>,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// An empty recorder holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted to make room so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed span, evicting the oldest at capacity.
+    pub fn push(&self, span: RequestSpan) {
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// The held spans, oldest first.
+    pub fn spans(&self) -> Vec<RequestSpan> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
 /// Tuning knobs for a [`Server`]. [`Default`] gives a small
 /// general-purpose configuration; every field can be overridden with
 /// struct-update syntax.
@@ -358,6 +508,9 @@ pub struct ServeConfig {
     /// Seed for the deterministic retry jitter; combined with the
     /// request index, it forms the `(seed, index)` repro token.
     pub retry_seed: u64,
+    /// Completed [`RequestSpan`]s each worker's [`FlightRecorder`] ring
+    /// retains (0 disables retention; spans are still counted).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -370,6 +523,61 @@ impl Default for ServeConfig {
             deadline: None,
             max_retries: 2,
             retry_seed: 0,
+            flight_recorder_capacity: 64,
+        }
+    }
+}
+
+/// Auto-dumps retained before new ones are discarded (each dump is a
+/// bounded multi-line string; the cap keeps a flapping shard from
+/// growing server memory without bound).
+const MAX_AUTO_DUMPS: usize = 4;
+
+/// The server's metrics: registry-registered counters for every
+/// deterministic serving event, plus the one wall-clock series
+/// (`serve.latency_us`). Request handling bumps the cached [`Arc`]
+/// handles directly — the registry's lock is only taken at
+/// registration and snapshot time.
+struct Telemetry {
+    registry: MetricsRegistry,
+    requests: Arc<Counter>,
+    outcome_true: Arc<Counter>,
+    outcome_false: Arc<Counter>,
+    outcome_unknown: Arc<Counter>,
+    outcome_failed: Arc<Counter>,
+    shed: Arc<Counter>,
+    retries: Arc<Counter>,
+    steps: Arc<Counter>,
+    latency_us: Arc<Log2Histogram>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let registry = MetricsRegistry::new();
+        let det = Determinism::Deterministic;
+        Telemetry {
+            requests: registry.counter("serve.requests", det),
+            outcome_true: registry.counter("serve.requests.true", det),
+            outcome_false: registry.counter("serve.requests.false", det),
+            outcome_unknown: registry.counter("serve.requests.unknown", det),
+            outcome_failed: registry.counter("serve.requests.failed", det),
+            shed: registry.counter("serve.shed", det),
+            retries: registry.counter("serve.retries", det),
+            steps: registry.counter("serve.steps", det),
+            latency_us: registry.histogram("serve.latency_us", Determinism::WallClock),
+            registry,
+        }
+    }
+
+    /// The counter a finished request's outcome increments (shed
+    /// requests count on `serve.shed`, mirroring [`MemoStats::shed`]).
+    fn outcome(&self, outcome: RequestOutcome) -> &Counter {
+        match outcome {
+            RequestOutcome::True => &self.outcome_true,
+            RequestOutcome::False => &self.outcome_false,
+            RequestOutcome::Unknown => &self.outcome_unknown,
+            RequestOutcome::Failed => &self.outcome_failed,
+            RequestOutcome::Shed => &self.shed,
         }
     }
 }
@@ -381,8 +589,17 @@ struct ServerState {
     pool: BudgetPool,
     config: ServeConfig,
     inflight: AtomicUsize,
-    shed: AtomicU64,
-    retries: AtomicU64,
+    tel: Telemetry,
+    /// Relation names indexed by `RelId::index()`, snapshotted at
+    /// construction so dumps can render names without a `Library`
+    /// (sessions are not `Send`; the server is).
+    rel_names: Vec<String>,
+    /// Every session's flight recorder, in creation order — worker
+    /// index in dumps is the position here.
+    recorders: Mutex<Vec<Arc<FlightRecorder>>>,
+    /// Flight dumps triggered automatically (shard degradation),
+    /// bounded by [`MAX_AUTO_DUMPS`].
+    auto_dumps: Mutex<Vec<String>>,
 }
 
 impl ServerState {
@@ -393,7 +610,7 @@ impl ServerState {
         let mut cur = self.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= capacity {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.tel.shed.inc();
                 return Err(ExecError::Overloaded {
                     inflight: cur,
                     capacity,
@@ -412,6 +629,53 @@ impl ServerState {
                 }
                 Err(seen) => cur = seen,
             }
+        }
+    }
+
+    /// The name snapshot for `rel`, with the same fallback the probe
+    /// name table uses for unknown ids.
+    fn rel_name(&self, rel: RelId) -> String {
+        self.rel_names
+            .get(rel.index())
+            .cloned()
+            .unwrap_or_else(|| format!("rel#{}", rel.index()))
+    }
+
+    /// One JSON-lines dump of every registered flight recorder: a
+    /// header object (`{"dump":"flight_recorder","reason":…}`), then
+    /// each retained span with its worker coordinate, oldest first.
+    fn render_flight_dump(&self, reason: &str) -> String {
+        let recorders = self
+            .recorders
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut out = format!(
+            "{{\"dump\":\"flight_recorder\",\"reason\":\"{}\",\"workers\":{}}}\n",
+            json_escape(reason),
+            recorders.len()
+        );
+        for (worker, rec) in recorders.iter().enumerate() {
+            for span in rec.spans() {
+                out.push_str(&format!(
+                    "{{\"worker\":{},{}}}\n",
+                    worker,
+                    span.fields(&self.rel_name(span.rel))
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders and retains an automatic dump (bounded; see
+    /// [`MAX_AUTO_DUMPS`]).
+    fn record_auto_dump(&self, reason: &str) {
+        let mut dumps = self
+            .auto_dumps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if dumps.len() < MAX_AUTO_DUMPS {
+            let rendered = self.render_flight_dump(reason);
+            dumps.push(rendered);
         }
     }
 }
@@ -440,6 +704,18 @@ impl Server {
     /// (use [`Budget::unlimited`] for no global cap — per-request step
     /// allotments still apply).
     pub fn new(shared: SharedLibrary, config: ServeConfig, budget: Budget) -> Server {
+        // Snapshot relation names up front: sessions (which own a
+        // `Library`) are not `Send`, but the server and its dumps are.
+        let rel_names: Vec<String> = {
+            let lib = shared.fork();
+            let mut names: Vec<(usize, String)> = lib
+                .env()
+                .iter()
+                .map(|(id, r)| (id.index(), r.name().to_string()))
+                .collect();
+            names.sort_by_key(|(i, _)| *i);
+            names.into_iter().map(|(_, n)| n).collect()
+        };
         Server {
             shared,
             state: Arc::new(ServerState {
@@ -447,8 +723,10 @@ impl Server {
                 pool: BudgetPool::new(budget),
                 config,
                 inflight: AtomicUsize::new(0),
-                shed: AtomicU64::new(0),
-                retries: AtomicU64::new(0),
+                tel: Telemetry::new(),
+                rel_names,
+                recorders: Mutex::new(Vec::new()),
+                auto_dumps: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -481,14 +759,24 @@ impl Server {
     }
 
     /// A fresh single-threaded session over the server's frozen core,
-    /// with the shared memo attached. Each worker thread makes its own.
+    /// with the shared memo attached and a flight recorder registered
+    /// with the server. Each worker thread makes its own.
     pub fn session(&self) -> Session {
+        let recorder = Arc::new(FlightRecorder::new(
+            self.state.config.flight_recorder_capacity,
+        ));
+        self.state
+            .recorders
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&recorder));
         Session {
             lib: self
                 .shared
                 .fork()
                 .with_shared_memo(Arc::clone(&self.state.memo)),
             state: Arc::clone(&self.state),
+            recorder,
         }
     }
 
@@ -496,10 +784,96 @@ impl Server {
     /// request layer's `shed` and `retries`.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
-            shed: self.state.shed.load(Ordering::Relaxed),
-            retries: self.state.retries.load(Ordering::Relaxed),
+            shed: self.state.tel.shed.value(),
+            retries: self.state.tel.retries.value(),
             ..self.state.memo.stats()
         }
+    }
+
+    /// The server's metrics registry, e.g. to register extra series
+    /// next to the built-in `serve.*` ones.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.state.tel.registry
+    }
+
+    /// One coherent metrics snapshot: every registry series plus the
+    /// shared table's counters (`memo.*`) and the instantaneous gauges
+    /// (`memo.entries`, `memo.degraded_shards`, `serve.inflight`) —
+    /// all deterministic; the only wall-clock series is
+    /// `serve.latency_us`. Render with
+    /// [`MetricsSnapshot::to_json`] (schema `indrel.metrics/1`),
+    /// [`MetricsSnapshot::deterministic_json`] (byte-comparable), or
+    /// [`MetricsSnapshot::to_prometheus`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.state.tel.registry.snapshot();
+        let det = Determinism::Deterministic;
+        let m = self.state.memo.stats();
+        snap.insert_counter("memo.hits", m.hits, det);
+        snap.insert_counter("memo.misses", m.misses, det);
+        snap.insert_counter("memo.insertions", m.insertions, det);
+        snap.insert_counter("memo.none_skipped", m.none_skipped, det);
+        snap.insert_counter("memo.full_skipped", m.full_skipped, det);
+        snap.insert_gauge("memo.entries", m.entries as u64, det);
+        snap.insert_gauge("memo.degraded_shards", m.degraded_shards, det);
+        snap.insert_gauge(
+            "serve.inflight",
+            self.state.inflight.load(Ordering::Relaxed) as u64,
+            det,
+        );
+        snap
+    }
+
+    /// [`Server::snapshot`] extended with the per-rule attribution an
+    /// armed [`SearchStats`] probe collected: for every attempted rule,
+    /// `rule.<rel>.<i>.{attempts,successes,backtracks}` counters, and
+    /// for every measured premise,
+    /// `premise.<rel>.<i>.<step>.{evals,cost,failures}` — the same data
+    /// [`Library::explain_with_stats`](crate::Library::explain_with_stats)
+    /// tabulates.
+    pub fn snapshot_with_stats(&self, stats: &SearchStats) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        let det = Determinism::Deterministic;
+        for (rel, rule, r) in stats.all_rule_stats() {
+            let name = self.rel_name(rel);
+            snap.insert_counter(&format!("rule.{name}.{rule}.attempts"), r.attempts, det);
+            snap.insert_counter(&format!("rule.{name}.{rule}.successes"), r.successes, det);
+            snap.insert_counter(&format!("rule.{name}.{rule}.backtracks"), r.backtracks, det);
+        }
+        for (rel, rule, step, p) in stats.all_premise_stats() {
+            let name = self.rel_name(rel);
+            snap.insert_counter(&format!("premise.{name}.{rule}.{step}.evals"), p.evals, det);
+            snap.insert_counter(&format!("premise.{name}.{rule}.{step}.cost"), p.cost, det);
+            snap.insert_counter(
+                &format!("premise.{name}.{rule}.{step}.failures"),
+                p.failures,
+                det,
+            );
+        }
+        snap
+    }
+
+    fn rel_name(&self, rel: RelId) -> String {
+        self.state.rel_name(rel)
+    }
+
+    /// Renders every session's flight-recorder ring as a JSON-lines
+    /// dump: one header object, then one span per line with its worker
+    /// coordinate. All span fields are deterministic (see
+    /// [`RequestSpan`]).
+    pub fn dump_flight_recorder(&self) -> String {
+        self.state.render_flight_dump("explicit")
+    }
+
+    /// Takes (and clears) the dumps triggered automatically by shard
+    /// degradation. At most four are retained between calls.
+    pub fn take_auto_dumps(&self) -> Vec<String> {
+        std::mem::take(
+            &mut *self
+                .state
+                .auto_dumps
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 }
 
@@ -522,6 +896,7 @@ impl Drop for Permit {
 pub struct Session {
     lib: Library,
     state: Arc<ServerState>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Session {
@@ -536,6 +911,13 @@ impl Session {
     /// checks.
     pub fn library(&self) -> &Library {
         &self.lib
+    }
+
+    /// This worker's flight recorder: the bounded ring of its last
+    /// completed [`RequestSpan`]s, also reachable through the server's
+    /// dumps.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Checks a batch of argument tuples against `rel` at fuel `size`,
@@ -615,27 +997,84 @@ impl Session {
         seed: u64,
         index: u64,
     ) -> Result<Option<bool>, ExecError> {
+        let started = Instant::now();
         let _permit = match self.state.try_admit() {
             Ok(p) => p,
             Err(e) => {
                 self.lib.probe(|| Event::Shed { rel });
+                // `try_admit` already counted the shed; the span and
+                // `serve.requests` still record the request itself.
+                self.finish(
+                    RequestSpan {
+                        seed,
+                        index,
+                        rel,
+                        size,
+                        outcome: RequestOutcome::Shed,
+                        attempts: 0,
+                        steps: 0,
+                        memo_hits: 0,
+                        memo_misses: 0,
+                    },
+                    started,
+                );
                 return Err(e);
             }
         };
+        let (hits_before, misses_before) = self.lib.shared_memo_counts();
+        let (result, attempts, steps) = self.run_attempts(rel, size, args, seed, index);
+        let (hits_after, misses_after) = self.lib.shared_memo_counts();
+        let outcome = match &result {
+            Ok(Some(true)) => RequestOutcome::True,
+            Ok(Some(false)) => RequestOutcome::False,
+            Ok(None) => RequestOutcome::Unknown,
+            Err(_) => RequestOutcome::Failed,
+        };
+        self.finish(
+            RequestSpan {
+                seed,
+                index,
+                rel,
+                size,
+                outcome,
+                attempts,
+                steps,
+                memo_hits: hits_after - hits_before,
+                memo_misses: misses_after - misses_before,
+            },
+            started,
+        );
+        result
+    }
+
+    /// The budgeted retry loop: up to `1 + max_retries` attempts under
+    /// escalating pool draws, returning the final result alongside the
+    /// attempts consumed and the steps actually spent (both of which
+    /// the request's span records).
+    fn run_attempts(
+        &self,
+        rel: RelId,
+        size: u64,
+        args: &[Value],
+        seed: u64,
+        index: u64,
+    ) -> (Result<Option<bool>, ExecError>, u32, u64) {
         let config = &self.state.config;
         let pool = &self.state.pool;
         // Step-based, wall-clock-free jitter: the stream depends only
         // on (seed, index), never on time or thread interleaving.
         let mut rng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut attempt = 0u32;
+        let mut spent = 0u64;
         loop {
             // A dry or expired pool fails the request with its actual
             // exhaustion cause (check_deadline also returns false for
             // step exhaustion, so consult the cause directly).
             if !pool.check_deadline() {
-                return Err(pool
+                let e = pool
                     .exhaustion()
-                    .map_or(ExecError::Deadline, ExecError::from));
+                    .map_or(ExecError::Deadline, ExecError::from);
+                return (Err(e), attempt + 1, spent);
             }
             let base = config.steps_per_request << attempt.min(16);
             let jitter = rng.gen_range(0..=base / 4);
@@ -644,9 +1083,10 @@ impl Session {
             if got == 0 {
                 // The shared pool is dry (and poisoned): report its
                 // exhaustion rather than fabricating a verdict.
-                return Err(pool
+                let e = pool
                     .exhaustion()
-                    .map_or(ExecError::Deadline, ExecError::from));
+                    .map_or(ExecError::Deadline, ExecError::from);
+                return (Err(e), attempt + 1, spent);
             }
             let mut budget = Budget::unlimited().with_steps(got);
             if let Some(d) = config.deadline {
@@ -654,23 +1094,63 @@ impl Session {
             }
             let (result, used) = self.lib.try_check_usage(rel, size, size, args, budget);
             pool.return_steps(got.saturating_sub(used));
+            spent += used;
             match result {
                 Err(ExecError::BudgetExhausted { .. }) if attempt < config.max_retries => {
                     attempt += 1;
-                    self.state.retries.fetch_add(1, Ordering::Relaxed);
+                    self.state.tel.retries.inc();
                     self.lib.probe(|| Event::Retry { rel, attempt });
                 }
-                other => return other,
+                other => return (other, attempt + 1, spent),
             }
         }
     }
 
+    /// Books one completed request everywhere it is observed: the
+    /// deterministic registry counters, the wall-clock latency
+    /// histogram, this worker's flight-recorder ring, and (when a probe
+    /// is armed) an [`Event::Request`].
+    fn finish(&self, span: RequestSpan, started: Instant) {
+        let tel = &self.state.tel;
+        tel.requests.inc();
+        if span.outcome != RequestOutcome::Shed {
+            // Shed requests were already counted on `serve.shed` by the
+            // admission gate (which also serves bare `try_admit`).
+            tel.outcome(span.outcome).inc();
+        }
+        tel.steps.add(span.steps);
+        tel.latency_us
+            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        self.recorder.push(span);
+        self.lib.probe(|| Event::Request {
+            rel: span.rel,
+            index: span.index,
+            outcome: span.outcome,
+            attempts: span.attempts,
+            steps: span.steps,
+        });
+    }
+
     /// Drains shard-degradation notices from the shared table into this
-    /// session's probe.
+    /// session's probe, and triggers an automatic flight-recorder dump
+    /// for each batch of retirements.
     fn report_degraded(&self, _rel: RelId) {
-        for shard in self.state.memo.drain_degraded_events() {
+        let shards = self.state.memo.drain_degraded_events();
+        if shards.is_empty() {
+            return;
+        }
+        for &shard in &shards {
             self.lib.probe(|| Event::ShardDegraded { shard });
         }
+        let reason = format!(
+            "shard_degraded:[{}]",
+            shards
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        self.state.record_auto_dump(&reason);
     }
 }
 
@@ -934,6 +1414,168 @@ mod tests {
                 .all(|r| matches!(r, Err(ExecError::BudgetExhausted { .. }))),
             "{got:?}"
         );
+    }
+
+    #[test]
+    fn flight_recorder_rings_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..5u64 {
+            rec.push(RequestSpan {
+                seed: 0,
+                index: i,
+                rel: rel(),
+                size: 10,
+                outcome: RequestOutcome::True,
+                attempts: 1,
+                steps: i,
+                memo_hits: 0,
+                memo_misses: 0,
+            });
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let kept: Vec<u64> = rec.spans().iter().map(|s| s.index).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest spans evicted first");
+    }
+
+    #[test]
+    fn spans_and_metrics_record_every_request() {
+        let (shared, even) = shared_even();
+        let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+        let session = server.session();
+        let batch: Vec<Vec<Value>> = (0..4u64).map(|n| vec![Value::nat(n)]).collect();
+        let got = session.check_batch(even, 10, &batch);
+        assert!(got.iter().all(|r| r.is_ok()));
+        // The ring holds one deterministic span per request, in order.
+        let spans = session.recorder().spans();
+        assert_eq!(spans.len(), 4);
+        for (i, span) in spans.iter().enumerate() {
+            assert_eq!(span.index, i as u64);
+            assert_eq!(span.rel, even);
+            assert_eq!(span.attempts, 1);
+            let want = if i % 2 == 0 {
+                RequestOutcome::True
+            } else {
+                RequestOutcome::False
+            };
+            assert_eq!(span.outcome, want, "span {i}");
+            assert!(span.steps > 0, "search work is attributed to the span");
+        }
+        // The registry agrees with the spans and with MemoStats.
+        let snap = server.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(4));
+        assert_eq!(snap.counter("serve.requests.true"), Some(2));
+        assert_eq!(snap.counter("serve.requests.false"), Some(2));
+        assert_eq!(snap.counter("serve.shed"), Some(0));
+        assert_eq!(snap.counter("serve.retries"), Some(0));
+        assert!(snap.counter("serve.steps").unwrap() > 0);
+        let m = server.stats();
+        assert_eq!(snap.counter("memo.hits"), Some(m.hits));
+        assert_eq!(snap.counter("memo.misses"), Some(m.misses));
+        assert_eq!(snap.gauge("memo.entries"), Some(m.entries as u64));
+        // The explicit dump renders a header plus one line per span,
+        // with the relation name resolved.
+        let dump = server.dump_flight_recorder();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"dump\":\"flight_recorder\""));
+        assert!(lines[0].contains("\"reason\":\"explicit\""));
+        assert!(lines[1].contains("\"worker\":0"));
+        assert!(lines[1].contains("\"rel\":\"even'\""));
+        assert!(lines[1].contains("\"outcome\":\"true\""));
+    }
+
+    #[test]
+    fn shed_requests_span_without_double_counting() {
+        let (shared, even) = shared_even();
+        let server = Server::new(
+            shared,
+            ServeConfig {
+                max_inflight: 1,
+                ..ServeConfig::default()
+            },
+            Budget::unlimited(),
+        );
+        let session = server.session();
+        let _hog = server.try_admit().unwrap();
+        let got = session.check_batch(even, 10, &[vec![Value::nat(2)]]);
+        assert!(matches!(got[0], Err(ExecError::Overloaded { .. })));
+        let spans = session.recorder().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].outcome, RequestOutcome::Shed);
+        assert_eq!(spans[0].attempts, 0);
+        assert_eq!(spans[0].steps, 0);
+        let snap = server.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(1));
+        assert_eq!(snap.counter("serve.shed"), Some(1), "admission counts once");
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn shard_degradation_triggers_an_automatic_flight_dump() {
+        silence_injected_panics();
+        let (shared, even) = shared_even();
+        let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+        let session = server.session();
+        session.check_batch(even, 10, &[vec![Value::nat(2)]]);
+        assert!(server.take_auto_dumps().is_empty(), "no degradation yet");
+        server.memo().poison_shard(5);
+        // Degradation is noticed lazily, on the next access that routes
+        // to the poisoned shard — force one with a matching fingerprint.
+        let mut fp = 0u64;
+        while server.memo().shard_for(fp) != 5 {
+            fp += 1;
+        }
+        assert_eq!(server.memo().lookup(even, fp, &[Value::nat(0)], 5, 5), None);
+        // The next request drains the retirement notice and auto-dumps.
+        session.check_batch(even, 10, &[vec![Value::nat(4)]]);
+        let dumps = server.take_auto_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert!(dumps[0].contains("\"reason\":\"shard_degraded:[5]\""));
+        assert!(dumps[0].contains("\"rel\":\"even'\""));
+        assert!(server.take_auto_dumps().is_empty(), "take drains");
+    }
+
+    // Attribution needs the emission sites, which `no-probe` removes.
+    #[cfg(not(feature = "no-probe"))]
+    #[test]
+    fn snapshot_with_stats_folds_in_rule_attribution() {
+        let (shared, even) = shared_even();
+        let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+        let session = server.session();
+        let stats = SearchStats::new();
+        {
+            let _probe = session.library().arm_probe(ExecProbe::stats(&stats));
+            session.check_batch(even, 10, &[vec![Value::nat(6)]]);
+        }
+        let snap = server.snapshot_with_stats(&stats);
+        assert!(
+            snap.counter("rule.even'.1.attempts").unwrap_or(0) > 0,
+            "recursive rule attempted:\n{snap}"
+        );
+        assert!(
+            snap.counter("premise.even'.1.0.evals").unwrap_or(0) > 0,
+            "recursive premise attributed:\n{snap}"
+        );
+        // Request-level counters came along from the base snapshot.
+        assert_eq!(snap.counter("serve.requests"), Some(1));
+    }
+
+    #[test]
+    fn deterministic_json_is_identical_across_reruns() {
+        let run = || {
+            let (shared, even) = shared_even();
+            let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+            let session = server.session();
+            let batch: Vec<Vec<Value>> = (0..8u64).map(|n| vec![Value::nat(n)]).collect();
+            session.check_batch(even, 12, &batch);
+            server.snapshot().deterministic_json()
+        };
+        let a = run();
+        assert_eq!(a, run(), "deterministic sections are byte-identical");
+        assert!(!a.contains("latency"), "wall-clock series excluded");
     }
 
     #[test]

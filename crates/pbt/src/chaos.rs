@@ -275,6 +275,27 @@ fn burn(iters: u64) {
     std::hint::black_box(acc);
 }
 
+/// Runs `f`; if it panics, renders `dump` to stderr before resuming
+/// the panic.
+///
+/// This is the harness-failure path of the serving layer's flight
+/// recorder: wrap a chaos round in
+/// `dump_on_panic(|| server.dump_flight_recorder(), || …)` and the last
+/// N request spans survive the crash in the test log, repro tokens
+/// included. The dump closure is only invoked on panic, so a passing
+/// run pays nothing. Generic over the renderer because this crate
+/// cannot depend on the serving layer (the dependency points the other
+/// way).
+pub fn dump_on_panic<T>(dump: impl FnOnce() -> String, f: impl FnOnce() -> T) -> T {
+    match panic::catch_unwind(panic::AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            eprintln!("{}", dump());
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// Replaces the global panic hook with a no-op until the returned guard
 /// drops, then restores the previous hook.
 ///
@@ -422,6 +443,33 @@ mod tests {
             );
             assert!(!storm_only.rolls_shard_poison(key), "zero rate never fires");
         }
+    }
+
+    #[test]
+    fn dump_on_panic_renders_only_on_panic_and_rethrows() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let dumped = AtomicBool::new(false);
+        let v = dump_on_panic(
+            || {
+                dumped.store(true, Ordering::Relaxed);
+                String::new()
+            },
+            || 7,
+        );
+        assert_eq!(v, 7);
+        assert!(!dumped.load(Ordering::Relaxed), "passing runs pay nothing");
+        let _quiet = silence_panics();
+        let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            dump_on_panic(
+                || {
+                    dumped.store(true, Ordering::Relaxed);
+                    "flight dump".to_string()
+                },
+                || panic!("chaos failure"),
+            )
+        }));
+        assert!(caught.is_err(), "the panic must propagate");
+        assert!(dumped.load(Ordering::Relaxed), "the dump must render");
     }
 
     #[test]

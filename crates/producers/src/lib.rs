@@ -29,7 +29,11 @@
 //!   fuel discipline above; see that module's docs for the distinction,
 //! * [`probe`] — search telemetry ([`probe::ExecProbe`]): structured
 //!   events from the executors' charge sites, aggregated by
-//!   [`probe::SearchStats`] or traced by [`probe::TraceProbe`].
+//!   [`probe::SearchStats`] or traced by [`probe::TraceProbe`],
+//! * [`metrics`] — production telemetry: a lock-free
+//!   [`metrics::MetricsRegistry`] of striped counters, gauges, and
+//!   atomic log₂ histograms with deterministic JSON
+//!   (schema `indrel.metrics/1`) and Prometheus text expositions.
 
 #![warn(missing_docs)]
 
@@ -37,14 +41,19 @@ pub mod budget;
 pub mod checker;
 pub mod estream;
 pub mod gen;
+pub mod metrics;
 pub mod probe;
 
 pub use budget::{Budget, BudgetPool, Exhaustion, Meter, Resource, DEADLINE_POLL_PERIOD};
 pub use checker::{backtracking, backtracking_metered, cand, cnot, cor, CheckResult};
 pub use estream::{bind_ec, enumerating, EStream, Outcome};
 pub use gen::{backtrack, Gen};
+pub use metrics::{
+    Counter, Determinism, Gauge, HistogramSnapshot, Log2Histogram, MetricsRegistry, MetricsSnapshot,
+};
 pub use probe::{
-    json_escape, Event, ExecKind, ExecProbe, FailSite, Hist, NameTable, SearchStats, TraceProbe,
+    json_escape, Event, ExecKind, ExecProbe, FailSite, Hist, NameTable, PremiseStats,
+    RequestOutcome, RuleStats, SearchStats, TraceProbe,
 };
 
 /// Sequences a checker before an enumerator continuation (`bind_ce`).

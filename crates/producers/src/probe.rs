@@ -168,6 +168,72 @@ pub enum Event {
         /// The retired shard's index.
         shard: u32,
     },
+    /// A serving-layer request completed (decided, failed, or shed).
+    /// Carries the same `(seed, index)`-style repro coordinates the
+    /// request span records; emitted once per request when armed.
+    Request {
+        /// The relation the request queried.
+        rel: RelId,
+        /// The request's index within its session's stream — with the
+        /// server's retry seed this reproduces the exact retry jitter.
+        index: u64,
+        /// How the request ended.
+        outcome: RequestOutcome,
+        /// Budget-escalation attempts consumed (1 = first try decided).
+        attempts: u32,
+        /// Budget steps actually spent across all attempts.
+        steps: u64,
+    },
+    /// One premise (plan step) of one rule was evaluated — the cost
+    /// attribution signal the profile-guided replanner consumes.
+    Premise {
+        /// The relation whose rule ran.
+        rel: RelId,
+        /// Handler index within the relation's plan.
+        rule: u32,
+        /// Plan-step index of the premise.
+        step: u32,
+        /// Search entries spent evaluating the premise (the same unit
+        /// the budget layer charges as steps).
+        cost: u64,
+        /// `true` when the premise conclusively failed.
+        failed: bool,
+    },
+}
+
+/// How a serving-layer request ended, as carried by
+/// [`Event::Request`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestOutcome {
+    /// Decided: the relation holds.
+    True,
+    /// Decided: the relation does not hold.
+    False,
+    /// Undecided within fuel (`Ok(None)`).
+    Unknown,
+    /// Rejected by admission control before any search ran.
+    Shed,
+    /// Failed with a structured `ExecError` after all retries.
+    Failed,
+}
+
+impl RequestOutcome {
+    /// Lower-case label, used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestOutcome::True => "true",
+            RequestOutcome::False => "false",
+            RequestOutcome::Unknown => "unknown",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for RequestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Maps [`RelId`]s and rule indices to source names, for display and
@@ -365,6 +431,41 @@ pub struct RuleStats {
     pub backtracks: u64,
 }
 
+/// Per-premise cost counters accumulated by [`SearchStats`] from
+/// [`Event::Premise`] — the observed side of the estimated-vs-observed
+/// cost table `explain()` renders, and the profile input
+/// `Library::replan_from(stats)` will consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PremiseStats {
+    /// Times the premise was evaluated.
+    pub evals: u64,
+    /// Total search entries spent evaluating it.
+    pub cost: u64,
+    /// Times it conclusively failed.
+    pub failures: u64,
+}
+
+impl PremiseStats {
+    /// Mean search entries per evaluation (0 when never evaluated).
+    pub fn mean_cost(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.cost as f64 / self.evals as f64
+        }
+    }
+
+    /// Fraction of evaluations that failed (0 when never evaluated) —
+    /// the selectivity signal for premise scheduling.
+    pub fn failure_rate(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.evals as f64
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatsState {
     names: NameTable,
@@ -373,6 +474,8 @@ struct StatsState {
     rules: BTreeMap<(u32, u32), RuleStats>,
     /// Unification-failure counts keyed by `(rel, rule, site)`.
     fails: BTreeMap<(u32, u32, FailSite), u64>,
+    /// Premise cost attribution keyed by `(rel, rule, step)`.
+    premises: BTreeMap<(u32, u32, u32), PremiseStats>,
     /// Executor entries per [`ExecKind`] (indexed by discriminant).
     enters: [u64; 3],
     depths: Hist,
@@ -388,6 +491,8 @@ struct StatsState {
     retries: u64,
     /// Concurrent-memo shards retired after writer panics.
     shards_degraded: u64,
+    /// Serving-layer requests completed (any outcome).
+    requests: u64,
 }
 
 /// An aggregating probe: counters and histograms over the whole search,
@@ -453,6 +558,22 @@ impl SearchStats {
             Event::Shed { .. } => s.shed += 1,
             Event::Retry { .. } => s.retries += 1,
             Event::ShardDegraded { .. } => s.shards_degraded += 1,
+            Event::Request { .. } => s.requests += 1,
+            Event::Premise {
+                rel,
+                rule,
+                step,
+                cost,
+                failed,
+            } => {
+                let p = s
+                    .premises
+                    .entry((rel.index() as u32, rule, step))
+                    .or_default();
+                p.evals += 1;
+                p.cost += cost;
+                p.failures += u64::from(failed);
+            }
         }
     }
 
@@ -474,7 +595,8 @@ impl SearchStats {
                 o.term_sizes.clone(),
                 o.events,
                 (o.memo_hits, o.memo_misses, o.index_skipped),
-                (o.shed, o.retries, o.shards_degraded),
+                (o.shed, o.retries, o.shards_degraded, o.requests),
+                o.premises.clone(),
             )
         };
         let mut s = lock(&self.state);
@@ -499,6 +621,13 @@ impl SearchStats {
         s.shed += snap.7 .0;
         s.retries += snap.7 .1;
         s.shards_degraded += snap.7 .2;
+        s.requests += snap.7 .3;
+        for (key, p) in snap.8 {
+            let dst = s.premises.entry(key).or_default();
+            dst.evals += p.evals;
+            dst.cost += p.cost;
+            dst.failures += p.failures;
+        }
     }
 
     /// Total events recorded.
@@ -567,6 +696,51 @@ impl SearchStats {
     /// Concurrent-memo shards retired after writer panics.
     pub fn shards_degraded(&self) -> u64 {
         lock(&self.state).shards_degraded
+    }
+
+    /// Serving-layer requests completed (any outcome).
+    pub fn requests(&self) -> u64 {
+        lock(&self.state).requests
+    }
+
+    /// Premise cost attribution for one relation, as
+    /// `(rule, step, stats)` in deterministic `(rule, step)` order.
+    pub fn premise_stats(&self, rel: RelId) -> Vec<(u32, u32, PremiseStats)> {
+        let want = rel.index() as u32;
+        lock(&self.state)
+            .premises
+            .iter()
+            .filter(|((r, _, _), _)| *r == want)
+            .map(|((_, rule, step), p)| (*rule, *step, *p))
+            .collect()
+    }
+
+    /// Total search entries attributed to premises, across all rules.
+    pub fn total_premise_cost(&self) -> u64 {
+        lock(&self.state).premises.values().map(|p| p.cost).sum()
+    }
+
+    /// All per-rule counters, as `(rel, rule, stats)` in deterministic
+    /// `(rel, rule)` order — the bulk form of
+    /// [`SearchStats::rule_stats`], used to fold rule counters into a
+    /// metrics snapshot.
+    pub fn all_rule_stats(&self) -> Vec<(RelId, u32, RuleStats)> {
+        lock(&self.state)
+            .rules
+            .iter()
+            .map(|((rel, rule), r)| (RelId::new(*rel as usize), *rule, *r))
+            .collect()
+    }
+
+    /// All premise counters, as `(rel, rule, step, stats)` in
+    /// deterministic `(rel, rule, step)` order — the bulk form of
+    /// [`SearchStats::premise_stats`].
+    pub fn all_premise_stats(&self) -> Vec<(RelId, u32, u32, PremiseStats)> {
+        lock(&self.state)
+            .premises
+            .iter()
+            .map(|((rel, rule, step), p)| (RelId::new(*rel as usize), *rule, *step, *p))
+            .collect()
     }
 
     /// Counters for one `(rel, rule)` pair.
@@ -647,15 +821,32 @@ impl SearchStats {
                 )
             })
             .collect();
+        let premises: Vec<String> = s
+            .premises
+            .iter()
+            .map(|((rel, rule, step), p)| {
+                let id = RelId::new(*rel as usize);
+                format!(
+                    r#"{{"rel":"{}","rule":"{}","step":{},"evals":{},"cost":{},"failures":{}}}"#,
+                    json_escape(&s.names.rel(id)),
+                    json_escape(&s.names.rule(id, *rule)),
+                    step,
+                    p.evals,
+                    p.cost,
+                    p.failures
+                )
+            })
+            .collect();
         format!(
             concat!(
                 r#"{{"events":{},"#,
                 r#""enters":{{"checker":{},"enumerator":{},"generator":{}}},"#,
                 r#""memo":{{"hits":{},"misses":{}}},"#,
                 r#""index_skipped":{},"#,
-                r#""serve":{{"retries":{},"shards_degraded":{},"shed":{}}},"#,
+                r#""serve":{{"requests":{},"retries":{},"shards_degraded":{},"shed":{}}},"#,
                 r#""rules":[{}],"#,
                 r#""unify_fails":[{}],"#,
+                r#""premises":[{}],"#,
                 r#""depth":{},"#,
                 r#""term_size":{}}}"#
             ),
@@ -666,11 +857,13 @@ impl SearchStats {
             s.memo_hits,
             s.memo_misses,
             s.index_skipped,
+            s.requests,
             s.retries,
             s.shards_degraded,
             s.shed,
             rules.join(","),
             fails.join(","),
+            premises.join(","),
             s.depths.to_json(),
             s.term_sizes.to_json()
         )
@@ -711,12 +904,35 @@ impl fmt::Display for SearchStats {
                 s.memo_hits, s.memo_misses, s.index_skipped
             )?;
         }
-        if s.shed + s.retries + s.shards_degraded > 0 {
+        if s.requests + s.shed + s.retries + s.shards_degraded > 0 {
             writeln!(
                 f,
-                "  serve: {} shed / {} retries / {} degraded shard(s)",
-                s.shed, s.retries, s.shards_degraded
+                "  serve: {} requests / {} shed / {} retries / {} degraded shard(s)",
+                s.requests, s.shed, s.retries, s.shards_degraded
             )?;
+        }
+        if !s.premises.is_empty() {
+            writeln!(
+                f,
+                "  {:<30} {:>8} {:>10} {:>9} {:>8}",
+                "premise", "evals", "cost", "mean", "fail%"
+            )?;
+            for ((rel, rule, step), p) in &s.premises {
+                let id = RelId::new(*rel as usize);
+                writeln!(
+                    f,
+                    "  {:<30} {:>8} {:>10} {:>9.1} {:>7.1}%",
+                    format!(
+                        "{}.{}[step{step}]",
+                        s.names.rel(id),
+                        s.names.rule(id, *rule)
+                    ),
+                    p.evals,
+                    p.cost,
+                    p.mean_cost(),
+                    100.0 * p.failure_rate()
+                )?;
+            }
         }
         drop(s);
         let fails = self.top_fail_sites(5);
@@ -794,6 +1010,11 @@ impl TraceProbe {
         lock(&self.state).dropped
     }
 
+    /// The ring's capacity (events retained before eviction starts).
+    pub fn capacity(&self) -> usize {
+        lock(&self.state).capacity
+    }
+
     /// The buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         lock(&self.state).buf.iter().map(|(_, e)| *e).collect()
@@ -809,6 +1030,40 @@ impl TraceProbe {
             out.push('\n');
         }
         out
+    }
+
+    /// The whole ring as one JSON object — ring bookkeeping (capacity,
+    /// eviction count, next sequence number) plus the buffered events,
+    /// keys in sorted order. Use [`to_json_lines`](Self::to_json_lines)
+    /// when line tools are the consumer.
+    pub fn to_json(&self) -> String {
+        let s = lock(&self.state);
+        let events: Vec<String> = s
+            .buf
+            .iter()
+            .map(|(seq, e)| event_json(*seq, e, &s.names))
+            .collect();
+        format!(
+            r#"{{"capacity":{},"dropped":{},"events":[{}],"next_seq":{}}}"#,
+            s.capacity,
+            s.dropped,
+            events.join(","),
+            s.next_seq
+        )
+    }
+}
+
+impl fmt::Display for TraceProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = lock(&self.state);
+        write!(
+            f,
+            "trace: {} buffered / {} capacity, {} dropped, next seq {}",
+            s.buf.len(),
+            s.capacity,
+            s.dropped,
+            s.next_seq
+        )
     }
 }
 
@@ -866,6 +1121,27 @@ fn event_json(seq: u64, e: &Event, names: &NameTable) -> String {
         Event::ShardDegraded { shard } => {
             format!(r#"{{"seq":{seq},"event":"shard_degraded","shard":{shard}}}"#)
         }
+        Event::Request {
+            rel,
+            index,
+            outcome,
+            attempts,
+            steps,
+        } => format!(
+            r#"{{"seq":{seq},"event":"request","rel":"{}","index":{index},"outcome":"{outcome}","attempts":{attempts},"steps":{steps}}}"#,
+            json_escape(&names.rel(*rel))
+        ),
+        Event::Premise {
+            rel,
+            rule,
+            step,
+            cost,
+            failed,
+        } => format!(
+            r#"{{"seq":{seq},"event":"premise","rel":"{}","rule":"{}","step":{step},"cost":{cost},"failed":{failed}}}"#,
+            json_escape(&names.rel(*rel)),
+            json_escape(&names.rule(*rel, *rule))
+        ),
     }
 }
 
@@ -1156,10 +1432,12 @@ mod tests {
         assert_eq!(stats.shards_degraded(), 1);
         let json = stats.to_json();
         assert!(
-            json.contains(r#""serve":{"retries":1,"shards_degraded":1,"shed":2}"#),
+            json.contains(r#""serve":{"requests":0,"retries":1,"shards_degraded":1,"shed":2}"#),
             "{json}"
         );
-        assert!(stats.to_string().contains("serve: 2 shed / 1 retries"));
+        assert!(stats
+            .to_string()
+            .contains("serve: 0 requests / 2 shed / 1 retries"));
         // Merging folds the serve counters like every other counter.
         let other = SearchStats::new();
         other.record(Event::Retry { rel, attempt: 2 });
@@ -1175,6 +1453,138 @@ mod tests {
         assert!(lines.contains(r#""event":"shed","rel":"bst""#), "{lines}");
         assert!(lines.contains(r#""event":"retry","rel":"bst","attempt":3"#));
         assert!(lines.contains(r#""event":"shard_degraded","shard":7"#));
+    }
+
+    #[test]
+    fn request_and_premise_events_accumulate_and_export() {
+        let stats = SearchStats::new();
+        stats.set_names(names());
+        let rel = RelId::new(0);
+        stats.record(Event::Request {
+            rel,
+            index: 3,
+            outcome: RequestOutcome::True,
+            attempts: 1,
+            steps: 40,
+        });
+        stats.record(Event::Premise {
+            rel,
+            rule: 1,
+            step: 2,
+            cost: 5,
+            failed: false,
+        });
+        stats.record(Event::Premise {
+            rel,
+            rule: 1,
+            step: 2,
+            cost: 7,
+            failed: true,
+        });
+        assert_eq!(stats.requests(), 1);
+        let ps = stats.premise_stats(rel);
+        assert_eq!(
+            ps,
+            vec![(
+                1,
+                2,
+                PremiseStats {
+                    evals: 2,
+                    cost: 12,
+                    failures: 1
+                }
+            )]
+        );
+        assert_eq!(stats.total_premise_cost(), 12);
+        assert_eq!(ps[0].2.mean_cost(), 6.0);
+        assert_eq!(ps[0].2.failure_rate(), 0.5);
+        let json = stats.to_json();
+        assert!(
+            json.contains(r#""serve":{"requests":1,"retries":0,"shards_degraded":0,"shed":0}"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                r#""premises":[{"rel":"bst","rule":"bst_node","step":2,"evals":2,"cost":12,"failures":1}]"#
+            ),
+            "{json}"
+        );
+        assert!(stats.to_string().contains("bst.bst_node[step2]"), "{stats}");
+        // Merging folds premises and requests like every other counter.
+        let other = SearchStats::new();
+        other.record(Event::Premise {
+            rel,
+            rule: 1,
+            step: 2,
+            cost: 3,
+            failed: false,
+        });
+        other.record(Event::Request {
+            rel,
+            index: 4,
+            outcome: RequestOutcome::Shed,
+            attempts: 0,
+            steps: 0,
+        });
+        stats.merge_from(&other);
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.premise_stats(rel)[0].2.cost, 15);
+        // Trace export renders both variants.
+        let trace = TraceProbe::new(8);
+        trace.set_names(names());
+        trace.record(Event::Request {
+            rel,
+            index: 9,
+            outcome: RequestOutcome::Failed,
+            attempts: 3,
+            steps: 123,
+        });
+        trace.record(Event::Premise {
+            rel,
+            rule: 0,
+            step: 1,
+            cost: 2,
+            failed: true,
+        });
+        let lines = trace.to_json_lines();
+        assert!(
+            lines.contains(
+                r#""event":"request","rel":"bst","index":9,"outcome":"failed","attempts":3,"steps":123"#
+            ),
+            "{lines}"
+        );
+        assert!(
+            lines.contains(
+                r#""event":"premise","rel":"bst","rule":"bst_leaf","step":1,"cost":2,"failed":true"#
+            ),
+            "{lines}"
+        );
+    }
+
+    #[test]
+    fn trace_to_json_carries_ring_bookkeeping_in_sorted_key_order() {
+        let trace = TraceProbe::new(2);
+        trace.set_names(names());
+        let rel = RelId::new(0);
+        for rule in 0..3 {
+            trace.record(Event::RuleAttempt { rel, rule });
+        }
+        assert_eq!(trace.capacity(), 2);
+        let json = trace.to_json();
+        assert!(
+            json.starts_with(r#"{"capacity":2,"dropped":1,"events":[{"seq":1,"#),
+            "{json}"
+        );
+        assert!(json.ends_with(r#"],"next_seq":3}"#), "{json}");
+        // Keys appear in sorted order: capacity < dropped < events < next_seq.
+        let positions: Vec<usize> = ["\"capacity\"", "\"dropped\"", "\"events\"", "\"next_seq\""]
+            .iter()
+            .map(|k| json.find(k).expect(k))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{json}");
+        assert!(trace
+            .to_string()
+            .contains("2 buffered / 2 capacity, 1 dropped"));
     }
 
     #[test]

@@ -75,11 +75,15 @@ pub use indrel_validate as validate;
 pub mod prelude {
     pub use indrel_core::{
         Budget, BudgetPool, BudgetedStream, DeriveError, DeriveOptions, ExecError, ExecProbe,
-        Exhaustion, InstanceKind, Library, LibraryBuilder, MemoStats, Mode, Permit, Plan, Resource,
-        SearchStats, ServeConfig, Server, Session, SharedLibrary, SharedMemo, TraceProbe,
+        Exhaustion, FlightRecorder, InstanceKind, Library, LibraryBuilder, MemoStats, Mode, Permit,
+        Plan, RequestSpan, Resource, SearchStats, ServeConfig, Server, Session, SharedLibrary,
+        SharedMemo, TraceProbe,
     };
     pub use indrel_pbt::{Labels, Parallelism, RunReport, Runner, TestOutcome};
-    pub use indrel_producers::{backtracking, bind_ec, cand, cnot, EStream, Outcome};
+    pub use indrel_producers::{
+        backtracking, bind_ec, cand, cnot, Counter, Determinism, EStream, Gauge, HistogramSnapshot,
+        Log2Histogram, MetricsRegistry, MetricsSnapshot, Outcome, RequestOutcome,
+    };
     pub use indrel_rel::parse::{parse_program, parse_relation};
     pub use indrel_rel::{Premise, RelEnv, Relation, Rule, RuleBuilder};
     pub use indrel_semantics::{Proof, ProofSystem, Tv};

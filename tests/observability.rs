@@ -187,3 +187,141 @@ fn explain_describes_derived_instances() {
     assert!(text.contains("le_n"), "{text}");
     assert!(text.contains("static step stats"), "{text}");
 }
+
+#[test]
+fn explain_pairs_static_estimates_with_observed_premise_costs() {
+    let (lib, le, u, tys) = le_lib();
+    // Unarmed (or trace-only) sessions render no cost table.
+    assert!(!lib.explain(le).contains("cost table"), "needs stats probe");
+    let stats = SearchStats::new();
+    let armed = {
+        let _probe = lib.arm_probe(ExecProbe::stats(&stats));
+        for args in tuples_up_to(&u, &tys, 5) {
+            let _ = lib.check(le, 8, 8, &args);
+        }
+        lib.explain(le)
+    };
+    assert!(
+        armed.contains("cost table (estimated vs observed"),
+        "{armed}"
+    );
+    // The recursive premise of le_S was both estimated and observed.
+    assert!(armed.contains("rec-check"), "{armed}");
+    assert!(armed.contains("evals, mean"), "{armed}");
+    // The explicit-stats form renders the same table unarmed.
+    let explicit = lib.explain_with_stats(le, &stats);
+    assert!(explicit.contains("cost table (estimated vs observed"));
+    assert_eq!(
+        armed, explicit,
+        "armed and explicit-stats tables must agree"
+    );
+}
+
+/// Serving fixture for the probe-parity tests: one frozen `even'` core.
+fn serve_shared() -> (SharedLibrary, RelId) {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    parse_program(
+        &mut u,
+        &mut env,
+        r"rel even' : nat :=
+          | even_0  : even' 0
+          | even_SS : forall n, even' n -> even' (S (S n))
+          .",
+    )
+    .unwrap();
+    let even = env.rel_id("even'").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(even).unwrap();
+    (b.build().shared(), even)
+}
+
+/// One serving run: warm the shared table to its fixpoint
+/// single-threaded, optionally retire one shard, then serve the corpus
+/// at `threads` workers (optionally with a `SearchStats` probe armed on
+/// every session). Returns the per-request verdicts (corpus order), the
+/// deterministic metrics JSON, and the probe's request count.
+fn serve_run(
+    threads: usize,
+    armed: bool,
+    poison: bool,
+) -> (Vec<Result<Option<bool>, ExecError>>, String, u64) {
+    let (shared, even) = serve_shared();
+    let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+    let corpus: Vec<Vec<Value>> = (0..24u64).map(|n| vec![Value::nat(n)]).collect();
+    // Warm to the memo fixpoint: after one pass every top-level entry
+    // is cached, so the measured phase's hit/miss counts cannot depend
+    // on thread interleaving (the second pass proves the fixpoint).
+    let warm = server.session();
+    warm.check_batch(even, 30, &corpus);
+    warm.check_batch(even, 30, &corpus);
+    if poison {
+        server.memo().poison_shard(3);
+        // Retire it deterministically before the measured phase.
+        let mut fp = 0u64;
+        while server.memo().shard_for(fp) != 3 {
+            fp += 1;
+        }
+        assert_eq!(server.memo().lookup(even, fp, &[Value::nat(0)], 1, 1), None);
+    }
+    let stats = SearchStats::new();
+    type Slot = std::sync::Mutex<Option<Result<Option<bool>, ExecError>>>;
+    let results: Vec<Slot> = corpus.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (server, corpus, results, stats) = (&server, &corpus, &results, &stats);
+            scope.spawn(move || {
+                let session = server.session();
+                let _probe = armed.then(|| session.library().arm_probe(ExecProbe::stats(stats)));
+                for (i, args) in corpus.iter().enumerate() {
+                    if i % threads == t {
+                        let r = session.check_batch(even, 30, std::slice::from_ref(args));
+                        *results[i].lock().unwrap() = Some(r.into_iter().next().unwrap());
+                    }
+                }
+            });
+        }
+    });
+    let verdicts = results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("request served"))
+        .collect();
+    (
+        verdicts,
+        server.snapshot().deterministic_json(),
+        stats.requests(),
+    )
+}
+
+/// Probe parity through the serving layer: arming a `SearchStats` on
+/// every worker changes neither the verdicts nor one byte of the
+/// deterministic counters, at 1, 2, and 4 workers — and the counters
+/// themselves are identical across thread counts, with and without a
+/// poison-retired shard in the mix.
+#[test]
+fn serving_layer_probe_parity_across_threads_and_poison() {
+    let _quiet = silence_panics();
+    for poison in [false, true] {
+        let (base_verdicts, base_json, _) = serve_run(1, false, poison);
+        for (i, v) in base_verdicts.iter().enumerate() {
+            assert_eq!(v, &Ok(Some(i % 2 == 0)), "n={i} poison={poison}");
+        }
+        for threads in [1usize, 2, 4] {
+            let (unarmed_v, unarmed_json, _) = serve_run(threads, false, poison);
+            let (armed_v, armed_json, requests) = serve_run(threads, true, poison);
+            assert_eq!(unarmed_v, armed_v, "threads={threads} poison={poison}");
+            assert_eq!(
+                unarmed_json, armed_json,
+                "arming must not move a deterministic counter \
+                 (threads={threads} poison={poison})"
+            );
+            assert_eq!(unarmed_v, base_verdicts, "threads={threads}");
+            assert_eq!(
+                unarmed_json, base_json,
+                "deterministic counters must be byte-identical across \
+                 thread counts (threads={threads} poison={poison})"
+            );
+            assert_eq!(requests, 24, "every measured request probed");
+        }
+    }
+}

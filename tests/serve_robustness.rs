@@ -5,7 +5,7 @@
 //! alone and under 2/4/8-thread mixed traffic — degrades the shared
 //! memo without ever corrupting a verdict.
 
-use indrel::pbt::chaos::{silence_panics, Chaos};
+use indrel::pbt::chaos::{dump_on_panic, silence_panics, Chaos};
 use indrel::prelude::*;
 use indrel::producers::Outcome;
 use std::time::{Duration, Instant};
@@ -191,6 +191,47 @@ fn one_percent_shard_poison_never_corrupts_verdicts() {
     );
 }
 
+/// Counter coherence and the automatic flight dump under shard
+/// poisoning: the metrics snapshot's `memo.*`/`serve.*` series must
+/// equal the [`MemoStats`] totals (one source of truth, two renderings),
+/// and a poison-retired shard must leave behind an automatic
+/// flight-recorder dump carrying the recent request spans.
+#[test]
+fn poison_coheres_counters_and_auto_dumps_the_flight_recorder() {
+    let _quiet = silence_panics();
+    let (shared, even, _) = serve_core();
+    let server = Server::new(shared, ServeConfig::default(), Budget::unlimited());
+    let session = server.session();
+    let batch: Vec<Vec<Value>> = (0..16u64).map(|n| vec![Value::nat(n)]).collect();
+    session.check_batch(even, 30, &batch);
+    // Retire one shard deterministically (poison, then touch it).
+    server.memo().poison_shard(2);
+    let mut fp = 0u64;
+    while server.memo().shard_for(fp) != 2 {
+        fp += 1;
+    }
+    assert_eq!(server.memo().lookup(even, fp, &[Value::nat(0)], 1, 1), None);
+    session.check_batch(even, 30, &batch);
+    // Coherence: every shared counter appears identically in both the
+    // MemoStats rendering and the metrics snapshot.
+    let stats = server.stats();
+    let snap = server.snapshot();
+    assert_eq!(snap.counter("memo.hits"), Some(stats.hits));
+    assert_eq!(snap.counter("memo.misses"), Some(stats.misses));
+    assert_eq!(snap.counter("memo.insertions"), Some(stats.insertions));
+    assert_eq!(snap.counter("serve.shed"), Some(stats.shed));
+    assert_eq!(snap.counter("serve.retries"), Some(stats.retries));
+    assert_eq!(snap.gauge("memo.entries"), Some(stats.entries as u64));
+    assert_eq!(snap.gauge("memo.degraded_shards"), Some(1));
+    assert_eq!(snap.counter("serve.requests"), Some(32));
+    // The retirement auto-dumped the flight recorder, spans included.
+    let dumps = server.take_auto_dumps();
+    assert_eq!(dumps.len(), 1, "one retirement, one dump");
+    assert!(dumps[0].contains("\"reason\":\"shard_degraded:[2]\""));
+    assert!(dumps[0].contains("\"rel\":\"even'\""), "{}", dumps[0]);
+    assert!(dumps[0].lines().count() > 1, "spans ride along");
+}
+
 /// One chaos round of mixed traffic at a given thread count. Returns
 /// the server's final stats for cross-thread-count assertions.
 ///
@@ -213,12 +254,39 @@ fn chaos_round(threads: usize) -> MemoStats {
             deadline: Some(Duration::from_millis(200)),
             max_retries: 1,
             retry_seed: 7,
+            ..ServeConfig::default()
         },
         Budget::unlimited(),
     );
     let chaos = Chaos::new(0xC4A05)
         .with_shard_poison_rate(0.1)
         .with_deadline_storm_rate(0.2);
+    // A failing chaos round dumps every worker's recent request spans
+    // (repro tokens included) before the panic propagates.
+    dump_on_panic(
+        || server.dump_flight_recorder(),
+        || {
+            run_chaos_traffic(&server, &chaos, threads, even, twin);
+        },
+    );
+    // Deterministic overload, after the workers drain (competing for
+    // permits mid-run would race): hold the whole capacity, then
+    // request — the request must shed, not stall.
+    let session = server.session();
+    let permits: Vec<Permit> = (0..3).map(|_| server.try_admit().unwrap()).collect();
+    let r = session.check_batch(even, 20, &[vec![Value::nat(4)]]);
+    assert!(
+        matches!(r[0], Err(ExecError::Overloaded { .. })),
+        "{:?}",
+        r[0]
+    );
+    drop(permits);
+    server.stats()
+}
+
+/// The worker threads of one [`chaos_round`], factored out so the
+/// round can wrap them in [`dump_on_panic`].
+fn run_chaos_traffic(server: &Server, chaos: &Chaos, threads: usize, even: RelId, twin: RelId) {
     std::thread::scope(|scope| {
         for t in 0..threads {
             let server = &server;
@@ -278,19 +346,6 @@ fn chaos_round(threads: usize) -> MemoStats {
             });
         }
     });
-    // Deterministic overload, after the workers drain (competing for
-    // permits mid-run would race): hold the whole capacity, then
-    // request — the request must shed, not stall.
-    let session = server.session();
-    let permits: Vec<Permit> = (0..3).map(|_| server.try_admit().unwrap()).collect();
-    let r = session.check_batch(even, 20, &[vec![Value::nat(4)]]);
-    assert!(
-        matches!(r[0], Err(ExecError::Overloaded { .. })),
-        "{:?}",
-        r[0]
-    );
-    drop(permits);
-    server.stats()
 }
 
 /// The chaos-under-concurrency acceptance run: 2, 4, and 8 worker
