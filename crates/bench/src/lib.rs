@@ -16,6 +16,7 @@
 //! | DESIGN.md ablations | [`ablation`] | — | `ablation` |
 //! | EXPERIMENTS.md parallel scaling | [`par`] | `par_throughput` | — |
 //! | EXPERIMENTS.md tabling speedups | [`memo`] | `memo` | — |
+//! | EXPERIMENTS.md compiled backend | [`vm`] | `vm` | — |
 //! | EXPERIMENTS.md concurrent serving | [`serve`] | `serve` | — |
 //! | EXPERIMENTS.md observability smoke | [`obs`] | `obs` | `probe_overhead` |
 
@@ -28,6 +29,7 @@ pub mod par;
 pub mod reflection;
 pub mod serve;
 pub mod table1;
+pub mod vm;
 
 /// Formats a signed percentage delta the way Figure 3 annotates bars.
 pub fn delta_pct(handwritten: f64, derived: f64) -> f64 {

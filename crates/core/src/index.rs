@@ -17,7 +17,6 @@
 //! pattern, no index is built and dispatch stays linear.
 
 use indrel_term::{CtorId, Pattern, Value};
-use std::collections::HashMap;
 
 /// The head class a rigid pattern demands of its scrutinee.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +49,11 @@ pub(crate) struct DispatchIndex {
     nat_pos: Vec<u32>,
     bool_true: Vec<u32>,
     bool_false: Vec<u32>,
-    ctor: HashMap<CtorId, Vec<u32>>,
+    /// Constructor buckets as a sorted-insertion pair list: a relation
+    /// has a handful of rigid head constructors at most, so a linear
+    /// scan beats hashing on the dispatch hot path (this lookup runs
+    /// once per search entry, in every backend).
+    ctor: Vec<(CtorId, Vec<u32>)>,
     /// The catch-all bucket: handlers flexible at `pos`. Serves
     /// constructors no rule demands rigidly.
     flexible: Vec<u32>,
@@ -76,7 +79,7 @@ impl DispatchIndex {
             nat_pos: Vec::new(),
             bool_true: Vec::new(),
             bool_false: Vec::new(),
-            ctor: HashMap::new(),
+            ctor: Vec::new(),
             flexible: Vec::new(),
         };
         for (i, row) in rows.iter().enumerate() {
@@ -89,7 +92,7 @@ impl DispatchIndex {
                     idx.nat_pos.push(i);
                     idx.bool_true.push(i);
                     idx.bool_false.push(i);
-                    for bucket in idx.ctor.values_mut() {
+                    for (_, bucket) in idx.ctor.iter_mut() {
                         bucket.push(i);
                     }
                     idx.flexible.push(i);
@@ -98,14 +101,19 @@ impl DispatchIndex {
                 Some(Head::NatPos) => idx.nat_pos.push(i),
                 Some(Head::Bool(true)) => idx.bool_true.push(i),
                 Some(Head::Bool(false)) => idx.bool_false.push(i),
-                Some(Head::Ctor(c)) => idx
-                    .ctor
-                    .entry(c)
-                    // A bucket opened late must start from the
-                    // flexible handlers already seen, to keep it
-                    // sorted and complete.
-                    .or_insert_with(|| idx.flexible.clone())
-                    .push(i),
+                Some(Head::Ctor(c)) => {
+                    let bucket = match idx.ctor.iter_mut().position(|(id, _)| *id == c) {
+                        Some(p) => &mut idx.ctor[p].1,
+                        None => {
+                            // A bucket opened late must start from the
+                            // flexible handlers already seen, to keep
+                            // it sorted and complete.
+                            idx.ctor.push((c, idx.flexible.clone()));
+                            &mut idx.ctor.last_mut().unwrap().1
+                        }
+                    };
+                    bucket.push(i);
+                }
             }
         }
         Some(idx)
@@ -115,15 +123,26 @@ impl DispatchIndex {
     /// ascending handler order. Slices borrow from the index; callers
     /// compute `skipped` as `total() - candidates.len()`.
     pub(crate) fn candidates(&self, args: &[Value]) -> &[u32] {
-        match &args[self.pos] {
+        self.bucket(&args[self.pos])
+    }
+
+    /// `candidates` for callers holding arguments by reference (the
+    /// bytecode VM's calling convention).
+    pub(crate) fn candidates_ref(&self, args: &[&Value]) -> &[u32] {
+        self.bucket(args[self.pos])
+    }
+
+    fn bucket(&self, scrutinee: &Value) -> &[u32] {
+        match scrutinee {
             Value::Nat(0) => &self.nat_zero,
             Value::Nat(_) => &self.nat_pos,
             Value::Bool(true) => &self.bool_true,
             Value::Bool(false) => &self.bool_false,
             Value::Ctor(c, _) => self
                 .ctor
-                .get(c)
-                .map(Vec::as_slice)
+                .iter()
+                .find(|(id, _)| id == c)
+                .map(|(_, b)| b.as_slice())
                 .unwrap_or(&self.flexible),
         }
     }
@@ -131,6 +150,13 @@ impl DispatchIndex {
     /// Total number of handlers the index covers.
     pub(crate) fn total(&self) -> u32 {
         self.total
+    }
+
+    /// The input position the index discriminates on. The bytecode
+    /// compiler uses this to elide head guards the dispatch already
+    /// proves (see `vm::head_guard_subsumed`).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
     }
 }
 

@@ -76,6 +76,7 @@ pub mod memo;
 pub mod mode;
 pub mod plan;
 pub mod serve;
+pub(crate) mod vm;
 
 pub use error::{DeriveError, ExecError, InstanceKind};
 pub use exec::BudgetedStream;

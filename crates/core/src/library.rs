@@ -102,6 +102,12 @@ pub(crate) struct Inner {
     /// Mirror flag, like `probe_armed`: the lowered checker consults it
     /// on every entry, so the disabled cost is one `Cell` load.
     pub(crate) memo_enabled: std::cell::Cell<bool>,
+    /// Bytecode routing flag ([`Library::with_vm`]): when set, derived
+    /// checkers whose plan compiled to a [`crate::vm::VmProgram`] run
+    /// through the register VM instead of the closure tree. Same
+    /// session-state discipline as `memo_enabled`: clones share it,
+    /// [`Library::fork`] resets it.
+    pub(crate) vm_enabled: std::cell::Cell<bool>,
     /// Monotone count of lowered checker searches this session; the
     /// delta across one search is the memo layer's cost gate (a verdict
     /// that cost fewer than [`crate::memo::MIN_SEARCH_COST`] recursions
@@ -120,6 +126,11 @@ pub(crate) struct Inner {
     pub(crate) shared_hits: std::cell::Cell<u64>,
     /// Session-local count of shared-table misses; see `shared_hits`.
     pub(crate) shared_misses: std::cell::Cell<u64>,
+    /// Scratch frames for the bytecode VM ([`crate::vm`]), kept on the
+    /// session so frame and argument vectors amortize across checks.
+    /// Taken wholesale at each VM entry (never borrowed across the
+    /// search, so re-entrant entries just start cold) and merged back.
+    pub(crate) vm_frames: std::cell::RefCell<crate::vm::VmFrames>,
 }
 
 impl Inner {
@@ -134,10 +145,12 @@ impl Inner {
             depth: std::cell::Cell::new(0),
             memo: std::cell::RefCell::new(crate::memo::MemoTable::default()),
             memo_enabled: std::cell::Cell::new(false),
+            vm_enabled: std::cell::Cell::new(false),
             search_calls: std::cell::Cell::new(0),
             shared_memo: std::cell::RefCell::new(None),
             shared_hits: std::cell::Cell::new(0),
             shared_misses: std::cell::Cell::new(0),
+            vm_frames: std::cell::RefCell::new(crate::vm::VmFrames::default()),
         }
     }
 }
@@ -562,6 +575,49 @@ impl Library {
         self
     }
 
+    /// Enables the compiled bytecode backend (`vm.rs`) on this
+    /// session and returns it, for chaining: derived checkers whose
+    /// plan compiled run through the register VM's dispatch loop
+    /// instead of the closure tree, with identical verdicts, budget
+    /// charges, and probe events (the `interp_vs_compiled` fuzz oracle
+    /// and `tests/vm_parity.rs` hold the backend to that contract).
+    /// Relations whose plan did not compile — see the compilability
+    /// rules in DESIGN.md § "Bytecode VM" — keep using the closure
+    /// tree, per relation, with no API difference.
+    ///
+    /// The flag is session state, like [`Library::with_memo`]: clones
+    /// of this `Library` share it, [`Library::fork`] starts with it off
+    /// again. It composes with tabling and the shared serving table —
+    /// the memo layers sit above the backend switch.
+    ///
+    /// # Example
+    ///
+    /// ```ignore
+    /// let lib = builder.build().with_vm();
+    /// lib.check(rel, fuel, fuel, &args); // compiled dispatch loop
+    /// ```
+    pub fn with_vm(self) -> Library {
+        self.inner.vm_enabled.set(true);
+        self
+    }
+
+    /// `true` when the compiled bytecode backend is enabled on this
+    /// session.
+    pub fn vm_enabled(&self) -> bool {
+        self.inner.vm_enabled.get()
+    }
+
+    /// `true` when `rel` has a derived checker whose plan compiled to
+    /// bytecode — i.e. a [`Library::with_vm`] session actually runs it
+    /// on the VM rather than falling back to the closure tree.
+    /// Handwritten checkers and uncompilable plans report `false`.
+    pub fn vm_compiled(&self, rel: RelId) -> bool {
+        matches!(
+            self.inner.checkers.get(rel.index()).and_then(Option::as_ref),
+            Some(CheckerImpl::Plan(_, lowered)) if lowered.vm.is_some()
+        )
+    }
+
     /// Like [`Library::with_memo`], with an explicit bound on the
     /// number of cached verdicts (and interned term nodes). Once full,
     /// the table stops admitting new entries — deterministic, no
@@ -708,10 +764,27 @@ impl Library {
             .get(rel.index())
             .and_then(Option::as_ref)
         {
-            Some(CheckerImpl::Plan(plan, _)) => {
+            Some(CheckerImpl::Plan(plan, lowered)) => {
                 let _ = writeln!(out, "checker (derived, lowered):");
                 let _ = writeln!(out, "{}", plan.display(u, env));
                 let _ = writeln!(out, "  static step stats: {}", plan.step_stats());
+                match &lowered.vm {
+                    Some(prog) => {
+                        let _ = writeln!(
+                            out,
+                            "  bytecode: {} instrs across {} handlers (runs under with_vm)",
+                            prog.code_len(),
+                            prog.handlers.len()
+                        );
+                        for (h, p) in prog.handlers.iter().zip(&plan.handlers) {
+                            let ops: Vec<&str> = h.code.iter().map(|i| i.opcode()).collect();
+                            let _ = writeln!(out, "    {}: {}", p.name, ops.join(" "));
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(out, "  bytecode: not compiled (closure-tree fallback)");
+                    }
+                }
                 if let Some(stats) = stats {
                     out.push_str(&Self::premise_cost_table(plan, stats));
                 }

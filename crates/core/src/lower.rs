@@ -53,6 +53,11 @@ pub(crate) struct LoweredChecker {
     /// First-argument discrimination index ([`crate::index`]); `None`
     /// when every input pattern is flexible.
     pub(crate) index: Option<DispatchIndex>,
+    /// The second lowering ([`crate::vm`]): the same plan as a flat
+    /// bytecode program, when every construct compiled. `None` is the
+    /// per-relation fallback — [`Library::with_vm`] sessions run this
+    /// relation through the closure tree like everyone else.
+    pub(crate) vm: Option<crate::vm::VmProgram>,
 }
 
 /// Compiles a checker plan. Must only be called on plans whose mode is
@@ -72,11 +77,15 @@ pub(crate) fn lower_checker(plan: &Plan) -> LoweredChecker {
         .collect();
     let rows: Vec<&[Pattern]> = handlers.iter().map(|h| h.input_pats.as_slice()).collect();
     let index = DispatchIndex::build(&rows);
+    // The bytecode compiler sees the index so it can elide head guards
+    // that indexed dispatch already proves can never fail.
+    let vm = crate::vm::compile_vm(plan, index.as_ref());
     LoweredChecker {
         rel: plan.rel,
         handlers,
         has_recursive: plan.has_recursive_handlers(),
         index,
+        vm,
     }
 }
 
@@ -402,6 +411,17 @@ impl Library {
         top: u64,
         args: &[Value],
     ) -> Option<bool> {
+        // Bytecode routing: sessions that opted in via
+        // `Library::with_vm` run compiled relations through the
+        // register VM (crate::vm). Placing the switch here — below the
+        // budget/memo entry boundaries, above rule dispatch — is what
+        // makes tabling, the shared serving table, and the `try_*`
+        // budget discipline backend-agnostic for free.
+        if self.inner.vm_enabled.get() {
+            if let Some(prog) = &low.vm {
+                return self.run_vm_search(low, prog, size, top, args);
+            }
+        }
         // Feeds the memo layer's cost gate; one `Cell` bump.
         self.inner
             .search_calls

@@ -511,6 +511,14 @@ pub struct ServeConfig {
     /// Completed [`RequestSpan`]s each worker's [`FlightRecorder`] ring
     /// retains (0 disables retention; spans are still counted).
     pub flight_recorder_capacity: usize,
+    /// Route sessions through the compiled bytecode backend
+    /// ([`Library::with_vm`]) — on by default: the VM is verdict-,
+    /// budget-, and probe-identical to the closure tree (enforced by
+    /// the `interp_vs_compiled` oracle and `tests/vm_parity.rs`), and
+    /// relations whose plan did not compile fall back per relation
+    /// automatically. Set `false` to pin the closure tree, e.g. for
+    /// A/B measurements.
+    pub use_vm: bool,
 }
 
 impl Default for ServeConfig {
@@ -524,6 +532,7 @@ impl Default for ServeConfig {
             max_retries: 2,
             retry_seed: 0,
             flight_recorder_capacity: 64,
+            use_vm: true,
         }
     }
 }
@@ -770,11 +779,15 @@ impl Server {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(Arc::clone(&recorder));
+        let mut lib = self
+            .shared
+            .fork()
+            .with_shared_memo(Arc::clone(&self.state.memo));
+        if self.state.config.use_vm {
+            lib = lib.with_vm();
+        }
         Session {
-            lib: self
-                .shared
-                .fork()
-                .with_shared_memo(Arc::clone(&self.state.memo)),
+            lib,
             state: Arc::clone(&self.state),
             recorder,
         }

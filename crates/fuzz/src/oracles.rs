@@ -2,13 +2,16 @@
 //!
 //! Every generated spec is pushed through the *entire* derivation
 //! pipeline — parse, preprocess, compile, execute — and checked against
-//! nine independent oracles, each comparing two implementations that
-//! should agree but share as little code as possible:
+//! ten independent oracles, each comparing two implementations that
+//! should agree but share as little code as possible (this table is
+//! mirrored by the enumerated list in DESIGN.md § "Self-fuzzing", the
+//! prose source of truth README and ROADMAP point at):
 //!
 //! | oracle                     | left side              | right side                  |
 //! |----------------------------|------------------------|-----------------------------|
 //! | `parse_roundtrip`          | parsed program         | reparse of pretty-printout  |
 //! | `interp_vs_lowered`        | plan interpreter       | lowered executor            |
+//! | `interp_vs_compiled`       | bytecode-VM fork       | closure tree + interpreter  |
 //! | `checker_vs_reference`     | derived checker        | `indrel-semantics` search   |
 //! | `enumerator_vs_checker`    | enumerator outcome set | checker-filtered domain     |
 //! | `probe_parity`             | probe-armed checker    | unarmed checker             |
@@ -36,7 +39,7 @@ use indrel_validate::{ValidationParams, Validator};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The nine oracles, in reporting order.
+/// The ten oracles, in reporting order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Oracle {
     /// `parse(pretty(p))` is structurally equal to `parse(p)`.
@@ -44,6 +47,12 @@ pub enum Oracle {
     /// [`Library::check`] (lowered) agrees with the plan interpreter
     /// verdict-for-verdict across the domain and a fuel ladder.
     ExecutorEquivalence,
+    /// A [`Library::with_vm`] fork (register-bytecode backend) agrees
+    /// with the closure tree *as a budgeted `Result`* (same verdicts,
+    /// same budget cut-offs) and with the plan interpreter on every
+    /// decided tuple, and aggregates byte-identical [`SearchStats`] —
+    /// the probe/budget-parity contract of the compiled backend.
+    InterpVsCompiled,
     /// The derived checker agrees with the bounded reference proof
     /// search of `indrel-semantics` (via [`Validator::checker_case`]).
     CheckerVsReference,
@@ -70,9 +79,10 @@ pub enum Oracle {
 
 impl Oracle {
     /// All oracles, in reporting order.
-    pub const ALL: [Oracle; 9] = [
+    pub const ALL: [Oracle; 10] = [
         Oracle::Roundtrip,
         Oracle::ExecutorEquivalence,
+        Oracle::InterpVsCompiled,
         Oracle::CheckerVsReference,
         Oracle::EnumeratorVsChecker,
         Oracle::ProbeParity,
@@ -88,6 +98,7 @@ impl Oracle {
         match self {
             Oracle::Roundtrip => "parse_roundtrip",
             Oracle::ExecutorEquivalence => "interp_vs_lowered",
+            Oracle::InterpVsCompiled => "interp_vs_compiled",
             Oracle::CheckerVsReference => "checker_vs_reference",
             Oracle::EnumeratorVsChecker => "enumerator_vs_checker",
             Oracle::ProbeParity => "probe_parity",
@@ -255,6 +266,10 @@ pub fn run_dsl_with(source: &str, params: &OracleParams) -> SpecReport {
             outcomes.push((
                 Oracle::ExecutorEquivalence,
                 executor_equivalence(&lib, &u, &env, &rels, params),
+            ));
+            outcomes.push((
+                Oracle::InterpVsCompiled,
+                interp_vs_compiled(&lib, &u, &env, &rels, params),
             ));
             outcomes.push((
                 Oracle::CheckerVsReference,
@@ -427,6 +442,71 @@ fn executor_equivalence(
                 }
             }
         }
+    }
+    OracleOutcome::Pass
+}
+
+fn interp_vs_compiled(
+    lib: &Library,
+    u: &Universe,
+    env: &RelEnv,
+    rels: &[RelId],
+    params: &OracleParams,
+) -> OracleOutcome {
+    // One compiled session for the whole spec. Relations whose plan did
+    // not compile to bytecode run the closure tree inside this fork too
+    // — the per-relation fallback is part of the contract under test.
+    let vm = lib.fork().with_vm();
+    // Probe-free side for the interpreter baseline: the interpreter
+    // emits its own probe events, which must not leak into either
+    // backend's stats aggregation below.
+    let interp = lib.fork();
+    // Both sweeps run with a stats probe armed: the compiled backend
+    // promises byte-identical event aggregation, and `probe_parity`
+    // already guarantees arming changes nothing on the closure side.
+    let closure_stats = SearchStats::new();
+    let vm_stats = SearchStats::new();
+    let _closure_probe = lib.arm_probe(ExecProbe::stats(&closure_stats));
+    let _vm_probe = vm.arm_probe(ExecProbe::stats(&vm_stats));
+    for &rel in rels {
+        let (_, dom) = domain(u, env, rel, params.arg_size);
+        for args in &dom {
+            for fuel in [0, params.max_fuel / 2, params.max_fuel] {
+                // Compared *as `Result`s*: the bytecode backend must
+                // charge the same budget sites, so cut-offs have to
+                // agree tuple-for-tuple, not just decided verdicts.
+                let closure = budgeted_check(lib, rel, fuel, args, params);
+                let compiled = budgeted_check(&vm, rel, fuel, args, params);
+                if closure != compiled {
+                    return OracleOutcome::Violation(format!(
+                        "{} at fuel {fuel} on {}: closure {closure:?} vs compiled {compiled:?}",
+                        env.relation(rel).name(),
+                        render_args(u, args),
+                    ));
+                }
+                match closure {
+                    Ok(verdict) => {
+                        let interpreted = interp.check_interpreted(rel, fuel, fuel, args);
+                        if interpreted != verdict {
+                            return OracleOutcome::Violation(format!(
+                                "{} at fuel {fuel} on {}: compiled {verdict:?} vs interpreted \
+                                 {interpreted:?}",
+                                env.relation(rel).name(),
+                                render_args(u, args),
+                            ));
+                        }
+                    }
+                    Err(e) if is_cutoff(&e) => {}
+                    Err(e) => return OracleOutcome::Violation(format!("closure checker: {e}")),
+                }
+            }
+        }
+    }
+    let (closure_json, vm_json) = (closure_stats.to_json(), vm_stats.to_json());
+    if closure_json != vm_json {
+        return OracleOutcome::Violation(format!(
+            "search stats diverge: closure {closure_json} vs compiled {vm_json}",
+        ));
     }
     OracleOutcome::Pass
 }

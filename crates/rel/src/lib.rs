@@ -35,6 +35,8 @@
 //! assert_eq!(env.relation(le).rules().len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod builder;
 pub mod infer;

@@ -44,6 +44,8 @@
 //! assert!(sys.check_proof(&proof).is_ok());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod proof;
 pub mod search;
 pub mod tv;

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Keeps the DESIGN.md § "Bytecode VM" instruction-set reference honest:
+# every opcode the implementation names (Instr::opcode in
+# crates/core/src/vm.rs) must have a row in the DESIGN.md reference
+# table, and every table row must name a real opcode. Pure sed/grep —
+# no toolchain, runs anywhere.
+set -eu
+cd "$(dirname "$0")/.."
+
+impl=$(sed -n 's/^ *Instr::[A-Za-z_]* { \.\. } => "\([A-Za-z]*\)",$/\1/p' crates/core/src/vm.rs | sort)
+docs=$(sed -n '/^## Bytecode VM$/,/^## [^#]/p' DESIGN.md \
+  | sed -n 's/^| `\([A-Z][A-Za-z]*\)` | .*/\1/p' | sort)
+
+if [ -z "$impl" ]; then
+  echo "check_vm_docs: no opcodes extracted from crates/core/src/vm.rs (Instr::opcode moved?)" >&2
+  exit 1
+fi
+if [ -z "$docs" ]; then
+  echo "check_vm_docs: no opcode rows extracted from DESIGN.md § \"Bytecode VM\"" >&2
+  exit 1
+fi
+
+if [ "$impl" != "$docs" ]; then
+  echo "check_vm_docs: DESIGN.md instruction-set reference is out of sync with vm.rs" >&2
+  echo "--- vm.rs opcodes:" >&2
+  echo "$impl" >&2
+  echo "--- DESIGN.md table rows:" >&2
+  echo "$docs" >&2
+  exit 1
+fi
+
+echo "check_vm_docs: $(echo "$impl" | wc -l | tr -d ' ') opcodes in sync with DESIGN.md"

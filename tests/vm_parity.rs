@@ -1,0 +1,285 @@
+//! Parity of the compiled bytecode VM against the closure tree.
+//!
+//! A [`Library::with_vm`] session runs every relation whose plan
+//! compiled to bytecode through the register VM instead of the lowered
+//! closure tree. The two backends promise *observational identity*:
+//! byte-identical verdicts, byte-identical [`SearchStats`] aggregation
+//! (same probe events in the same order), and byte-identical budget
+//! behaviour (`BudgetExhausted` at the same charge site, as `Result`
+//! equality under a step-budget ladder). These tests pin that contract
+//! on the three paper case studies — BST, STLC typing, and IFC
+//! indistinguishability — including a memoized shared-serving run where
+//! the two backends must populate and reuse the same table entries.
+
+use indrel::bst::Bst;
+use indrel::ifc::Ifc;
+use indrel::prelude::*;
+use indrel::stlc::Stlc;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Budget ladder for `Result`-level parity: tight enough that early
+/// rungs exhaust mid-search, generous enough that the top rung decides.
+const STEP_LADDER: [u64; 6] = [1, 8, 64, 512, 4096, 1 << 20];
+
+/// Runs `sweep` once per backend — plain closure-tree library vs
+/// `with_vm` fork — with a [`SearchStats`] probe armed on each, and
+/// asserts byte-identical aggregation.
+fn assert_stats_parity(lib: &Library, sweep: impl Fn(&Library)) {
+    let vm = lib.fork().with_vm();
+    let closure_stats = SearchStats::new();
+    {
+        let _p = lib.arm_probe(ExecProbe::stats(&closure_stats));
+        sweep(lib);
+    }
+    let vm_stats = SearchStats::new();
+    {
+        let _p = vm.arm_probe(ExecProbe::stats(&vm_stats));
+        sweep(&vm);
+    }
+    assert_eq!(
+        closure_stats.to_json(),
+        vm_stats.to_json(),
+        "probe event aggregation must be byte-identical across backends"
+    );
+}
+
+/// An arbitrary tree over small keys — not bounds-respecting, so the
+/// corpus mixes both verdicts and plenty of backtracking.
+fn arbitrary_tree(bst: &Bst, depth: u64, rng: &mut SmallRng) -> Value {
+    if depth == 0 || rng.gen_range(0..4u32) == 0 {
+        return bst.leaf();
+    }
+    bst.tree_node(
+        rng.gen_range(0..16u64),
+        arbitrary_tree(bst, depth - 1, rng),
+        arbitrary_tree(bst, depth - 1, rng),
+    )
+}
+
+fn bst_corpus(bst: &Bst, n: usize, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::nat(0),
+                Value::nat(16),
+                arbitrary_tree(bst, 4, &mut rng),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn bst_compiles_and_explain_reports_bytecode() {
+    let bst = Bst::new();
+    let lib = bst.library();
+    // The headline fig3 relations must actually take the compiled
+    // path — a silent fallback would make every parity test vacuous.
+    assert!(lib.vm_compiled(bst.relation()), "bst plan should compile");
+    // The ordering relations are *registered* handwritten checkers
+    // (primitive instances, no plan), so there is nothing to compile —
+    // `vm_compiled` is the honest "does this relation take the VM
+    // path" answer, not a failure report.
+    assert!(
+        !lib.vm_compiled(bst.lt_relation()),
+        "primitive instances have no bytecode"
+    );
+    let explain = lib.explain(bst.relation());
+    assert!(
+        explain.contains("bytecode:"),
+        "explain() should surface the compiled program:\n{explain}"
+    );
+}
+
+#[test]
+fn bst_vm_matches_closure_verdicts_stats_and_cutoffs() {
+    let bst = Bst::new();
+    let lib = bst.library();
+    let vm = lib.fork().with_vm();
+    let rel = bst.relation();
+    let corpus = bst_corpus(&bst, 80, 11);
+    let fuels = [0u64, 2, 5, 9, 64];
+    let mut verdicts = [0usize; 3];
+    for args in &corpus {
+        for fuel in fuels {
+            let want = lib.check(rel, fuel, fuel, args);
+            let got = vm.check(rel, fuel, fuel, args);
+            assert_eq!(got, want, "fuel {fuel} on {args:?}");
+            verdicts[match want {
+                Some(true) => 0,
+                Some(false) => 1,
+                None => 2,
+            }] += 1;
+            // Budget parity as a `Result`: the VM charges the same
+            // sites in the same order, so each rung of the ladder
+            // exhausts (or decides) identically.
+            for steps in STEP_LADDER {
+                let budget = || Budget::unlimited().with_steps(steps);
+                assert_eq!(
+                    vm.try_check(rel, fuel, fuel, args, budget()),
+                    lib.try_check(rel, fuel, fuel, args, budget()),
+                    "steps {steps} fuel {fuel} on {args:?}"
+                );
+            }
+        }
+    }
+    // The corpus must exercise all three verdicts or the sweep proves
+    // little.
+    assert!(
+        verdicts.iter().all(|&n| n > 0),
+        "corpus should hit Some(true)/Some(false)/None: {verdicts:?}"
+    );
+    assert_stats_parity(lib, |session| {
+        for args in &corpus {
+            for fuel in fuels {
+                session.check(rel, fuel, fuel, args);
+            }
+        }
+    });
+}
+
+#[test]
+fn stlc_vm_matches_closure_on_typing() {
+    let stlc = Stlc::new();
+    let lib = stlc.library();
+    let rel = stlc.typing_relation();
+    assert!(lib.vm_compiled(rel), "stlc typing plan should compile");
+    let vm = lib.fork().with_vm();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut corpus: Vec<Vec<Value>> = Vec::new();
+    while corpus.len() < 60 {
+        let ty = stlc.random_ty(2, &mut rng);
+        if let Some(e) = stlc.handwritten_gen(&[], &ty, 4, &mut rng) {
+            // Half the corpus gets a mismatched type so ill-typed
+            // searches (deep backtracking) are covered too.
+            let ty = if corpus.len().is_multiple_of(2) {
+                ty
+            } else {
+                stlc.random_ty(2, &mut rng)
+            };
+            corpus.push(vec![stlc.ctx(&[]), e, ty]);
+        }
+    }
+    for args in &corpus {
+        for fuel in [0, 6, 40] {
+            assert_eq!(
+                vm.check(rel, fuel, fuel, args),
+                lib.check(rel, fuel, fuel, args),
+                "fuel {fuel} on {args:?}"
+            );
+        }
+    }
+    assert_stats_parity(lib, |session| {
+        for args in &corpus {
+            session.check(rel, 40, 40, args);
+        }
+    });
+}
+
+#[test]
+fn ifc_vm_matches_closure_on_indist() {
+    let ifc = Ifc::new();
+    let lib = ifc.library();
+    let rel = ifc.indist_relation();
+    assert!(lib.vm_compiled(rel), "ifc indist plan should compile");
+    let vm = lib.fork().with_vm();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut corpus: Vec<Vec<Value>> = Vec::new();
+    for i in 0..60 {
+        let (_, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+        // Even entries stay indistinguishable; odd entries pair two
+        // independent machines so `Some(false)` occurs as well.
+        let v1 = ifc.machine_value(&m1);
+        let v2 = if i % 2 == 0 {
+            ifc.machine_value(&m2)
+        } else {
+            let (_, other, _) = ifc.gen_indist_pair(6, &mut rng);
+            ifc.machine_value(&other)
+        };
+        corpus.push(vec![v1, v2]);
+    }
+    for args in &corpus {
+        for fuel in [0, 8, 64] {
+            assert_eq!(
+                vm.check(rel, fuel, fuel, args),
+                lib.check(rel, fuel, fuel, args),
+                "fuel {fuel}"
+            );
+            for steps in STEP_LADDER {
+                let budget = || Budget::unlimited().with_steps(steps);
+                assert_eq!(
+                    vm.try_check(rel, fuel, fuel, args, budget()),
+                    lib.try_check(rel, fuel, fuel, args, budget()),
+                    "steps {steps} fuel {fuel}"
+                );
+            }
+        }
+    }
+    assert_stats_parity(lib, |session| {
+        for args in &corpus {
+            session.check(rel, 64, 64, args);
+        }
+    });
+}
+
+#[test]
+fn memoized_vm_session_matches_memoized_closure_session() {
+    let bst = Bst::new();
+    let plain = bst.library();
+    let rel = bst.relation();
+    let closure_memo = plain.fork().with_memo();
+    let vm_memo = plain.fork().with_memo().with_vm();
+    let corpus = bst_corpus(&bst, 120, 41);
+    // Ascending fuels: later sweeps answer from entries the earlier
+    // sweeps cached (joint fuel monotonicity), on both backends.
+    for fuel in [16u64, 64] {
+        for args in &corpus {
+            assert_eq!(
+                vm_memo.check(rel, fuel, fuel, args),
+                closure_memo.check(rel, fuel, fuel, args),
+                "fuel {fuel}"
+            );
+        }
+    }
+    let (c, v) = (closure_memo.memo_stats(), vm_memo.memo_stats());
+    assert!(v.hits > 0, "the VM session should reuse entries: {v:?}");
+    assert_eq!(
+        (c.entries, c.hits, c.misses),
+        (v.entries, v.hits, v.misses),
+        "identical search trees must populate identical tables"
+    );
+}
+
+#[test]
+fn shared_serving_sessions_agree_across_backends() {
+    let bst = Bst::new();
+    let rel = bst.relation();
+    let corpus = bst_corpus(&bst, 60, 23);
+    let run = |use_vm: bool| {
+        let config = ServeConfig {
+            shards: 4,
+            shard_capacity: 1 << 10,
+            steps_per_request: 1 << 16,
+            max_retries: 2,
+            use_vm,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(bst.library().fork().shared(), config, Budget::unlimited());
+        let session = server.session();
+        assert_eq!(session.library().vm_enabled(), use_vm);
+        // Two passes: the second answers mostly from the shared table.
+        let first = session.check_batch(rel, 64, &corpus);
+        let second = session.check_batch(rel, 64, &corpus);
+        (first, second, server.stats())
+    };
+    let (c1, c2, cstats) = run(false);
+    let (v1, v2, vstats) = run(true);
+    assert_eq!(v1, c1, "first serving pass must agree tuple-for-tuple");
+    assert_eq!(v2, c2, "memo-warm serving pass must agree");
+    assert_eq!(
+        (cstats.entries, cstats.hits),
+        (vstats.entries, vstats.hits),
+        "both backends must drive the shared table identically"
+    );
+}
