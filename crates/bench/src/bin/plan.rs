@@ -1,0 +1,49 @@
+//! Query-planner comparison: static premise schedules vs
+//! profile-guided replans, on an adversarial sparse-premise corpus and
+//! the Figure 3 non-regression workloads.
+//!
+//! ```text
+//! cargo run -p indrel-bench --release --bin plan
+//! cargo run -p indrel-bench --release --bin plan -- --json [PATH]
+//! ```
+//!
+//! `--json` writes the comparison as one machine-readable document
+//! (schema `indrel.bench.plan/1`, default path `BENCH_plan.json`).
+//!
+//! Environment: `PLAN_BUDGET_MS` (wall-clock budget per throughput
+//! run, default 1500).
+
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            let path = match it.peek() {
+                Some(p) if !p.starts_with('-') => it.next().unwrap().clone(),
+                _ => "BENCH_plan.json".to_string(),
+            };
+            json_path = Some(path);
+        }
+    }
+    let budget = Duration::from_millis(
+        std::env::var("PLAN_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1500),
+    );
+    if let Some(path) = json_path {
+        let doc = indrel_bench::plan::plan_json(budget);
+        std::fs::write(&path, format!("{doc}\n")).expect("write JSON output");
+        println!("wrote {path}");
+        return;
+    }
+    println!("Query planner: tuples/second, static schedule vs profiled replan");
+    println!("(adversarial bar: speedup >= 1.5x; Figure 3 bar: ratio >= 0.95)");
+    println!("  {}", indrel_bench::plan::adversarial(budget));
+    for r in indrel_bench::plan::fig3_regression(budget) {
+        println!("  {r}");
+    }
+}

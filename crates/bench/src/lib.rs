@@ -19,6 +19,7 @@
 //! | EXPERIMENTS.md compiled backend | [`vm`] | `vm` | — |
 //! | EXPERIMENTS.md concurrent serving | [`serve`] | `serve` | — |
 //! | EXPERIMENTS.md observability smoke | [`obs`] | `obs` | `probe_overhead` |
+//! | EXPERIMENTS.md query planner | [`plan`] | `plan` | — |
 
 pub mod ablation;
 pub mod fig3;
@@ -26,6 +27,7 @@ pub mod memo;
 pub mod mutation;
 pub mod obs;
 pub mod par;
+pub mod plan;
 pub mod reflection;
 pub mod serve;
 pub mod table1;

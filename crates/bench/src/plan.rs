@@ -1,0 +1,350 @@
+//! Query-planner benchmark: static premise order vs profile-guided
+//! replanning ([`Library::replan_from`]).
+//!
+//! Two sides, matching the two claims the planner makes:
+//!
+//! * **Adversarial corpus** — a sparse-premise relation whose source
+//!   order is pessimal: the first premise is expensive and never
+//!   fails, the second is cheap and almost always fails. The static
+//!   scheduler (cost ties break by source order) pays the expensive
+//!   premise on every tuple; one profiled replan hoists the selective
+//!   premise and the search short-circuits. The acceptance bar is a
+//!   **≥ 1.5×** throughput speedup (the structural gap is an order of
+//!   magnitude, so the bar is noise-proof).
+//! * **Figure 3 non-regression** — the BST/IFC/STLC checker workloads,
+//!   replanned from a profile of themselves. Their premise orders are
+//!   already good, so the replan must be (close to) a no-op: the bar
+//!   is **≤ 5%** throughput regression per case.
+//!
+//! The run also re-replans from the same snapshot and compares the
+//! rendered plans byte-for-byte (`deterministic`), pinning the
+//! replans-are-deterministic contract outside the test suite.
+//!
+//! Exported as the `indrel.bench.plan/1` JSON schema via [`plan_json`]
+//! (the `plan --json` flag, committed as `BENCH_plan.json`).
+
+use indrel_bst::Bst;
+use indrel_core::{ExecProbe, Library, LibraryBuilder, SearchStats};
+use indrel_ifc::Ifc;
+use indrel_producers::json_escape;
+use indrel_rel::{parse::parse_program, RelEnv};
+use indrel_stlc::Stlc;
+use indrel_term::{RelId, Universe, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The adversarial two-premise spec. `good n m` puts the expensive,
+/// never-failing premise (`le' 0 n`, cost O(n)) *before* the cheap,
+/// almost-always-failing one (`le' (S n) m`, which fails after O(m)
+/// steps whenever `n ≥ m`): both are plain checker calls, so their
+/// static costs tie and the unprofiled scheduler keeps source order.
+const ADVERSARIAL_SPEC: &str = r"
+    rel le' : nat nat :=
+    | le_n : forall n, le' n n
+    | le_S : forall n m, le' n m -> le' n (S m)
+    .
+    rel good : nat nat :=
+    | g : forall n m, le' 0 n -> le' (S n) m -> good n m
+    .
+";
+
+const ADVERSARIAL_FUEL: u64 = 128;
+
+/// The adversarial side of the report.
+#[derive(Clone, Debug)]
+pub struct AdversarialResult {
+    /// Static-order (seed-cost) throughput, tuples/second.
+    pub static_tps: f64,
+    /// Profile-replanned throughput over the same tuples.
+    pub replanned_tps: f64,
+    /// Relations the replan actually rescheduled.
+    pub replanned_rels: usize,
+    /// `true` when a second replan from the same snapshot reproduced
+    /// byte-identical plans.
+    pub deterministic: bool,
+}
+
+impl AdversarialResult {
+    /// Replanned over static throughput — the ≥ 1.5× acceptance bar.
+    pub fn speedup(&self) -> f64 {
+        self.replanned_tps / self.static_tps
+    }
+}
+
+impl fmt::Display for AdversarialResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adversarial  static {:>11.0} t/s   replanned {:>11.0} t/s   \
+             speedup {:>5.2}x   ({} rel(s) rescheduled, deterministic: {})",
+            self.static_tps,
+            self.replanned_tps,
+            self.speedup(),
+            self.replanned_rels,
+            self.deterministic
+        )
+    }
+}
+
+/// One Figure 3 non-regression case.
+#[derive(Clone, Debug)]
+pub struct RegressionResult {
+    /// Case name.
+    pub name: &'static str,
+    /// Baseline (static-schedule) throughput, tuples/second.
+    pub baseline_tps: f64,
+    /// Throughput after replanning from a profile of the same workload.
+    pub replanned_tps: f64,
+    /// Relations the replan rescheduled (usually 0 — the Figure 3
+    /// orders are already good).
+    pub replanned_rels: usize,
+}
+
+impl RegressionResult {
+    /// Replanned over baseline — the ≥ 0.95 acceptance line.
+    pub fn ratio(&self) -> f64 {
+        self.replanned_tps / self.baseline_tps
+    }
+}
+
+impl fmt::Display for RegressionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} baseline {:>11.0} t/s   replanned {:>11.0} t/s   \
+             ratio {:>5.2}   ({} rel(s) rescheduled)",
+            self.name,
+            self.baseline_tps,
+            self.replanned_tps,
+            self.ratio(),
+            self.replanned_rels
+        )
+    }
+}
+
+/// Checks every tuple in a round-robin loop until the budget elapses;
+/// returns tuples/second.
+fn tuples_per_second(
+    lib: &Library,
+    rel: RelId,
+    fuel: u64,
+    tuples: &[Vec<Value>],
+    budget: Duration,
+) -> f64 {
+    let start = Instant::now();
+    let mut n = 0u64;
+    loop {
+        for t in tuples {
+            let _ = lib.check(rel, fuel, fuel, t);
+        }
+        n += tuples.len() as u64;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One profiling pass: checks every tuple once under an armed stats
+/// probe and returns the snapshot.
+fn profile_pass(lib: &Library, rel: RelId, fuel: u64, tuples: &[Vec<Value>]) -> SearchStats {
+    let stats = SearchStats::new();
+    let _probe = lib.arm_probe(ExecProbe::stats(&stats));
+    for t in tuples {
+        let _ = lib.check(rel, fuel, fuel, t);
+    }
+    stats
+}
+
+/// `true` when two libraries render byte-identical explanations for
+/// every relation — the byte-determinism check for sibling replans.
+fn plans_identical(a: &Library, b: &Library) -> bool {
+    a.env()
+        .iter()
+        .all(|(rel, _)| a.explain(rel) == b.explain(rel))
+}
+
+/// Runs the adversarial corpus: profile under the static schedule,
+/// replan, and measure both schedules over the same tuples.
+pub fn adversarial(budget: Duration) -> AdversarialResult {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    parse_program(&mut u, &mut env, ADVERSARIAL_SPEC).expect("adversarial spec parses");
+    let rel = env.rel_id("good").expect("relation exists");
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(rel).expect("derives");
+    let lib = b.build();
+
+    // All-failing tuples with n large and m small: the worst case for
+    // the source order, the best case for the profiled one.
+    let tuples: Vec<Vec<Value>> = (0..32)
+        .map(|i| vec![Value::nat(24 + (i % 8) * 4), Value::nat(i % 3)])
+        .collect();
+
+    let stats = profile_pass(&lib, rel, ADVERSARIAL_FUEL, &tuples);
+    let (replanned, report) = lib.replan_from_report(&stats);
+    let (again, _) = lib.replan_from_report(&stats);
+
+    let static_tps = tuples_per_second(&lib, rel, ADVERSARIAL_FUEL, &tuples, budget);
+    let replanned_tps = tuples_per_second(&replanned, rel, ADVERSARIAL_FUEL, &tuples, budget);
+    AdversarialResult {
+        static_tps,
+        replanned_tps,
+        replanned_rels: report.replanned.len(),
+        deterministic: plans_identical(&replanned, &again),
+    }
+}
+
+/// Measures one Figure 3 case: baseline throughput, a profiling pass,
+/// a replan, and replanned throughput over the same tuples.
+fn regression_case(
+    budget: Duration,
+    name: &'static str,
+    lib: &Library,
+    rel: RelId,
+    fuel: u64,
+    tuples: &[Vec<Value>],
+) -> RegressionResult {
+    let stats = profile_pass(lib, rel, fuel, tuples);
+    let (replanned, report) = lib.replan_from_report(&stats);
+    RegressionResult {
+        name,
+        baseline_tps: tuples_per_second(lib, rel, fuel, tuples, budget),
+        replanned_tps: tuples_per_second(&replanned, rel, fuel, tuples, budget),
+        replanned_rels: report.replanned.len(),
+    }
+}
+
+const TUPLES_PER_CASE: usize = 48;
+
+/// The Figure 3 non-regression side: BST, IFC, and STLC checker
+/// workloads replanned from profiles of themselves.
+pub fn fig3_regression(budget: Duration) -> Vec<RegressionResult> {
+    let mut out = Vec::new();
+
+    let bst = Bst::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let tuples: Vec<Vec<Value>> = (0..TUPLES_PER_CASE)
+        .map(|_| {
+            vec![
+                Value::nat(0),
+                Value::nat(24),
+                bst.handwritten_gen(0, 24, 6, &mut rng),
+            ]
+        })
+        .collect();
+    out.push(regression_case(
+        budget,
+        "BST",
+        bst.library(),
+        bst.relation(),
+        64,
+        &tuples,
+    ));
+
+    let ifc = Ifc::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let tuples: Vec<Vec<Value>> = (0..TUPLES_PER_CASE)
+        .map(|_| {
+            let (_, m1, m2) = ifc.gen_indist_pair(6, &mut rng);
+            vec![ifc.machine_value(&m1), ifc.machine_value(&m2)]
+        })
+        .collect();
+    out.push(regression_case(
+        budget,
+        "IFC",
+        ifc.library(),
+        ifc.indist_relation(),
+        64,
+        &tuples,
+    ));
+
+    let stlc = Stlc::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let empty_ctx = stlc.ctx(&[]);
+    let mut tuples = Vec::new();
+    while tuples.len() < TUPLES_PER_CASE {
+        let ty = stlc.random_ty(2, &mut rng);
+        if let Some(e) = stlc.handwritten_gen(&[], &ty, 5, &mut rng) {
+            tuples.push(vec![empty_ctx.clone(), e, ty]);
+        }
+    }
+    out.push(regression_case(
+        budget,
+        "STLC",
+        stlc.library(),
+        stlc.typing_relation(),
+        40,
+        &tuples,
+    ));
+
+    out
+}
+
+fn regression_json(r: &RegressionResult) -> String {
+    format!(
+        "{{\"relation\":\"{}\",\"baseline_tps\":{:.3},\"replanned_tps\":{:.3},\
+         \"ratio\":{:.4},\"replanned_rels\":{}}}",
+        json_escape(r.name),
+        r.baseline_tps,
+        r.replanned_tps,
+        r.ratio(),
+        r.replanned_rels
+    )
+}
+
+/// The whole comparison as one JSON document (`indrel.bench.plan/1`).
+pub fn plan_json(budget: Duration) -> String {
+    let adv = adversarial(budget);
+    let fig3 = fig3_regression(budget);
+    format!(
+        "{{\"schema\":\"indrel.bench.plan/1\",\"budget_ms\":{},\
+         \"adversarial\":{{\"relation\":\"good\",\"static_tps\":{:.3},\
+         \"replanned_tps\":{:.3},\"speedup\":{:.4},\"replanned_rels\":{},\
+         \"deterministic\":{}}},\"fig3\":[{}]}}",
+        budget.as_millis(),
+        adv.static_tps,
+        adv.replanned_tps,
+        adv.speedup(),
+        adv.replanned_rels,
+        adv.deterministic,
+        fig3.iter()
+            .map(regression_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_replan_reorders_and_wins() {
+        let r = adversarial(Duration::from_millis(40));
+        assert_eq!(r.replanned_rels, 1, "exactly `good` is rescheduled");
+        assert!(r.deterministic, "sibling replans must agree");
+        assert!(
+            r.speedup() >= 1.5,
+            "structural speedup should dwarf the bar: {r}"
+        );
+    }
+
+    #[test]
+    fn plan_json_has_schema_and_cases() {
+        let j = plan_json(Duration::from_millis(10));
+        assert!(j.starts_with("{\"schema\":\"indrel.bench.plan/1\""), "{j}");
+        for name in [
+            "\"relation\":\"good\"",
+            "\"relation\":\"BST\"",
+            "\"relation\":\"IFC\"",
+            "\"relation\":\"STLC\"",
+        ] {
+            assert!(j.contains(name), "{j}");
+        }
+        assert!(j.contains("\"speedup\""), "{j}");
+        assert!(j.contains("\"deterministic\":true"), "{j}");
+    }
+}

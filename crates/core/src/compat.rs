@@ -7,6 +7,7 @@
 //! instantiated first. This module classifies one argument at a time;
 //! [`crate::compile`] combines the classifications into a schedule.
 
+use crate::plan::{Plan, Step};
 use indrel_term::{TermExpr, VarId};
 use std::collections::BTreeSet;
 
@@ -60,6 +61,110 @@ pub fn classify_arg(arg: &TermExpr, is_out: bool, known: &dyn Fn(VarId) -> bool)
         // be produced into (`compatible vars x (f e) | output → ⊥`).
         ArgClass::NeedsInstantiation { vars: unknowns }
     }
+}
+
+/// Verifies the mode-admissibility invariant of a compiled [`Plan`]:
+/// replaying each handler symbolically — input patterns bind their
+/// variables, then each step may only *consume* variables already
+/// known and *marks known* whatever it binds — every consumed variable
+/// must be known at the point of use, and the handler's outputs must be
+/// fully known at the end.
+///
+/// This is the safety net under the greedy scheduler of
+/// [`crate::compile`]: however the cost model reorders premises, the
+/// emitted straight-line schedule must still be one this analysis
+/// accepts. The scheduler establishes the invariant constructively
+/// (it only picks admissible premises); this function re-checks it
+/// from the plan alone, so tests can fuzz arbitrary specs and assert
+/// the compiler never emits a plan the analysis would reject.
+///
+/// # Errors
+///
+/// A description of the first violated step (handler, step index, and
+/// the unknown variables consumed), or of outputs left unknown.
+pub fn check_plan_admissible(plan: &Plan) -> Result<(), String> {
+    for handler in &plan.handlers {
+        let mut known: BTreeSet<VarId> = BTreeSet::new();
+        for pat in &handler.input_pats {
+            known.extend(pat.variables());
+        }
+        let fail = |step_idx: usize, what: &str, vars: BTreeSet<VarId>| {
+            let names: Vec<&str> = vars
+                .iter()
+                .map(|v| {
+                    handler
+                        .slot_names
+                        .get(v.index())
+                        .map_or("?", |s| s.as_str())
+                })
+                .collect();
+            Err(format!(
+                "handler {} step {step_idx}: {what} consumes unknown variable(s) {}",
+                handler.name,
+                names.join(", ")
+            ))
+        };
+        let unknowns = |known: &BTreeSet<VarId>, exprs: &[&TermExpr]| -> BTreeSet<VarId> {
+            exprs
+                .iter()
+                .flat_map(|e| e.variables())
+                .filter(|v| !known.contains(v))
+                .collect()
+        };
+        for (step_idx, step) in handler.steps.iter().enumerate() {
+            match step {
+                Step::EqCheck { lhs, rhs, .. } => {
+                    let u = unknowns(&known, &[lhs, rhs]);
+                    if !u.is_empty() {
+                        return fail(step_idx, step.kind_label(), u);
+                    }
+                }
+                Step::EqBind { var, expr } => {
+                    let u = unknowns(&known, &[expr]);
+                    if !u.is_empty() {
+                        return fail(step_idx, step.kind_label(), u);
+                    }
+                    known.insert(*var);
+                }
+                Step::MatchExpr { scrutinee, pattern } => {
+                    let u = unknowns(&known, &[scrutinee]);
+                    if !u.is_empty() {
+                        return fail(step_idx, step.kind_label(), u);
+                    }
+                    known.extend(pattern.variables());
+                }
+                Step::CheckRel { args, .. } | Step::RecCheck { args } => {
+                    let u = unknowns(&known, &args.iter().collect::<Vec<_>>());
+                    if !u.is_empty() {
+                        return fail(step_idx, step.kind_label(), u);
+                    }
+                }
+                Step::ProduceExt {
+                    in_args, out_slots, ..
+                }
+                | Step::ProduceRec { in_args, out_slots } => {
+                    let u = unknowns(&known, &in_args.iter().collect::<Vec<_>>());
+                    if !u.is_empty() {
+                        return fail(step_idx, step.kind_label(), u);
+                    }
+                    known.extend(out_slots.iter().copied());
+                }
+                Step::Unconstrained { var, .. } => {
+                    known.insert(*var);
+                }
+            }
+        }
+        let u: BTreeSet<VarId> = handler
+            .outputs
+            .iter()
+            .flat_map(|e| e.variables())
+            .filter(|v| !known.contains(v))
+            .collect();
+        if !u.is_empty() {
+            return fail(handler.steps.len(), "ret", u);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -130,5 +235,82 @@ mod tests {
                 vars: [VarId::new(0)].into_iter().collect()
             }
         );
+    }
+
+    use crate::mode::Mode;
+    use crate::plan::{Handler, Plan, Step};
+    use indrel_term::{Pattern, RelId};
+
+    fn one_handler_plan(input_pats: Vec<Pattern>, steps: Vec<Step>) -> Plan {
+        let premise_of = vec![None; steps.len()];
+        Plan {
+            rel: RelId::new(0),
+            mode: Mode::checker(input_pats.len()),
+            handlers: vec![Handler {
+                rule_index: 0,
+                name: "h".into(),
+                recursive: false,
+                nslots: 2,
+                slot_names: vec!["x".into(), "y".into()],
+                input_pats,
+                steps,
+                premise_of,
+                outputs: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn admissible_plan_replays_clean() {
+        // match x; let y := x; rec y — every consumption is downstream
+        // of its binder.
+        let plan = one_handler_plan(
+            vec![Pattern::var(0)],
+            vec![
+                Step::EqBind {
+                    var: VarId::new(1),
+                    expr: TermExpr::var(0),
+                },
+                Step::RecCheck {
+                    args: vec![TermExpr::var(1)],
+                },
+            ],
+        );
+        assert_eq!(check_plan_admissible(&plan), Ok(()));
+    }
+
+    #[test]
+    fn consuming_an_unknown_variable_is_rejected() {
+        // rec y before anything binds y.
+        let plan = one_handler_plan(
+            vec![Pattern::var(0)],
+            vec![Step::RecCheck {
+                args: vec![TermExpr::var(1)],
+            }],
+        );
+        let err = check_plan_admissible(&plan).unwrap_err();
+        assert!(err.contains("rec-check"), "{err}");
+        assert!(err.contains('y'), "{err}");
+    }
+
+    #[test]
+    fn producer_outputs_become_known() {
+        // bind (y <- produce) then check on y: fine either way around
+        // the producer, not before it.
+        let produce = Step::ProduceExt {
+            rel: RelId::new(1),
+            mode: Mode::producer(1, &[0]),
+            in_args: vec![],
+            out_slots: vec![VarId::new(1)],
+        };
+        let use_y = Step::CheckRel {
+            rel: RelId::new(1),
+            args: vec![TermExpr::var(1)],
+            negated: false,
+        };
+        let good = one_handler_plan(vec![Pattern::var(0)], vec![produce.clone(), use_y.clone()]);
+        assert_eq!(check_plan_admissible(&good), Ok(()));
+        let bad = one_handler_plan(vec![Pattern::var(0)], vec![use_y, produce]);
+        assert!(check_plan_admissible(&bad).is_err());
     }
 }

@@ -6,17 +6,40 @@
 //!
 //! 1. turns the conclusion's input positions into patterns (the handler
 //!    `match`),
-//! 2. schedules the premises in order, choosing for each a recursive
-//!    call, an external checker call, an external producer call, or an
-//!    equality binding/check, instantiating variables with unconstrained
+//! 2. schedules the premises, choosing for each a recursive call, an
+//!    external checker call, an external producer call, or an equality
+//!    binding/check, instantiating variables with unconstrained
 //!    producers when the compatibility analysis demands it,
 //! 3. finishes with the conclusion's output terms.
+//!
+//! Checker plans do not take the premises in source order: a greedy
+//! scheduler repeatedly picks, among the premises the compatibility
+//! analysis says are *admissible* right now, the one with the lowest
+//! [`PremiseCost::rank`] — expected cost over failure probability, the
+//! classic ordering for independent filters. Admissible here means
+//! *non-enumerating*: a ground relation check, or an equality that is
+//! fully known or binds through a deterministic pattern. Premises that
+//! would need an external producer or an unconstrained instantiation
+//! are never hoisted — hoisting one changes which variables get
+//! enumerated versus filtered, and an innocent-looking `produceST`
+//! over a recursive relation can be exponentially worse than the
+//! source order's instantiate-then-check shape (`ev'` in the LF corpus
+//! is the cautionary tale). Ranks are seeded from
+//! [`Step::static_cost`] (ties broken by source order, so unprofiled
+//! plans are stable) and replaced by measured means when a
+//! [`CostProfile`] is supplied (`Library::replan_from`). When no
+//! premise is admissible the scheduler falls back to the first
+//! remaining premise in source order, reproducing the paper's
+//! enumeration structure exactly. Producer plans keep source order:
+//! their dataflow is the schedule, and the profile's premise signal
+//! only exists on the checker path.
 //!
 //! External calls are resolved through a [`DepResolver`], which the
 //! [`crate::LibraryBuilder`] implements by recursively deriving the
 //! needed instances (with cycle detection, §8).
 
 use crate::compat::{classify_arg, ArgClass};
+use crate::cost::{CostProfile, PremiseCost};
 use crate::error::DeriveError;
 use crate::mode::Mode;
 use crate::plan::{Handler, Plan, Step};
@@ -58,6 +81,26 @@ pub fn compile_plan(
     opts: DeriveOptions,
     deps: &mut dyn DepResolver,
 ) -> Result<Plan, DeriveError> {
+    compile_plan_with_profile(universe, env, rel, mode, opts, None, deps)
+}
+
+/// [`compile_plan`] with a measured [`CostProfile`] feeding the premise
+/// scheduler. Compilation is deterministic in `(relation, mode, opts,
+/// profile)`: the same profile always yields the same plan.
+///
+/// # Errors
+///
+/// Returns a [`DeriveError`] when the relation falls outside the
+/// supported class (see the error variants for the specific reasons).
+pub fn compile_plan_with_profile(
+    universe: &Universe,
+    env: &RelEnv,
+    rel: RelId,
+    mode: Mode,
+    opts: DeriveOptions,
+    profile: Option<&CostProfile>,
+    deps: &mut dyn DepResolver,
+) -> Result<Plan, DeriveError> {
     let relation = env.relation(rel);
     let prepared: Relation;
     let source: &Relation = if opts.algorithm1_only {
@@ -92,12 +135,15 @@ pub fn compile_plan(
             rel_name: source.name().to_string(),
             mode: &mode,
             opts,
+            profile,
             deps,
             rule_name: rule.name().to_string(),
             known: vec![false; rule.num_vars()],
             slot_names: rule.var_names().to_vec(),
             slot_types: rule.var_types().to_vec(),
             steps: Vec::new(),
+            premise_of: Vec::new(),
+            cur_premise: None,
         };
         handlers.push(cx.compile_rule(rule, i)?);
     }
@@ -113,12 +159,15 @@ struct HandlerCx<'a> {
     rel_name: String,
     mode: &'a Mode,
     opts: DeriveOptions,
+    profile: Option<&'a CostProfile>,
     deps: &'a mut dyn DepResolver,
     rule_name: String,
     known: Vec<bool>,
     slot_names: Vec<String>,
     slot_types: Vec<Option<TypeExpr>>,
     steps: Vec<Step>,
+    premise_of: Vec<Option<u32>>,
+    cur_premise: Option<u32>,
 }
 
 impl HandlerCx<'_> {
@@ -139,31 +188,28 @@ impl HandlerCx<'_> {
             input_pats.push(pat);
         }
 
-        // 2. Premises, in order.
-        for premise in rule.premises() {
-            match premise {
-                Premise::Eq { lhs, rhs, negated } => self.schedule_eq(lhs, rhs, *negated)?,
-                Premise::Rel {
-                    rel,
-                    args,
-                    negated: true,
-                } => {
-                    self.require_full("negated premises")?;
-                    self.instantiate_all(args)?;
-                    self.deps.ensure_checker(*rel)?;
-                    self.steps.push(Step::CheckRel {
-                        rel: *rel,
-                        args: args.clone(),
-                        negated: true,
-                    });
-                }
-                Premise::Rel {
-                    rel,
-                    args,
-                    negated: false,
-                } => self.schedule_rel(*rel, args)?,
+        // 2. Premises. Checker plans are scheduled greedily by rank;
+        //    producer plans keep source order.
+        if self.mode.is_checker() {
+            let mut remaining: Vec<(u32, &Premise)> = rule
+                .premises()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, p))
+                .collect();
+            while !remaining.is_empty() {
+                let pick = self.pick_next(&remaining, rule_index);
+                let (idx, premise) = remaining.remove(pick);
+                self.cur_premise = Some(idx);
+                self.schedule_premise(premise)?;
+            }
+        } else {
+            for (idx, premise) in rule.premises().iter().enumerate() {
+                self.cur_premise = Some(idx as u32);
+                self.schedule_premise(premise)?;
             }
         }
+        self.cur_premise = None;
 
         // 3. Outputs: any still-unknown variable is instantiated with an
         //    unconstrained producer (a rule whose output no premise
@@ -194,8 +240,135 @@ impl HandlerCx<'_> {
             slot_names: std::mem::take(&mut self.slot_names),
             input_pats,
             steps: std::mem::take(&mut self.steps),
+            premise_of: std::mem::take(&mut self.premise_of),
             outputs,
         })
+    }
+
+    /// Pushes a step, recording which source premise (if any) it
+    /// implements.
+    fn emit(&mut self, step: Step) {
+        self.steps.push(step);
+        self.premise_of.push(self.cur_premise);
+    }
+
+    /// Dispatches one premise to its scheduling routine.
+    fn schedule_premise(&mut self, premise: &Premise) -> Result<(), DeriveError> {
+        match premise {
+            Premise::Eq { lhs, rhs, negated } => self.schedule_eq(lhs, rhs, *negated),
+            Premise::Rel {
+                rel,
+                args,
+                negated: true,
+            } => {
+                self.require_full("negated premises")?;
+                self.instantiate_all(args)?;
+                self.deps.ensure_checker(*rel)?;
+                self.emit(Step::CheckRel {
+                    rel: *rel,
+                    args: args.clone(),
+                    negated: true,
+                });
+                Ok(())
+            }
+            Premise::Rel {
+                rel,
+                args,
+                negated: false,
+            } => self.schedule_rel(*rel, args),
+        }
+    }
+
+    /// The greedy choice: index into `remaining` of the premise to
+    /// schedule next. Purely a *read* of the current binding state —
+    /// the dry-run classification must not resolve dependencies or
+    /// allocate slots, so an inadmissible candidate costs nothing.
+    fn pick_next(&self, remaining: &[(u32, &Premise)], rule_index: usize) -> usize {
+        let mut best: Option<(u64, u32, usize)> = None;
+        for (pos, (idx, premise)) in remaining.iter().enumerate() {
+            let Some(static_cost) = self.admissible_cost(premise) else {
+                continue;
+            };
+            // Profile data is keyed by source premise, so a measured
+            // mean survives any reordering of earlier replans.
+            let cost = self
+                .profile
+                .and_then(|p| p.lookup(self.rel.index() as u32, rule_index as u32, *idx))
+                .unwrap_or_else(|| PremiseCost::seed(static_cost));
+            let rank = cost.rank();
+            if best.is_none_or(|(r, i, _)| (rank, *idx) < (r, i)) {
+                best = Some((rank, *idx, pos));
+            }
+        }
+        // No premise is admissible: take the first remaining one in
+        // source order and let its scheduling routine instantiate.
+        best.map_or(0, |(_, _, pos)| pos)
+    }
+
+    /// Whether `premise` can be scheduled *right now* without any
+    /// enumeration (no external producer call, no unconstrained
+    /// instantiation), and at what static cost. Reuses the
+    /// compatibility classification of [`crate::compat`]: an argument
+    /// that classifies as `ProducibleOutput` or `NeedsInstantiation`
+    /// blocks the premise until something else binds its variables —
+    /// only deterministic, prune-only premises are hoisted.
+    fn admissible_cost(&self, premise: &Premise) -> Option<u64> {
+        match premise {
+            Premise::Eq { lhs, rhs, negated } => {
+                let lk = self.is_known_expr(lhs);
+                let rk = self.is_known_expr(rhs);
+                if lk && rk {
+                    return Some(1);
+                }
+                if *negated {
+                    // A disequality cannot bind its unknowns.
+                    return None;
+                }
+                let unknown_side = if lk {
+                    rhs
+                } else if rk {
+                    lhs
+                } else {
+                    return None;
+                };
+                match unknown_side {
+                    TermExpr::Var(_) => Some(1),
+                    _ if unknown_side.to_pattern().is_some() => Some(1),
+                    // A function call over unknowns can only be checked
+                    // after enumeration.
+                    _ => None,
+                }
+            }
+            Premise::Rel {
+                args,
+                negated: true,
+                ..
+            } => {
+                // Negation-as-failure needs every argument ground.
+                args.iter().all(|a| self.is_known_expr(a)).then_some(10)
+            }
+            Premise::Rel {
+                args,
+                negated: false,
+                ..
+            } => {
+                let known = |v: VarId| self.known[v.index()];
+                for arg in args {
+                    match classify_arg(arg, true, &known) {
+                        ArgClass::KnownInput | ArgClass::KnownOutput => {}
+                        // A premise with unbound positions would have
+                        // to enumerate (external producer call). Never
+                        // hoist those: leave them to the source-order
+                        // fallback so the enumeration structure of the
+                        // plan matches Algorithm 1 exactly.
+                        ArgClass::ProducibleOutput { .. } | ArgClass::NeedsInstantiation { .. } => {
+                            return None
+                        }
+                    }
+                }
+                Some(10)
+            }
+        }
     }
 
     /// Fails in Algorithm 1 mode with the given feature description.
@@ -240,7 +413,7 @@ impl HandlerCx<'_> {
                     rule: self.rule_name.clone(),
                     var: self.slot_names[var.index()].clone(),
                 })?;
-        self.steps.push(Step::Unconstrained { var, ty });
+        self.emit(Step::Unconstrained { var, ty });
         self.known[var.index()] = true;
         Ok(())
     }
@@ -267,7 +440,7 @@ impl HandlerCx<'_> {
         let lk = self.is_known_expr(lhs);
         let rk = self.is_known_expr(rhs);
         if lk && rk {
-            self.steps.push(Step::EqCheck {
+            self.emit(Step::EqCheck {
                 lhs: lhs.clone(),
                 rhs: rhs.clone(),
                 negated,
@@ -279,7 +452,7 @@ impl HandlerCx<'_> {
             // and check.
             self.instantiate_all(std::slice::from_ref(lhs))?;
             self.instantiate_all(std::slice::from_ref(rhs))?;
-            self.steps.push(Step::EqCheck {
+            self.emit(Step::EqCheck {
                 lhs: lhs.clone(),
                 rhs: rhs.clone(),
                 negated: true,
@@ -306,7 +479,7 @@ impl HandlerCx<'_> {
     ) -> Result<(), DeriveError> {
         match unknown_side {
             TermExpr::Var(x) if !self.known[x.index()] => {
-                self.steps.push(Step::EqBind {
+                self.emit(Step::EqBind {
                     var: *x,
                     expr: known_expr.clone(),
                 });
@@ -318,7 +491,7 @@ impl HandlerCx<'_> {
                     for v in self.unknowns_of(unknown_side) {
                         self.known[v.index()] = true;
                     }
-                    self.steps.push(Step::MatchExpr {
+                    self.emit(Step::MatchExpr {
                         scrutinee: known_expr.clone(),
                         pattern,
                     });
@@ -328,7 +501,7 @@ impl HandlerCx<'_> {
                     // A function call containing unknowns: instantiate
                     // and fall back to checking.
                     self.instantiate_all(std::slice::from_ref(unknown_side))?;
-                    self.steps.push(Step::EqCheck {
+                    self.emit(Step::EqCheck {
                         lhs: unknown_side.clone(),
                         rhs: known_expr.clone(),
                         negated: false,
@@ -371,7 +544,7 @@ impl HandlerCx<'_> {
 
         if unknown_positions.is_empty() {
             if is_self && self.mode.is_checker() {
-                self.steps.push(Step::RecCheck {
+                self.emit(Step::RecCheck {
                     args: args.to_vec(),
                 });
                 return Ok(());
@@ -381,7 +554,7 @@ impl HandlerCx<'_> {
                 // Default: produce and compare (Figure 2's `TAdd`).
                 // Ablation: call the relation's checker instead.
                 if self.opts.check_known_recursive && self.deps.ensure_checker(q).is_ok() {
-                    self.steps.push(Step::CheckRel {
+                    self.emit(Step::CheckRel {
                         rel: q,
                         args: args.to_vec(),
                         negated: false,
@@ -391,7 +564,7 @@ impl HandlerCx<'_> {
                 return self.produce_rec(args);
             }
             self.deps.ensure_checker(q)?;
-            self.steps.push(Step::CheckRel {
+            self.emit(Step::CheckRel {
                 rel: q,
                 args: args.to_vec(),
                 negated: false,
@@ -423,7 +596,7 @@ impl HandlerCx<'_> {
                     .iter()
                     .map(|_| self.fresh_slot("w", None))
                     .collect();
-                self.steps.push(Step::ProduceExt {
+                self.emit(Step::ProduceExt {
                     rel: q,
                     mode: m,
                     in_args,
@@ -438,13 +611,13 @@ impl HandlerCx<'_> {
                 // Fallback: instantiate everything, then check.
                 self.instantiate_all(args)?;
                 if is_self && self.mode.is_checker() {
-                    self.steps.push(Step::RecCheck {
+                    self.emit(Step::RecCheck {
                         args: args.to_vec(),
                     });
                     return Ok(());
                 }
                 self.deps.ensure_checker(q)?;
-                self.steps.push(Step::CheckRel {
+                self.emit(Step::CheckRel {
                     rel: q,
                     args: args.to_vec(),
                     negated: false,
@@ -468,7 +641,7 @@ impl HandlerCx<'_> {
             .iter()
             .map(|_| self.fresh_slot("w", None))
             .collect();
-        self.steps.push(Step::ProduceRec {
+        self.emit(Step::ProduceRec {
             in_args,
             out_slots: out_slots.clone(),
         });
@@ -491,7 +664,7 @@ impl HandlerCx<'_> {
                 }
                 // Skip the trivial self-match that a bare fresh slot
                 // would produce.
-                self.steps.push(Step::MatchExpr {
+                self.emit(Step::MatchExpr {
                     scrutinee: TermExpr::Var(slot),
                     pattern,
                 });
@@ -502,7 +675,7 @@ impl HandlerCx<'_> {
                     self.is_known_expr(arg),
                     "non-pattern args are pre-instantiated"
                 );
-                self.steps.push(Step::EqCheck {
+                self.emit(Step::EqCheck {
                     lhs: TermExpr::Var(slot),
                     rhs: arg.clone(),
                     negated: false,

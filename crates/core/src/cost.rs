@@ -1,0 +1,202 @@
+//! The planner's cost model.
+//!
+//! The scheduler in [`crate::compile`] orders each rule's premises by
+//! expected cost. The classic result for ordering independent filters
+//! applies: running premise *i* (per-evaluation cost `c_i`, failure
+//! probability `f_i`) before premise *j* is cheaper exactly when
+//! `c_i/f_i < c_j/f_j` — the cheap, selective filters go first so the
+//! expensive ones run only on tuples that survived. Absent a profile,
+//! the model is seeded from [`Step::static_cost`](crate::Step) and a
+//! neutral 50% failure prior, which reduces the ordering to ascending
+//! static cost with source order breaking ties.
+//!
+//! A [`CostProfile`] replaces the prior with measured per-premise
+//! means: [`crate::Library::replan_from`] aggregates a
+//! [`SearchStats`](indrel_producers::SearchStats) snapshot into one,
+//! keyed by `(relation, rule, source premise index)` so the numbers
+//! stay attached to the *premise* across reorders (the plan records
+//! the step → premise mapping in
+//! [`Handler::premise_of`](crate::Handler)). Everything here is
+//! integer arithmetic over `BTreeMap`s: the profile — and therefore
+//! the replanned schedule — is a deterministic function of the stats
+//! snapshot.
+
+use std::collections::BTreeMap;
+
+/// The neutral failure prior (permille) used when no profile entry
+/// exists: 500‰ makes the unprofiled rank proportional to static cost.
+pub const DEFAULT_FAILURE_PERMILLE: u64 = 500;
+
+/// Measured cost of one source premise, aggregated from a stats
+/// snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PremiseCost {
+    /// Mean search entries per evaluation (integer floor).
+    pub mean_cost: u64,
+    /// Fraction of evaluations that conclusively failed, in permille.
+    pub failure_permille: u64,
+}
+
+impl PremiseCost {
+    /// The scheduler's rank: expected cost divided by failure
+    /// probability (`c/f` scaled to stay in integers). Lower ranks
+    /// schedule earlier; ties fall back to source order.
+    pub fn rank(&self) -> u64 {
+        self.mean_cost
+            .max(1)
+            .saturating_mul(1000)
+            .checked_div(self.failure_permille + 1)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The unprofiled seed for a step with the given static cost.
+    pub fn seed(static_cost: u64) -> PremiseCost {
+        PremiseCost {
+            mean_cost: static_cost,
+            failure_permille: DEFAULT_FAILURE_PERMILLE,
+        }
+    }
+
+    /// Whether this observation diverges from the static estimate
+    /// enough to justify recompiling the relation: a 2× mean-cost gap
+    /// in either direction, or a failure rate at least 250‰ away from
+    /// the neutral prior.
+    pub fn diverges_from(&self, static_cost: u64) -> bool {
+        let est = static_cost.max(1);
+        let obs = self.mean_cost.max(1);
+        obs >= est.saturating_mul(2)
+            || est >= obs.saturating_mul(2)
+            || self.failure_permille.abs_diff(DEFAULT_FAILURE_PERMILLE) >= 250
+    }
+}
+
+/// A deterministic aggregate of measured premise costs, keyed by
+/// `(relation index, rule index, source premise index)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostProfile {
+    entries: BTreeMap<(u32, u32, u32), (u64, u64, u64)>,
+}
+
+impl CostProfile {
+    /// An empty profile (every lookup misses).
+    pub fn new() -> CostProfile {
+        CostProfile::default()
+    }
+
+    /// Folds one observed premise record into the profile. Records for
+    /// the same key accumulate (several plan steps can be attributed to
+    /// one source premise), so the aggregate is order-independent.
+    pub fn record(&mut self, rel: u32, rule: u32, premise: u32, evals: u64, cost: u64, fails: u64) {
+        let e = self
+            .entries
+            .entry((rel, rule, premise))
+            .or_insert((0, 0, 0));
+        e.0 += evals;
+        e.1 += cost;
+        e.2 += fails;
+    }
+
+    /// The aggregated cost for one source premise, if it was ever
+    /// evaluated.
+    pub fn lookup(&self, rel: u32, rule: u32, premise: u32) -> Option<PremiseCost> {
+        let &(evals, cost, fails) = self.entries.get(&(rel, rule, premise))?;
+        if evals == 0 {
+            return None;
+        }
+        Some(PremiseCost {
+            mean_cost: cost / evals,
+            failure_permille: fails.saturating_mul(1000) / evals,
+        })
+    }
+
+    /// `true` when no premise was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct premises observed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates the observed keys in deterministic (sorted) order.
+    pub fn keys(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_cheap_selective_first() {
+        // Expensive premise that never fails vs cheap one that almost
+        // always does: the classic adversarial pair.
+        let slow = PremiseCost {
+            mean_cost: 500,
+            failure_permille: 0,
+        };
+        let selective = PremiseCost {
+            mean_cost: 10,
+            failure_permille: 950,
+        };
+        assert!(selective.rank() < slow.rank());
+    }
+
+    #[test]
+    fn seed_reduces_to_static_cost_order() {
+        let cheap = PremiseCost::seed(1);
+        let call = PremiseCost::seed(10);
+        let produce = PremiseCost::seed(25);
+        assert!(cheap.rank() < call.rank());
+        assert!(call.rank() < produce.rank());
+    }
+
+    #[test]
+    fn divergence_gate() {
+        // Matches the estimate: no replan.
+        let ok = PremiseCost {
+            mean_cost: 10,
+            failure_permille: 500,
+        };
+        assert!(!ok.diverges_from(10));
+        // 2× cost in either direction trips it.
+        assert!(PremiseCost {
+            mean_cost: 20,
+            failure_permille: 500
+        }
+        .diverges_from(10));
+        assert!(PremiseCost {
+            mean_cost: 5,
+            failure_permille: 500
+        }
+        .diverges_from(10));
+        // So does a sharply selective (or sharply permissive) premise.
+        assert!(PremiseCost {
+            mean_cost: 10,
+            failure_permille: 900
+        }
+        .diverges_from(10));
+        assert!(PremiseCost {
+            mean_cost: 10,
+            failure_permille: 100
+        }
+        .diverges_from(10));
+    }
+
+    #[test]
+    fn profile_accumulates_and_is_deterministic() {
+        let mut a = CostProfile::new();
+        a.record(0, 1, 2, 10, 100, 5);
+        a.record(0, 1, 2, 10, 300, 15);
+        let mut b = CostProfile::new();
+        b.record(0, 1, 2, 10, 300, 15);
+        b.record(0, 1, 2, 10, 100, 5);
+        assert_eq!(a, b);
+        let c = a.lookup(0, 1, 2).expect("recorded");
+        assert_eq!(c.mean_cost, 20);
+        assert_eq!(c.failure_permille, 1000);
+        assert_eq!(a.lookup(0, 0, 0), None);
+    }
+}

@@ -67,6 +67,7 @@
 
 pub mod compat;
 pub mod compile;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub(crate) mod index;
@@ -78,9 +79,10 @@ pub mod plan;
 pub mod serve;
 pub(crate) mod vm;
 
+pub use cost::{CostProfile, PremiseCost};
 pub use error::{DeriveError, ExecError, InstanceKind};
 pub use exec::BudgetedStream;
-pub use library::{Library, LibraryBuilder, ProbeGuard, SharedLibrary};
+pub use library::{Library, LibraryBuilder, ProbeGuard, ReplanReport, SharedLibrary};
 pub use memo::MemoStats;
 pub use mode::Mode;
 pub use plan::{Handler, Plan, Step};

@@ -111,6 +111,14 @@ pub struct Handler {
     pub input_pats: Vec<Pattern>,
     /// The scheduled constraints.
     pub steps: Vec<Step>,
+    /// Provenance: for each step, the index of the source (preprocessed)
+    /// premise it implements, or `None` for steps the compiler invents
+    /// on its own account (output instantiation in producer plans). The
+    /// scheduler may reorder premises, so profile data keyed by source
+    /// premise index stays comparable across replans; one premise can
+    /// expand to several steps (instantiation + call + reconciliation),
+    /// all attributed to the same index.
+    pub premise_of: Vec<Option<u32>>,
     /// Conclusion terms at the output positions, evaluated at the end
     /// (empty for checker plans).
     pub outputs: Vec<TermExpr>,
@@ -406,6 +414,7 @@ mod tests {
                     slot_names: vec![],
                     input_pats: vec![Pattern::NatLit(0)],
                     steps: vec![],
+                    premise_of: vec![],
                     outputs: vec![],
                 },
                 Handler {
@@ -418,6 +427,7 @@ mod tests {
                     steps: vec![Step::RecCheck {
                         args: vec![TermExpr::var(0)],
                     }],
+                    premise_of: vec![Some(0)],
                     outputs: vec![],
                 },
             ],

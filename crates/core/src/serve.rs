@@ -73,7 +73,7 @@
 //! ```
 
 use crate::error::ExecError;
-use crate::library::{Library, SharedLibrary};
+use crate::library::{Library, ReplanReport, SharedLibrary};
 use crate::memo::{args_match, MemoStats};
 use indrel_producers::probe::Event;
 use indrel_producers::{
@@ -558,6 +558,12 @@ struct Telemetry {
     retries: Arc<Counter>,
     steps: Arc<Counter>,
     latency_us: Arc<Log2Histogram>,
+    /// Profile-guided replan passes run through [`Session::replan_hot`].
+    replans: Arc<Counter>,
+    /// Relations recompiled into a different plan across those passes.
+    relations_replanned: Arc<Counter>,
+    /// Relations whose plans were reused (or reproduced unchanged).
+    relations_kept: Arc<Counter>,
 }
 
 impl Telemetry {
@@ -574,6 +580,9 @@ impl Telemetry {
             retries: registry.counter("serve.retries", det),
             steps: registry.counter("serve.steps", det),
             latency_us: registry.histogram("serve.latency_us", Determinism::WallClock),
+            replans: registry.counter("plan.replans", det),
+            relations_replanned: registry.counter("plan.relations_replanned", det),
+            relations_kept: registry.counter("plan.relations_kept", det),
             registry,
         }
     }
@@ -931,6 +940,34 @@ impl Session {
     /// dumps.
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// Hot-swaps this session onto a profile-guided replan of its core
+    /// ([`Library::replan_from`]) without dropping any serving-layer
+    /// attachment: the new session keeps the server's shared memo table
+    /// (verdicts are fuel-monotone facts about the *relation*, so they
+    /// stay valid across plan changes) and re-applies the configured
+    /// bytecode routing — relations whose replanned plan no longer
+    /// compiles to bytecode fall back to the closure tree per relation,
+    /// exactly as a fresh [`Server::session`] would.
+    ///
+    /// Only this session is swapped; other sessions keep their plans
+    /// until they replan. Bumps the server's `plan.*` metrics
+    /// (`plan.replans`, `plan.relations_replanned`,
+    /// `plan.relations_kept`) and returns the [`ReplanReport`].
+    pub fn replan_hot(&mut self, stats: &SearchStats) -> ReplanReport {
+        let (lib, report) = self.lib.replan_from_report(stats);
+        let mut lib = lib.with_shared_memo(Arc::clone(&self.state.memo));
+        if self.state.config.use_vm {
+            lib = lib.with_vm();
+        }
+        self.lib = lib;
+        let tel = &self.state.tel;
+        tel.replans.inc();
+        tel.relations_replanned.add(report.replanned.len() as u64);
+        tel.relations_kept
+            .add((report.kept.len() + report.unchanged.len()) as u64);
+        report
     }
 
     /// Checks a batch of argument tuples against `rel` at fuel `size`,

@@ -321,6 +321,15 @@ type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>;
 
 impl Drop for PanicSilence {
     fn drop(&mut self) {
+        // `take_hook`/`set_hook` panic when called from a panicking
+        // thread, and a panic escaping this destructor during cleanup
+        // aborts the whole process ("thread caused non-unwinding
+        // panic"). A failing test under `silence_panics` must fail,
+        // not abort: on the unwinding path, leave the no-op hook
+        // installed instead of restoring.
+        if std::thread::panicking() {
+            return;
+        }
         if let Some(prev) = self.prev.take() {
             let _ = panic::take_hook();
             panic::set_hook(prev);

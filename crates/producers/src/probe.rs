@@ -199,6 +199,13 @@ pub enum Event {
         /// `true` when the premise conclusively failed.
         failed: bool,
     },
+    /// The profile-guided replanner recompiled one relation's checker
+    /// into a *different* premise schedule (relations whose recompile
+    /// reproduced the old plan do not emit this).
+    Replanned {
+        /// The relation whose plan changed.
+        rel: RelId,
+    },
 }
 
 /// How a serving-layer request ended, as carried by
@@ -493,6 +500,8 @@ struct StatsState {
     shards_degraded: u64,
     /// Serving-layer requests completed (any outcome).
     requests: u64,
+    /// Relations recompiled into a different plan by the replanner.
+    replans: u64,
 }
 
 /// An aggregating probe: counters and histograms over the whole search,
@@ -574,6 +583,7 @@ impl SearchStats {
                 p.cost += cost;
                 p.failures += u64::from(failed);
             }
+            Event::Replanned { .. } => s.replans += 1,
         }
     }
 
@@ -597,6 +607,7 @@ impl SearchStats {
                 (o.memo_hits, o.memo_misses, o.index_skipped),
                 (o.shed, o.retries, o.shards_degraded, o.requests),
                 o.premises.clone(),
+                o.replans,
             )
         };
         let mut s = lock(&self.state);
@@ -628,6 +639,7 @@ impl SearchStats {
             dst.cost += p.cost;
             dst.failures += p.failures;
         }
+        s.replans += snap.9;
     }
 
     /// Total events recorded.
@@ -701,6 +713,11 @@ impl SearchStats {
     /// Serving-layer requests completed (any outcome).
     pub fn requests(&self) -> u64 {
         lock(&self.state).requests
+    }
+
+    /// Relations the replanner recompiled into a different plan.
+    pub fn replans(&self) -> u64 {
+        lock(&self.state).replans
     }
 
     /// Premise cost attribution for one relation, as
@@ -844,6 +861,7 @@ impl SearchStats {
                 r#""memo":{{"hits":{},"misses":{}}},"#,
                 r#""index_skipped":{},"#,
                 r#""serve":{{"requests":{},"retries":{},"shards_degraded":{},"shed":{}}},"#,
+                r#""plan":{{"replans":{}}},"#,
                 r#""rules":[{}],"#,
                 r#""unify_fails":[{}],"#,
                 r#""premises":[{}],"#,
@@ -861,6 +879,7 @@ impl SearchStats {
             s.retries,
             s.shards_degraded,
             s.shed,
+            s.replans,
             rules.join(","),
             fails.join(","),
             premises.join(","),
@@ -910,6 +929,9 @@ impl fmt::Display for SearchStats {
                 "  serve: {} requests / {} shed / {} retries / {} degraded shard(s)",
                 s.requests, s.shed, s.retries, s.shards_degraded
             )?;
+        }
+        if s.replans > 0 {
+            writeln!(f, "  plan: {} relation(s) replanned", s.replans)?;
         }
         if !s.premises.is_empty() {
             writeln!(
@@ -1141,6 +1163,10 @@ fn event_json(seq: u64, e: &Event, names: &NameTable) -> String {
             r#"{{"seq":{seq},"event":"premise","rel":"{}","rule":"{}","step":{step},"cost":{cost},"failed":{failed}}}"#,
             json_escape(&names.rel(*rel)),
             json_escape(&names.rule(*rel, *rule))
+        ),
+        Event::Replanned { rel } => format!(
+            r#"{{"seq":{seq},"event":"replanned","rel":"{}"}}"#,
+            json_escape(&names.rel(*rel))
         ),
     }
 }

@@ -217,6 +217,47 @@ fn explain_pairs_static_estimates_with_observed_premise_costs() {
     );
 }
 
+#[test]
+fn explain_marks_never_attempted_premises() {
+    let mut u = Universe::new();
+    let mut env = RelEnv::new();
+    parse_program(
+        &mut u,
+        &mut env,
+        r"rel le : nat nat :=
+          | le_n : forall n, le n n
+          | le_S : forall n m, le n m -> le n (S m)
+          .
+          rel q : nat :=
+          | qz : forall n, le n n -> q n
+          | qs : forall n, le (S n) n -> q (S (S (S (S n))))
+          .",
+    )
+    .unwrap();
+    let q = env.rel_id("q").unwrap();
+    let mut b = LibraryBuilder::new(u, env);
+    b.derive_checker(q).unwrap();
+    let lib = b.build();
+    let stats = SearchStats::new();
+    {
+        let _probe = lib.arm_probe(ExecProbe::stats(&stats));
+        // Only 0..=2: rule qs's conclusion (>= 4) never matches, so
+        // its premise is estimated but never evaluated.
+        for n in 0..3u64 {
+            let _ = lib.check(q, 8, 8, &[Value::nat(n)]);
+        }
+    }
+    let text = lib.explain_with_stats(q, &stats);
+    assert!(
+        text.contains("obs n/a (never attempted)"),
+        "unattempted premises must say so explicitly, not render zeros:\n{text}"
+    );
+    assert!(
+        text.contains("evals, mean"),
+        "attempted premises still render observations:\n{text}"
+    );
+}
+
 /// Serving fixture for the probe-parity tests: one frozen `even'` core.
 fn serve_shared() -> (SharedLibrary, RelId) {
     let mut u = Universe::new();

@@ -269,6 +269,19 @@ fn chaos_round(threads: usize) -> MemoStats {
             run_chaos_traffic(&server, &chaos, threads, even, twin);
         },
     );
+    // Retirement is lazy (a poisoned shard is only retired on its next
+    // access), and a poison rolled on a worker's final round can land
+    // after every other worker has drained — leaving the shard
+    // untouched and the degradation invisible. Sweep one probe through
+    // every shard so late poisons still register before the
+    // degradation assertions read the stats.
+    for shard in 0..4usize {
+        let mut fp = 0u64;
+        while server.memo().shard_for(fp) != shard {
+            fp += 1;
+        }
+        server.memo().lookup(even, fp, &[Value::nat(0)], 1, 1);
+    }
     // Deterministic overload, after the workers drain (competing for
     // permits mid-run would race): hold the whole capacity, then
     // request — the request must shed, not stall.
